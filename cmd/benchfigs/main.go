@@ -1,0 +1,88 @@
+// Command benchfigs regenerates the paper's evaluation figures (Figs.
+// 3–7 of Section VI) on the synthetic world and prints each as a text
+// table. See EXPERIMENTS.md for the recorded paper-vs-measured
+// comparison.
+//
+// Usage:
+//
+//	benchfigs -all                 # every figure at the default scale
+//	benchfigs -fig 3a -fig 4       # selected figures
+//	benchfigs -scale paper -seed 7 # larger, slower, closer to the paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type figList []string
+
+func (f *figList) String() string { return strings.Join(*f, ",") }
+func (f *figList) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			*f = append(*f, part)
+		}
+	}
+	return nil
+}
+
+func main() {
+	var figs figList
+	flag.Var(&figs, "fig", "figure id to regenerate (3a 3b 3c 3d 4 5a 5b 5c 5d 6 7); repeatable")
+	all := flag.Bool("all", false, "regenerate every figure")
+	scale := flag.String("scale", "small", "experiment scale: small or paper")
+	seed := flag.Int64("seed", 77, "world seed")
+	chart := flag.Bool("chart", false, "render Unicode charts instead of tables")
+	list := flag.Bool("list", false, "list figure ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.FigureIDs {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	if *all {
+		figs = append(figList{}, experiments.FigureIDs...)
+	}
+	if len(figs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchfigs: nothing to do; pass -all or -fig ID")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "small":
+		sc = experiments.SmallScale(*seed)
+	case "paper":
+		sc = experiments.PaperScale(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "benchfigs: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "generating world (scale=%s seed=%d)…\n", *scale, *seed)
+	setup := experiments.NewSetup(sc)
+	for _, id := range figs {
+		start := time.Now()
+		fig, err := setup.RunFigure(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfigs: fig %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *chart {
+			fmt.Println(fig.RenderChart())
+		} else {
+			fmt.Println(fig.Render())
+		}
+		fmt.Fprintf(os.Stderr, "fig %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

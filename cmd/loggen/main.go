@@ -1,0 +1,76 @@
+// Command loggen generates a synthetic search-engine query log with the
+// statistical structure PQS-DA exploits (ambiguous queries, per-user
+// preferences, sessions, web dynamics) and writes it as TSV.
+//
+// Usage:
+//
+//	loggen -users 100 -sessions 30 -facets 12 -seed 7 -o log.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		users    = flag.Int("users", 100, "number of simulated users")
+		sessions = flag.Int("sessions", 30, "sessions per user")
+		facets   = flag.Int("facets", 12, "number of topic facets")
+		shared   = flag.Int("shared", 6, "number of ambiguous head terms")
+		robots   = flag.Int("robots", 0, "robotic burst users to add (cleaning fodder)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("o", "-", "output file (default stdout)")
+		stats    = flag.Bool("stats", false, "print world statistics to stderr")
+		truth    = flag.String("truth", "", "also write the ground-truth oracle (query/URL/user facets) to this file")
+	)
+	flag.Parse()
+
+	w := synth.Generate(synth.Config{
+		Seed:            *seed,
+		NumUsers:        *users,
+		SessionsPerUser: *sessions,
+		NumFacets:       *facets,
+		SharedTerms:     *shared,
+		RobotUsers:      *robots,
+	})
+
+	var dst io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := w.Log.WriteTSV(dst); err != nil {
+		fatal(err)
+	}
+	if *truth != "" {
+		tf, err := os.Create(*truth)
+		if err != nil {
+			fatal(err)
+		}
+		if err := w.WriteGroundTruth(tf); err != nil {
+			fatal(err)
+		}
+		if err := tf.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *stats {
+		freq := w.Log.QueryFrequency()
+		fmt.Fprintf(os.Stderr, "entries=%d users=%d distinct-queries=%d facets=%d\n",
+			w.Log.Len(), len(w.Log.Users()), len(freq), len(w.Facets))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loggen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,156 @@
+// Command pqsda serves personalized, diversity-aware query suggestions
+// from a query log. It reads a TSV log (see cmd/loggen) or generates a
+// synthetic one, builds the PQS-DA engine, and answers queries from
+// flags, interactively from stdin, or over HTTP.
+//
+// Usage:
+//
+//	pqsda -log log.tsv -user u0003 -query "sun" -k 10
+//	pqsda -synthetic -user u0003              # interactive: one query per line
+//	pqsda -log log.tsv -serve :8080           # HTTP middleware (see internal/server)
+//	pqsda -log log.tsv -save engine.bin       # train once, persist
+//	pqsda -engine engine.bin -query "sun"     # serve from a persisted engine
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		logPath   = flag.String("log", "", "query log file (TSV from loggen, or AOL format with -format aol)")
+		format    = flag.String("format", "tsv", "log file format: tsv or aol")
+		synthetic = flag.Bool("synthetic", false, "generate a synthetic log instead of -log")
+		seed      = flag.Int64("seed", 1, "seed for -synthetic and model training")
+		user      = flag.String("user", "", "user ID to personalize for (empty: diversification only)")
+		query     = flag.String("query", "", "input query (empty: read queries from stdin)")
+		k         = flag.Int("k", 10, "number of suggestions")
+		budget    = flag.Int("budget", 200, "compact representation size (the paper's Q)")
+		topics    = flag.Int("topics", 10, "UPM topic count")
+		verbose   = flag.Bool("v", false, "print stage diagnostics")
+		workers   = flag.Int("workers", 1, "parallel workers for training and solving")
+		serve     = flag.String("serve", "", "serve the HTTP suggestion API on this address instead of the CLI")
+		savePath  = flag.String("save", "", "persist the trained engine to this file and exit")
+		enginePth = flag.String("engine", "", "load a persisted engine instead of training from a log")
+	)
+	flag.Parse()
+
+	var engine *pqsda.Engine
+	if *enginePth != "" {
+		f, err := os.Open(*enginePth)
+		if err != nil {
+			fatal(err)
+		}
+		engine, err = core.LoadEngine(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded engine from %s\n", *enginePth)
+	} else {
+		var log *pqsda.Log
+		switch {
+		case *logPath != "":
+			f, err := os.Open(*logPath)
+			if err != nil {
+				fatal(err)
+			}
+			switch *format {
+			case "tsv":
+				log, err = pqsda.ReadLog(f)
+			case "aol":
+				log, err = pqsda.ReadAOLLog(f)
+			default:
+				err = fmt.Errorf("unknown -format %q", *format)
+			}
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+		case *synthetic:
+			log = pqsda.SyntheticLog(pqsda.SyntheticConfig{Seed: *seed, NumUsers: 50, SessionsPerUser: 25}).Log
+		default:
+			fatal(fmt.Errorf("need -log FILE, -synthetic, or -engine FILE"))
+		}
+		fmt.Fprintf(os.Stderr, "building engine over %d log entries…\n", log.Len())
+		var err error
+		engine, err = pqsda.NewEngine(log, pqsda.Config{
+			CompactBudget:       *budget,
+			Topics:              *topics,
+			TrainingIterations:  60,
+			Seed:                *seed,
+			Workers:             *workers,
+			DiversificationOnly: *user == "" && *serve == "" && *savePath == "",
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := engine.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "engine saved to %s\n", *savePath)
+		return
+	}
+
+	if *serve != "" {
+		srv := server.New(engine, os.Stderr)
+		fmt.Fprintf(os.Stderr, "serving suggestion API on %s (GET /api/suggest?user=&q=&k=)\n", *serve)
+		fatal(http.ListenAndServe(*serve, srv.Handler()))
+	}
+
+	answer := func(q string) {
+		res, err := engine.Suggest(*user, q, nil, time.Now(), *k)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%q: %v\n", q, err)
+			return
+		}
+		for i, s := range res.Suggestions {
+			fmt.Printf("%2d. %s\n", i+1, s)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "compact=%d queries, solve=%d iters, stages: compact %v, solve %v, hitting %v, personalize %v\n",
+				res.CompactSize, res.SolveIterations,
+				res.CompactTime.Round(time.Microsecond), res.SolveTime.Round(time.Microsecond),
+				res.HittingTime.Round(time.Microsecond), res.PersonalizeTime.Round(time.Microsecond))
+		}
+	}
+
+	if *query != "" {
+		answer(*query)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "enter queries, one per line (Ctrl-D to quit):")
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		q := strings.TrimSpace(sc.Text())
+		if q == "" {
+			continue
+		}
+		answer(q)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pqsda:", err)
+	os.Exit(1)
+}

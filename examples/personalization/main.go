@@ -1,0 +1,130 @@
+// Personalization: a walkthrough of the offline User Profiling Model.
+// It trains the UPM on a synthetic log, inspects the learned artifacts
+// (topic profiles θ_d, temporal Beta profiles τ_k, learned
+// hyperparameters α) and shows how preference scores personalize a
+// candidate ranking before/after Borda aggregation.
+//
+//	go run ./examples/personalization
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro"
+	"repro/internal/profile"
+	"repro/internal/querylog"
+	"repro/internal/topicmodel"
+)
+
+func main() {
+	world := pqsda.SyntheticLog(pqsda.SyntheticConfig{
+		Seed: 9, NumUsers: 20, SessionsPerUser: 30, NumFacets: 5,
+	})
+	sessions := pqsda.Sessionize(world.Log)
+	corpus := topicmodel.BuildCorpus(sessions, world.NormalizeTime)
+	fmt.Printf("corpus: %d users, %d word types, %d URLs, %d word tokens\n\n",
+		len(corpus.Docs), corpus.V(), corpus.U(), corpus.TotalWords())
+
+	upm := topicmodel.TrainUPM(corpus, topicmodel.UPMConfig{
+		K: 5, Iterations: 80, Seed: 9, HyperRounds: 2, HyperIters: 10,
+	})
+
+	// 1. Learned document-mixture hyperparameters (Eq. 25).
+	fmt.Printf("learned alpha: %v\n\n", roundAll(upm.Alpha()))
+
+	// 2. Temporal profiles (Eqs. 28–29): where in the log's time span
+	// each topic concentrates.
+	fmt.Println("topic temporal profiles Beta(a,b) and their means:")
+	for k := 0; k < upm.K(); k++ {
+		a, b := upm.Tau(k)
+		fmt.Printf("  topic %d: Beta(%.2f, %.2f)  mean=%.2f\n", k, a, b, a/(a+b))
+	}
+
+	// 3. A user profile (Eq. 30) and its top words per dominant topic.
+	user := world.UserIDs()[0]
+	d, _ := upm.DocOf(user)
+	theta := upm.Theta(d)
+	fmt.Printf("\nuser %s profile θ: %v\n", user, roundAll(theta))
+	top := argmax(theta)
+	fmt.Printf("dominant topic %d; the user's own top words there:\n", top)
+	type ws struct {
+		w string
+		p float64
+	}
+	var words []ws
+	for w := 0; w < corpus.V(); w++ {
+		words = append(words, ws{corpus.Words.Name(w), upm.WordProb(d, top, w)})
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i].p > words[j].p })
+	for _, e := range words[:8] {
+		fmt.Printf("  %-14s %.4f\n", e.w, e.p)
+	}
+
+	// 4. Preference scores (Eq. 31) re-rank a candidate list.
+	store := profile.NewStore(upm, corpus)
+	candidates := sampleQueries(world, 8)
+	fmt.Printf("\ncandidates with preference scores for %s:\n", user)
+	for _, q := range candidates {
+		fmt.Printf("  %-28s %.4f (facet %d)\n", q, store.PreferenceScore(user, q, profile.Posterior), world.QueryFacet(q))
+	}
+	reranked := store.RankByPreference(user, candidates, profile.Posterior)
+	final := profile.BordaAggregate(candidates, reranked)
+	fmt.Println("\noriginal   :", candidates)
+	fmt.Println("preference :", reranked)
+	fmt.Println("borda final:", final)
+}
+
+// sampleQueries picks frequent queries from distinct facets.
+func sampleQueries(w *pqsda.World, n int) []string {
+	freq := make(map[string]int)
+	for _, e := range w.Log.Entries {
+		freq[querylog.NormalizeQuery(e.Query)]++
+	}
+	type qf struct {
+		q string
+		f int
+	}
+	var all []qf
+	for q, f := range freq {
+		all = append(all, qf{q, f})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].f != all[j].f {
+			return all[i].f > all[j].f
+		}
+		return all[i].q < all[j].q
+	})
+	seenFacet := make(map[int]int)
+	var out []string
+	for _, e := range all {
+		if len(out) == n {
+			break
+		}
+		f := w.QueryFacet(e.q)
+		if seenFacet[f] >= 2 { // at most two per facet
+			continue
+		}
+		seenFacet[f]++
+		out = append(out, e.q)
+	}
+	return out
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := range v {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func roundAll(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(int(x*1000+0.5)) / 1000
+	}
+	return out
+}

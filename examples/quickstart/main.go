@@ -1,0 +1,59 @@
+// Quickstart: generate a small synthetic query log, build a PQS-DA
+// engine, and get personalized diversified suggestions for the most
+// frequent query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// A synthetic world stands in for a production query log; it ships
+	// with ground truth (facets, user preferences) we can print.
+	world := pqsda.SyntheticLog(pqsda.SyntheticConfig{
+		Seed: 42, NumUsers: 30, SessionsPerUser: 20, NumFacets: 6,
+	})
+	fmt.Printf("log: %d entries from %d users\n", world.Log.Len(), len(world.Log.Users()))
+
+	engine, err := pqsda.NewEngine(world.Log, pqsda.Config{
+		CompactBudget:      120,
+		Topics:             6,
+		TrainingIterations: 40,
+		Seed:               42,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Most frequent query = a good ambiguous head candidate.
+	input, best := "", 0
+	for q, n := range world.Log.QueryFrequency() {
+		if n > best {
+			input, best = q, n
+		}
+	}
+	user := world.UserIDs()[0]
+	fmt.Printf("\ninput query: %q  (user %s)\n", input, user)
+
+	res, err := engine.Suggest(user, input, nil, time.Now(), 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\ndiversified (before personalization):")
+	for i, s := range res.Diversified {
+		fmt.Printf("  %2d. %-30s facet=%d\n", i+1, s, world.QueryFacet(s))
+	}
+	fmt.Println("\npersonalized (final ranking):")
+	for i, s := range res.Suggestions {
+		fmt.Printf("  %2d. %-30s facet=%d\n", i+1, s, world.QueryFacet(s))
+	}
+	fmt.Printf("\nstages: compact %v (%d queries), Eq.15 solve %v (%d iters), hitting time %v, personalize %v\n",
+		res.CompactTime.Round(time.Microsecond), res.CompactSize,
+		res.SolveTime.Round(time.Microsecond), res.SolveIterations,
+		res.HittingTime.Round(time.Microsecond), res.PersonalizeTime.Round(time.Microsecond))
+}

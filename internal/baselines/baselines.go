@@ -1,0 +1,245 @@
+// Package baselines implements the query-suggestion methods the paper
+// evaluates PQS-DA against (Section VI): the forward and backward
+// random walks FRW/BRW (Craswell & Szummer), hitting time HT (Mei et
+// al.), the diversifying method DQS (Ma et al.), the personalized
+// hitting time PHT (Mei et al.) and the concept-based method CM (Leung
+// et al.). The graph baselines run on the classic click graph, raw or
+// cf·iqf-weighted — exactly the configurations of Figs. 3 and 5.
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/clickgraph"
+	"repro/internal/randomwalk"
+	"repro/internal/sparse"
+)
+
+// Suggestion is one ranked query suggestion.
+type Suggestion struct {
+	Query string
+	Score float64
+}
+
+// Suggester produces ranked suggestions for an input query.
+type Suggester interface {
+	Name() string
+	Suggest(query string, k int) []Suggestion
+}
+
+// WalkConfig tunes the random-walk baselines.
+type WalkConfig struct {
+	// Steps is the walk length (default 3, as short walks work best on
+	// click graphs).
+	Steps int
+	// SelfLoop is the per-step stay probability (default 0.1).
+	SelfLoop float64
+	// HittingIterations is the truncation depth for hitting-time
+	// methods (default 10).
+	HittingIterations int
+}
+
+func (c WalkConfig) withDefaults() WalkConfig {
+	if c.Steps <= 0 {
+		c.Steps = 3
+	}
+	if c.SelfLoop <= 0 {
+		c.SelfLoop = 0.1
+	}
+	if c.HittingIterations <= 0 {
+		c.HittingIterations = 10
+	}
+	return c
+}
+
+// rankedFromScores turns a score vector into the top-k suggestions,
+// excluding the input node and zero scores. Ascending ranks when
+// ascending is true (hitting-time style), else descending.
+func rankedFromScores(g *clickgraph.Graph, scores []float64, input int, k int, ascending bool, keepZero bool) []Suggestion {
+	type cand struct {
+		q int
+		s float64
+	}
+	var cands []cand
+	for q, s := range scores {
+		if q == input {
+			continue
+		}
+		if !keepZero && s == 0 {
+			continue
+		}
+		cands = append(cands, cand{q, s})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].s != cands[j].s {
+			if ascending {
+				return cands[i].s < cands[j].s
+			}
+			return cands[i].s > cands[j].s
+		}
+		return cands[i].q < cands[j].q
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]Suggestion, k)
+	for i := 0; i < k; i++ {
+		out[i] = Suggestion{Query: g.Queries.Name(cands[i].q), Score: cands[i].s}
+	}
+	return out
+}
+
+// FRW is the forward random walk baseline: rank candidates by the
+// probability that a t-step walk from the input query visits them.
+type FRW struct {
+	G     *clickgraph.Graph
+	Cfg   WalkConfig
+	trans *sparse.Matrix
+}
+
+// NewFRW prepares the forward-walk suggester.
+func NewFRW(g *clickgraph.Graph, cfg WalkConfig) *FRW {
+	return &FRW{G: g, Cfg: cfg.withDefaults(), trans: g.QueryTransition()}
+}
+
+// Name implements Suggester.
+func (f *FRW) Name() string { return "FRW" }
+
+// Suggest implements Suggester.
+func (f *FRW) Suggest(query string, k int) []Suggestion {
+	q, ok := f.G.QueryID(query)
+	if !ok {
+		return nil
+	}
+	p := randomwalk.Forward(f.trans, randomwalk.Unit(f.G.NumQueries(), q), f.Cfg.Steps, f.Cfg.SelfLoop)
+	return rankedFromScores(f.G, p, q, k, false, false)
+}
+
+// BRW is the backward random walk baseline: rank candidates by the
+// probability that a t-step walk STARTED AT THE CANDIDATE reaches the
+// input query.
+type BRW struct {
+	G     *clickgraph.Graph
+	Cfg   WalkConfig
+	trans *sparse.Matrix
+}
+
+// NewBRW prepares the backward-walk suggester.
+func NewBRW(g *clickgraph.Graph, cfg WalkConfig) *BRW {
+	return &BRW{G: g, Cfg: cfg.withDefaults(), trans: g.QueryTransition()}
+}
+
+// Name implements Suggester.
+func (b *BRW) Name() string { return "BRW" }
+
+// Suggest implements Suggester.
+func (b *BRW) Suggest(query string, k int) []Suggestion {
+	q, ok := b.G.QueryID(query)
+	if !ok {
+		return nil
+	}
+	s := randomwalk.Backward(b.trans, randomwalk.Unit(b.G.NumQueries(), q), b.Cfg.Steps, b.Cfg.SelfLoop)
+	return rankedFromScores(b.G, s, q, k, false, false)
+}
+
+// HT is Mei et al.'s hitting-time suggester: rank candidates by
+// ASCENDING truncated hitting time to the input query — the sooner a
+// walk from the candidate hits the input, the more related it is.
+type HT struct {
+	G     *clickgraph.Graph
+	Cfg   WalkConfig
+	trans *sparse.Matrix
+}
+
+// NewHT prepares the hitting-time suggester.
+func NewHT(g *clickgraph.Graph, cfg WalkConfig) *HT {
+	return &HT{G: g, Cfg: cfg.withDefaults(), trans: g.QueryTransition()}
+}
+
+// Name implements Suggester.
+func (h *HT) Name() string { return "HT" }
+
+// Suggest implements Suggester.
+func (h *HT) Suggest(query string, k int) []Suggestion {
+	q, ok := h.G.QueryID(query)
+	if !ok {
+		return nil
+	}
+	times := randomwalk.HittingTimeToSet(h.trans, map[int]bool{q: true}, h.Cfg.HittingIterations)
+	// Exclude queries that never reach the input inside the truncation
+	// horizon (h saturates at the iteration count).
+	sat := float64(h.Cfg.HittingIterations)
+	reachable := make([]float64, len(times))
+	copy(reachable, times)
+	for i, t := range reachable {
+		if t >= sat {
+			reachable[i] = 0 // dropped by keepZero=false
+		}
+	}
+	return rankedFromScores(h.G, reachable, q, k, true, false)
+}
+
+// DQS is Ma et al.'s diversifying query suggestion: the most related
+// candidate by hitting time seeds the result, then candidates with the
+// LARGEST hitting time to the selected set are added greedily — the
+// same diversification principle as PQS-DA but confined to the click
+// graph.
+type DQS struct {
+	ht *HT
+}
+
+// NewDQS prepares the diversifying suggester.
+func NewDQS(g *clickgraph.Graph, cfg WalkConfig) *DQS {
+	return &DQS{ht: NewHT(g, cfg)}
+}
+
+// Name implements Suggester.
+func (d *DQS) Name() string { return "DQS" }
+
+// Suggest implements Suggester.
+func (d *DQS) Suggest(query string, k int) []Suggestion {
+	g, cfg := d.ht.G, d.ht.Cfg
+	q, ok := g.QueryID(query)
+	if !ok || k <= 0 {
+		return nil
+	}
+	// Seed: most related candidate (smallest hitting time to input).
+	seedList := d.ht.Suggest(query, 1)
+	if len(seedList) == 0 {
+		return nil
+	}
+	first, _ := g.QueryID(seedList[0].Query)
+	selected := []int{first}
+	inS := map[int]bool{first: true}
+	// Candidate pool: queries that can reach the input (finite hitting
+	// time), so diversity never drags in unrelated noise.
+	times := randomwalk.HittingTimeToSet(d.ht.trans, map[int]bool{q: true}, cfg.HittingIterations)
+	pool := make([]int, 0, len(times))
+	for i, t := range times {
+		if i != q && !inS[i] && t < float64(cfg.HittingIterations) {
+			pool = append(pool, i)
+		}
+	}
+	for len(selected) < k && len(pool) > 0 {
+		h := randomwalk.HittingTimeToSet(d.ht.trans, inS, cfg.HittingIterations)
+		best, bestH := -1, -1.0
+		for _, i := range pool {
+			if inS[i] {
+				continue
+			}
+			if h[i] > bestH {
+				best, bestH = i, h[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		selected = append(selected, best)
+		inS[best] = true
+	}
+	out := make([]Suggestion, len(selected))
+	for i, s := range selected {
+		out[i] = Suggestion{Query: g.Queries.Name(s), Score: float64(len(selected) - i)}
+	}
+	return out
+}

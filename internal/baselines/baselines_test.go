@@ -1,0 +1,200 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/clickgraph"
+	"repro/internal/querylog"
+	"repro/internal/synth"
+)
+
+func fixture(t *testing.T) (*synth.World, *clickgraph.Graph) {
+	t.Helper()
+	w := synth.Generate(synth.Config{Seed: 41, NumFacets: 5, NumUsers: 15, SessionsPerUser: 15})
+	g := clickgraph.Build(w.Log, bipartite.CFIQF)
+	return w, g
+}
+
+// pickConnectedQuery returns a query with click-graph neighbors.
+func pickConnectedQuery(t *testing.T, g *clickgraph.Graph) string {
+	t.Helper()
+	tr := g.QueryTransition()
+	for q := 0; q < g.NumQueries(); q++ {
+		count := 0
+		tr.Row(q, func(c int, v float64) {
+			if c != q && v > 0 {
+				count++
+			}
+		})
+		if count >= 5 {
+			return g.Queries.Name(q)
+		}
+	}
+	t.Fatal("no well-connected query in fixture")
+	return ""
+}
+
+func TestAllGraphBaselinesProduceSuggestions(t *testing.T) {
+	_, g := fixture(t)
+	q := pickConnectedQuery(t, g)
+	for _, s := range []Suggester{
+		NewFRW(g, WalkConfig{}),
+		NewBRW(g, WalkConfig{}),
+		NewHT(g, WalkConfig{}),
+		NewDQS(g, WalkConfig{}),
+	} {
+		got := s.Suggest(q, 5)
+		if len(got) == 0 {
+			t.Errorf("%s: no suggestions for %q", s.Name(), q)
+			continue
+		}
+		seen := map[string]bool{q: true}
+		for _, sg := range got {
+			if seen[sg.Query] {
+				t.Errorf("%s: duplicate or self suggestion %q", s.Name(), sg.Query)
+			}
+			seen[sg.Query] = true
+		}
+	}
+}
+
+func TestSuggestUnknownQuery(t *testing.T) {
+	_, g := fixture(t)
+	for _, s := range []Suggester{
+		NewFRW(g, WalkConfig{}),
+		NewBRW(g, WalkConfig{}),
+		NewHT(g, WalkConfig{}),
+		NewDQS(g, WalkConfig{}),
+	} {
+		if got := s.Suggest("never seen query zz", 5); got != nil {
+			t.Errorf("%s: suggestions for unknown query: %v", s.Name(), got)
+		}
+	}
+}
+
+func TestFRWScoresDescending(t *testing.T) {
+	_, g := fixture(t)
+	q := pickConnectedQuery(t, g)
+	got := NewFRW(g, WalkConfig{}).Suggest(q, 10)
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatalf("FRW scores not descending at %d: %v", i, got)
+		}
+	}
+}
+
+func TestHTScoresAscending(t *testing.T) {
+	_, g := fixture(t)
+	q := pickConnectedQuery(t, g)
+	got := NewHT(g, WalkConfig{}).Suggest(q, 10)
+	for i := 1; i < len(got); i++ {
+		if got[i].Score < got[i-1].Score {
+			t.Fatalf("HT hitting times not ascending at %d: %v", i, got)
+		}
+	}
+	// All hitting times finite (below truncation).
+	for _, s := range got {
+		if s.Score >= 10 {
+			t.Errorf("unreachable candidate %v suggested", s)
+		}
+	}
+}
+
+func TestDQSFirstMatchesHT(t *testing.T) {
+	_, g := fixture(t)
+	q := pickConnectedQuery(t, g)
+	ht := NewHT(g, WalkConfig{}).Suggest(q, 1)
+	dqs := NewDQS(g, WalkConfig{}).Suggest(q, 5)
+	if len(ht) == 0 || len(dqs) == 0 {
+		t.Skip("no suggestions")
+	}
+	if dqs[0].Query != ht[0].Query {
+		t.Errorf("DQS seed %q != HT top %q", dqs[0].Query, ht[0].Query)
+	}
+}
+
+func TestDQSMoreDiverseThanHT(t *testing.T) {
+	// DQS should cover at least as many facets as HT at the same k.
+	w, g := fixture(t)
+	facetsOf := func(sugs []Suggestion) map[int]bool {
+		out := make(map[int]bool)
+		for _, s := range sugs {
+			if f := w.QueryFacet(querylog.NormalizeQuery(s.Query)); f >= 0 {
+				out[f] = true
+			}
+		}
+		return out
+	}
+	better := 0
+	total := 0
+	for q := 0; q < g.NumQueries() && total < 30; q++ {
+		name := g.Queries.Name(q)
+		ht := NewHT(g, WalkConfig{}).Suggest(name, 8)
+		if len(ht) < 8 {
+			continue
+		}
+		dqs := NewDQS(g, WalkConfig{}).Suggest(name, 8)
+		total++
+		if len(facetsOf(dqs)) >= len(facetsOf(ht)) {
+			better++
+		}
+	}
+	if total == 0 {
+		t.Skip("no connected queries")
+	}
+	if frac := float64(better) / float64(total); frac < 0.7 {
+		t.Errorf("DQS at least as diverse as HT in only %.0f%% of cases", frac*100)
+	}
+}
+
+func TestPHTPersonalizes(t *testing.T) {
+	w, g := fixture(t)
+	pht := NewPHT(g, w.Log, WalkConfig{})
+	q := pickConnectedQuery(t, g)
+	users := w.UserIDs()
+	got := pht.SuggestFor(users[0], q, 5)
+	if len(got) == 0 {
+		t.Skip("no PHT suggestions for this fixture")
+	}
+	for _, s := range got {
+		if s.Query == q {
+			t.Error("PHT suggested the input itself")
+		}
+	}
+	// A user with no history still gets graph-only suggestions.
+	if got := pht.SuggestFor("stranger", q, 5); len(got) == 0 {
+		t.Error("PHT with empty history returned nothing")
+	}
+}
+
+func TestCMSuggestAndProfiles(t *testing.T) {
+	w, g := fixture(t)
+	cm := NewCM(g, w.Log)
+	q := pickConnectedQuery(t, g)
+	user := w.UserIDs()[0]
+	got := cm.SuggestFor(user, q, 5)
+	if len(got) == 0 {
+		t.Fatalf("CM produced nothing for %q", q)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatalf("CM scores not descending: %v", got)
+		}
+	}
+	// Unknown user: relatedness-only ranking still works.
+	if got := cm.SuggestFor("stranger", q, 5); len(got) == 0 {
+		t.Error("CM with unknown user returned nothing")
+	}
+	// Unknown query: nothing.
+	if got := cm.SuggestFor(user, "never seen zz", 5); got != nil {
+		t.Errorf("CM suggested for unknown query: %v", got)
+	}
+}
+
+func TestWalkConfigDefaults(t *testing.T) {
+	c := WalkConfig{}.withDefaults()
+	if c.Steps != 3 || c.SelfLoop != 0.1 || c.HittingIterations != 10 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

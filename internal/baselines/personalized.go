@@ -1,0 +1,185 @@
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/clickgraph"
+	"repro/internal/numeric"
+	"repro/internal/querylog"
+	"repro/internal/randomwalk"
+)
+
+// PersonalizedSuggester produces suggestions tailored to a user.
+type PersonalizedSuggester interface {
+	Name() string
+	SuggestFor(userID, query string, k int) []Suggestion
+}
+
+// PHT is Mei et al.'s personalized hitting time: the user's click
+// history becomes a pseudo query node in the click graph, and
+// candidates are ranked by ascending truncated hitting time to the set
+// {input query, pseudo node} — close to the query AND to the user's
+// past clicks.
+type PHT struct {
+	G   *clickgraph.Graph
+	Cfg WalkConfig
+	// history maps user → URL click weights from the log.
+	history map[string]map[string]float64
+}
+
+// NewPHT prepares the personalized hitting-time suggester from the
+// click graph and the per-user click history found in the log.
+func NewPHT(g *clickgraph.Graph, l *querylog.Log, cfg WalkConfig) *PHT {
+	hist := make(map[string]map[string]float64)
+	for _, e := range l.Entries {
+		if e.ClickedURL == "" {
+			continue
+		}
+		m := hist[e.UserID]
+		if m == nil {
+			m = make(map[string]float64)
+			hist[e.UserID] = m
+		}
+		m[e.ClickedURL]++
+	}
+	return &PHT{G: g, Cfg: cfg.withDefaults(), history: hist}
+}
+
+// Name implements PersonalizedSuggester.
+func (p *PHT) Name() string { return "PHT" }
+
+// SuggestFor implements PersonalizedSuggester.
+func (p *PHT) SuggestFor(userID, query string, k int) []Suggestion {
+	urls := p.history[userID]
+	g := p.G
+	pseudoID := -1
+	if len(urls) > 0 {
+		g, pseudoID = p.G.WithPseudoQuery(urls)
+	}
+	q, ok := g.QueryID(query)
+	if !ok {
+		return nil
+	}
+	target := map[int]bool{q: true}
+	if pseudoID >= 0 {
+		target[pseudoID] = true
+	}
+	trans := g.QueryTransition()
+	times := randomwalk.HittingTimeToSet(trans, target, p.Cfg.HittingIterations)
+	sat := float64(p.Cfg.HittingIterations)
+	for i, t := range times {
+		if t >= sat || i == pseudoID {
+			times[i] = 0 // dropped below
+		}
+	}
+	return rankedFromScores(g, times, q, k, true, false)
+}
+
+// CM is the concept-based personalized suggestion method of Leung et
+// al.: queries are represented by CONCEPT vectors mined from co-click
+// structure (terms of all queries sharing the query's clicked URLs);
+// the user's profile is the accumulated concept vector of their past
+// queries; candidates related to the input query are ranked by the
+// cosine similarity of their concept vector to the user profile.
+//
+// CM deliberately scans its full concept space per suggestion — the
+// source of its high latency in the paper's Fig. 7.
+type CM struct {
+	G *clickgraph.Graph
+	// concepts[q] is the concept term vector of query node q.
+	concepts []map[string]float64
+	// profiles[user] is the accumulated concept vector.
+	profiles map[string]map[string]float64
+}
+
+// NewCM mines concept vectors for every query node and builds user
+// profiles from the log.
+func NewCM(g *clickgraph.Graph, l *querylog.Log) *CM {
+	cm := &CM{G: g, profiles: make(map[string]map[string]float64)}
+	// Terms of each query node.
+	nq := g.NumQueries()
+	queryTerms := make([][]string, nq)
+	for i := 0; i < nq; i++ {
+		queryTerms[i] = querylog.Tokenize(g.Queries.Name(i))
+	}
+	// Concept vector: own terms + terms of co-clicked neighbor queries,
+	// weighted by the two-step transition mass.
+	trans := g.QueryTransition()
+	cm.concepts = make([]map[string]float64, nq)
+	for i := 0; i < nq; i++ {
+		c := make(map[string]float64)
+		for _, t := range queryTerms[i] {
+			c[t] += 1
+		}
+		trans.Row(i, func(j int, v float64) {
+			for _, t := range queryTerms[j] {
+				c[t] += v
+			}
+		})
+		cm.concepts[i] = c
+	}
+	// User profiles accumulate the concept vectors of issued queries.
+	for _, e := range l.Entries {
+		q, ok := g.QueryID(e.Query)
+		if !ok {
+			continue
+		}
+		prof := cm.profiles[e.UserID]
+		if prof == nil {
+			prof = make(map[string]float64)
+			cm.profiles[e.UserID] = prof
+		}
+		for t, v := range cm.concepts[q] {
+			prof[t] += v
+		}
+	}
+	return cm
+}
+
+// Name implements PersonalizedSuggester.
+func (c *CM) Name() string { return "CM" }
+
+// SuggestFor implements PersonalizedSuggester.
+func (c *CM) SuggestFor(userID, query string, k int) []Suggestion {
+	q, ok := c.G.QueryID(query)
+	if !ok {
+		return nil
+	}
+	input := c.concepts[q]
+	profile := c.profiles[userID]
+	type cand struct {
+		q int
+		s float64
+	}
+	var cands []cand
+	// Full scan of the concept space: relatedness to the input concept
+	// gates candidacy, profile similarity ranks it.
+	for i := range c.concepts {
+		if i == q {
+			continue
+		}
+		rel := numeric.CosineSparse(input, c.concepts[i])
+		if rel <= 0 {
+			continue
+		}
+		personal := 0.0
+		if profile != nil {
+			personal = numeric.CosineSparse(profile, c.concepts[i])
+		}
+		cands = append(cands, cand{i, rel * (0.5 + personal)})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].s != cands[j].s {
+			return cands[i].s > cands[j].s
+		}
+		return cands[i].q < cands[j].q
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]Suggestion, k)
+	for i := 0; i < k; i++ {
+		out[i] = Suggestion{Query: c.G.Queries.Name(cands[i].q), Score: cands[i].s}
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+// Package bipartite implements the paper's multi-bipartite query-log
+// representation (Section III): three bipartite graphs sharing one query
+// node space — query–URL, query–session and query–term — with edges
+// weighted either by raw co-occurrence frequency or by the paper's
+// cf·iqf scheme (Eqs. 1–6). It also builds the compact representation
+// the diversification component runs on (Section IV-A).
+package bipartite
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/querylog"
+	"repro/internal/sparse"
+)
+
+// View identifies one of the three bipartites; the paper's X ∈ {U, S, T}.
+type View int
+
+const (
+	ViewURL View = iota
+	ViewSession
+	ViewTerm
+	NumViews = 3
+)
+
+// String names the view for diagnostics.
+func (v View) String() string {
+	switch v {
+	case ViewURL:
+		return "URL"
+	case ViewSession:
+		return "session"
+	case ViewTerm:
+		return "term"
+	}
+	return "unknown"
+}
+
+// Weighting selects between raw frequencies and the cf·iqf scheme.
+type Weighting int
+
+const (
+	// Raw uses plain co-occurrence counts c_ij.
+	Raw Weighting = iota
+	// CFIQF multiplies counts by the inverse query frequency of the
+	// object (Eqs. 4–6).
+	CFIQF
+)
+
+// Representation is the multi-bipartite query-log representation. W[v]
+// is the queries × objects weight matrix of view v; the query node space
+// is shared across views.
+type Representation struct {
+	Queries  *Index
+	Objects  [NumViews]*Index
+	W        [NumViews]*sparse.Matrix
+	Sessions []querylog.Session
+	// Weighting records how W was weighted.
+	Weighting Weighting
+
+	// avgTransition memoizes AverageTransition: it touches the whole
+	// graph and is reused by every BuildCompact call. avgOnce makes the
+	// lazy computation safe under concurrent suggestion serving.
+	avgOnce       sync.Once
+	avgTransition *sparse.Matrix
+}
+
+// Build constructs the full multi-bipartite representation from a log.
+// The log is sessionized with cfg (pass the zero value for defaults).
+func Build(l *querylog.Log, scfg querylog.SessionizerConfig, wt Weighting) *Representation {
+	sessions := querylog.Sessionize(l, scfg)
+	return BuildFromSessions(sessions, wt)
+}
+
+// BuildFromSessions constructs the representation from pre-segmented
+// sessions (useful when the caller needs the same segmentation
+// elsewhere).
+func BuildFromSessions(sessions []querylog.Session, wt Weighting) *Representation {
+	r := &Representation{
+		Queries:   NewIndex(),
+		Sessions:  sessions,
+		Weighting: wt,
+	}
+	for v := 0; v < NumViews; v++ {
+		r.Objects[v] = NewIndex()
+	}
+
+	// Count raw co-occurrences c^X_ij.
+	type edge struct{ q, o int }
+	counts := [NumViews]map[edge]float64{}
+	for v := range counts {
+		counts[v] = make(map[edge]float64)
+	}
+	// connected[v][o] is the set of distinct queries touching object o,
+	// for the iqf denominators n^X(o).
+	connected := [NumViews]map[int]map[int]bool{}
+	for v := range connected {
+		connected[v] = make(map[int]map[int]bool)
+	}
+	touch := func(v View, q, o int) {
+		counts[v][edge{q, o}]++
+		set := connected[v][o]
+		if set == nil {
+			set = make(map[int]bool)
+			connected[v][o] = set
+		}
+		set[q] = true
+	}
+
+	for si, s := range sessions {
+		sid := r.Objects[ViewSession].Intern(sessionName(si))
+		for _, e := range s.Entries {
+			q := r.Queries.Intern(querylog.NormalizeQuery(e.Query))
+			touch(ViewSession, q, sid)
+			if e.ClickedURL != "" {
+				touch(ViewURL, q, r.Objects[ViewURL].Intern(e.ClickedURL))
+			}
+			for _, t := range querylog.Tokenize(e.Query) {
+				touch(ViewTerm, q, r.Objects[ViewTerm].Intern(t))
+			}
+		}
+	}
+
+	// |Q| for the iqf formulas: the number of distinct queries in the
+	// log (n^X counts distinct queries per object, so the ratio stays in
+	// [1, |Q|] and iqf ≥ 0).
+	totalQ := float64(r.Queries.Len())
+	for v := 0; v < NumViews; v++ {
+		b := sparse.NewBuilder(r.Queries.Len(), r.Objects[v].Len())
+		for e, c := range counts[v] {
+			w := c
+			if wt == CFIQF {
+				n := float64(len(connected[v][e.o]))
+				iqf := math.Log(totalQ / n)
+				if iqf <= 0 {
+					// An object touched by every query carries no signal
+					// but must not erase the edge entirely.
+					iqf = math.Log(1.0001)
+				}
+				w = c * iqf
+			}
+			b.Add(e.q, e.o, w)
+		}
+		r.W[v] = b.Build()
+	}
+	return r
+}
+
+func sessionName(i int) string {
+	// Session object names only need uniqueness.
+	return "s#" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+// IQF returns the inverse query frequency of object o in view v
+// (Eqs. 1–3), computed from the stored matrices: n(o) is the number of
+// distinct queries with a stored edge to o.
+func (r *Representation) IQF(v View, o int) float64 {
+	n := 0
+	wT := r.W[v].Transpose()
+	wT.Row(o, func(c int, val float64) { n++ })
+	if n == 0 {
+		return 0
+	}
+	return math.Log(float64(r.Queries.Len()) / float64(n))
+}
+
+// QueryTransition returns the query→query transition matrix of view v:
+// the two-step walk query → object → query, row-normalized. This is the
+// p^X(q_a|q_b) of Section IV-C.
+func (r *Representation) QueryTransition(v View) *sparse.Matrix {
+	w := r.W[v].RowNormalized()
+	wt := r.W[v].Transpose().RowNormalized()
+	return sparse.MulMat(w, wt)
+}
+
+// Affinity returns W^X W^Xᵀ for view v — the query–query affinity the
+// regularization framework's smoothness constraint uses (Eq. 9).
+func (r *Representation) Affinity(v View) *sparse.Matrix {
+	return sparse.MulMat(r.W[v], r.W[v].Transpose())
+}
+
+// NormalizedAffinity returns L^X = D^{-1/2} (W Wᵀ) D^{-1/2} where D is
+// the diagonal of row sums of W Wᵀ (Eq. 13). Rows with zero sum stay
+// zero. Its eigenvalues lie in [−1, 1], making Eq. 15's system SPD.
+func (r *Representation) NormalizedAffinity(v View) *sparse.Matrix {
+	return normalizedAffinityOf(r.W[v])
+}
+
+// NumQueries returns the size of the query node space.
+func (r *Representation) NumQueries() int { return r.Queries.Len() }
+
+// QueryID resolves a raw query string (normalized internally) to its
+// node ID.
+func (r *Representation) QueryID(rawQuery string) (int, bool) {
+	return r.Queries.Lookup(querylog.NormalizeQuery(rawQuery))
+}
+
+// AverageTransition returns the mean of the three views' query→query
+// transition matrices — the uniform cross-view walk used for compact-
+// representation expansion. The result is computed once and memoized
+// (the representation is immutable after Build); callers must not
+// mutate it.
+func (r *Representation) AverageTransition() *sparse.Matrix {
+	r.avgOnce.Do(func() {
+		var acc *sparse.Matrix
+		for v := 0; v < NumViews; v++ {
+			t := r.QueryTransition(View(v))
+			if acc == nil {
+				acc = t.Scale(1.0 / NumViews)
+			} else {
+				acc = sparse.Add(acc, t, 1.0/NumViews)
+			}
+		}
+		r.avgTransition = acc
+	})
+	return r.avgTransition
+}
+
+// ClickedURLs returns the URL names clicked for query node q, with their
+// stored weights.
+func (r *Representation) ClickedURLs(q int) map[string]float64 {
+	out := make(map[string]float64)
+	r.W[ViewURL].Row(q, func(o int, v float64) {
+		out[r.Objects[ViewURL].Name(o)] = v
+	})
+	return out
+}

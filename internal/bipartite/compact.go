@@ -1,0 +1,187 @@
+package bipartite
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Compact is a sub-representation induced on a budgeted set of queries
+// around an input query and its search context (Section IV-A). It keeps
+// a mapping back to the full representation's query IDs.
+type Compact struct {
+	// Full is the representation this compact view was carved from.
+	Full *Representation
+	// QueryIDs maps compact-local index → full query ID, in selection
+	// order: index 0 is the input query, then its context, then expanded
+	// neighbors by decreasing walk probability.
+	QueryIDs []int
+	// LocalOf maps full query ID → compact-local index.
+	LocalOf map[int]int
+	// W are the induced queries × objects matrices (objects restricted
+	// to those touching a selected query).
+	W [NumViews]*sparse.Matrix
+}
+
+// CompactConfig tunes compact-representation construction.
+type CompactConfig struct {
+	// Budget is the paper's ℚ: the number of queries kept (default 200).
+	Budget int
+	// WalkSteps is how many expansion rounds of the Markov random walk
+	// are run before giving up on filling the budget (default 4).
+	WalkSteps int
+}
+
+func (c CompactConfig) withDefaults() CompactConfig {
+	if c.Budget <= 0 {
+		c.Budget = 200
+	}
+	if c.WalkSteps <= 0 {
+		c.WalkSteps = 4
+	}
+	return c
+}
+
+// BuildCompact selects up to cfg.Budget queries around the seed set
+// (input query first, then its search context) by expanding a Markov
+// random walk over the averaged cross-view transition, then induces the
+// three bipartites on the selection.
+//
+// seeds are full query IDs; the first seed is the input query. Unknown
+// or duplicate seeds are ignored.
+func (r *Representation) BuildCompact(seeds []int, cfg CompactConfig) *Compact {
+	cfg = cfg.withDefaults()
+	n := r.NumQueries()
+
+	c := &Compact{Full: r, LocalOf: make(map[int]int)}
+	add := func(q int) bool {
+		if q < 0 || q >= n {
+			return false
+		}
+		if _, dup := c.LocalOf[q]; dup {
+			return false
+		}
+		c.LocalOf[q] = len(c.QueryIDs)
+		c.QueryIDs = append(c.QueryIDs, q)
+		return true
+	}
+	for _, s := range seeds {
+		add(s)
+		if len(c.QueryIDs) >= cfg.Budget {
+			break
+		}
+	}
+	if len(c.QueryIDs) == 0 {
+		return c
+	}
+
+	// Expand: propagate probability mass from the seeds through the
+	// averaged transition; after each step, admit the highest-mass new
+	// queries until the budget is filled.
+	if len(c.QueryIDs) < cfg.Budget {
+		trans := r.AverageTransition()
+		p := make([]float64, n)
+		for _, q := range c.QueryIDs {
+			p[q] = 1 / float64(len(c.QueryIDs))
+		}
+		next := make([]float64, n)
+		for step := 0; step < cfg.WalkSteps && len(c.QueryIDs) < cfg.Budget; step++ {
+			trans.MulVecT(p, next)
+			// Accumulate so early-reached (closer) queries keep an edge.
+			for i := range p {
+				p[i] += next[i]
+			}
+			type cand struct {
+				q    int
+				mass float64
+			}
+			var cands []cand
+			for q := 0; q < n; q++ {
+				if _, in := c.LocalOf[q]; !in && p[q] > 0 {
+					cands = append(cands, cand{q, p[q]})
+				}
+			}
+			sort.Slice(cands, func(i, j int) bool {
+				if cands[i].mass != cands[j].mass {
+					return cands[i].mass > cands[j].mass
+				}
+				return cands[i].q < cands[j].q
+			})
+			for _, cd := range cands {
+				if len(c.QueryIDs) >= cfg.Budget {
+					break
+				}
+				add(cd.q)
+			}
+		}
+	}
+
+	// Induce sub-bipartites: keep objects that touch ≥1 selected query,
+	// re-indexing objects densely per view.
+	for v := 0; v < NumViews; v++ {
+		objMap := make(map[int]int)
+		b := sparse.NewBuilder(len(c.QueryIDs), r.W[v].Cols())
+		// First pass: discover objects (we need the local object count
+		// before building, so collect triplets).
+		type trip struct {
+			lq, o int
+			val   float64
+		}
+		var trips []trip
+		for lq, q := range c.QueryIDs {
+			r.W[v].Row(q, func(o int, val float64) {
+				if _, ok := objMap[o]; !ok {
+					objMap[o] = len(objMap)
+				}
+				trips = append(trips, trip{lq, objMap[o], val})
+			})
+		}
+		b = sparse.NewBuilder(len(c.QueryIDs), len(objMap))
+		for _, t := range trips {
+			b.Add(t.lq, t.o, t.val)
+		}
+		c.W[v] = b.Build()
+	}
+	return c
+}
+
+// Size returns the number of selected queries.
+func (c *Compact) Size() int { return len(c.QueryIDs) }
+
+// QueryName returns the query string at compact-local index i.
+func (c *Compact) QueryName(i int) string {
+	return c.Full.Queries.Name(c.QueryIDs[i])
+}
+
+// NormalizedAffinity returns L^X of the compact view v (see
+// Representation.NormalizedAffinity).
+func (c *Compact) NormalizedAffinity(v View) *sparse.Matrix {
+	return normalizedAffinityOf(c.W[v])
+}
+
+// QueryTransition returns the row-normalized two-step query→query
+// transition of the compact view v.
+func (c *Compact) QueryTransition(v View) *sparse.Matrix {
+	w := c.W[v].RowNormalized()
+	wt := c.W[v].Transpose().RowNormalized()
+	return sparse.MulMat(w, wt)
+}
+
+// normalizedAffinityOf computes D^{-1/2} W Wᵀ D^{-1/2} for any bipartite
+// weight matrix. The affinity's sparsity structure is reused: only the
+// values are rescaled, so no re-sorting is needed.
+func normalizedAffinityOf(w *sparse.Matrix) *sparse.Matrix {
+	aff := sparse.MulMat(w, w.Transpose())
+	n := aff.Rows()
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = aff.RowSum(i)
+	}
+	return aff.ScaleSym(func(i, j int) float64 {
+		if d[i] == 0 || d[j] == 0 {
+			return 0
+		}
+		return 1 / math.Sqrt(d[i]*d[j])
+	})
+}

@@ -1,0 +1,66 @@
+package bipartite
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Index is a bidirectional mapping between strings and dense integer
+// IDs, used for query, URL, session and term node spaces.
+type Index struct {
+	byName map[string]int
+	names  []string
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{byName: make(map[string]int)}
+}
+
+// Intern returns the ID for name, assigning the next free ID on first
+// sight.
+func (ix *Index) Intern(name string) int {
+	if id, ok := ix.byName[name]; ok {
+		return id
+	}
+	id := len(ix.names)
+	ix.byName[name] = id
+	ix.names = append(ix.names, name)
+	return id
+}
+
+// Lookup returns the ID for name; ok is false when the name was never
+// interned.
+func (ix *Index) Lookup(name string) (int, bool) {
+	id, ok := ix.byName[name]
+	return id, ok
+}
+
+// Name returns the string for an ID. It panics on out-of-range IDs.
+func (ix *Index) Name(id int) string { return ix.names[id] }
+
+// Len returns the number of interned names.
+func (ix *Index) Len() int { return len(ix.names) }
+
+// Names returns the backing name slice (do not mutate).
+func (ix *Index) Names() []string { return ix.names }
+
+// GobEncode implements gob.GobEncoder: only the name slice travels;
+// the reverse map is rebuilt on decode.
+func (ix *Index) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(ix.names)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (ix *Index) GobDecode(data []byte) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ix.names); err != nil {
+		return err
+	}
+	ix.byName = make(map[string]int, len(ix.names))
+	for i, n := range ix.names {
+		ix.byName[n] = i
+	}
+	return nil
+}

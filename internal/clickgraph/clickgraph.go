@@ -1,0 +1,125 @@
+// Package clickgraph implements the classic query–URL click graph — the
+// de-facto query-log representation the paper's baselines (FRW, BRW, HT,
+// DQS, PHT) operate on — in both raw-frequency and cf·iqf-weighted forms
+// (Fig. 2(a) and Section VI-B of the paper).
+package clickgraph
+
+import (
+	"math"
+
+	"repro/internal/bipartite"
+	"repro/internal/querylog"
+	"repro/internal/sparse"
+)
+
+// Graph is a query–URL bipartite click graph.
+type Graph struct {
+	Queries *bipartite.Index
+	URLs    *bipartite.Index
+	// W is the queries × URLs weight matrix.
+	W *sparse.Matrix
+	// Weighting records how W was weighted.
+	Weighting bipartite.Weighting
+}
+
+// Build constructs the click graph from a log.
+func Build(l *querylog.Log, wt bipartite.Weighting) *Graph {
+	g := &Graph{
+		Queries:   bipartite.NewIndex(),
+		URLs:      bipartite.NewIndex(),
+		Weighting: wt,
+	}
+	type edge struct{ q, u int }
+	counts := make(map[edge]float64)
+	connected := make(map[int]map[int]bool)
+	for _, e := range l.Entries {
+		q := g.Queries.Intern(querylog.NormalizeQuery(e.Query))
+		if e.ClickedURL == "" {
+			continue
+		}
+		u := g.URLs.Intern(e.ClickedURL)
+		counts[edge{q, u}]++
+		set := connected[u]
+		if set == nil {
+			set = make(map[int]bool)
+			connected[u] = set
+		}
+		set[q] = true
+	}
+	totalQ := float64(g.Queries.Len())
+	b := sparse.NewBuilder(g.Queries.Len(), g.URLs.Len())
+	for e, c := range counts {
+		w := c
+		if wt == bipartite.CFIQF {
+			iqf := math.Log(totalQ / float64(len(connected[e.u])))
+			if iqf <= 0 {
+				iqf = math.Log(1.0001)
+			}
+			w = c * iqf
+		}
+		b.Add(e.q, e.u, w)
+	}
+	g.W = b.Build()
+	return g
+}
+
+// NumQueries returns the query node count.
+func (g *Graph) NumQueries() int { return g.Queries.Len() }
+
+// QueryID resolves a raw query string (normalized) to its node ID.
+func (g *Graph) QueryID(rawQuery string) (int, bool) {
+	return g.Queries.Lookup(querylog.NormalizeQuery(rawQuery))
+}
+
+// QueryTransition returns the query→query two-step transition matrix
+// (query → URL → query), row-normalized. Queries with no clicks have
+// empty rows.
+func (g *Graph) QueryTransition() *sparse.Matrix {
+	w := g.W.RowNormalized()
+	wt := g.W.Transpose().RowNormalized()
+	return sparse.MulMat(w, wt)
+}
+
+// BipartiteTransitions returns the row-normalized query→URL and
+// URL→query transition matrices — the walk alternates sides, which is
+// how Craswell & Szummer's random-walk models are defined.
+func (g *Graph) BipartiteTransitions() (q2u, u2q *sparse.Matrix) {
+	return g.W.RowNormalized(), g.W.Transpose().RowNormalized()
+}
+
+// ClickedURLs returns URL name → weight for a query node.
+func (g *Graph) ClickedURLs(q int) map[string]float64 {
+	out := make(map[string]float64)
+	g.W.Row(q, func(u int, v float64) {
+		out[g.URLs.Name(u)] = v
+	})
+	return out
+}
+
+// WithPseudoQuery returns a copy of the graph extended with one extra
+// query node (returned as id) connected to the given URL names with the
+// given weights. This is the pseudo-node construction Mei et al. use for
+// the personalized hitting time (PHT) baseline: the node represents the
+// user's click history.
+func (g *Graph) WithPseudoQuery(urlWeights map[string]float64) (*Graph, int) {
+	ng := &Graph{
+		Queries:   bipartite.NewIndex(),
+		URLs:      g.URLs,
+		Weighting: g.Weighting,
+	}
+	for _, name := range g.Queries.Names() {
+		ng.Queries.Intern(name)
+	}
+	pseudoID := ng.Queries.Intern("\x00pseudo-user-node")
+	b := sparse.NewBuilder(ng.Queries.Len(), g.URLs.Len())
+	for q := 0; q < g.Queries.Len(); q++ {
+		g.W.Row(q, func(u int, v float64) { b.Add(q, u, v) })
+	}
+	for name, w := range urlWeights {
+		if u, ok := g.URLs.Lookup(name); ok && w > 0 {
+			b.Add(pseudoID, u, w)
+		}
+	}
+	ng.W = b.Build()
+	return ng, pseudoID
+}

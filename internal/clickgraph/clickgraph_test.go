@@ -1,0 +1,139 @@
+package clickgraph
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/querylog"
+)
+
+func ts(s string) time.Time {
+	t, err := time.Parse("2006-01-02 15:04:05", s)
+	if err != nil {
+		panic(err)
+	}
+	return t.UTC()
+}
+
+func tableILog() *querylog.Log {
+	l := &querylog.Log{}
+	l.Append(querylog.Entry{UserID: "u1", Query: "sun", ClickedURL: "www.java.com", Time: ts("2012-12-12 11:12:41")})
+	l.Append(querylog.Entry{UserID: "u1", Query: "sun java", ClickedURL: "java.sun.com", Time: ts("2012-12-12 11:13:01")})
+	l.Append(querylog.Entry{UserID: "u1", Query: "jvm download", Time: ts("2012-12-12 11:14:21")})
+	l.Append(querylog.Entry{UserID: "u2", Query: "sun", ClickedURL: "www.suncellular.com", Time: ts("2012-12-13 07:13:21")})
+	l.Append(querylog.Entry{UserID: "u2", Query: "solar cell", ClickedURL: "en.wikipedia.org", Time: ts("2012-12-13 07:14:21")})
+	l.Append(querylog.Entry{UserID: "u3", Query: "sun oracle", ClickedURL: "www.oracle.com", Time: ts("2012-12-14 14:35:14")})
+	l.Append(querylog.Entry{UserID: "u3", Query: "java", ClickedURL: "www.java.com", Time: ts("2012-12-14 14:36:26")})
+	return l
+}
+
+func TestBuildShape(t *testing.T) {
+	g := Build(tableILog(), bipartite.Raw)
+	// All 6 distinct queries are nodes, even the clickless "jvm download".
+	if g.NumQueries() != 6 {
+		t.Fatalf("queries = %d, want 6", g.NumQueries())
+	}
+	if g.URLs.Len() != 5 {
+		t.Fatalf("urls = %d, want 5", g.URLs.Len())
+	}
+	jvm, ok := g.QueryID("jvm download")
+	if !ok {
+		t.Fatal("clickless query missing from node space")
+	}
+	if g.W.RowNNZ(jvm) != 0 {
+		t.Error("clickless query has click edges")
+	}
+}
+
+func TestQueryTransitionTableI(t *testing.T) {
+	g := Build(tableILog(), bipartite.Raw)
+	tr := g.QueryTransition()
+	sun, _ := g.QueryID("sun")
+	java, _ := g.QueryID("java")
+	solar, _ := g.QueryID("solar cell")
+	if tr.At(sun, java) <= 0 {
+		t.Error("sun should reach java via www.java.com")
+	}
+	if tr.At(sun, solar) != 0 {
+		t.Error("sun must NOT reach solar cell on the click graph (the paper's coverage argument)")
+	}
+	// Row-stochastic on nonempty rows.
+	for q := 0; q < g.NumQueries(); q++ {
+		s := tr.RowSum(q)
+		if s != 0 && math.Abs(s-1) > 1e-9 {
+			t.Errorf("row %d sums to %v", q, s)
+		}
+	}
+}
+
+func TestCFIQFWeighting(t *testing.T) {
+	g := Build(tableILog(), bipartite.CFIQF)
+	sun, _ := g.QueryID("sun")
+	javaCom, _ := g.URLs.Lookup("www.java.com")
+	sunCell, _ := g.URLs.Lookup("www.suncellular.com")
+	// www.java.com is shared by two queries → lower iqf than the
+	// single-query www.suncellular.com.
+	if g.W.At(sun, javaCom) >= g.W.At(sun, sunCell) {
+		t.Errorf("shared URL weight %v should be below exclusive URL weight %v",
+			g.W.At(sun, javaCom), g.W.At(sun, sunCell))
+	}
+}
+
+func TestBipartiteTransitions(t *testing.T) {
+	g := Build(tableILog(), bipartite.Raw)
+	q2u, u2q := g.BipartiteTransitions()
+	if q2u.Rows() != g.NumQueries() || q2u.Cols() != g.URLs.Len() {
+		t.Fatal("q2u shape wrong")
+	}
+	if u2q.Rows() != g.URLs.Len() || u2q.Cols() != g.NumQueries() {
+		t.Fatal("u2q shape wrong")
+	}
+	for r := 0; r < q2u.Rows(); r++ {
+		if s := q2u.RowSum(r); s != 0 && math.Abs(s-1) > 1e-9 {
+			t.Errorf("q2u row %d = %v", r, s)
+		}
+	}
+	for r := 0; r < u2q.Rows(); r++ {
+		if s := u2q.RowSum(r); s != 0 && math.Abs(s-1) > 1e-9 {
+			t.Errorf("u2q row %d = %v", r, s)
+		}
+	}
+}
+
+func TestWithPseudoQuery(t *testing.T) {
+	g := Build(tableILog(), bipartite.Raw)
+	ng, pseudo := g.WithPseudoQuery(map[string]float64{
+		"www.java.com": 2,
+		"unknown.url":  5, // silently skipped
+	})
+	if ng.NumQueries() != g.NumQueries()+1 {
+		t.Fatalf("pseudo graph has %d queries, want %d", ng.NumQueries(), g.NumQueries()+1)
+	}
+	javaCom, _ := ng.URLs.Lookup("www.java.com")
+	if got := ng.W.At(pseudo, javaCom); got != 2 {
+		t.Errorf("pseudo edge weight = %v, want 2", got)
+	}
+	if ng.W.RowNNZ(pseudo) != 1 {
+		t.Errorf("pseudo row nnz = %d, want 1 (unknown URL skipped)", ng.W.RowNNZ(pseudo))
+	}
+	// Original edges preserved.
+	sun, _ := ng.QueryID("sun")
+	if ng.W.At(sun, javaCom) != 1 {
+		t.Error("original edge lost in pseudo graph")
+	}
+	// Original graph untouched.
+	if g.NumQueries() != 6 {
+		t.Error("WithPseudoQuery mutated the source graph")
+	}
+}
+
+func TestClickedURLs(t *testing.T) {
+	g := Build(tableILog(), bipartite.Raw)
+	java, _ := g.QueryID("java")
+	urls := g.ClickedURLs(java)
+	if len(urls) != 1 || urls["www.java.com"] != 1 {
+		t.Errorf("ClickedURLs(java) = %v", urls)
+	}
+}

@@ -1,0 +1,302 @@
+// Package core wires the three PQS-DA components — the multi-bipartite
+// query-log representation, the two-phase diversification and the
+// UPM-based personalization — into one query-suggestion engine (the
+// paper's Fig. 1 architecture).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/hittingtime"
+	"repro/internal/profile"
+	"repro/internal/querylog"
+	"repro/internal/regularize"
+	"repro/internal/topicmodel"
+)
+
+// Config assembles the tunables of every stage. Zero values select the
+// defaults of the respective packages.
+type Config struct {
+	// Weighting selects raw or cf·iqf edge weights (default CFIQF — the
+	// configuration the paper adopts after Fig. 3's comparison).
+	Weighting bipartite.Weighting
+	// Sessionizer controls session segmentation.
+	Sessionizer querylog.SessionizerConfig
+	// Compact controls the compact-representation budget ℚ.
+	Compact bipartite.CompactConfig
+	// Regularize controls Eq. 15.
+	Regularize regularize.Config
+	// Hitting controls the cross-bipartite hitting time.
+	Hitting hittingtime.Config
+	// UPM controls offline user profiling. Ignored when
+	// SkipPersonalization is set.
+	UPM topicmodel.UPMConfig
+	// ScoreMode selects the Eq. 31 variant (default Posterior).
+	ScoreMode profile.ScoreMode
+	// SkipPersonalization builds a diversification-only engine (the
+	// intermediate system evaluated in Section VI-B).
+	SkipPersonalization bool
+	// PoolFactor scales the relevance gate: diversification may only
+	// pick from the top PoolFactor·k queries by regularization score
+	// (default 3). Larger values favor diversity, smaller ones
+	// relevance.
+	PoolFactor int
+}
+
+// Engine is a ready-to-serve PQS-DA instance.
+type Engine struct {
+	cfg      Config
+	Log      *querylog.Log
+	Sessions []querylog.Session
+	Rep      *bipartite.Representation
+	Corpus   *topicmodel.Corpus
+	Profiles *profile.Store // nil when personalization is skipped
+
+	// dirty counts entries ingested since the last build/Refresh.
+	dirty int
+}
+
+// Result is one suggestion run with its intermediate products and
+// timing breakdown (the latter feeds the paper's Fig. 7).
+type Result struct {
+	// Suggestions is the final ranked list (personalized when the
+	// engine has profiles).
+	Suggestions []string
+	// Diversified is the diversification-stage ranking (Algorithm 1
+	// output) before personalization.
+	Diversified []string
+	// CompactSize is the number of queries in the compact
+	// representation used.
+	CompactSize int
+	// SolveIterations is the CG iteration count of the Eq. 15 solve.
+	SolveIterations int
+	// CompactTime, SolveTime, HittingTime and PersonalizeTime are the
+	// stage durations.
+	CompactTime, SolveTime, HittingTime, PersonalizeTime time.Duration
+}
+
+// ErrUnknownQuery is returned when the input query has no node in the
+// representation and shares no term with any known query.
+var ErrUnknownQuery = errors.New("core: query unknown to the log representation")
+
+// NewEngine builds the representation from the log and, unless
+// personalization is skipped, trains the UPM for user profiles. The log
+// should already be cleaned (querylog.Clean).
+func NewEngine(l *querylog.Log, cfg Config) (*Engine, error) {
+	if l.Len() == 0 {
+		return nil, querylog.ErrEmptyLog
+	}
+	sessions := querylog.Sessionize(l, cfg.Sessionizer)
+	e := &Engine{
+		cfg:      cfg,
+		Log:      l,
+		Sessions: sessions,
+		Rep:      bipartite.BuildFromSessions(sessions, cfg.Weighting),
+	}
+	if !cfg.SkipPersonalization {
+		e.Corpus = topicmodel.BuildCorpus(sessions, nil)
+		upm := topicmodel.TrainUPM(e.Corpus, cfg.UPM)
+		e.Profiles = profile.NewStore(upm, e.Corpus)
+	}
+	return e, nil
+}
+
+// SuggestDiversified runs the diversification component only: compact
+// representation, Eq. 15 first candidate, cross-bipartite hitting-time
+// selection. context lists the user's previous queries in the current
+// session (most recent last); at is the submission time of the input
+// query, used for the Eq. 7 decay.
+func (e *Engine) SuggestDiversified(query string, context []querylog.Entry, at time.Time, k int) (Result, error) {
+	var res Result
+	if k <= 0 {
+		return res, fmt.Errorf("core: k = %d", k)
+	}
+	seeds, seedTimes := e.resolveSeeds(query, context, at)
+	if len(seeds) == 0 {
+		return res, ErrUnknownQuery
+	}
+
+	t0 := time.Now()
+	compact := e.Rep.BuildCompact(seeds, e.cfg.Compact)
+	res.CompactTime = time.Since(t0)
+	res.CompactSize = compact.Size()
+	if compact.Size() < 2 {
+		return res, ErrUnknownQuery
+	}
+
+	// Seed locals: the input query (local 0) and its context.
+	seedLocals := make([]int, 0, len(seeds))
+	var ctx []regularize.ContextEntry
+	for i := range seeds {
+		local, ok := compact.LocalOf[seeds[i]]
+		if !ok {
+			continue
+		}
+		seedLocals = append(seedLocals, local)
+		if i > 0 {
+			ctx = append(ctx, regularize.ContextEntry{Local: local, Before: seedTimes[i]})
+		}
+	}
+	f0 := regularize.ContextVector(compact.Size(), seedLocals[0], ctx, e.cfg.Regularize.Lambda)
+
+	t0 = time.Now()
+	reg, err := regularize.FirstCandidate(compact, f0, seedLocals, e.cfg.Regularize)
+	res.SolveTime = time.Since(t0)
+	if err != nil {
+		return res, err
+	}
+	res.SolveIterations = reg.Iterations
+	if reg.First < 0 {
+		return res, ErrUnknownQuery
+	}
+
+	// Relevance gate: diversification picks only from the queries the
+	// regularization stage scored highest, so coverage of other facets
+	// never costs unrelated suggestions.
+	pf := e.cfg.PoolFactor
+	if pf <= 0 {
+		pf = 3
+	}
+	poolSize := pf * k
+	if poolSize < 20 {
+		poolSize = 20
+	}
+	ranked := reg.Rank(seedLocals)
+	if poolSize > len(ranked) {
+		poolSize = len(ranked)
+	}
+	pool := ranked[:poolSize]
+
+	t0 = time.Now()
+	walker := hittingtime.NewWalker(compact, e.cfg.Hitting)
+	selected := walker.SelectDiverse(reg.First, k, seedLocals, pool)
+	res.HittingTime = time.Since(t0)
+
+	res.Diversified = make([]string, len(selected))
+	for i, s := range selected {
+		res.Diversified[i] = compact.QueryName(s)
+	}
+	res.Suggestions = res.Diversified
+	return res, nil
+}
+
+// Suggest runs the full pipeline: diversification followed by
+// personalized re-ranking (preference scores + Borda aggregation) when
+// the engine has profiles and knows the user.
+func (e *Engine) Suggest(userID, query string, context []querylog.Entry, at time.Time, k int) (Result, error) {
+	res, err := e.SuggestDiversified(query, context, at, k)
+	if err != nil || e.Profiles == nil {
+		return res, err
+	}
+	t0 := time.Now()
+	res.Suggestions = e.Personalize(userID, res.Diversified)
+	res.PersonalizeTime = time.Since(t0)
+	return res, nil
+}
+
+// LearnUser folds a (new or returning) user's search history into the
+// trained profiles WITHOUT retraining the UPM: the user's sessions are
+// Gibbs-sampled against the learned global topics (see
+// topicmodel.UPM.FoldIn). Subsequent Suggest calls for this user are
+// personalized. It returns an error when the engine has no profiles.
+func (e *Engine) LearnUser(userID string, entries []querylog.Entry) error {
+	if e.Profiles == nil {
+		return errors.New("core: engine built without personalization")
+	}
+	if len(entries) == 0 {
+		return errors.New("core: no entries to learn from")
+	}
+	l := &querylog.Log{}
+	for _, en := range entries {
+		en.UserID = userID
+		l.Append(en)
+	}
+	sessions := querylog.Sessionize(l, e.cfg.Sessionizer)
+	model := topicmodel.SessionsForFoldIn(e.Corpus, sessions, nil)
+	e.Profiles.UPM().FoldIn(userID, model, 0, e.cfg.UPM.Seed)
+	return nil
+}
+
+// Personalize re-ranks an existing candidate list for a user: Borda
+// aggregation of the original (relevance/diversity) order with the
+// preference order (Section V-B). Without profiles or for unknown
+// users it returns the input order.
+func (e *Engine) Personalize(userID string, candidates []string) []string {
+	if e.Profiles == nil || e.Profiles.Theta(userID) == nil {
+		return candidates
+	}
+	prefRank := e.Profiles.RankByPreference(userID, candidates, e.cfg.ScoreMode)
+	return profile.BordaAggregate(candidates, prefRank)
+}
+
+// resolveSeeds maps the input query and its context to representation
+// query IDs plus each context entry's elapsed time before the input.
+// Unknown input queries fall back to term-sharing queries so cold
+// queries still get served.
+func (e *Engine) resolveSeeds(query string, context []querylog.Entry, at time.Time) ([]int, []time.Duration) {
+	var seeds []int
+	var times []time.Duration
+	if id, ok := e.Rep.QueryID(query); ok {
+		seeds = append(seeds, id)
+		times = append(times, 0)
+	} else {
+		for _, id := range e.termFallbackSeeds(query, 3) {
+			seeds = append(seeds, id)
+			times = append(times, 0)
+		}
+	}
+	for _, c := range context {
+		if id, ok := e.Rep.QueryID(c.Query); ok {
+			seeds = append(seeds, id)
+			dt := at.Sub(c.Time)
+			if dt < 0 {
+				dt = 0
+			}
+			times = append(times, dt)
+		}
+	}
+	return seeds, times
+}
+
+// termFallbackSeeds finds up to n known queries sharing terms with an
+// unknown input query, preferring those sharing more weight.
+func (e *Engine) termFallbackSeeds(query string, n int) []int {
+	scores := make(map[int]float64)
+	wT := e.Rep.W[bipartite.ViewTerm].Transpose()
+	for _, tok := range querylog.Tokenize(query) {
+		t, ok := e.Rep.Objects[bipartite.ViewTerm].Lookup(tok)
+		if !ok {
+			continue
+		}
+		wT.Row(t, func(q int, v float64) {
+			scores[q] += v
+		})
+	}
+	type cand struct {
+		q int
+		s float64
+	}
+	var cands []cand
+	for q, s := range scores {
+		cands = append(cands, cand{q, s})
+	}
+	// Highest shared weight first; stable by id.
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].s > cands[i].s || (cands[j].s == cands[i].s && cands[j].q < cands[i].q) {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].q
+	}
+	return out
+}

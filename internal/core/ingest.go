@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/profile"
+	"repro/internal/querylog"
+	"repro/internal/topicmodel"
+)
+
+// Ingest appends fresh query-log entries (e.g. the middleware's
+// recorded traffic) to the engine's log WITHOUT rebuilding anything:
+// suggestions keep using the current representation until Refresh is
+// called. Ingest+Refresh are not safe to run concurrently with Suggest;
+// serve from one engine while refreshing another (engines are cheap to
+// Save/Load) or serialize externally.
+func (e *Engine) Ingest(entries []querylog.Entry) {
+	for _, en := range entries {
+		e.Log.Append(en)
+	}
+	e.dirty = e.dirty + len(entries)
+}
+
+// PendingEntries reports how many ingested entries are not yet
+// reflected in the representation.
+func (e *Engine) PendingEntries() int { return e.dirty }
+
+// RefreshMode selects how Refresh updates the user profiles.
+type RefreshMode int
+
+const (
+	// RebuildGraphs re-sessionizes and rebuilds the multi-bipartite
+	// representation only; profiles stay as they are (new vocabulary is
+	// invisible to personalization until a retrain).
+	RebuildGraphs RefreshMode = iota
+	// FoldInUsers additionally folds every user with new entries into
+	// the existing UPM (fast; new words stay out-of-vocabulary).
+	FoldInUsers
+	// RetrainProfiles additionally retrains the UPM from scratch on the
+	// full log (slow; picks up new vocabulary and topic drift).
+	RetrainProfiles
+)
+
+// Refresh incorporates ingested entries: the representation is rebuilt
+// from the full log, and profiles are updated per mode. It returns an
+// error when mode needs profiles but the engine has none.
+func (e *Engine) Refresh(mode RefreshMode) error {
+	if mode != RebuildGraphs && e.Profiles == nil {
+		return errors.New("core: engine has no profiles to refresh")
+	}
+	// Users with new entries, before the dirty counter resets.
+	changed := map[string]bool{}
+	if mode == FoldInUsers && e.dirty > 0 && e.dirty <= e.Log.Len() {
+		for _, en := range e.Log.Entries[e.Log.Len()-e.dirty:] {
+			changed[en.UserID] = true
+		}
+	}
+
+	e.Sessions = querylog.Sessionize(e.Log, e.cfg.Sessionizer)
+	e.Rep = bipartite.BuildFromSessions(e.Sessions, e.cfg.Weighting)
+	e.dirty = 0
+
+	switch mode {
+	case RetrainProfiles:
+		e.Corpus = topicmodel.BuildCorpus(e.Sessions, nil)
+		upm := topicmodel.TrainUPM(e.Corpus, e.cfg.UPM)
+		e.Profiles = profile.NewStore(upm, e.Corpus)
+	case FoldInUsers:
+		users := make([]string, 0, len(changed))
+		for u := range changed {
+			users = append(users, u)
+		}
+		sort.Strings(users) // deterministic fold-in order
+		byUser := querylog.SessionsByUser(e.Sessions)
+		for _, u := range users {
+			model := topicmodel.SessionsForFoldIn(e.Corpus, byUser[u], nil)
+			e.Profiles.UPM().FoldIn(u, model, 0, e.cfg.UPM.Seed)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/bipartite"
+	"repro/internal/profile"
+	"repro/internal/topicmodel"
+)
+
+// persistVersion guards the on-disk format.
+const persistVersion = 1
+
+// engineWire is the serialized engine: the built representation and
+// the trained user profiles — everything online suggestion needs. The
+// raw log and derived sessions are deliberately NOT persisted (they
+// are only inputs to the build; the paper's design point is that the
+// stored profiles are a concise summary of them).
+type engineWire struct {
+	Version   int
+	Cfg       Config
+	Rep       *bipartite.Representation
+	HasUPM    bool
+	UPM       *topicmodel.UPM
+	WordIndex *bipartite.Index
+}
+
+// Save serializes the engine to w (gob format). A loaded engine serves
+// Suggest/Personalize identically to the original; Log and Sessions
+// are nil on the loaded copy.
+func (e *Engine) Save(w io.Writer) error {
+	wire := engineWire{
+		Version: persistVersion,
+		Cfg:     e.cfg,
+		Rep:     e.Rep,
+	}
+	if e.Profiles != nil {
+		wire.HasUPM = true
+		wire.UPM = e.Profiles.UPM()
+		wire.WordIndex = e.Corpus.Words
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// LoadEngine deserializes an engine previously written by Save.
+func LoadEngine(r io.Reader) (*Engine, error) {
+	var wire engineWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: loading engine: %w", err)
+	}
+	if wire.Version != persistVersion {
+		return nil, fmt.Errorf("core: engine file version %d, want %d", wire.Version, persistVersion)
+	}
+	if wire.Rep == nil {
+		return nil, fmt.Errorf("core: engine file has no representation")
+	}
+	e := &Engine{cfg: wire.Cfg, Rep: wire.Rep}
+	if wire.HasUPM {
+		if wire.UPM == nil || wire.WordIndex == nil {
+			return nil, fmt.Errorf("core: engine file profile section incomplete")
+		}
+		e.Profiles = profile.NewStoreFromIndex(wire.UPM, wire.WordIndex)
+		e.Corpus = &topicmodel.Corpus{Words: wire.WordIndex, URLs: bipartite.NewIndex()}
+	}
+	return e, nil
+}

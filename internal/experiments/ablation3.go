@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/metrics"
+	"repro/internal/querylog"
+)
+
+// AblationQueryClass splits the test queries into AMBIGUOUS (containing
+// one of the world's shared head terms — the "sun" class the paper's
+// introduction is about) and SPECIFIC, and reports per class how
+// PQS-DA and the two strongest baselines trade relevance and
+// diversity. Expected: on specific queries every decent method is
+// relevant and diversity matters little; on ambiguous queries the gap
+// PQS-DA was designed for opens up.
+func (s *Setup) AblationQueryClass() (Figure, error) {
+	methods, err := s.diversificationMethods(bipartite.CFIQF)
+	if err != nil {
+		return Figure{}, err
+	}
+	// Keep PQS-DA, HT, DQS (the interesting contrast).
+	keep := map[string]bool{"PQS-DA": true, "HT": true, "DQS": true}
+
+	heads := make(map[string]bool)
+	for _, fc := range s.World.Facets {
+		for _, h := range fc.HeadTerms {
+			heads[h] = true
+		}
+	}
+	isAmbiguous := func(q string) bool {
+		for _, tok := range querylog.Tokenize(q) {
+			if heads[tok] {
+				return true
+			}
+		}
+		return false
+	}
+
+	queries := s.SampleTestQueries(2*s.Scale.TestQueries, 106)
+	pages, sim, cat := s.PageSet(), s.PageSim(), s.Categorizer()
+	fig := Figure{
+		ID:     "A5",
+		Title:  "Ablation: ambiguous vs specific inputs (rel@10, div@10 per class)",
+		XLabel: "method/class",
+		YLabel: "metric",
+	}
+	for _, m := range methods {
+		if !keep[m.name] {
+			continue
+		}
+		for _, class := range []string{"ambiguous", "specific"} {
+			accR := metrics.NewAccumulator(s.Scale.MaxK)
+			accD := metrics.NewAccumulator(s.Scale.MaxK)
+			for _, q := range queries {
+				if (class == "ambiguous") != isAmbiguous(q) {
+					continue
+				}
+				list := m.suggest(q, s.Scale.MaxK)
+				if len(list) == 0 {
+					continue
+				}
+				accR.Add(metrics.MeanRelevanceAtK(querylog.NormalizeQuery(q), list, cat, s.Scale.MaxK))
+				accD.Add(metrics.MeanDiversityAtK(list, pages, sim, s.Scale.MaxK))
+			}
+			r, d := accR.Mean(), accD.Mean()
+			if r == nil {
+				r = make([]float64, s.Scale.MaxK)
+				d = make([]float64, s.Scale.MaxK)
+			}
+			fig.Series = append(fig.Series, Series{
+				Name:   m.name + "/" + class,
+				Values: []float64{r[s.Scale.MaxK-1], d[s.Scale.MaxK-1]},
+			})
+		}
+	}
+	return fig, nil
+}

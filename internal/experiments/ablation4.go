@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"repro/internal/topicmodel"
+)
+
+// AblationTopicK sweeps the topic count K for the three structurally
+// distinct profiling models (token-level LDA, query-level PTM2,
+// session-level-with-personal-emissions UPM) and reports held-out
+// perplexity per K. It substantiates the Fig. 4 sensitivity note in
+// EXPERIMENTS.md: pooled models need K near the true facet count, the
+// UPM's per-user emissions keep it flat across K.
+func (s *Setup) AblationTopicK() (Figure, error) {
+	corpus := topicmodel.BuildCorpus(s.Sessions, s.World.NormalizeTime)
+	obs, held := corpus.SplitPrefix(0.7)
+	ks := []int{4, 6, 8, 10, 12, 16}
+	fig := Figure{
+		ID:     "A6",
+		Title:  "Ablation: perplexity vs topic count K (values per K = " + ksLabel(ks) + ")",
+		XLabel: "model",
+		YLabel: "Perplexity",
+	}
+	ldaVals := make([]float64, len(ks))
+	ptmVals := make([]float64, len(ks))
+	upmVals := make([]float64, len(ks))
+	for i, k := range ks {
+		cfg := topicmodel.TrainConfig{
+			K: k, Iterations: s.Scale.ModelIters, Beta: 0.1, Delta: 0.1, Seed: 7,
+		}
+		ldaVals[i] = topicmodel.HeldOutPerplexity(topicmodel.TrainLDA(obs, cfg), held, len(obs.Docs))
+		ptmVals[i] = topicmodel.HeldOutPerplexity(topicmodel.TrainPTM2(obs, cfg), held, len(obs.Docs))
+		upm := topicmodel.TrainUPM(obs, topicmodel.UPMConfig{
+			K: k, Iterations: s.Scale.ModelIters, Seed: 7, HyperRounds: 2, HyperIters: 15,
+		})
+		upmVals[i] = topicmodel.HeldOutPerplexity(upm, held, len(obs.Docs))
+	}
+	fig.Series = append(fig.Series,
+		Series{Name: "LDA", Values: ldaVals},
+		Series{Name: "PTM2", Values: ptmVals},
+		Series{Name: "UPM", Values: upmVals},
+	)
+	return fig, nil
+}
+
+func ksLabel(ks []int) string {
+	out := ""
+	for i, k := range ks {
+		if i > 0 {
+			out += ","
+		}
+		out += itoa(k)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationViews(t *testing.T) {
+	s := setup(t)
+	fig, err := s.AblationViews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("variants = %d, want 4", len(fig.Series))
+	}
+	all := seriesByName(fig, "all-views")
+	if all == nil || len(all) != 3 {
+		t.Fatalf("all-views series = %v", all)
+	}
+	// The combined representation must find more relevant first
+	// candidates than the click graph alone — the Section III claim.
+	urlOnly := seriesByName(fig, "URL-only")
+	if all[0] < urlOnly[0]-1e-9 {
+		t.Errorf("all-views top-1 relevance %.3f below URL-only %.3f", all[0], urlOnly[0])
+	}
+	for _, srs := range fig.Series {
+		for i, v := range srs.Values {
+			if v < 0 || v > 1 {
+				t.Errorf("%s[%d] = %v outside [0,1]", srs.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestAblationContext(t *testing.T) {
+	s := setup(t)
+	fig, err := s.AblationContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := seriesByName(fig, "with-context")
+	wo := seriesByName(fig, "no-context")
+	if w == nil || wo == nil {
+		t.Fatal("missing series")
+	}
+	// Context must not hurt: the with-context top-1 relevance should be
+	// at least ~95% of the context-free one (it usually helps).
+	if w[0] < 0.95*wo[0] {
+		t.Errorf("context hurt top-1 relevance: %.3f vs %.3f", w[0], wo[0])
+	}
+}
+
+func TestAblationPool(t *testing.T) {
+	s := setup(t)
+	fig, err := s.AblationPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("settings = %d, want 4", len(fig.Series))
+	}
+	// The dial must actually dial: the widest pool should be at least
+	// as diverse as the narrowest, and the narrowest at least as
+	// relevant as the widest.
+	narrow := fig.Series[0].Values // pf=2: [rel@10, div@10]
+	wide := fig.Series[len(fig.Series)-1].Values
+	if wide[1]+1e-9 < narrow[1]-0.05 {
+		t.Errorf("wider pool lost diversity: %.3f vs %.3f", wide[1], narrow[1])
+	}
+	if narrow[0]+1e-9 < wide[0]-0.05 {
+		t.Errorf("narrower pool lost relevance: %.3f vs %.3f", narrow[0], wide[0])
+	}
+}
+
+func TestRunFigureAblationDispatch(t *testing.T) {
+	s := setup(t)
+	for _, id := range []string{"A2"} {
+		if _, err := s.RunFigure(id); err != nil {
+			t.Errorf("fig %s: %v", id, err)
+		}
+	}
+}

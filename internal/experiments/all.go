@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+)
+
+// FigureIDs lists every regenerable figure in paper order, followed by
+// this reproduction's own ablations (A1: bipartite views, A2: search
+// context, A3: relevance-gate pool, A4: sessionizer policy, A5: ambiguous-vs-specific inputs, A6: perplexity-vs-K).
+var FigureIDs = []string{"3a", "3b", "3c", "3d", "4", "5a", "5b", "5c", "5d", "6", "7", "A1", "A2", "A3", "A4", "A5", "A6"}
+
+// RunFigure dispatches a figure by ID.
+func (s *Setup) RunFigure(id string) (Figure, error) {
+	switch id {
+	case "3a":
+		return s.Fig3Diversity(bipartite.Raw)
+	case "3b":
+		return s.Fig3Diversity(bipartite.CFIQF)
+	case "3c":
+		return s.Fig3Relevance(bipartite.Raw)
+	case "3d":
+		return s.Fig3Relevance(bipartite.CFIQF)
+	case "4":
+		return s.Fig4Perplexity()
+	case "5a":
+		return s.Fig5Diversity(bipartite.Raw)
+	case "5b":
+		return s.Fig5Diversity(bipartite.CFIQF)
+	case "5c":
+		return s.Fig5PPR(bipartite.Raw)
+	case "5d":
+		return s.Fig5PPR(bipartite.CFIQF)
+	case "6":
+		return s.Fig6HPR()
+	case "7":
+		return s.Fig7Efficiency()
+	case "A1":
+		return s.AblationViews()
+	case "A2":
+		return s.AblationContext()
+	case "A3":
+		return s.AblationPool()
+	case "A4":
+		return s.AblationSessionizer()
+	case "A5":
+		return s.AblationQueryClass()
+	case "A6":
+		return s.AblationTopicK()
+	}
+	return Figure{}, fmt.Errorf("experiments: unknown figure %q (known: %v)", id, FigureIDs)
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderChart draws the figure as a Unicode line/bar chart for terminal
+// inspection: one row per series, values scaled into a fixed-width
+// band, with the shared y-range in the header. Single-value series
+// (Fig. 4 style) render as horizontal bars.
+func (f Figure) RenderChart() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. %s — %s\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range f.Series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return b.String() + "(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	fmt.Fprintf(&b, "y ∈ [%.3g, %.3g]\n", lo, hi)
+
+	if maxLen == 1 {
+		// Bar chart, widest name first for alignment.
+		const width = 50
+		for _, s := range f.Series {
+			v := s.Values[0]
+			n := int((v - lo) / (hi - lo) * width)
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(&b, "%-12s %8.3f %s\n", s.Name, v, strings.Repeat("█", n))
+		}
+		return b.String()
+	}
+
+	// Sparkline per series over the k axis.
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	for _, s := range f.Series {
+		var line strings.Builder
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				line.WriteByte('?')
+				continue
+			}
+			idx := int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(blocks) {
+				idx = len(blocks) - 1
+			}
+			line.WriteRune(blocks[idx])
+		}
+		last := s.Values[len(s.Values)-1]
+		fmt.Fprintf(&b, "%-12s %s  (last %.3f)\n", s.Name, line.String(), last)
+	}
+	return b.String()
+}

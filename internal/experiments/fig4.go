@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"repro/internal/topicmodel"
+)
+
+// Fig4Perplexity regenerates Fig. 4: held-out perplexity (Eq. 35) of
+// the UPM against LDA, PTM1, PTM2, TOT, MWM, TUM, CTM and SSTM. Each
+// model observes the first 70% of every user's sessions and predicts
+// the remaining query words.
+func (s *Setup) Fig4Perplexity() (Figure, error) {
+	corpus := topicmodel.BuildCorpus(s.Sessions, s.World.NormalizeTime)
+	obs, held := corpus.SplitPrefix(0.7)
+	cfg := topicmodel.TrainConfig{
+		K: s.Scale.TopicK, Iterations: s.Scale.ModelIters, Beta: 0.1, Delta: 0.1, Seed: 7,
+	}
+	models := []topicmodel.Model{
+		topicmodel.TrainLDA(obs, cfg),
+		topicmodel.TrainPTM1(obs, cfg),
+		topicmodel.TrainPTM2(obs, cfg),
+		topicmodel.TrainTOT(obs, cfg),
+		topicmodel.TrainMWM(obs, cfg),
+		topicmodel.TrainTUM(obs, cfg),
+		topicmodel.TrainCTM(obs, cfg),
+		topicmodel.TrainSSTM(obs, cfg),
+		topicmodel.TrainUPM(obs, topicmodel.UPMConfig{
+			K: s.Scale.TopicK, Iterations: s.Scale.ModelIters, Seed: 7,
+			HyperRounds: 3, HyperIters: 15,
+		}),
+	}
+	fig := Figure{
+		ID:     "4",
+		Title:  "Perplexity of search engine query log (lower is better)",
+		XLabel: "model",
+		YLabel: "Perplexity",
+	}
+	for _, m := range models {
+		p := topicmodel.HeldOutPerplexity(m, held, len(obs.Docs))
+		fig.Series = append(fig.Series, Series{Name: m.Name(), Values: []float64{p}})
+	}
+	return fig, nil
+}

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/bipartite"
+	"repro/internal/clickgraph"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/querylog"
+	"repro/internal/topicmodel"
+)
+
+// persMethod is one contender of Figs. 5–6: a personalized suggester.
+type persMethod struct {
+	name    string
+	suggest func(user, query string, at time.Time, k int) []string
+}
+
+// persTest is one evaluation case: the first query of a held-out
+// session, with the session's clicks and ground-truth intent.
+type persTest struct {
+	user          string
+	query         string
+	at            time.Time
+	clickedPages  []string
+	intendedFacet int
+}
+
+// persFixture bundles the history-trained systems for one weighting.
+type persFixture struct {
+	engine  *core.Engine
+	methods []persMethod
+	tests   []persTest
+}
+
+// testSessionsPerUser is the paper's hold-out: the 10 most recent
+// sessions per user (capped at half the user's history for small
+// worlds).
+func testSessionsPerUser(total int) int {
+	n := 10
+	if total/2 < n {
+		n = total / 2
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// personalizationFixture splits each user's sessions into history and
+// test, trains every personalized method on the history, and collects
+// the test cases.
+func (s *Setup) personalizationFixture(wt bipartite.Weighting) (*persFixture, error) {
+	byUser := querylog.SessionsByUser(s.Sessions)
+	users := s.World.UserIDs()
+	if len(users) > s.Scale.TestUsers {
+		users = users[:s.Scale.TestUsers]
+	}
+	testUsers := make(map[string]bool, len(users))
+	for _, u := range users {
+		testUsers[u] = true
+	}
+
+	var historyLog querylog.Log
+	var tests []persTest
+	for user, sessions := range byUser {
+		history := sessions
+		if testUsers[user] {
+			var test []querylog.Session
+			history, test = querylog.SplitRecent(sessions, testSessionsPerUser(len(sessions)))
+			for _, ts := range test {
+				first := ts.Entries[0]
+				facet, _ := s.World.FacetOf(first)
+				var clicks []string
+				for _, e := range ts.Entries {
+					if e.ClickedURL != "" {
+						clicks = append(clicks, e.ClickedURL)
+					}
+				}
+				tests = append(tests, persTest{
+					user: user, query: first.Query, at: first.Time,
+					clickedPages: clicks, intendedFacet: facet,
+				})
+			}
+		}
+		for _, hs := range history {
+			for _, e := range hs.Entries {
+				historyLog.Append(e)
+			}
+		}
+	}
+
+	engine, err := core.NewEngine(&historyLog, core.Config{
+		Weighting: wt,
+		Compact:   bipartite.CompactConfig{Budget: 80},
+		UPM: topicmodel.UPMConfig{
+			K: s.Scale.TopicK, Iterations: s.Scale.ModelIters, Seed: 7,
+			HyperRounds: 1, HyperIters: 8,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	g := clickgraph.Build(&historyLog, wt)
+	wcfg := baselines.WalkConfig{}
+	personalized := func(sg baselines.Suggester) func(string, string, time.Time, int) []string {
+		return func(user, query string, at time.Time, k int) []string {
+			sugs := sg.Suggest(query, k)
+			list := make([]string, len(sugs))
+			for i, sug := range sugs {
+				list[i] = sug.Query
+			}
+			return engine.Personalize(user, list)
+		}
+	}
+	pht := baselines.NewPHT(g, &historyLog, wcfg)
+	cm := baselines.NewCM(g, &historyLog)
+	fx := &persFixture{
+		engine: engine,
+		tests:  tests,
+		methods: []persMethod{
+			{"PQS-DA", func(user, query string, at time.Time, k int) []string {
+				res, err := engine.Suggest(user, query, nil, at, k)
+				if err != nil {
+					return nil
+				}
+				return res.Suggestions
+			}},
+			{"FRW(P)", personalized(baselines.NewFRW(g, wcfg))},
+			{"BRW(P)", personalized(baselines.NewBRW(g, wcfg))},
+			{"HT(P)", personalized(baselines.NewHT(g, wcfg))},
+			{"DQS(P)", personalized(baselines.NewDQS(g, wcfg))},
+			{"PHT", func(user, query string, at time.Time, k int) []string {
+				sugs := pht.SuggestFor(user, query, k)
+				list := make([]string, len(sugs))
+				for i, sug := range sugs {
+					list[i] = sug.Query
+				}
+				return list
+			}},
+			{"CM", func(user, query string, at time.Time, k int) []string {
+				sugs := cm.SuggestFor(user, query, k)
+				list := make([]string, len(sugs))
+				for i, sug := range sugs {
+					list[i] = sug.Query
+				}
+				return list
+			}},
+		},
+	}
+	return fx, nil
+}
+
+// fixtureFor caches the expensive personalization fixtures per
+// weighting.
+func (s *Setup) fixtureFor(wt bipartite.Weighting) (*persFixture, error) {
+	if s.persFixtures == nil {
+		s.persFixtures = make(map[bipartite.Weighting]*persFixture)
+	}
+	if fx, ok := s.persFixtures[wt]; ok {
+		return fx, nil
+	}
+	fx, err := s.personalizationFixture(wt)
+	if err != nil {
+		return nil, err
+	}
+	s.persFixtures[wt] = fx
+	return fx, nil
+}
+
+// Fig5Diversity regenerates Fig. 5(a) (raw) / 5(b) (weighted): mean
+// diversity of the top-k personalized suggestions over the held-out
+// sessions.
+func (s *Setup) Fig5Diversity(wt bipartite.Weighting) (Figure, error) {
+	fx, err := s.fixtureFor(wt)
+	if err != nil {
+		return Figure{}, err
+	}
+	pages, sim := s.PageSet(), s.PageSim()
+	fig := Figure{
+		ID:     map[bipartite.Weighting]string{bipartite.Raw: "5a", bipartite.CFIQF: "5b"}[wt],
+		Title:  "Diversity after diversification and personalization (" + weightingName(wt) + ")",
+		XLabel: "top-k",
+		YLabel: "Diversity",
+	}
+	for _, m := range fx.methods {
+		acc := metrics.NewAccumulator(s.Scale.MaxK)
+		for _, tc := range fx.tests {
+			list := m.suggest(tc.user, tc.query, tc.at, s.Scale.MaxK)
+			if len(list) == 0 {
+				continue
+			}
+			acc.Add(metrics.MeanDiversityAtK(list, pages, sim, s.Scale.MaxK))
+		}
+		fig.Series = append(fig.Series, Series{Name: m.name, Values: acc.Mean()})
+	}
+	return fig, nil
+}
+
+// Fig5PPR regenerates Fig. 5(c) (raw) / 5(d) (weighted): mean Pseudo
+// Personalized Relevance of the top-k suggestions against the clicked
+// pages of each held-out session.
+func (s *Setup) Fig5PPR(wt bipartite.Weighting) (Figure, error) {
+	fx, err := s.fixtureFor(wt)
+	if err != nil {
+		return Figure{}, err
+	}
+	titles := s.Titles()
+	fig := Figure{
+		ID:     map[bipartite.Weighting]string{bipartite.Raw: "5c", bipartite.CFIQF: "5d"}[wt],
+		Title:  "PPR after diversification and personalization (" + weightingName(wt) + ")",
+		XLabel: "top-k",
+		YLabel: "PPR",
+	}
+	for _, m := range fx.methods {
+		acc := metrics.NewAccumulator(s.Scale.MaxK)
+		for _, tc := range fx.tests {
+			if len(tc.clickedPages) == 0 {
+				continue
+			}
+			list := m.suggest(tc.user, tc.query, tc.at, s.Scale.MaxK)
+			if len(list) == 0 {
+				continue
+			}
+			acc.Add(metrics.MeanPPRAtK(list, tc.clickedPages, titles, s.Scale.MaxK))
+		}
+		fig.Series = append(fig.Series, Series{Name: m.name, Values: acc.Mean()})
+	}
+	return fig, nil
+}
+
+// Fig6HPR regenerates Fig. 6: the oracle-graded Human Personalized
+// Relevance on the paper's 6-point scale, on the weighted
+// configuration.
+func (s *Setup) Fig6HPR() (Figure, error) {
+	fx, err := s.fixtureFor(bipartite.CFIQF)
+	if err != nil {
+		return Figure{}, err
+	}
+	grade := func(suggestion string, intendedFacet int) float64 {
+		f := s.World.QueryFacet(querylog.NormalizeQuery(suggestion))
+		if f < 0 || intendedFacet < 0 {
+			return 0
+		}
+		if f == intendedFacet {
+			return 1
+		}
+		return metrics.SixPointScale(0.6 * s.World.FacetRelevance(f, intendedFacet))
+	}
+	fig := Figure{
+		ID:     "6",
+		Title:  "Human Personalized Relevance (oracle-graded, 6-point scale)",
+		XLabel: "top-k",
+		YLabel: "HPR",
+	}
+	for _, m := range fx.methods {
+		acc := metrics.NewAccumulator(s.Scale.MaxK)
+		for _, tc := range fx.tests {
+			list := m.suggest(tc.user, tc.query, tc.at, s.Scale.MaxK)
+			if len(list) == 0 {
+				continue
+			}
+			acc.Add(metrics.MeanHPRAtK(list, tc.intendedFacet, grade, s.Scale.MaxK))
+		}
+		fig.Series = append(fig.Series, Series{Name: m.name, Values: acc.Mean()})
+	}
+	return fig, nil
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationSessionizer(t *testing.T) {
+	s := setup(t)
+	fig, err := s.AblationSessionizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("variants = %d", len(fig.Series))
+	}
+	for _, srs := range fig.Series {
+		if len(srs.Values) != 3 {
+			t.Fatalf("%s: %d values", srs.Name, len(srs.Values))
+		}
+		if srs.Values[0] <= 0 {
+			t.Errorf("%s produced no sessions", srs.Name)
+		}
+		for _, v := range srs.Values[1:] {
+			if v < 0 || v > 1 {
+				t.Errorf("%s relevance %v outside [0,1]", srs.Name, v)
+			}
+		}
+	}
+}
+
+func TestAblationQueryClass(t *testing.T) {
+	s := setup(t)
+	fig, err := s.AblationQueryClass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 {
+		t.Fatalf("series = %d, want 3 methods × 2 classes", len(fig.Series))
+	}
+	get := func(name string) []float64 { return seriesByName(fig, name) }
+	// The diversity payoff concentrates on ambiguous inputs for the
+	// relevance-oriented baseline: HT's diversity on ambiguous queries
+	// should exceed its diversity on specific ones (more facets exist
+	// to stumble into), while PQS-DA keeps relevance within reach of HT
+	// on ambiguous inputs while being far more diverse.
+	pqsAmb, htAmb := get("PQS-DA/ambiguous"), get("HT/ambiguous")
+	if pqsAmb == nil || htAmb == nil {
+		t.Fatal("missing series")
+	}
+	if pqsAmb[1] <= htAmb[1] {
+		t.Errorf("PQS-DA ambiguous diversity %.3f not above HT %.3f", pqsAmb[1], htAmb[1])
+	}
+	if pqsAmb[0] < 0.7*htAmb[0] {
+		t.Errorf("PQS-DA ambiguous relevance %.3f collapsed vs HT %.3f", pqsAmb[0], htAmb[0])
+	}
+}
+
+func TestFig7EfficiencySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-world build")
+	}
+	s := setup(t)
+	fig, err := s.Fig7Efficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("methods = %d", len(fig.Series))
+	}
+	for _, srs := range fig.Series {
+		if len(srs.Values) != 4 {
+			t.Fatalf("%s has %d sizes", srs.Name, len(srs.Values))
+		}
+		for _, v := range srs.Values {
+			if v <= 0 {
+				t.Errorf("%s has non-positive relative time %v", srs.Name, v)
+			}
+		}
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	fig := Figure{
+		ID:    "X",
+		Title: "test",
+		Series: []Series{
+			{Name: "a", Values: []float64{0, 0.5, 1}},
+			{Name: "b", Values: []float64{1, 0.5, 0}},
+		},
+	}
+	out := fig.RenderChart()
+	if !strings.Contains(out, "Fig. X") || !strings.Contains(out, "a") {
+		t.Errorf("chart output:\n%s", out)
+	}
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Errorf("no spark blocks in:\n%s", out)
+	}
+	// Bar mode for single-value series.
+	bar := Figure{ID: "Y", Series: []Series{{Name: "m", Values: []float64{3}}, {Name: "n", Values: []float64{7}}}}
+	bout := bar.RenderChart()
+	if !strings.Contains(bout, "█") {
+		t.Errorf("no bars in:\n%s", bout)
+	}
+	// Degenerate figures render without panicking.
+	if out := (Figure{ID: "Z"}).RenderChart(); !strings.Contains(out, "Fig. Z") {
+		t.Errorf("empty figure chart: %q", out)
+	}
+}
+
+func TestAblationTopicK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains 18 models")
+	}
+	s := setup(t)
+	fig, err := s.AblationTopicK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("models = %d", len(fig.Series))
+	}
+	for _, srs := range fig.Series {
+		if len(srs.Values) != 6 {
+			t.Fatalf("%s has %d K points", srs.Name, len(srs.Values))
+		}
+		for _, v := range srs.Values {
+			if v <= 1 {
+				t.Errorf("%s perplexity %v implausible", srs.Name, v)
+			}
+		}
+	}
+	// The UPM's K-robustness claim: its worst-K perplexity should be
+	// within a modest factor of its best-K one.
+	upm := seriesByName(fig, "UPM")
+	lo, hi := upm[0], upm[0]
+	for _, v := range upm {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > 1.5*lo {
+		t.Errorf("UPM perplexity varies %0.1f–%0.1f across K — not K-robust", lo, hi)
+	}
+}

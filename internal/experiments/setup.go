@@ -1,0 +1,222 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section VI) on the synthetic world: Fig. 3
+// (diversity/relevance of the diversification stage, raw and weighted),
+// Fig. 4 (model perplexity), Fig. 5 (diversity/PPR after
+// personalization), Fig. 6 (oracle HPR) and Fig. 7 (efficiency).
+// Each driver returns plottable series; cmd/benchfigs renders them.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/bipartite"
+	"repro/internal/clickgraph"
+	"repro/internal/metrics"
+	"repro/internal/odp"
+	"repro/internal/querylog"
+	"repro/internal/synth"
+)
+
+// Scale sizes an experiment run. Test-suite runs use Small; the
+// benchmark harness uses Paper for shapes closer to the publication.
+type Scale struct {
+	World       synth.Config
+	TestQueries int // queries sampled for Fig. 3
+	TestUsers   int // users sampled for Figs. 5–6
+	MaxK        int // suggestion list length (the paper uses 10)
+	TopicK      int // topic count for the models
+	ModelIters  int // Gibbs sweeps
+}
+
+// SmallScale returns a fast configuration for tests.
+func SmallScale(seed int64) Scale {
+	return Scale{
+		World: synth.Config{
+			Seed: seed, NumFacets: 6, NumUsers: 20, SessionsPerUser: 40,
+			VocabPerFacet: 30, URLsPerFacet: 60, SharedTerms: 4,
+			ClickProb: 0.4, NoiseClickProb: 0.15,
+		},
+		TestQueries: 20,
+		TestUsers:   8,
+		MaxK:        10,
+		TopicK:      6,
+		ModelIters:  30,
+	}
+}
+
+// PaperScale returns the configuration the benchmark harness uses: far
+// smaller than the paper's 12,085-user log but large enough for the
+// reported shapes to emerge.
+func PaperScale(seed int64) Scale {
+	return Scale{
+		World: synth.Config{
+			Seed: seed, NumFacets: 12, NumUsers: 60, SessionsPerUser: 40,
+			VocabPerFacet: 40, URLsPerFacet: 80, SharedTerms: 8,
+			ClickProb: 0.4, NoiseClickProb: 0.15,
+		},
+		TestQueries: 60,
+		TestUsers:   20,
+		MaxK:        10,
+		TopicK:      10,
+		ModelIters:  40,
+	}
+}
+
+// Series is one labelled line of a figure, indexed by k−1.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Figure is one regenerated figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render prints the figure as an aligned text table.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	n := len(f.Series[0].Values)
+	for k := 1; k <= n; k++ {
+		fmt.Fprintf(&b, "%8d", k)
+	}
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-12s", s.Name)
+		for _, v := range s.Values {
+			fmt.Fprintf(&b, "%8.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Setup holds everything the figure drivers share: the world, the
+// cleaned log, its sessions, and the click graphs in both weightings.
+type Setup struct {
+	Scale    Scale
+	World    *synth.World
+	Log      *querylog.Log
+	Sessions []querylog.Session
+	GraphRaw *clickgraph.Graph
+	GraphWtd *clickgraph.Graph
+
+	// persFixtures caches the history-trained personalization systems
+	// per weighting (built lazily by the Fig. 5/6 drivers).
+	persFixtures map[bipartite.Weighting]*persFixture
+}
+
+// NewSetup generates the world and prepares shared structures.
+func NewSetup(sc Scale) *Setup {
+	w := synth.Generate(sc.World)
+	clean, _ := querylog.Clean(w.Log, querylog.CleanerConfig{})
+	return &Setup{
+		Scale:    sc,
+		World:    w,
+		Log:      clean,
+		Sessions: querylog.Sessionize(clean, querylog.SessionizerConfig{}),
+		GraphRaw: clickgraph.Build(clean, bipartite.Raw),
+		GraphWtd: clickgraph.Build(clean, bipartite.CFIQF),
+	}
+}
+
+// PageSet returns the clicked pages of a query as observed in the log —
+// the P(q) of Eq. 32.
+func (s *Setup) PageSet() metrics.PageSet {
+	g := s.GraphWtd
+	return func(query string) map[string]float64 {
+		q, ok := g.QueryID(query)
+		if !ok {
+			return nil
+		}
+		return g.ClickedURLs(q)
+	}
+}
+
+// PageSim returns the ground-truth page similarity.
+func (s *Setup) PageSim() metrics.PageSim { return s.World.PageSim }
+
+// Categorizer returns the ODP category oracle for queries.
+func (s *Setup) Categorizer() metrics.Categorizer {
+	return func(q string) odp.Category {
+		return s.World.QueryCategory(querylog.NormalizeQuery(q))
+	}
+}
+
+// Titles returns the high-quality-field oracle for PPR.
+func (s *Setup) Titles() metrics.TitleVectors {
+	return func(page string) map[string]float64 {
+		info, ok := s.World.URL(page)
+		if !ok {
+			return nil
+		}
+		return info.Title
+	}
+}
+
+// SampleTestQueries picks n distinct queries that are connected in the
+// click graph (so every baseline can serve them), favoring frequent
+// queries the way random log sampling does.
+func (s *Setup) SampleTestQueries(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	freq := s.Log.QueryFrequency()
+	type qf struct {
+		q string
+		f int
+	}
+	var all []qf
+	tr := s.GraphRaw.QueryTransition()
+	for q, f := range freq {
+		id, ok := s.GraphRaw.QueryID(q)
+		if !ok {
+			continue
+		}
+		neighbors := 0
+		tr.Row(id, func(c int, v float64) {
+			if c != id && v > 0 {
+				neighbors++
+			}
+		})
+		if neighbors >= 2 {
+			all = append(all, qf{q, f})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].f != all[j].f {
+			return all[i].f > all[j].f
+		}
+		return all[i].q < all[j].q
+	})
+	// Frequency-weighted sample without replacement.
+	out := make([]string, 0, n)
+	for len(out) < n && len(all) > 0 {
+		total := 0
+		for _, e := range all {
+			total += e.f
+		}
+		r := rng.Intn(total)
+		idx := 0
+		for i, e := range all {
+			r -= e.f
+			if r < 0 {
+				idx = i
+				break
+			}
+		}
+		out = append(out, all[idx].q)
+		all = append(all[:idx], all[idx+1:]...)
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+// Package hittingtime implements the paper's cross-bipartite hitting
+// time (Section IV-C, Eqs. 16–17, Algorithm 1): a random walker on the
+// compact multi-bipartite representation that, at each step, either
+// moves within its current bipartite or teleports to another bipartite
+// before moving. Candidates are selected greedily by LARGEST truncated
+// hitting time to the already-selected set — queries far (in walk
+// distance) from everything chosen so far cover new facets, which is
+// what produces diversity.
+package hittingtime
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/randomwalk"
+	"repro/internal/sparse"
+)
+
+// Config tunes candidate selection.
+type Config struct {
+	// Iterations is the paper's l: the truncation depth of the hitting
+	// time recursion (default 10).
+	Iterations int
+	// CrossView holds the teleport distribution over the three
+	// bipartites. The paper uses equal weights absent prior knowledge;
+	// the zero value means uniform 1/3 each.
+	CrossView [bipartite.NumViews]float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Iterations <= 0 {
+		c.Iterations = 10
+	}
+	sum := 0.0
+	for _, w := range c.CrossView {
+		sum += w
+	}
+	if sum == 0 {
+		for v := range c.CrossView {
+			c.CrossView[v] = 1.0 / bipartite.NumViews
+		}
+	} else {
+		for v := range c.CrossView {
+			c.CrossView[v] /= sum
+		}
+	}
+	return c
+}
+
+// Walker is the prepared cross-bipartite walk on one compact
+// representation: the effective query→query transition after averaging
+// the per-view intra-bipartite transitions P^X under the cross-view
+// teleport distribution N (Eq. 16 with uniform N).
+type Walker struct {
+	cfg   Config
+	trans *sparse.Matrix
+}
+
+// NewWalker builds the effective transition for the compact
+// representation. Queries lacking edges in some view have their
+// cross-view mass renormalized over the views where they do have edges,
+// so no probability leaks.
+func NewWalker(c *bipartite.Compact, cfg Config) *Walker {
+	cfg = cfg.withDefaults()
+	n := c.Size()
+	var per [bipartite.NumViews]*sparse.Matrix
+	for v := 0; v < bipartite.NumViews; v++ {
+		per[v] = c.QueryTransition(bipartite.View(v))
+	}
+	// Availability-weighted teleport: views with an empty row for a
+	// query are excluded and the rest rescaled, so no probability
+	// leaks. Each view is row-rescaled in place (structure reuse), then
+	// the three are merged.
+	avail := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for v := 0; v < bipartite.NumViews; v++ {
+			if per[v].RowNNZ(i) > 0 {
+				avail[i] += cfg.CrossView[v]
+			}
+		}
+	}
+	var acc *sparse.Matrix
+	for v := 0; v < bipartite.NumViews; v++ {
+		w := cfg.CrossView[v]
+		scaled := per[v].ScaleSym(func(i, j int) float64 {
+			if avail[i] == 0 {
+				return 0
+			}
+			return w / avail[i]
+		})
+		if acc == nil {
+			acc = scaled
+		} else {
+			acc = sparse.Add(acc, scaled, 1)
+		}
+	}
+	return &Walker{cfg: cfg, trans: acc}
+}
+
+// Transition exposes the effective transition matrix (row-stochastic on
+// non-isolated queries).
+func (w *Walker) Transition() *sparse.Matrix { return w.trans }
+
+// HittingTime returns the truncated expected hitting time of every
+// query to the set S (compact-local indices).
+func (w *Walker) HittingTime(s map[int]bool) []float64 {
+	return randomwalk.HittingTimeToSet(w.trans, s, w.cfg.Iterations)
+}
+
+// SelectDiverse runs Algorithm 1's greedy loop: starting from the
+// already-chosen first candidate, repeatedly add the query with the
+// largest truncated hitting time to the selected set until k candidates
+// are chosen (or no eligible query remains). excluded lists
+// compact-local indices that may never be suggested (the input query
+// and its search context). pool, when non-nil, restricts candidacy to
+// the given compact-local indices — PQS-DA passes the top queries by
+// regularization relevance F*, so diversification spreads over facets
+// WITHOUT drifting into barely-related queries (the relevance gate that
+// keeps Fig. 3(c,d)'s relevance high). The returned slice is in
+// discovery order — the ranked candidate list of the diversification
+// component.
+func (w *Walker) SelectDiverse(first int, k int, excluded []int, pool []int) []int {
+	n := w.trans.Rows()
+	if k <= 0 || first < 0 || first >= n {
+		return nil
+	}
+	banned := make(map[int]bool, len(excluded))
+	for _, e := range excluded {
+		banned[e] = true
+	}
+	candidates := make([]int, 0, n)
+	if pool != nil {
+		seen := make(map[int]bool, len(pool))
+		for _, p := range pool {
+			if p >= 0 && p < n && !seen[p] {
+				seen[p] = true
+				candidates = append(candidates, p)
+			}
+		}
+		if !seen[first] {
+			candidates = append(candidates, first)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			candidates = append(candidates, i)
+		}
+	}
+	selected := []int{first}
+	inS := map[int]bool{first: true}
+	for len(selected) < k {
+		h := w.HittingTime(inS)
+		best, bestH := -1, -1.0
+		for _, i := range candidates {
+			if inS[i] || banned[i] {
+				continue
+			}
+			if h[i] > bestH { // ties resolve to the first candidate listed
+				best, bestH = i, h[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		selected = append(selected, best)
+		inS[best] = true
+	}
+	return selected
+}

@@ -1,0 +1,220 @@
+// Package metrics implements the paper's evaluation measures: the
+// Diversity of a suggestion list (Eqs. 32–33), the ODP-based Relevance
+// (Eq. 34), the Pseudo Personalized Relevance (PPR) and the oracle-
+// graded Human Personalized Relevance (HPR). Held-out perplexity
+// (Eq. 35) lives in the topicmodel package next to the models.
+package metrics
+
+import (
+	"repro/internal/numeric"
+	"repro/internal/odp"
+	"repro/internal/querylog"
+)
+
+// PageSet returns the clicked web pages P(q) of a query with weights.
+type PageSet func(query string) map[string]float64
+
+// PageSim measures sim(p, p') between two pages.
+type PageSim func(p1, p2 string) float64
+
+// PairDiversity computes d(q_i, q_j) of Eq. 32:
+// 1 − (Σ_m Σ_n sim(p_im, p_jn)) / (M·N). When either query has no
+// clicked pages there is no evidence of overlap and the pair counts as
+// fully diverse (d = 1), keeping the metric defined on clickless
+// suggestions.
+func PairDiversity(qi, qj string, pages PageSet, sim PageSim) float64 {
+	pi := pages(qi)
+	pj := pages(qj)
+	if len(pi) == 0 || len(pj) == 0 {
+		return 1
+	}
+	total := 0.0
+	for p1 := range pi {
+		for p2 := range pj {
+			total += sim(p1, p2)
+		}
+	}
+	return 1 - total/float64(len(pi)*len(pj))
+}
+
+// ListDiversity computes D(L) of Eq. 33: the mean pairwise diversity
+// over all ordered pairs of distinct positions. Lists with fewer than
+// two items have no pairs and score 0.
+func ListDiversity(list []string, pages PageSet, sim PageSim) float64 {
+	n := len(list)
+	if n < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			total += PairDiversity(list[i], list[j], pages, sim)
+		}
+	}
+	return total / float64(n*(n-1))
+}
+
+// Categorizer returns the ODP category of a query (nil when unknown).
+type Categorizer func(query string) odp.Category
+
+// Relevance computes Eq. 34 between two queries via their categories;
+// unknown categories give 0.
+func Relevance(qi, qj string, cat Categorizer) float64 {
+	return odp.Relevance(cat(qi), cat(qj))
+}
+
+// MeanRelevanceAtK returns, for each cutoff k = 1..maxK, the mean
+// Eq. 34 relevance between the input query and the top-k suggestions —
+// the series of the paper's Fig. 3(c,d). Shorter lists repeat their
+// final value.
+func MeanRelevanceAtK(input string, list []string, cat Categorizer, maxK int) []float64 {
+	out := make([]float64, maxK)
+	sum := 0.0
+	for k := 1; k <= maxK; k++ {
+		if k <= len(list) {
+			sum += Relevance(input, list[k-1], cat)
+		} else if len(list) == 0 {
+			out[k-1] = 0
+			continue
+		}
+		n := k
+		if n > len(list) {
+			n = len(list)
+		}
+		if n > 0 {
+			out[k-1] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// MeanDiversityAtK returns D(L_k) for every prefix L_k (k = 2..maxK) —
+// the series of Fig. 3(a,b) and Fig. 5(a,b). Index k−1 holds the value
+// for cutoff k; cutoff 1 is 0 by definition.
+func MeanDiversityAtK(list []string, pages PageSet, sim PageSim, maxK int) []float64 {
+	out := make([]float64, maxK)
+	for k := 2; k <= maxK; k++ {
+		n := k
+		if n > len(list) {
+			n = len(list)
+		}
+		out[k-1] = ListDiversity(list[:n], pages, sim)
+	}
+	return out
+}
+
+// TitleVectors returns the word vectors of high-quality fields (titles)
+// of a set of pages.
+type TitleVectors func(page string) map[string]float64
+
+// PPR computes the Pseudo Personalized Relevance of one suggested query
+// against a test session: the cosine similarity between the
+// suggestion's term vector and the aggregate title vector of the pages
+// clicked in the session (Section VI-C.2).
+func PPR(suggestion string, clickedPages []string, titles TitleVectors) float64 {
+	qv := querylog.TermVector(suggestion)
+	agg := make(map[string]float64)
+	for _, p := range clickedPages {
+		for w, v := range titles(p) {
+			agg[w] += v
+		}
+	}
+	return numeric.CosineSparse(qv, agg)
+}
+
+// MeanPPRAtK returns the mean PPR of the top-k suggestions for each
+// cutoff k = 1..maxK — the series of Fig. 5(c,d).
+func MeanPPRAtK(list []string, clickedPages []string, titles TitleVectors, maxK int) []float64 {
+	out := make([]float64, maxK)
+	sum := 0.0
+	for k := 1; k <= maxK; k++ {
+		if k <= len(list) {
+			sum += PPR(list[k-1], clickedPages, titles)
+		}
+		n := k
+		if n > len(list) {
+			n = len(list)
+		}
+		if n > 0 {
+			out[k-1] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// HPRGrader grades a suggested query against the user's (ground-truth)
+// intended facet on the paper's 6-point scale {0, 0.2, …, 1}. The
+// synthetic oracle replaces the paper's human experts: it answers the
+// same question — "does this suggestion match what I meant?" — from
+// the generator's ground truth.
+type HPRGrader func(suggestion string, intendedFacet int) float64
+
+// SixPointScale discretizes a similarity in [0,1] to the paper's
+// 6-point relevance scale.
+func SixPointScale(sim float64) float64 {
+	if sim < 0 {
+		sim = 0
+	}
+	if sim > 1 {
+		sim = 1
+	}
+	steps := int(sim*5 + 0.5)
+	return float64(steps) / 5
+}
+
+// MeanHPRAtK returns the mean oracle grade of the top-k suggestions
+// for each cutoff k = 1..maxK — the series of Fig. 6.
+func MeanHPRAtK(list []string, intendedFacet int, grade HPRGrader, maxK int) []float64 {
+	out := make([]float64, maxK)
+	sum := 0.0
+	for k := 1; k <= maxK; k++ {
+		if k <= len(list) {
+			sum += grade(list[k-1], intendedFacet)
+		}
+		n := k
+		if n > len(list) {
+			n = len(list)
+		}
+		if n > 0 {
+			out[k-1] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// Accumulator averages per-test-case metric series element-wise.
+type Accumulator struct {
+	sums  []float64
+	count int
+}
+
+// NewAccumulator creates an accumulator for series of length n.
+func NewAccumulator(n int) *Accumulator {
+	return &Accumulator{sums: make([]float64, n)}
+}
+
+// Add accumulates one series (must match the accumulator length).
+func (a *Accumulator) Add(series []float64) {
+	for i := range a.sums {
+		a.sums[i] += series[i]
+	}
+	a.count++
+}
+
+// Mean returns the element-wise mean; nil when nothing was added.
+func (a *Accumulator) Mean() []float64 {
+	if a.count == 0 {
+		return nil
+	}
+	out := make([]float64, len(a.sums))
+	for i := range out {
+		out[i] = a.sums[i] / float64(a.count)
+	}
+	return out
+}
+
+// Count returns how many series were accumulated.
+func (a *Accumulator) Count() int { return a.count }

@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/odp"
+)
+
+func constSim(v float64) PageSim {
+	return func(p1, p2 string) float64 { return v }
+}
+
+func pagesFrom(m map[string][]string) PageSet {
+	return func(q string) map[string]float64 {
+		out := make(map[string]float64)
+		for _, p := range m[q] {
+			out[p] = 1
+		}
+		return out
+	}
+}
+
+func TestPairDiversity(t *testing.T) {
+	pages := pagesFrom(map[string][]string{
+		"a": {"p1", "p2"},
+		"b": {"p3"},
+	})
+	// sim = 0 everywhere → fully diverse.
+	if got := PairDiversity("a", "b", pages, constSim(0)); got != 1 {
+		t.Errorf("diversity = %v, want 1", got)
+	}
+	// sim = 1 everywhere → no diversity.
+	if got := PairDiversity("a", "b", pages, constSim(1)); got != 0 {
+		t.Errorf("diversity = %v, want 0", got)
+	}
+	// Clickless query counts as fully diverse.
+	if got := PairDiversity("a", "nope", pages, constSim(1)); got != 1 {
+		t.Errorf("clickless diversity = %v, want 1", got)
+	}
+}
+
+func TestPairDiversityAveragesPairs(t *testing.T) {
+	pages := pagesFrom(map[string][]string{
+		"a": {"p1", "p2"},
+		"b": {"p1", "p3"},
+	})
+	sim := func(p1, p2 string) float64 {
+		if p1 == p2 {
+			return 1
+		}
+		return 0
+	}
+	// 4 pairs, one identical → avg sim 0.25 → diversity 0.75.
+	if got := PairDiversity("a", "b", pages, sim); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("diversity = %v, want 0.75", got)
+	}
+}
+
+func TestListDiversity(t *testing.T) {
+	pages := pagesFrom(map[string][]string{
+		"a": {"p1"}, "b": {"p1"}, "c": {"p2"},
+	})
+	sim := func(p1, p2 string) float64 {
+		if p1 == p2 {
+			return 1
+		}
+		return 0
+	}
+	// Pairs: (a,b)=0, (a,c)=1, (b,c)=1 → mean = 2/3.
+	if got := ListDiversity([]string{"a", "b", "c"}, pages, sim); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("D(L) = %v, want 2/3", got)
+	}
+	if got := ListDiversity([]string{"a"}, pages, sim); got != 0 {
+		t.Errorf("singleton D(L) = %v", got)
+	}
+}
+
+func TestMeanRelevanceAtK(t *testing.T) {
+	cats := map[string]odp.Category{
+		"in": odp.ParseCategory("x/y/z"),
+		"s1": odp.ParseCategory("x/y/z"), // rel 1
+		"s2": odp.ParseCategory("x/y/w"), // rel 2/3
+		"s3": odp.ParseCategory("a/b/c"), // rel 0
+	}
+	cat := func(q string) odp.Category { return cats[q] }
+	got := MeanRelevanceAtK("in", []string{"s1", "s2", "s3"}, cat, 4)
+	want := []float64{1, (1 + 2.0/3) / 2, (1 + 2.0/3) / 3, (1 + 2.0/3) / 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("rel@%d = %v, want %v", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestMeanRelevanceAtKEmpty(t *testing.T) {
+	got := MeanRelevanceAtK("in", nil, func(string) odp.Category { return nil }, 3)
+	for _, v := range got {
+		if v != 0 {
+			t.Errorf("empty list relevance = %v", got)
+		}
+	}
+}
+
+func TestMeanDiversityAtK(t *testing.T) {
+	pages := pagesFrom(map[string][]string{
+		"a": {"p1"}, "b": {"p1"}, "c": {"p2"},
+	})
+	sim := func(p1, p2 string) float64 {
+		if p1 == p2 {
+			return 1
+		}
+		return 0
+	}
+	got := MeanDiversityAtK([]string{"a", "b", "c"}, pages, sim, 4)
+	if got[0] != 0 {
+		t.Errorf("D@1 = %v, want 0", got[0])
+	}
+	if got[1] != 0 { // a,b share p1
+		t.Errorf("D@2 = %v, want 0", got[1])
+	}
+	if math.Abs(got[2]-2.0/3) > 1e-12 {
+		t.Errorf("D@3 = %v, want 2/3", got[2])
+	}
+	if got[3] != got[2] { // list exhausted
+		t.Errorf("D@4 = %v, want %v", got[3], got[2])
+	}
+}
+
+func TestPPR(t *testing.T) {
+	titles := func(p string) map[string]float64 {
+		if p == "page1" {
+			return map[string]float64{"solar": 1, "energy": 1}
+		}
+		return map[string]float64{"java": 1}
+	}
+	// Suggestion matching the clicked page's title words scores high.
+	high := PPR("solar energy", []string{"page1"}, titles)
+	low := PPR("solar energy", []string{"page2"}, titles)
+	if high <= low {
+		t.Errorf("PPR high %v ≤ low %v", high, low)
+	}
+	if math.Abs(high-1) > 1e-12 {
+		t.Errorf("exact match PPR = %v, want 1", high)
+	}
+	if got := PPR("solar", nil, titles); got != 0 {
+		t.Errorf("no clicks PPR = %v, want 0", got)
+	}
+}
+
+func TestMeanPPRAtK(t *testing.T) {
+	titles := func(p string) map[string]float64 {
+		return map[string]float64{"java": 1}
+	}
+	got := MeanPPRAtK([]string{"java", "solar"}, []string{"p"}, titles, 3)
+	if math.Abs(got[0]-1) > 1e-12 {
+		t.Errorf("PPR@1 = %v", got[0])
+	}
+	if math.Abs(got[1]-0.5) > 1e-12 {
+		t.Errorf("PPR@2 = %v", got[1])
+	}
+	if got[2] != got[1] {
+		t.Errorf("PPR@3 = %v, want %v (exhausted list)", got[2], got[1])
+	}
+}
+
+func TestSixPointScale(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {1, 1}, {0.5, 0.6}, {0.49, 0.4}, {-1, 0}, {2, 1}, {0.1, 0.2}, {0.09, 0},
+	}
+	for _, c := range cases {
+		if got := SixPointScale(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("SixPointScale(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMeanHPRAtK(t *testing.T) {
+	grade := func(s string, facet int) float64 {
+		if s == "good" {
+			return 1
+		}
+		return 0.2
+	}
+	got := MeanHPRAtK([]string{"good", "meh"}, 0, grade, 2)
+	if got[0] != 1 || math.Abs(got[1]-0.6) > 1e-12 {
+		t.Errorf("HPR@k = %v", got)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	a := NewAccumulator(2)
+	if a.Mean() != nil {
+		t.Error("empty accumulator mean not nil")
+	}
+	a.Add([]float64{1, 3})
+	a.Add([]float64{3, 5})
+	m := a.Mean()
+	if m[0] != 2 || m[1] != 4 || a.Count() != 2 {
+		t.Errorf("mean = %v, count = %d", m, a.Count())
+	}
+}

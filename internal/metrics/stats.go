@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI estimates a two-sided confidence interval for the mean of
+// samples by the percentile bootstrap: resamples times with
+// replacement, at confidence level (e.g. 0.95). It backs the
+// "significantly outperforms" statements of the experiment write-ups.
+// Degenerate inputs (fewer than two samples) return the sample mean as
+// both bounds.
+func BootstrapCI(samples []float64, resamples int, level float64, seed int64) (lo, mean, hi float64) {
+	n := len(samples)
+	mean = meanOf(samples)
+	if n < 2 {
+		return mean, mean, mean
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	for r := range means {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += samples[rng.Intn(n)]
+		}
+		means[r] = s / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	lo = quantile(means, alpha)
+	hi = quantile(means, 1-alpha)
+	return lo, mean, hi
+}
+
+// PairedBootstrapPValue estimates, by the paired bootstrap, the
+// probability that method A's mean does NOT exceed method B's, given
+// paired per-test-case scores (same cases, two methods). Small values
+// support "A significantly outperforms B". Both slices must have equal
+// length ≥ 2; otherwise 1 is returned (no evidence).
+func PairedBootstrapPValue(a, b []float64, resamples int, seed int64) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 1
+	}
+	if resamples <= 0 {
+		resamples = 2000
+	}
+	diffs := make([]float64, n)
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+	}
+	rng := rand.New(rand.NewSource(seed))
+	notBetter := 0
+	for r := 0; r < resamples; r++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += diffs[rng.Intn(n)]
+		}
+		if s <= 0 {
+			notBetter++
+		}
+	}
+	return float64(notBetter) / float64(resamples)
+}
+
+func meanOf(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// quantile returns the q-quantile of a SORTED slice by linear
+// interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(sorted) {
+		return sorted[i]
+	}
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}

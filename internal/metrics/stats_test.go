@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapCIBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 200)
+	for i := range samples {
+		samples[i] = 5 + rng.NormFloat64()
+	}
+	lo, mean, hi := BootstrapCI(samples, 1000, 0.95, 7)
+	if !(lo <= mean && mean <= hi) {
+		t.Fatalf("CI not ordered: %v %v %v", lo, mean, hi)
+	}
+	if math.Abs(mean-5) > 0.3 {
+		t.Errorf("mean = %v, want ≈5", mean)
+	}
+	// A 95% CI for n=200, σ=1 should be roughly ±0.14.
+	if hi-lo > 0.5 || hi-lo < 0.05 {
+		t.Errorf("CI width = %v, implausible", hi-lo)
+	}
+	// Deterministic in the seed.
+	lo2, _, hi2 := BootstrapCI(samples, 1000, 0.95, 7)
+	if lo != lo2 || hi != hi2 {
+		t.Error("bootstrap not deterministic under fixed seed")
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	lo, mean, hi := BootstrapCI([]float64{3}, 100, 0.95, 1)
+	if lo != 3 || mean != 3 || hi != 3 {
+		t.Errorf("single sample CI = %v %v %v", lo, mean, hi)
+	}
+	_, mean, _ = BootstrapCI(nil, 100, 0.95, 1)
+	if !math.IsNaN(mean) {
+		t.Errorf("empty mean = %v, want NaN", mean)
+	}
+}
+
+func TestPairedBootstrapPValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 100
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := rng.Float64()
+		a[i] = base + 0.2 + 0.05*rng.NormFloat64() // clearly better
+		b[i] = base
+	}
+	if p := PairedBootstrapPValue(a, b, 2000, 3); p > 0.01 {
+		t.Errorf("clear win p = %v, want ≤ 0.01", p)
+	}
+	// Symmetric noise: no significance.
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	if p := PairedBootstrapPValue(a, b, 2000, 3); p < 0.05 {
+		t.Errorf("null case p = %v, suspiciously small", p)
+	}
+	// Mismatched lengths → no evidence.
+	if p := PairedBootstrapPValue([]float64{1}, []float64{1, 2}, 100, 1); p != 1 {
+		t.Errorf("mismatch p = %v", p)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}

@@ -1,0 +1,212 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// LBFGS minimizes a smooth function using the limited-memory BFGS
+// two-loop recursion with a backtracking Armijo line search. It is the
+// optimizer behind the UPM hyperparameter updates (paper Eqs. 25–27,
+// which cite L-BFGS-B [30]); positivity constraints are handled by the
+// caller through log-reparameterization (see MaximizePositive).
+type LBFGS struct {
+	// Memory is the number of correction pairs kept (default 8).
+	Memory int
+	// MaxIter bounds the outer iterations (default 100).
+	MaxIter int
+	// GradTol stops when ‖∇f‖∞ falls below it (default 1e-6).
+	GradTol float64
+	// StepTol stops when the line search cannot make progress (default 1e-12).
+	StepTol float64
+}
+
+// ErrLineSearch is returned when the backtracking search cannot find a
+// decreasing step; the best iterate found so far is still returned.
+var ErrLineSearch = errors.New("numeric: line search failed to decrease objective")
+
+// Minimize runs L-BFGS from x0 on objective f, which must return the
+// function value and write the gradient into grad. It returns the best
+// point found and its value. The returned error is nil on gradient
+// convergence, ErrLineSearch when progress stalls, and nil when the
+// iteration budget is exhausted while still making progress.
+func (o LBFGS) Minimize(f func(x []float64, grad []float64) float64, x0 []float64) ([]float64, float64, error) {
+	m := o.Memory
+	if m <= 0 {
+		m = 8
+	}
+	maxIter := o.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	gradTol := o.GradTol
+	if gradTol <= 0 {
+		gradTol = 1e-6
+	}
+	stepTol := o.StepTol
+	if stepTol <= 0 {
+		stepTol = 1e-12
+	}
+
+	n := len(x0)
+	x := Clone(x0)
+	g := make([]float64, n)
+	fx := f(x, g)
+
+	sList := make([][]float64, 0, m)
+	yList := make([][]float64, 0, m)
+	rhoList := make([]float64, 0, m)
+
+	dir := make([]float64, n)
+	xNew := make([]float64, n)
+	gNew := make([]float64, n)
+
+	for iter := 0; iter < maxIter; iter++ {
+		if normInf(g) < gradTol {
+			return x, fx, nil
+		}
+		// Two-loop recursion: dir = −H·g.
+		copy(dir, g)
+		alphas := make([]float64, len(sList))
+		for i := len(sList) - 1; i >= 0; i-- {
+			alphas[i] = rhoList[i] * Dot(sList[i], dir)
+			AXPY(-alphas[i], yList[i], dir)
+		}
+		if k := len(sList); k > 0 {
+			// Initial Hessian scaling γ = sᵀy / yᵀy.
+			gamma := Dot(sList[k-1], yList[k-1]) / Dot(yList[k-1], yList[k-1])
+			Scale(gamma, dir)
+		}
+		for i := 0; i < len(sList); i++ {
+			beta := rhoList[i] * Dot(yList[i], dir)
+			AXPY(alphas[i]-beta, sList[i], dir)
+		}
+		Scale(-1, dir)
+
+		// Ensure descent; fall back to steepest descent otherwise.
+		dg := Dot(dir, g)
+		if dg >= 0 {
+			copy(dir, g)
+			Scale(-1, dir)
+			dg = -Dot(g, g)
+			sList, yList, rhoList = sList[:0], yList[:0], rhoList[:0]
+		}
+
+		// Weak-Wolfe line search by bracketing/bisection: the sufficient-
+		// decrease (Armijo) condition shrinks the bracket from above, the
+		// curvature condition grows it from below. The curvature check is
+		// what keeps the sᵀy products positive and the L-BFGS Hessian
+		// approximation healthy.
+		const c1, c2 = 1e-4, 0.9
+		step, lo := 1.0, 0.0
+		hi := math.Inf(1)
+		var fNew float64
+		ok := false
+		for ls := 0; ls < 60; ls++ {
+			for i := range x {
+				xNew[i] = x[i] + step*dir[i]
+			}
+			fNew = f(xNew, gNew)
+			switch {
+			case math.IsNaN(fNew) || math.IsInf(fNew, 0) || fNew > fx+c1*step*dg:
+				hi = step
+				step = (lo + hi) / 2
+			case Dot(gNew, dir) < c2*dg:
+				lo = step
+				if math.IsInf(hi, 1) {
+					step = 2 * lo
+				} else {
+					step = (lo + hi) / 2
+				}
+			default:
+				ok = true
+			}
+			if ok || step < stepTol {
+				break
+			}
+		}
+		if !ok {
+			// Accept the last Armijo-satisfying point if any; otherwise stall.
+			if math.IsNaN(fNew) || math.IsInf(fNew, 0) || fNew > fx+c1*step*dg {
+				return x, fx, ErrLineSearch
+			}
+		}
+
+		// Update memory.
+		s := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			s[i] = xNew[i] - x[i]
+			y[i] = gNew[i] - g[i]
+		}
+		sy := Dot(s, y)
+		if sy > 1e-10 {
+			if len(sList) == m {
+				sList = sList[1:]
+				yList = yList[1:]
+				rhoList = rhoList[1:]
+			}
+			sList = append(sList, s)
+			yList = append(yList, y)
+			rhoList = append(rhoList, 1/sy)
+		}
+		copy(x, xNew)
+		copy(g, gNew)
+		fx = fNew
+	}
+	return x, fx, nil
+}
+
+// MaximizePositive maximizes f over strictly positive vectors by
+// optimizing in log-space: it minimizes −f(exp(u)) with the chain-rule
+// gradient, guaranteeing positivity without explicit bounds. This is how
+// the Dirichlet hyperparameters α, β, δ of the UPM stay valid during the
+// paper's Eq. 25–27 updates.
+func (o LBFGS) MaximizePositive(f func(x []float64, grad []float64) float64, x0 []float64) ([]float64, float64, error) {
+	n := len(x0)
+	u0 := make([]float64, n)
+	for i, v := range x0 {
+		if v <= 0 {
+			panic("numeric: MaximizePositive requires a positive starting point")
+		}
+		u0[i] = math.Log(v)
+	}
+	x := make([]float64, n)
+	gx := make([]float64, n)
+	// Clamp the exponent so exp never under- or overflows: the objective
+	// (a log-likelihood full of Lgamma calls) needs strictly positive,
+	// finite inputs even for the wild steps a line search may probe.
+	const maxExp = 230 // exp(±230) ≈ 1e±100
+	wrapped := func(u, gu []float64) float64 {
+		for i := range u {
+			e := u[i]
+			if e > maxExp {
+				e = maxExp
+			} else if e < -maxExp {
+				e = -maxExp
+			}
+			x[i] = math.Exp(e)
+		}
+		fv := f(x, gx)
+		for i := range u {
+			gu[i] = -gx[i] * x[i] // d(−f)/du = −df/dx · dx/du
+		}
+		return -fv
+	}
+	uBest, negF, err := o.Minimize(wrapped, u0)
+	out := make([]float64, n)
+	for i := range uBest {
+		out[i] = math.Exp(uBest[i])
+	}
+	return out, -negF, err
+}
+
+func normInf(v []float64) float64 {
+	max := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > max {
+			max = a
+		}
+	}
+	return max
+}

@@ -1,0 +1,151 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLBFGSQuadratic(t *testing.T) {
+	// f(x) = Σ i·(xᵢ − i)², minimum at xᵢ = i.
+	n := 10
+	f := func(x, g []float64) float64 {
+		v := 0.0
+		for i := range x {
+			c := float64(i + 1)
+			d := x[i] - c
+			v += c * d * d
+			g[i] = 2 * c * d
+		}
+		return v
+	}
+	x0 := make([]float64, n)
+	x, fx, err := LBFGS{}.Minimize(f, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx > 1e-10 {
+		t.Errorf("final value %v, want ~0", fx)
+	}
+	for i := range x {
+		if !almostEq(x[i], float64(i+1), 1e-5) {
+			t.Errorf("x[%d] = %v, want %d", i, x[i], i+1)
+		}
+	}
+}
+
+func TestLBFGSRosenbrock(t *testing.T) {
+	f := func(x, g []float64) float64 {
+		a, b := x[0], x[1]
+		g[0] = -2*(1-a) - 400*a*(b-a*a)
+		g[1] = 200 * (b - a*a)
+		return (1-a)*(1-a) + 100*(b-a*a)*(b-a*a)
+	}
+	x, fx, err := LBFGS{MaxIter: 500}.Minimize(f, []float64{-1.2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx > 1e-8 || !almostEq(x[0], 1, 1e-3) || !almostEq(x[1], 1, 1e-3) {
+		t.Errorf("Rosenbrock: x = %v, f = %v", x, fx)
+	}
+}
+
+func TestLBFGSAlreadyAtMinimum(t *testing.T) {
+	f := func(x, g []float64) float64 {
+		g[0] = 2 * x[0]
+		return x[0] * x[0]
+	}
+	x, fx, err := LBFGS{}.Minimize(f, []float64{0})
+	if err != nil || fx != 0 || x[0] != 0 {
+		t.Errorf("x=%v f=%v err=%v", x, fx, err)
+	}
+}
+
+func TestMaximizePositiveDirichletMLE(t *testing.T) {
+	// Maximize a Dirichlet-multinomial log-likelihood in α — the exact
+	// functional form of the paper's Eq. 25. Synthetic counts from a known
+	// α should recover hyperparameters that increase the likelihood over
+	// the starting point and stay positive.
+	rng := rand.New(rand.NewSource(21))
+	const K = 4
+	const D = 50
+	trueAlpha := []float64{0.5, 1.5, 3.0, 0.8}
+	counts := make([][]float64, D)
+	for d := range counts {
+		counts[d] = make([]float64, K)
+		// Sample θ ~ Dir(trueAlpha) via Gamma draws, then 100 categorical draws.
+		theta := make([]float64, K)
+		for k := range theta {
+			theta[k] = gammaSample(rng, trueAlpha[k])
+		}
+		Normalize(theta)
+		for i := 0; i < 100; i++ {
+			counts[d][SampleCategorical(rng, theta)]++
+		}
+	}
+	ll := func(alpha, grad []float64) float64 {
+		v := 0.0
+		sumA := Sum(alpha)
+		for k := range grad {
+			grad[k] = 0
+		}
+		for d := 0; d < D; d++ {
+			nd := Sum(counts[d])
+			v += Lgamma(sumA) - Lgamma(sumA+nd)
+			for k := 0; k < K; k++ {
+				v += Lgamma(alpha[k]+counts[d][k]) - Lgamma(alpha[k])
+				grad[k] += Digamma(alpha[k]+counts[d][k]) - Digamma(alpha[k]) +
+					Digamma(sumA) - Digamma(sumA+nd)
+			}
+		}
+		return v
+	}
+	start := []float64{1, 1, 1, 1}
+	g0 := make([]float64, K)
+	f0 := ll(start, g0)
+	alpha, f1, _ := LBFGS{MaxIter: 200}.MaximizePositive(ll, start)
+	if f1 < f0 {
+		t.Errorf("likelihood decreased: %v -> %v", f0, f1)
+	}
+	for k, a := range alpha {
+		if a <= 0 {
+			t.Errorf("alpha[%d] = %v, must stay positive", k, a)
+		}
+	}
+	// Recovered α should be ordered like the truth (3.0 largest, 0.5 smallest).
+	if ArgMax(alpha) != 2 {
+		t.Errorf("largest recovered alpha at %d, want 2 (alpha=%v)", ArgMax(alpha), alpha)
+	}
+}
+
+func TestMaximizePositiveRejectsNonPositiveStart(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive start")
+		}
+	}()
+	LBFGS{}.MaximizePositive(func(x, g []float64) float64 { return 0 }, []float64{0})
+}
+
+// gammaSample draws from Gamma(shape, 1) via Marsaglia–Tsang; good enough
+// for test data.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x || math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

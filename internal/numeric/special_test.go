@@ -1,0 +1,166 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLgammaKnown(t *testing.T) {
+	// Γ(1)=1, Γ(2)=1, Γ(5)=24.
+	cases := []struct{ x, want float64 }{
+		{1, 0}, {2, 0}, {5, math.Log(24)}, {0.5, math.Log(math.Sqrt(math.Pi))},
+	}
+	for _, c := range cases {
+		if got := Lgamma(c.x); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Lgamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLgammaPanicsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Lgamma(0) did not panic")
+		}
+	}()
+	Lgamma(0)
+}
+
+func TestDigammaKnown(t *testing.T) {
+	const euler = 0.5772156649015329
+	// ψ(1) = −γ, ψ(2) = 1−γ, ψ(0.5) = −γ − 2 ln 2.
+	cases := []struct{ x, want float64 }{
+		{1, -euler},
+		{2, 1 - euler},
+		{0.5, -euler - 2*math.Ln2},
+		{10, 2.251752589066721},
+	}
+	for _, c := range cases {
+		if got := Digamma(c.x); !almostEq(got, c.want, 1e-10) {
+			t.Errorf("Digamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+// Property: ψ(x+1) = ψ(x) + 1/x (the recurrence relation).
+func TestDigammaRecurrence(t *testing.T) {
+	f := func(raw float64) bool {
+		x := math.Abs(raw)/1e3 + 0.01 // keep in a sane positive range
+		return almostEq(Digamma(x+1), Digamma(x)+1/x, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ψ is the derivative of log Γ (finite-difference check).
+func TestDigammaMatchesLgammaDerivative(t *testing.T) {
+	for _, x := range []float64{0.3, 1.0, 2.5, 7.0, 42.0} {
+		h := 1e-6 * x
+		fd := (Lgamma(x+h) - Lgamma(x-h)) / (2 * h)
+		if !almostEq(Digamma(x), fd, 1e-5) {
+			t.Errorf("Digamma(%v)=%v, finite-diff=%v", x, Digamma(x), fd)
+		}
+	}
+}
+
+func TestLogBeta(t *testing.T) {
+	// B(1,1)=1, B(2,3)=1/12.
+	if got := LogBeta(1, 1); !almostEq(got, 0, 1e-12) {
+		t.Errorf("LogBeta(1,1) = %v, want 0", got)
+	}
+	if got := LogBeta(2, 3); !almostEq(got, math.Log(1.0/12), 1e-12) {
+		t.Errorf("LogBeta(2,3) = %v, want log(1/12)", got)
+	}
+}
+
+func TestLogMultiBetaReducesToLogBeta(t *testing.T) {
+	if got, want := LogMultiBeta([]float64{2, 3}), LogBeta(2, 3); !almostEq(got, want, 1e-12) {
+		t.Errorf("LogMultiBeta = %v, want %v", got, want)
+	}
+}
+
+func TestBetaPDFIntegratesToOne(t *testing.T) {
+	for _, p := range [][2]float64{{1, 1}, {2, 5}, {0.5, 0.5}, {3, 3}} {
+		n := 20000
+		s := 0.0
+		for i := 0; i < n; i++ {
+			tt := (float64(i) + 0.5) / float64(n)
+			s += BetaPDF(tt, p[0], p[1])
+		}
+		s /= float64(n)
+		if !almostEq(s, 1, 2e-2) {
+			t.Errorf("Beta(%v,%v) integral = %v, want ~1", p[0], p[1], s)
+		}
+	}
+}
+
+func TestBetaLogPDFClampsEndpoints(t *testing.T) {
+	if v := BetaLogPDF(0, 2, 2); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("BetaLogPDF(0,...) = %v, want finite", v)
+	}
+	if v := BetaLogPDF(1, 2, 2); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("BetaLogPDF(1,...) = %v, want finite", v)
+	}
+}
+
+func TestFitBetaMomentsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		a := 0.5 + rng.Float64()*5
+		b := 0.5 + rng.Float64()*5
+		mean := a / (a + b)
+		variance := a * b / ((a + b) * (a + b) * (a + b + 1))
+		ga, gb := FitBetaMoments(mean, variance)
+		if !almostEq(ga, a, 1e-6*a+1e-9) || !almostEq(gb, b, 1e-6*b+1e-9) {
+			t.Errorf("FitBetaMoments round trip: got (%v,%v), want (%v,%v)", ga, gb, a, b)
+		}
+	}
+}
+
+func TestFitBetaMomentsDegenerate(t *testing.T) {
+	cases := []struct{ mean, variance float64 }{
+		{0.5, 0}, {0.5, 1}, {0, 0.1}, {1, 0.1}, {0.3, 0.3}, // var ≥ m(1−m)
+	}
+	for _, c := range cases {
+		a, b := FitBetaMoments(c.mean, c.variance)
+		if a <= 0 || b <= 0 || math.IsNaN(a) || math.IsNaN(b) {
+			t.Errorf("FitBetaMoments(%v,%v) = (%v,%v): invalid", c.mean, c.variance, a, b)
+		}
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	if got := LogSumExp([]float64{0, 0}); !almostEq(got, math.Ln2, 1e-12) {
+		t.Errorf("LSE(0,0) = %v, want ln 2", got)
+	}
+	if got := LogSumExp([]float64{-1000, -1000}); !almostEq(got, -1000+math.Ln2, 1e-9) {
+		t.Errorf("LSE underflow case = %v", got)
+	}
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Errorf("LSE(empty) = %v, want -Inf", got)
+	}
+	inf := math.Inf(-1)
+	if got := LogSumExp([]float64{inf, inf}); !math.IsInf(got, -1) {
+		t.Errorf("LSE(-Inf,-Inf) = %v, want -Inf", got)
+	}
+}
+
+// Property: LSE(x + c) = LSE(x) + c (shift invariance).
+func TestLogSumExpShiftInvariance(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		if math.Abs(a) > 500 || math.Abs(b) > 500 || math.Abs(c) > 500 {
+			return true
+		}
+		lhs := LogSumExp([]float64{a + c, b + c})
+		rhs := LogSumExp([]float64{a, b}) + c
+		return almostEq(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dot returns the inner product of a and b, which must have equal length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("numeric: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// AXPY computes y ← y + a·x in place.
+func AXPY(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("numeric: AXPY length mismatch")
+	}
+	for i := range y {
+		y[i] += a * x[i]
+	}
+}
+
+// Scale multiplies v by s in place.
+func Scale(s float64, v []float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Sum returns Σ vᵢ.
+func Sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Normalize scales v in place so it sums to 1 and returns the original
+// sum. A zero vector is left untouched.
+func Normalize(v []float64) float64 {
+	s := Sum(v)
+	if s != 0 {
+		Scale(1/s, v)
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of a and b, zero when either has
+// zero norm.
+func Cosine(a, b []float64) float64 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// CosineSparse returns the cosine similarity of two sparse vectors
+// represented as maps from index to weight.
+func CosineSparse(a, b map[string]float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	dot := 0.0
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			dot += va * vb
+		}
+	}
+	if dot == 0 {
+		return 0
+	}
+	na, nb := 0.0, 0.0
+	for _, v := range a {
+		na += v * v
+	}
+	for _, v := range b {
+		nb += v * v
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// ArgMax returns the index of the largest element, −1 for empty input.
+// Ties resolve to the lowest index.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TopK returns the indices of the k largest elements in descending value
+// order. Ties resolve to the lower index first. k is clamped to len(v).
+func TopK(v []float64, k int) []int {
+	if k > len(v) {
+		k = len(v)
+	}
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] > v[idx[b]] })
+	return idx[:k]
+}
+
+// SampleCategorical draws an index from the (unnormalized, nonnegative)
+// weight vector w using rng. It panics when all weights are zero.
+func SampleCategorical(rng *rand.Rand, w []float64) int {
+	total := 0.0
+	for _, x := range w {
+		if x < 0 {
+			panic(fmt.Sprintf("numeric: negative categorical weight %v", x))
+		}
+		total += x
+	}
+	if total <= 0 {
+		panic("numeric: SampleCategorical with zero total weight")
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if u < acc {
+			return i
+		}
+	}
+	return len(w) - 1 // floating-point slack
+}
+
+// SampleLogCategorical draws an index proportional to exp(logw) stably.
+func SampleLogCategorical(rng *rand.Rand, logw []float64) int {
+	lse := LogSumExp(logw)
+	if math.IsInf(lse, -1) {
+		panic("numeric: SampleLogCategorical with all -Inf weights")
+	}
+	u := rng.Float64()
+	acc := 0.0
+	for i, lw := range logw {
+		acc += math.Exp(lw - lse)
+		if u < acc {
+			return i
+		}
+	}
+	return len(logw) - 1
+}
+
+// Mean returns the arithmetic mean, zero for empty input.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return Sum(v) / float64(len(v))
+}
+
+// Variance returns the biased (population) variance, matching the sᵏ² in
+// the paper's Eqs. 28–29. It returns zero for fewer than two samples.
+func Variance(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// Fill sets every element of v to x.
+func Fill(v []float64, x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Clone returns a copy of v.
+func Clone(v []float64) []float64 { return append([]float64(nil), v...) }

@@ -1,0 +1,216 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotAndNorm(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, -5, 6}
+	if got := Dot(a, b); got != 12 {
+		t.Errorf("Dot = %v, want 12", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAXPYScaleSum(t *testing.T) {
+	y := []float64{1, 1}
+	AXPY(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Errorf("AXPY = %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 || y[1] != 4.5 {
+		t.Errorf("Scale = %v", y)
+	}
+	if Sum(y) != 8 {
+		t.Errorf("Sum = %v", Sum(y))
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{1, 3}
+	if s := Normalize(v); s != 4 {
+		t.Errorf("returned sum %v, want 4", s)
+	}
+	if v[0] != 0.25 || v[1] != 0.75 {
+		t.Errorf("normalized = %v", v)
+	}
+	z := []float64{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Error("zero vector was modified")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{0, 1}); got != 0 {
+		t.Errorf("orthogonal cosine = %v", got)
+	}
+	if got := Cosine([]float64{2, 2}, []float64{1, 1}); !almostEq(got, 1, 1e-12) {
+		t.Errorf("parallel cosine = %v", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Errorf("zero-vector cosine = %v", got)
+	}
+}
+
+func TestCosineSparse(t *testing.T) {
+	a := map[string]float64{"x": 1, "y": 2}
+	b := map[string]float64{"y": 2, "z": 5}
+	want := 4 / (math.Sqrt(5) * math.Sqrt(29))
+	if got := CosineSparse(a, b); !almostEq(got, want, 1e-12) {
+		t.Errorf("CosineSparse = %v, want %v", got, want)
+	}
+	if got := CosineSparse(nil, b); got != 0 {
+		t.Errorf("empty CosineSparse = %v", got)
+	}
+	// Symmetry.
+	if CosineSparse(a, b) != CosineSparse(b, a) {
+		t.Error("CosineSparse not symmetric")
+	}
+}
+
+func TestArgMaxTopK(t *testing.T) {
+	v := []float64{1, 5, 3, 5}
+	if got := ArgMax(v); got != 1 {
+		t.Errorf("ArgMax = %d, want 1 (first of ties)", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Errorf("ArgMax(nil) = %d", got)
+	}
+	top := TopK(v, 3)
+	if top[0] != 1 || top[1] != 3 || top[2] != 2 {
+		t.Errorf("TopK = %v, want [1 3 2]", top)
+	}
+	if got := TopK(v, 10); len(got) != 4 {
+		t.Errorf("TopK clamped len = %d", len(got))
+	}
+}
+
+func TestSampleCategoricalDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w := []float64{1, 3, 0, 6}
+	counts := make([]int, 4)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[SampleCategorical(rng, w)]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight bucket sampled %d times", counts[2])
+	}
+	for i, want := range []float64{0.1, 0.3, 0, 0.6} {
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("bucket %d freq = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSampleCategoricalPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, w := range [][]float64{{0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weights %v did not panic", w)
+				}
+			}()
+			SampleCategorical(rng, w)
+		}()
+	}
+}
+
+func TestSampleLogCategoricalAgrees(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(10))
+	rng2 := rand.New(rand.NewSource(10))
+	w := []float64{0.2, 0.5, 0.3}
+	logw := []float64{math.Log(0.2), math.Log(0.5), math.Log(0.3)}
+	for i := 0; i < 1000; i++ {
+		if SampleCategorical(rng1, w) != SampleLogCategorical(rng2, logw) {
+			t.Fatal("log and linear samplers diverge under identical rng streams")
+		}
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	if got := Mean(v); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(v); !almostEq(got, 1.25, 1e-12) {
+		t.Errorf("Variance = %v, want 1.25 (biased)", got)
+	}
+	if Variance([]float64{7}) != 0 {
+		t.Error("single-sample variance should be 0")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+}
+
+func TestFillClone(t *testing.T) {
+	v := make([]float64, 3)
+	Fill(v, 2)
+	c := Clone(v)
+	c[0] = 9
+	if v[0] != 2 {
+		t.Error("Clone aliases input")
+	}
+}
+
+// Property: cosine is bounded in [−1, 1].
+func TestPropertyCosineBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		c := Cosine(a, b)
+		return c >= -1-1e-12 && c <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TopK returns indices in non-increasing value order.
+func TestPropertyTopKSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		k := 1 + rng.Intn(n)
+		top := TopK(v, k)
+		for i := 1; i < len(top); i++ {
+			if v[top[i-1]] < v[top[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

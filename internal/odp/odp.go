@@ -1,0 +1,149 @@
+// Package odp provides a synthetic stand-in for the Open Directory
+// Project (dmoz) category taxonomy used by the paper's Relevance metric
+// (Eq. 34). It models categories as slash-separated paths in a rooted
+// tree, supports deterministic random taxonomy generation, and computes
+// the longest-common-prefix relevance between categories.
+//
+// Substitution note (see DESIGN.md): the real ODP is unavailable; the
+// metric only performs path arithmetic, so a generated tree whose leaves
+// are assigned to synthetic facets preserves the metric's behaviour.
+package odp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Category is a path from the root, e.g. ["computers", "software",
+// "java"]. The zero-length category is the root.
+type Category []string
+
+// String renders the category as a slash-joined path.
+func (c Category) String() string { return strings.Join(c, "/") }
+
+// ParseCategory parses a slash-joined path. Empty segments are dropped.
+func ParseCategory(s string) Category {
+	parts := strings.Split(s, "/")
+	out := make(Category, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CommonPrefixLen returns the length of the longest common prefix of two
+// categories.
+func CommonPrefixLen(a, b Category) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// Relevance implements the paper's Eq. 34: |PF(A_i, A_j)| divided by the
+// length of the longer of the two category paths. Two empty categories
+// have relevance 0 (nothing is known about either query).
+func Relevance(a, b Category) float64 {
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(CommonPrefixLen(a, b)) / float64(max)
+}
+
+// Taxonomy is a rooted category tree plus an assignment of labels
+// (queries, URLs, facets) to categories.
+type Taxonomy struct {
+	// Leaves are the leaf categories in creation order.
+	Leaves []Category
+	// assign maps a label to its category.
+	assign map[string]Category
+}
+
+// NewTaxonomy returns an empty taxonomy.
+func NewTaxonomy() *Taxonomy {
+	return &Taxonomy{assign: make(map[string]Category)}
+}
+
+// GenerateConfig controls random taxonomy generation.
+type GenerateConfig struct {
+	// Depth is the tree depth below the root (default 3).
+	Depth int
+	// Branching is the number of children per internal node (default 3).
+	Branching int
+}
+
+// Generate builds a complete tree of the given depth and branching and
+// records its leaves. Node names are deterministic in rng.
+func Generate(rng *rand.Rand, cfg GenerateConfig) *Taxonomy {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 3
+	}
+	if cfg.Branching <= 0 {
+		cfg.Branching = 3
+	}
+	t := NewTaxonomy()
+	var walk func(prefix Category, depth int)
+	walk = func(prefix Category, depth int) {
+		if depth == cfg.Depth {
+			leaf := make(Category, len(prefix))
+			copy(leaf, prefix)
+			t.Leaves = append(t.Leaves, leaf)
+			return
+		}
+		for i := 0; i < cfg.Branching; i++ {
+			name := fmt.Sprintf("%s%d", syllable(rng), i)
+			walk(append(prefix, name), depth+1)
+		}
+	}
+	walk(nil, 0)
+	return t
+}
+
+// AddLeaf registers an explicit leaf category (used by hand-seeded
+// scenario facets such as the paper's "sun" example).
+func (t *Taxonomy) AddLeaf(c Category) {
+	t.Leaves = append(t.Leaves, c)
+}
+
+// Assign binds a label to a category.
+func (t *Taxonomy) Assign(label string, c Category) {
+	t.assign[label] = c
+}
+
+// CategoryOf returns the category assigned to label; ok is false for
+// unknown labels.
+func (t *Taxonomy) CategoryOf(label string) (Category, bool) {
+	c, ok := t.assign[label]
+	return c, ok
+}
+
+// RelevanceOf returns the Eq. 34 relevance between two labels, zero when
+// either label has no category.
+func (t *Taxonomy) RelevanceOf(a, b string) float64 {
+	ca, oka := t.assign[a]
+	cb, okb := t.assign[b]
+	if !oka || !okb {
+		return 0
+	}
+	return Relevance(ca, cb)
+}
+
+// syllable emits a pronounceable two-letter fragment for node names.
+func syllable(rng *rand.Rand) string {
+	const cons = "bcdfgklmnprstvz"
+	const vow = "aeiou"
+	return string([]byte{cons[rng.Intn(len(cons))], vow[rng.Intn(len(vow))]})
+}

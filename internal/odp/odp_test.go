@@ -1,0 +1,113 @@
+package odp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	c := ParseCategory("computers/software//java/")
+	if c.String() != "computers/software/java" {
+		t.Errorf("round trip = %q", c.String())
+	}
+	if len(ParseCategory("")) != 0 {
+		t.Error("empty parse should be root")
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	a := ParseCategory("computers/software/java")
+	b := ParseCategory("computers/software/python")
+	c := ParseCategory("science/astronomy")
+	if got := CommonPrefixLen(a, b); got != 2 {
+		t.Errorf("CPL(a,b) = %d, want 2", got)
+	}
+	if got := CommonPrefixLen(a, c); got != 0 {
+		t.Errorf("CPL(a,c) = %d, want 0", got)
+	}
+	if got := CommonPrefixLen(a, a); got != 3 {
+		t.Errorf("CPL(a,a) = %d, want 3", got)
+	}
+}
+
+func TestRelevanceEq34(t *testing.T) {
+	a := ParseCategory("computers/software/java")
+	b := ParseCategory("computers/software/python")
+	if got := Relevance(a, b); got != 2.0/3 {
+		t.Errorf("Relevance = %v, want 2/3", got)
+	}
+	if got := Relevance(a, a); got != 1 {
+		t.Errorf("self relevance = %v, want 1", got)
+	}
+	if got := Relevance(nil, nil); got != 0 {
+		t.Errorf("empty relevance = %v, want 0", got)
+	}
+	// Different lengths: prefix 1, max len 3.
+	short := ParseCategory("computers")
+	if got := Relevance(a, short); got != 1.0/3 {
+		t.Errorf("mixed-length relevance = %v, want 1/3", got)
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tax := Generate(rng, GenerateConfig{Depth: 3, Branching: 2})
+	if len(tax.Leaves) != 8 {
+		t.Fatalf("leaves = %d, want 2^3 = 8", len(tax.Leaves))
+	}
+	for _, l := range tax.Leaves {
+		if len(l) != 3 {
+			t.Errorf("leaf %v depth %d, want 3", l, len(l))
+		}
+	}
+	// Deterministic under the same seed.
+	tax2 := Generate(rand.New(rand.NewSource(1)), GenerateConfig{Depth: 3, Branching: 2})
+	for i := range tax.Leaves {
+		if tax.Leaves[i].String() != tax2.Leaves[i].String() {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestAssignAndRelevanceOf(t *testing.T) {
+	tax := NewTaxonomy()
+	tax.Assign("q1", ParseCategory("a/b/c"))
+	tax.Assign("q2", ParseCategory("a/b/d"))
+	if got := tax.RelevanceOf("q1", "q2"); got != 2.0/3 {
+		t.Errorf("RelevanceOf = %v", got)
+	}
+	if got := tax.RelevanceOf("q1", "missing"); got != 0 {
+		t.Errorf("missing label relevance = %v", got)
+	}
+	if c, ok := tax.CategoryOf("q1"); !ok || c.String() != "a/b/c" {
+		t.Errorf("CategoryOf = %v %v", c, ok)
+	}
+}
+
+// Properties of the Eq. 34 relevance: symmetry, range [0,1], identity.
+func TestPropertyRelevance(t *testing.T) {
+	gen := func(rng *rand.Rand) Category {
+		depth := rng.Intn(5)
+		c := make(Category, depth)
+		for i := range c {
+			c[i] = string(rune('a' + rng.Intn(3)))
+		}
+		return c
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := gen(rng), gen(rng)
+		r1, r2 := Relevance(a, b), Relevance(b, a)
+		if r1 != r2 || r1 < 0 || r1 > 1 {
+			return false
+		}
+		if len(a) > 0 && Relevance(a, a) != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

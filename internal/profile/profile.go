@@ -1,0 +1,172 @@
+// Package profile implements the paper's online personalization stage
+// (Section V-B): per-user preference scores for suggestion candidates
+// (Eq. 31) computed from trained UPM profiles, and Borda rank
+// aggregation of the diversification ranking with the preference
+// ranking.
+package profile
+
+import (
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/querylog"
+	"repro/internal/topicmodel"
+)
+
+// Store wraps a trained UPM and answers preference queries for its
+// users.
+type Store struct {
+	upm *topicmodel.UPM
+	// words resolves query terms to the UPM's vocabulary.
+	words interface {
+		Lookup(string) (int, bool)
+	}
+}
+
+// NewStore builds a profile store from a trained UPM and the corpus it
+// was trained on (for the shared word vocabulary).
+func NewStore(upm *topicmodel.UPM, corpus *topicmodel.Corpus) *Store {
+	return &Store{upm: upm, words: corpus.Words}
+}
+
+// NewStoreFromIndex builds a profile store from a trained UPM and the
+// word index it was trained with — the deserialization path (the
+// corpus itself is not persisted, only the vocabulary).
+func NewStoreFromIndex(upm *topicmodel.UPM, words *bipartite.Index) *Store {
+	return &Store{upm: upm, words: words}
+}
+
+// UPM exposes the underlying model.
+func (s *Store) UPM() *topicmodel.UPM { return s.upm }
+
+// Theta returns the topic profile of a user, or nil for unknown users.
+func (s *Store) Theta(userID string) []float64 {
+	d, ok := s.upm.DocOf(userID)
+	if !ok {
+		return nil
+	}
+	return s.upm.Theta(d)
+}
+
+// ScoreMode selects how word probabilities enter Eq. 31.
+type ScoreMode int
+
+const (
+	// Posterior scores each word by the alignment of its per-user topic
+	// posterior with the profile: Σ_k θ_dk·p(k|w,d), where
+	// p(k|w,d) ∝ p(w|k,d). Normalizing over topics removes the raw
+	// frequency of the word, so a globally common word ("sun") cannot
+	// dominate a facet-discriminative one ("jvm"). This is the form the
+	// PQS-DA pipeline uses; see DESIGN.md for the relation to the
+	// literal Eq. 31.
+	Posterior ScoreMode = iota
+	// PriorMean uses the literal B(n+β)/B(β) factor of Eq. 31, which
+	// for single-occurrence words reduces to the prior mean β_kw/Σβ_k,
+	// mixed with θ_dk without normalization.
+	PriorMean
+)
+
+// PreferenceScore computes the user's preference for a candidate query
+// (the paper's Eq. 31): the average over the query's words of the
+// per-mode word score. Unknown users and out-of-vocabulary words
+// contribute nothing; a query with no known words scores 0.
+func (s *Store) PreferenceScore(userID, query string, mode ScoreMode) float64 {
+	d, ok := s.upm.DocOf(userID)
+	if !ok {
+		return 0
+	}
+	theta := s.upm.Theta(d)
+	words := querylog.Tokenize(query)
+	if len(words) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, word := range words {
+		w, ok := s.words.Lookup(word)
+		if !ok {
+			continue
+		}
+		switch mode {
+		case PriorMean:
+			for k := range theta {
+				total += s.upm.PriorWordProb(k, w) * theta[k]
+			}
+		default: // Posterior: topic-alignment score
+			sum := 0.0
+			pk := make([]float64, len(theta))
+			for k := range theta {
+				pk[k] = s.upm.WordProb(d, k, w)
+				sum += pk[k]
+			}
+			if sum == 0 {
+				continue
+			}
+			for k := range theta {
+				total += theta[k] * pk[k] / sum
+			}
+		}
+	}
+	return total / float64(len(words))
+}
+
+// RankByPreference orders the candidate queries by descending
+// preference score for the user, ties broken by the original order
+// (which for PQS-DA is the diversification ranking).
+func (s *Store) RankByPreference(userID string, candidates []string, mode ScoreMode) []string {
+	type scored struct {
+		q     string
+		score float64
+		pos   int
+	}
+	list := make([]scored, len(candidates))
+	for i, q := range candidates {
+		list[i] = scored{q, s.PreferenceScore(userID, q, mode), i}
+	}
+	sort.SliceStable(list, func(i, j int) bool {
+		if list[i].score != list[j].score {
+			return list[i].score > list[j].score
+		}
+		return list[i].pos < list[j].pos
+	})
+	out := make([]string, len(list))
+	for i, sc := range list {
+		out[i] = sc.q
+	}
+	return out
+}
+
+// BordaAggregate merges rankings of the same item set by Borda's method
+// (the paper's [32]): each ranking awards an item (n − position) points;
+// items absent from a ranking get 0 from it. The result is ordered by
+// descending total points, with ties broken by position in the first
+// ranking (for PQS-DA, the diversification order, so relevance wins
+// ties).
+func BordaAggregate(rankings ...[]string) []string {
+	if len(rankings) == 0 {
+		return nil
+	}
+	points := make(map[string]int)
+	firstPos := make(map[string]int)
+	order := []string{}
+	for ri, ranking := range rankings {
+		n := len(ranking)
+		for pos, item := range ranking {
+			if _, seen := points[item]; !seen {
+				order = append(order, item)
+				firstPos[item] = int(^uint(0) >> 1) // max int until ranked by first
+			}
+			points[item] += n - pos
+			if ri == 0 {
+				firstPos[item] = pos
+			}
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if points[a] != points[b] {
+			return points[a] > points[b]
+		}
+		return firstPos[a] < firstPos[b]
+	})
+	return order
+}

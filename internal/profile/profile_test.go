@@ -1,0 +1,186 @@
+package profile
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/querylog"
+	"repro/internal/synth"
+	"repro/internal/topicmodel"
+)
+
+func trainedStore(t *testing.T) (*synth.World, *Store) {
+	t.Helper()
+	w := synth.Generate(synth.Config{Seed: 31, NumFacets: 5, NumUsers: 10, SessionsPerUser: 20})
+	sessions := querylog.Sessionize(w.Log, querylog.SessionizerConfig{})
+	corpus := topicmodel.BuildCorpus(sessions, w.NormalizeTime)
+	upm := topicmodel.TrainUPM(corpus, topicmodel.UPMConfig{K: 5, Iterations: 40, Seed: 1, HyperRounds: 1, HyperIters: 8})
+	return w, NewStore(upm, corpus)
+}
+
+func TestThetaKnownAndUnknown(t *testing.T) {
+	w, s := trainedStore(t)
+	theta := s.Theta(w.UserIDs()[0])
+	if theta == nil {
+		t.Fatal("known user has nil profile")
+	}
+	sum := 0.0
+	for _, p := range theta {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("theta sums to %v", sum)
+	}
+	if s.Theta("stranger") != nil {
+		t.Error("unknown user got a profile")
+	}
+}
+
+func TestPreferenceScorePersonalized(t *testing.T) {
+	// On average, a user's own queries must score higher for them than
+	// multi-word queries from other users that share no vocabulary with
+	// anything this user ever typed. Individual pairs are noisy (Gibbs
+	// sampling), so we compare means over many queries.
+	w, s := trainedStore(t)
+	user := w.UserIDs()[0]
+	ownWords := make(map[string]bool)
+	ownFacets := make(map[int]bool)
+	var ownQueries []string
+	for _, e := range w.Log.ByUser(user) {
+		ownQueries = append(ownQueries, e.Query)
+		f, _ := w.FacetOf(e)
+		ownFacets[f] = true
+		for _, tok := range querylog.Tokenize(e.Query) {
+			ownWords[tok] = true
+		}
+	}
+	var foreignQueries []string
+	for _, e := range w.Log.Entries {
+		if e.UserID == user || len(foreignQueries) >= 30 {
+			continue
+		}
+		f, _ := w.FacetOf(e)
+		toks := querylog.Tokenize(e.Query)
+		if ownFacets[f] || len(toks) < 2 {
+			continue
+		}
+		clean := true
+		for _, tok := range toks {
+			if ownWords[tok] {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			foreignQueries = append(foreignQueries, e.Query)
+		}
+	}
+	if len(ownQueries) < 5 || len(foreignQueries) < 5 {
+		t.Skip("fixture lacks contrast queries")
+	}
+	meanScore := func(qs []string) float64 {
+		sum := 0.0
+		for _, q := range qs {
+			sum += s.PreferenceScore(user, q, Posterior)
+		}
+		return sum / float64(len(qs))
+	}
+	po, pf := meanScore(ownQueries), meanScore(foreignQueries)
+	if po <= pf {
+		t.Errorf("mean own score %v not above mean foreign score %v (%d vs %d queries)",
+			po, pf, len(ownQueries), len(foreignQueries))
+	}
+}
+
+func TestPreferenceScoreEdgeCases(t *testing.T) {
+	_, s := trainedStore(t)
+	if got := s.PreferenceScore("stranger", "anything", Posterior); got != 0 {
+		t.Errorf("unknown user score = %v", got)
+	}
+	w, _ := trainedStore(t)
+	user := w.UserIDs()[0]
+	if got := s.PreferenceScore(user, "", Posterior); got != 0 {
+		t.Errorf("empty query score = %v", got)
+	}
+	if got := s.PreferenceScore(user, "zzzunknownwordzzz", Posterior); got != 0 {
+		t.Errorf("OOV query score = %v", got)
+	}
+}
+
+func TestPriorMeanModeDiffers(t *testing.T) {
+	w, s := trainedStore(t)
+	user := w.UserIDs()[0]
+	q := w.Log.ByUser(user)[0].Query
+	post := s.PreferenceScore(user, q, Posterior)
+	prior := s.PreferenceScore(user, q, PriorMean)
+	if post <= 0 || prior <= 0 {
+		t.Fatalf("scores: post=%v prior=%v", post, prior)
+	}
+	// The posterior mode personalizes: the user's own query should score
+	// at least as high as under the shared prior.
+	if post < prior*0.5 {
+		t.Errorf("posterior %v much below prior %v for the user's own query", post, prior)
+	}
+}
+
+func TestRankByPreferenceStable(t *testing.T) {
+	w, s := trainedStore(t)
+	user := w.UserIDs()[0]
+	cands := []string{"zzzoov one", "zzzoov two", "zzzoov three"}
+	// All score 0 → original order preserved.
+	got := s.RankByPreference(user, cands, Posterior)
+	if !reflect.DeepEqual(got, cands) {
+		t.Errorf("tie order not preserved: %v", got)
+	}
+}
+
+func TestBordaAggregate(t *testing.T) {
+	r1 := []string{"a", "b", "c"} // a:3 b:2 c:1
+	r2 := []string{"c", "a", "b"} // c:3 a:2 b:1
+	got := BordaAggregate(r1, r2)
+	want := []string{"a", "c", "b"} // a:5, c:4, b:3
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Borda = %v, want %v", got, want)
+	}
+}
+
+func TestBordaAggregateTieBreaksByFirstRanking(t *testing.T) {
+	r1 := []string{"a", "b"} // a:2 b:1
+	r2 := []string{"b", "a"} // b:2 a:1 → tie at 3 points each
+	got := BordaAggregate(r1, r2)
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("tie should favor first ranking's order, got %v", got)
+	}
+}
+
+func TestBordaAggregateDisjointItems(t *testing.T) {
+	r1 := []string{"a", "b"}
+	r2 := []string{"x"}
+	got := BordaAggregate(r1, r2)
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	// x gets 1 point from r2; a gets 2 from r1; b gets 1; tie b/x broken
+	// by first-ranking presence (b has pos 1, x unranked in r1).
+	if got[0] != "a" || got[1] != "b" || got[2] != "x" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBordaAggregateEmpty(t *testing.T) {
+	if got := BordaAggregate(); got != nil {
+		t.Errorf("no rankings gave %v", got)
+	}
+	if got := BordaAggregate(nil, nil); len(got) != 0 {
+		t.Errorf("empty rankings gave %v", got)
+	}
+}
+
+// Property: Borda of identical rankings is that ranking.
+func TestBordaIdempotent(t *testing.T) {
+	r := []string{"q one", "q two", "q three", "q four"}
+	if got := BordaAggregate(r, r, r); !reflect.DeepEqual(got, r) {
+		t.Errorf("Borda of copies = %v", got)
+	}
+}

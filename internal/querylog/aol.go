@@ -1,0 +1,62 @@
+package querylog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// ReadAOL parses the classic AOL-2006-style query log format, the most
+// common public substitute for a commercial log:
+//
+//	AnonID\tQuery\tQueryTime\tItemRank\tClickURL
+//
+// with a header line, timestamps as "2006-03-01 07:17:12", and the last
+// two fields empty for query events without a click. Rows whose query
+// is "-" (AOL's redaction marker) are skipped. Duplicate rows for the
+// same (user, time, query) with different clicked URLs become separate
+// entries, matching how the click graph counts multiple clicks.
+func ReadAOL(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	log := &Log{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if lineNo == 1 && strings.HasPrefix(line, "AnonID\t") {
+			continue
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) < 3 || len(parts) > 5 {
+			return nil, fmt.Errorf("querylog: AOL line %d: want 3–5 fields, got %d", lineNo, len(parts))
+		}
+		query := strings.TrimSpace(parts[1])
+		if query == "-" || query == "" {
+			continue
+		}
+		ts, err := time.Parse("2006-01-02 15:04:05", parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("querylog: AOL line %d: bad timestamp %q: %w", lineNo, parts[2], err)
+		}
+		url := ""
+		if len(parts) == 5 {
+			url = strings.TrimSpace(parts[4])
+		}
+		log.Append(Entry{
+			UserID:     "aol" + strings.TrimSpace(parts[0]),
+			Query:      query,
+			ClickedURL: url,
+			Time:       ts.UTC(),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}

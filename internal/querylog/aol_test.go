@@ -1,0 +1,79 @@
+package querylog
+
+import (
+	"strings"
+	"testing"
+)
+
+const aolSample = `AnonID	Query	QueryTime	ItemRank	ClickURL
+142	rentdirect.com	2006-03-01 07:17:12
+142	staple.com	2006-03-01 17:29:13	1	http://www.staples.com
+142	-	2006-03-02 10:00:00
+217	lottery	2006-03-03 12:31:06	2	http://www.calottery.com
+217	lottery	2006-03-03 12:31:06	3	http://www.flalottery.com
+`
+
+func TestReadAOL(t *testing.T) {
+	l, err := ReadAOL(strings.NewReader(aolSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 data rows minus 1 redacted = 4 entries (two clicks on "lottery"
+	// stay separate).
+	if l.Len() != 4 {
+		t.Fatalf("entries = %d, want 4", l.Len())
+	}
+	e := l.Entries[0]
+	if e.UserID != "aol142" || e.Query != "rentdirect.com" || e.ClickedURL != "" {
+		t.Errorf("entry 0 = %+v", e)
+	}
+	if l.Entries[1].ClickedURL != "http://www.staples.com" {
+		t.Errorf("entry 1 URL = %q", l.Entries[1].ClickedURL)
+	}
+	if l.Entries[2].UserID != "aol217" || l.Entries[3].ClickedURL != "http://www.flalottery.com" {
+		t.Errorf("lottery entries = %+v %+v", l.Entries[2], l.Entries[3])
+	}
+	if got := l.Entries[1].Time.Format("2006-01-02 15:04:05"); got != "2006-03-01 17:29:13" {
+		t.Errorf("time = %s", got)
+	}
+}
+
+func TestReadAOLThreeFieldRows(t *testing.T) {
+	// Some AOL dumps truncate clickless rows to three fields.
+	l, err := ReadAOL(strings.NewReader("1\tweather boston\t2006-03-01 07:17:12\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 || l.Entries[0].ClickedURL != "" {
+		t.Fatalf("log = %+v", l.Entries)
+	}
+}
+
+func TestReadAOLErrors(t *testing.T) {
+	if _, err := ReadAOL(strings.NewReader("1\tq\n")); err == nil {
+		t.Error("2-field row accepted")
+	}
+	if _, err := ReadAOL(strings.NewReader("1\tq\tnot-a-time\n")); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+	l, err := ReadAOL(strings.NewReader("AnonID\tQuery\tQueryTime\tItemRank\tClickURL\n"))
+	if err != nil || l.Len() != 0 {
+		t.Errorf("header-only: %v, %d entries", err, l.Len())
+	}
+}
+
+func TestReadAOLFeedsPipeline(t *testing.T) {
+	l, err := ReadAOL(strings.NewReader(aolSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := Sessionize(l, SessionizerConfig{})
+	if len(sessions) == 0 {
+		t.Fatal("no sessions from AOL log")
+	}
+	for _, s := range sessions {
+		if !strings.HasPrefix(s.UserID, "aol") {
+			t.Errorf("session user %q", s.UserID)
+		}
+	}
+}

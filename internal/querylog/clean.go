@@ -1,0 +1,129 @@
+package querylog
+
+import (
+	"strings"
+	"time"
+)
+
+// CleanerConfig tunes log cleaning. The defaults follow the spirit of
+// Wang & Zhai (the paper's reference [33]): drop navigational noise,
+// ultra-rare junk and robotic burst traffic before any modeling.
+type CleanerConfig struct {
+	// MinQueryLen drops queries whose normalized form is shorter
+	// (default 2 runes).
+	MinQueryLen int
+	// MaxQueryTerms drops queries with more terms (default 12) — long
+	// pastes are almost never reformulable suggestions.
+	MaxQueryTerms int
+	// MaxUserQueriesPerMinute flags robotic users: any user exceeding
+	// this sustained rate in some minute-long window is dropped entirely
+	// (default 20).
+	MaxUserQueriesPerMinute int
+	// KeepURLQueries retains entries whose query looks like a pasted
+	// URL; by default (false) they are dropped as navigational noise.
+	KeepURLQueries bool
+}
+
+func (c CleanerConfig) withDefaults() CleanerConfig {
+	if c.MinQueryLen <= 0 {
+		c.MinQueryLen = 2
+	}
+	if c.MaxQueryTerms <= 0 {
+		c.MaxQueryTerms = 12
+	}
+	if c.MaxUserQueriesPerMinute <= 0 {
+		c.MaxUserQueriesPerMinute = 20
+	}
+	return c
+}
+
+// CleanStats reports what Clean removed.
+type CleanStats struct {
+	Kept          int
+	DroppedShort  int
+	DroppedLong   int
+	DroppedURL    int
+	RoboticUsers  int
+	DroppedByUser int
+}
+
+// Clean returns a new log with noise removed: too-short and too-long
+// queries, URL-like queries, and the full history of users whose request
+// rate marks them as robots. The input log is not modified.
+func Clean(l *Log, cfg CleanerConfig) (*Log, CleanStats) {
+	cfg = cfg.withDefaults()
+	var stats CleanStats
+
+	// Pass 1: find robotic users via per-minute burst rate.
+	robots := make(map[string]bool)
+	perUser := make(map[string][]time.Time)
+	for _, e := range l.Entries {
+		perUser[e.UserID] = append(perUser[e.UserID], e.Time)
+	}
+	for user, times := range perUser {
+		if isRobotic(times, cfg.MaxUserQueriesPerMinute) {
+			robots[user] = true
+		}
+	}
+	stats.RoboticUsers = len(robots)
+
+	out := &Log{}
+	for _, e := range l.Entries {
+		if robots[e.UserID] {
+			stats.DroppedByUser++
+			continue
+		}
+		norm := NormalizeQuery(e.Query)
+		switch {
+		case len([]rune(norm)) < cfg.MinQueryLen:
+			stats.DroppedShort++
+		case len(strings.Fields(norm)) > cfg.MaxQueryTerms:
+			stats.DroppedLong++
+		case !cfg.KeepURLQueries && looksLikeURL(e.Query):
+			stats.DroppedURL++
+		default:
+			out.Append(e)
+			stats.Kept++
+		}
+	}
+	return out, stats
+}
+
+// isRobotic reports whether any sliding minute-long window contains more
+// than maxPerMinute timestamps.
+func isRobotic(times []time.Time, maxPerMinute int) bool {
+	if len(times) <= maxPerMinute {
+		return false
+	}
+	sorted := append([]time.Time(nil), times...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Before(sorted[j-1]); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	lo := 0
+	for hi := range sorted {
+		for sorted[hi].Sub(sorted[lo]) > time.Minute {
+			lo++
+		}
+		if hi-lo+1 > maxPerMinute {
+			return true
+		}
+	}
+	return false
+}
+
+// looksLikeURL reports whether the raw query string is a pasted URL or
+// hostname rather than a search phrase.
+func looksLikeURL(q string) bool {
+	s := strings.ToLower(strings.TrimSpace(q))
+	if strings.HasPrefix(s, "http://") || strings.HasPrefix(s, "https://") {
+		return true
+	}
+	if strings.ContainsAny(s, " \t") {
+		return false
+	}
+	return strings.HasPrefix(s, "www.") ||
+		strings.HasSuffix(s, ".com") || strings.HasSuffix(s, ".org") ||
+		strings.HasSuffix(s, ".net") || strings.HasSuffix(s, ".edu")
+}

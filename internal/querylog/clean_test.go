@@ -1,0 +1,88 @@
+package querylog
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestCleanDropsShortLongURL(t *testing.T) {
+	l := &Log{}
+	l.Append(Entry{"u", "x", "", ts("2012-01-01 10:00:00")})                  // too short
+	l.Append(Entry{"u", "www.example.com", "", ts("2012-01-01 10:01:00")})    // URL
+	l.Append(Entry{"u", "http://foo.bar/baz", "", ts("2012-01-01 10:02:00")}) // URL
+	l.Append(Entry{"u", "normal query here", "", ts("2012-01-01 10:03:00")})  // kept
+	long := ""
+	for i := 0; i < 20; i++ {
+		long += fmt.Sprintf("term%d ", i)
+	}
+	l.Append(Entry{"u", long, "", ts("2012-01-01 10:04:00")}) // too long
+
+	out, stats := Clean(l, CleanerConfig{})
+	if out.Len() != 1 || stats.Kept != 1 {
+		t.Fatalf("kept %d entries, want 1 (stats %+v)", out.Len(), stats)
+	}
+	if stats.DroppedShort != 1 || stats.DroppedURL != 2 || stats.DroppedLong != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if l.Len() != 5 {
+		t.Error("Clean modified its input")
+	}
+}
+
+func TestCleanDropsRobots(t *testing.T) {
+	l := &Log{}
+	base := ts("2012-01-01 10:00:00")
+	// Robot: 60 queries in one minute.
+	for i := 0; i < 60; i++ {
+		l.Append(Entry{"bot", fmt.Sprintf("spam query %d", i), "", base.Add(time.Duration(i) * time.Second)})
+	}
+	// Human: a few queries spread out.
+	for i := 0; i < 5; i++ {
+		l.Append(Entry{"human", fmt.Sprintf("real query %d", i), "", base.Add(time.Duration(i) * time.Minute)})
+	}
+	out, stats := Clean(l, CleanerConfig{})
+	if stats.RoboticUsers != 1 {
+		t.Errorf("RoboticUsers = %d, want 1", stats.RoboticUsers)
+	}
+	for _, e := range out.Entries {
+		if e.UserID == "bot" {
+			t.Fatal("robot entry survived cleaning")
+		}
+	}
+	if got := len(out.ByUser("human")); got != 5 {
+		t.Errorf("human entries after clean = %d, want 5", got)
+	}
+}
+
+func TestCleanKeepsSlowUsers(t *testing.T) {
+	l := &Log{}
+	base := ts("2012-01-01 10:00:00")
+	// 100 queries but spread over 100 minutes: not robotic.
+	for i := 0; i < 100; i++ {
+		l.Append(Entry{"u", fmt.Sprintf("steady query %d", i), "", base.Add(time.Duration(i) * time.Minute)})
+	}
+	_, stats := Clean(l, CleanerConfig{})
+	if stats.RoboticUsers != 0 {
+		t.Errorf("slow user flagged robotic: %+v", stats)
+	}
+}
+
+func TestLooksLikeURL(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"www.google.com", true},
+		{"http://x.y", true},
+		{"https://x.y", true},
+		{"facebook.com", true},
+		{"sun java download", false},
+		{"java.com tutorial page", false}, // has spaces → treated as phrase
+	}
+	for _, c := range cases {
+		if got := looksLikeURL(c.in); got != c.want {
+			t.Errorf("looksLikeURL(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

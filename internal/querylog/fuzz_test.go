@@ -1,0 +1,95 @@
+package querylog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+	"unicode"
+)
+
+// FuzzNormalizeQuery: normalization must be idempotent, lowercase, and
+// never emit framing characters.
+func FuzzNormalizeQuery(f *testing.F) {
+	for _, seed := range []string{
+		"Sun Java", "  spaces  ", "C++ & Go!", "日本語 クエリ", "tabs\tand\nnewlines",
+		"", "a", strings.Repeat("x", 300),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		n := NormalizeQuery(q)
+		if n != NormalizeQuery(n) {
+			t.Fatalf("not idempotent: %q -> %q -> %q", q, n, NormalizeQuery(n))
+		}
+		for _, r := range n {
+			if unicode.IsUpper(r) {
+				t.Fatalf("uppercase survived: %q", n)
+			}
+			if r == '\t' || r == '\n' || r == '\r' {
+				t.Fatalf("framing char survived: %q", n)
+			}
+		}
+		if strings.HasPrefix(n, " ") || strings.HasSuffix(n, " ") || strings.Contains(n, "  ") {
+			t.Fatalf("whitespace not collapsed: %q", n)
+		}
+	})
+}
+
+// FuzzTSVRoundTrip: any entry written by WriteTSV must reparse, and
+// tab-free fields must survive byte-for-byte.
+func FuzzTSVRoundTrip(f *testing.F) {
+	f.Add("u1", "sun java", "www.java.com")
+	f.Add("user with spaces", "query\twith\ttabs", "url\nwith\nnewlines")
+	f.Add("", "", "")
+	f.Fuzz(func(t *testing.T, user, query, url string) {
+		l := &Log{}
+		when := time.Date(2012, 3, 4, 5, 6, 7, 0, time.UTC)
+		l.Append(Entry{UserID: user, Query: query, ClickedURL: url, Time: when})
+		var buf bytes.Buffer
+		if err := l.WriteTSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadTSV(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\n%s", err, buf.String())
+		}
+		if got.Len() != 1 {
+			t.Fatalf("round trip produced %d entries", got.Len())
+		}
+		e := got.Entries[0]
+		if !e.Time.Equal(when) {
+			t.Fatalf("time changed: %v", e.Time)
+		}
+		if !strings.ContainsAny(user, "\t\n\r") && e.UserID != user {
+			t.Fatalf("user changed: %q -> %q", user, e.UserID)
+		}
+		if !strings.ContainsAny(query, "\t\n\r") && e.Query != query {
+			t.Fatalf("query changed: %q -> %q", query, e.Query)
+		}
+	})
+}
+
+// FuzzSessionize: arbitrary entry soups must partition cleanly.
+func FuzzSessionize(f *testing.F) {
+	f.Add("u1", "a query", int64(0), "u2", "another", int64(3600))
+	f.Fuzz(func(t *testing.T, u1, q1 string, off1 int64, u2, q2 string, off2 int64) {
+		base := time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)
+		l := &Log{}
+		l.Append(Entry{UserID: u1, Query: q1, Time: base.Add(time.Duration(off1%86400) * time.Second)})
+		l.Append(Entry{UserID: u2, Query: q2, Time: base.Add(time.Duration(off2%86400) * time.Second)})
+		sessions := Sessionize(l, SessionizerConfig{})
+		total := 0
+		for _, s := range sessions {
+			total += len(s.Entries)
+			for _, e := range s.Entries {
+				if e.UserID != s.UserID {
+					t.Fatal("session mixes users")
+				}
+			}
+		}
+		if total != 2 {
+			t.Fatalf("partition lost entries: %d", total)
+		}
+	})
+}

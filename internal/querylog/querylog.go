@@ -1,0 +1,186 @@
+// Package querylog defines the query-log data model used throughout the
+// PQS-DA reproduction: log entries (Table I of the paper), tokenization,
+// log cleaning, session segmentation (Definition 1) and search-context
+// extraction (Definition 2).
+//
+// A log is an ordered slice of Entry values; sessions and per-user views
+// are derived, never stored redundantly.
+package querylog
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one query-log record, mirroring the paper's Table I: the query
+// identifier is implicit (index in the log), and each record carries the
+// user, the raw query string, the clicked URL (empty when the user did
+// not click) and the submission timestamp.
+type Entry struct {
+	UserID     string
+	Query      string
+	ClickedURL string // empty when no click
+	Time       time.Time
+}
+
+// Log is an ordered collection of entries. Entries are kept in the order
+// they were appended; Sort orders them by (UserID, Time) which is the
+// canonical order sessionization expects.
+type Log struct {
+	Entries []Entry
+}
+
+// Append adds an entry to the log.
+func (l *Log) Append(e Entry) { l.Entries = append(l.Entries, e) }
+
+// Len returns the number of entries.
+func (l *Log) Len() int { return len(l.Entries) }
+
+// Sort orders entries by user then time, with query text as a final
+// tie-break so ordering is total and deterministic.
+func (l *Log) Sort() {
+	sort.SliceStable(l.Entries, func(i, j int) bool {
+		a, b := l.Entries[i], l.Entries[j]
+		if a.UserID != b.UserID {
+			return a.UserID < b.UserID
+		}
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		return a.Query < b.Query
+	})
+}
+
+// Users returns the distinct user IDs in first-appearance order.
+func (l *Log) Users() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, e := range l.Entries {
+		if !seen[e.UserID] {
+			seen[e.UserID] = true
+			out = append(out, e.UserID)
+		}
+	}
+	return out
+}
+
+// ByUser returns the entries of a single user in log order.
+func (l *Log) ByUser(user string) []Entry {
+	var out []Entry
+	for _, e := range l.Entries {
+		if e.UserID == user {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TimeRange returns the earliest and latest timestamps in the log. ok is
+// false for an empty log.
+func (l *Log) TimeRange() (min, max time.Time, ok bool) {
+	if len(l.Entries) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	min, max = l.Entries[0].Time, l.Entries[0].Time
+	for _, e := range l.Entries[1:] {
+		if e.Time.Before(min) {
+			min = e.Time
+		}
+		if e.Time.After(max) {
+			max = e.Time
+		}
+	}
+	return min, max, true
+}
+
+// tsvTimeLayout is the timestamp format used by the TSV codec, matching
+// the paper's Table I rendering.
+const tsvTimeLayout = "2006-01-02 15:04:05"
+
+// WriteTSV serializes the log as tab-separated values with a header, one
+// entry per line: user, query, clicked URL (may be empty), timestamp.
+// Tabs and newlines inside fields are replaced by spaces so a written
+// log always reparses (queries are free text; users paste anything).
+func (l *Log) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "UserID\tQuery\tClickedURL\tTimestamp"); err != nil {
+		return err
+	}
+	for _, e := range l.Entries {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%s\n",
+			tsvField(e.UserID), tsvField(e.Query), tsvField(e.ClickedURL),
+			e.Time.UTC().Format(tsvTimeLayout)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// tsvField flattens characters that would corrupt the TSV framing.
+func tsvField(s string) string {
+	if !strings.ContainsAny(s, "\t\n\r") {
+		return s
+	}
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '\t', '\n', '\r':
+			return ' '
+		}
+		return r
+	}, s)
+}
+
+// ReadTSV parses a log written by WriteTSV.
+func ReadTSV(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	log := &Log{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if lineNo == 1 && strings.HasPrefix(line, "UserID\t") {
+			continue // header
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("querylog: line %d: want 4 fields, got %d", lineNo, len(parts))
+		}
+		ts, err := time.Parse(tsvTimeLayout, parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("querylog: line %d: bad timestamp %q: %w", lineNo, parts[3], err)
+		}
+		log.Append(Entry{UserID: parts[0], Query: parts[1], ClickedURL: parts[2], Time: ts.UTC()})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
+// ErrEmptyLog is returned by operations that need at least one entry.
+var ErrEmptyLog = errors.New("querylog: empty log")
+
+// QueryFrequency returns, for every distinct (normalized) query string,
+// the number of log entries that carry it.
+func (l *Log) QueryFrequency() map[string]int {
+	freq := make(map[string]int)
+	for _, e := range l.Entries {
+		freq[NormalizeQuery(e.Query)]++
+	}
+	return freq
+}
+
+// String renders a compact human-readable ID for an entry, for debugging.
+func (e Entry) String() string {
+	return e.UserID + "/" + strconv.Quote(e.Query) + "@" + e.Time.UTC().Format(tsvTimeLayout)
+}

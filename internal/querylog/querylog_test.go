@@ -1,0 +1,111 @@
+package querylog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ts(s string) time.Time {
+	t, err := time.Parse("2006-01-02 15:04:05", s)
+	if err != nil {
+		panic(err)
+	}
+	return t.UTC()
+}
+
+// tableILog reconstructs the paper's Table I example log.
+func tableILog() *Log {
+	l := &Log{}
+	l.Append(Entry{"u1", "sun", "www.java.com", ts("2012-12-12 11:12:41")})
+	l.Append(Entry{"u1", "sun java", "java.sun.com", ts("2012-12-12 11:13:01")})
+	l.Append(Entry{"u1", "jvm download", "", ts("2012-12-12 11:14:21")})
+	l.Append(Entry{"u2", "sun", "www.suncellular.com", ts("2012-12-13 07:13:21")})
+	l.Append(Entry{"u2", "solar cell", "en.wikipedia.org/wiki/Solar_cell", ts("2012-12-13 07:14:21")})
+	l.Append(Entry{"u3", "sun oracle", "www.oracle.com", ts("2012-12-14 14:35:14")})
+	l.Append(Entry{"u3", "java", "www.java.com", ts("2012-12-14 14:36:26")})
+	return l
+}
+
+func TestUsersAndByUser(t *testing.T) {
+	l := tableILog()
+	users := l.Users()
+	if len(users) != 3 || users[0] != "u1" || users[2] != "u3" {
+		t.Errorf("Users = %v", users)
+	}
+	if got := len(l.ByUser("u2")); got != 2 {
+		t.Errorf("ByUser(u2) len = %d, want 2", got)
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	l := tableILog()
+	min, max, ok := l.TimeRange()
+	if !ok || !min.Equal(ts("2012-12-12 11:12:41")) || !max.Equal(ts("2012-12-14 14:36:26")) {
+		t.Errorf("TimeRange = %v %v %v", min, max, ok)
+	}
+	if _, _, ok := (&Log{}).TimeRange(); ok {
+		t.Error("empty log TimeRange ok = true")
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	l := tableILog()
+	var buf bytes.Buffer
+	if err := l.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != l.Len() {
+		t.Fatalf("round trip len %d != %d", got.Len(), l.Len())
+	}
+	for i := range l.Entries {
+		a, b := l.Entries[i], got.Entries[i]
+		if a.UserID != b.UserID || a.Query != b.Query || a.ClickedURL != b.ClickedURL || !a.Time.Equal(b.Time) {
+			t.Errorf("entry %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	if _, err := ReadTSV(strings.NewReader("u1\tq\n")); err == nil {
+		t.Error("want field-count error")
+	}
+	if _, err := ReadTSV(strings.NewReader("u1\tq\turl\tnot-a-time\n")); err == nil {
+		t.Error("want timestamp error")
+	}
+	// Header-only input is an empty, valid log.
+	l, err := ReadTSV(strings.NewReader("UserID\tQuery\tClickedURL\tTimestamp\n"))
+	if err != nil || l.Len() != 0 {
+		t.Errorf("header-only: %v len=%d", err, l.Len())
+	}
+}
+
+func TestQueryFrequencyNormalizes(t *testing.T) {
+	l := &Log{}
+	l.Append(Entry{"u", "Sun  Java", "", ts("2012-01-01 00:00:00")})
+	l.Append(Entry{"u", "sun java", "", ts("2012-01-01 00:00:10")})
+	freq := l.QueryFrequency()
+	if freq["sun java"] != 2 {
+		t.Errorf("freq = %v", freq)
+	}
+}
+
+func TestSortStableTotal(t *testing.T) {
+	l := tableILog()
+	// Shuffle deterministically by reversing.
+	for i, j := 0, len(l.Entries)-1; i < j; i, j = i+1, j-1 {
+		l.Entries[i], l.Entries[j] = l.Entries[j], l.Entries[i]
+	}
+	l.Sort()
+	if l.Entries[0].UserID != "u1" || l.Entries[0].Query != "sun" {
+		t.Errorf("first after sort: %+v", l.Entries[0])
+	}
+	if l.Entries[6].UserID != "u3" || l.Entries[6].Query != "java" {
+		t.Errorf("last after sort: %+v", l.Entries[6])
+	}
+}

@@ -1,0 +1,156 @@
+package querylog
+
+import (
+	"time"
+)
+
+// Session is a maximal run of one user's queries serving a single
+// information need (paper Definition 1). Entries are in submission
+// order.
+type Session struct {
+	UserID  string
+	Entries []Entry
+}
+
+// Queries returns the normalized query strings of the session in order.
+func (s Session) Queries() []string {
+	out := make([]string, len(s.Entries))
+	for i, e := range s.Entries {
+		out[i] = NormalizeQuery(e.Query)
+	}
+	return out
+}
+
+// Start returns the timestamp of the first entry.
+func (s Session) Start() time.Time { return s.Entries[0].Time }
+
+// End returns the timestamp of the last entry.
+func (s Session) End() time.Time { return s.Entries[len(s.Entries)-1].Time }
+
+// SessionizerConfig tunes session segmentation. The defaults follow the
+// context-aware segmentation of the paper's reference [25]: a hard
+// inactivity timeout plus a lexical-similarity rescue that keeps related
+// reformulations in one session even across moderate gaps.
+type SessionizerConfig struct {
+	// Timeout is the inactivity gap that always closes a session
+	// (default 30 minutes, the standard from the sessionization
+	// literature).
+	Timeout time.Duration
+	// SoftTimeout is a shorter gap below which queries always continue
+	// the session regardless of similarity (default 5 minutes).
+	SoftTimeout time.Duration
+	// MinSimilarity is the Jaccard term overlap required to keep the
+	// session open for gaps between SoftTimeout and Timeout (default
+	// 0.2).
+	MinSimilarity float64
+}
+
+func (c SessionizerConfig) withDefaults() SessionizerConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Minute
+	}
+	if c.SoftTimeout <= 0 {
+		c.SoftTimeout = 5 * time.Minute
+	}
+	if c.SoftTimeout > c.Timeout {
+		c.SoftTimeout = c.Timeout
+	}
+	if c.MinSimilarity <= 0 {
+		c.MinSimilarity = 0.2
+	}
+	return c
+}
+
+// Sessionize segments the log into sessions. The log is sorted (by user,
+// then time) as a side effect. A new session starts when the user
+// changes, when the inactivity gap exceeds Timeout, or when the gap
+// exceeds SoftTimeout and the query shares insufficient vocabulary with
+// the session so far.
+func Sessionize(l *Log, cfg SessionizerConfig) []Session {
+	cfg = cfg.withDefaults()
+	l.Sort()
+	var sessions []Session
+	var cur *Session
+	var curTerms map[string]bool
+	flush := func() {
+		if cur != nil && len(cur.Entries) > 0 {
+			sessions = append(sessions, *cur)
+		}
+		cur = nil
+	}
+	for _, e := range l.Entries {
+		if cur == nil || cur.UserID != e.UserID {
+			flush()
+			cur = &Session{UserID: e.UserID}
+			curTerms = make(map[string]bool)
+		} else {
+			gap := e.Time.Sub(cur.Entries[len(cur.Entries)-1].Time)
+			if gap > cfg.Timeout ||
+				(gap > cfg.SoftTimeout && jaccardWithSet(curTerms, e.Query) < cfg.MinSimilarity) {
+				flush()
+				cur = &Session{UserID: e.UserID}
+				curTerms = make(map[string]bool)
+			}
+		}
+		cur.Entries = append(cur.Entries, e)
+		for _, t := range Tokenize(e.Query) {
+			curTerms[t] = true
+		}
+	}
+	flush()
+	return sessions
+}
+
+// jaccardWithSet computes |terms(q) ∩ set| / |terms(q) ∪ set|.
+func jaccardWithSet(set map[string]bool, q string) float64 {
+	toks := Tokenize(q)
+	if len(toks) == 0 || len(set) == 0 {
+		return 0
+	}
+	qset := make(map[string]bool, len(toks))
+	for _, t := range toks {
+		qset[t] = true
+	}
+	inter := 0
+	for t := range qset {
+		if set[t] {
+			inter++
+		}
+	}
+	union := len(set) + len(qset) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// SearchContext returns the previously submitted entries within the same
+// session as the entry at position idx (paper Definition 2). idx indexes
+// into s.Entries.
+func SearchContext(s Session, idx int) []Entry {
+	if idx < 0 || idx > len(s.Entries) {
+		return nil
+	}
+	return s.Entries[:idx]
+}
+
+// SessionsByUser groups sessions per user, preserving chronological
+// order within each user.
+func SessionsByUser(sessions []Session) map[string][]Session {
+	out := make(map[string][]Session)
+	for _, s := range sessions {
+		out[s.UserID] = append(out[s.UserID], s)
+	}
+	return out
+}
+
+// SplitRecent partitions one user's sessions into (history, test) where
+// test holds the n most recent sessions — the evaluation protocol of the
+// paper's Section VI-C (10 most recent sessions per user are held out).
+func SplitRecent(sessions []Session, n int) (history, test []Session) {
+	if n >= len(sessions) {
+		return nil, sessions
+	}
+	cut := len(sessions) - n
+	return sessions[:cut], sessions[cut:]
+}

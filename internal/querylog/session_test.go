@@ -1,0 +1,135 @@
+package querylog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSessionizeTableI(t *testing.T) {
+	// The paper states Table I splits into sessions {q1,q2,q3}, {q4,q5},
+	// {q6,q7}.
+	sessions := Sessionize(tableILog(), SessionizerConfig{})
+	if len(sessions) != 3 {
+		t.Fatalf("got %d sessions, want 3", len(sessions))
+	}
+	wantLens := []int{3, 2, 2}
+	for i, s := range sessions {
+		if len(s.Entries) != wantLens[i] {
+			t.Errorf("session %d has %d entries, want %d", i, len(s.Entries), wantLens[i])
+		}
+	}
+	if q := sessions[0].Queries(); q[0] != "sun" || q[2] != "jvm download" {
+		t.Errorf("session 0 queries = %v", q)
+	}
+}
+
+func TestSessionizeTimeoutSplits(t *testing.T) {
+	l := &Log{}
+	l.Append(Entry{"u", "first query", "", ts("2012-01-01 10:00:00")})
+	l.Append(Entry{"u", "totally different topic", "", ts("2012-01-01 11:00:00")})
+	sessions := Sessionize(l, SessionizerConfig{})
+	if len(sessions) != 2 {
+		t.Fatalf("got %d sessions, want 2 (1-hour gap)", len(sessions))
+	}
+}
+
+func TestSessionizeSimilarityRescue(t *testing.T) {
+	// 10-minute gap exceeds the soft timeout; a similar reformulation
+	// stays in-session, a dissimilar one starts a new session.
+	mk := func(second string) []Session {
+		l := &Log{}
+		l.Append(Entry{"u", "toyota camry price", "", ts("2012-01-01 10:00:00")})
+		l.Append(Entry{"u", second, "", ts("2012-01-01 10:10:00")})
+		return Sessionize(l, SessionizerConfig{})
+	}
+	if got := len(mk("toyota camry 2012 review")); got != 1 {
+		t.Errorf("similar reformulation split into %d sessions, want 1", got)
+	}
+	if got := len(mk("chocolate cake recipe")); got != 2 {
+		t.Errorf("dissimilar query kept in %d sessions, want 2", got)
+	}
+}
+
+func TestSessionizeUserBoundary(t *testing.T) {
+	l := &Log{}
+	l.Append(Entry{"a", "same query", "", ts("2012-01-01 10:00:00")})
+	l.Append(Entry{"b", "same query", "", ts("2012-01-01 10:00:01")})
+	sessions := Sessionize(l, SessionizerConfig{})
+	if len(sessions) != 2 {
+		t.Fatalf("users merged into %d sessions, want 2", len(sessions))
+	}
+}
+
+func TestSearchContext(t *testing.T) {
+	sessions := Sessionize(tableILog(), SessionizerConfig{})
+	s := sessions[0]
+	if got := SearchContext(s, 0); len(got) != 0 {
+		t.Errorf("context of first query has %d entries", len(got))
+	}
+	ctx := SearchContext(s, 2)
+	if len(ctx) != 2 || NormalizeQuery(ctx[0].Query) != "sun" || NormalizeQuery(ctx[1].Query) != "sun java" {
+		t.Errorf("context = %v", ctx)
+	}
+	if got := SearchContext(s, -1); got != nil {
+		t.Error("negative index should give nil")
+	}
+}
+
+func TestSessionsByUserAndSplitRecent(t *testing.T) {
+	sessions := Sessionize(tableILog(), SessionizerConfig{})
+	by := SessionsByUser(sessions)
+	if len(by) != 3 || len(by["u1"]) != 1 {
+		t.Errorf("SessionsByUser = %v", by)
+	}
+	many := make([]Session, 5)
+	for i := range many {
+		many[i] = Session{UserID: "u", Entries: []Entry{{UserID: "u", Query: fmt.Sprint(i)}}}
+	}
+	hist, test := SplitRecent(many, 2)
+	if len(hist) != 3 || len(test) != 2 {
+		t.Errorf("SplitRecent 5/2 = %d,%d", len(hist), len(test))
+	}
+	if test[1].Entries[0].Query != "4" {
+		t.Error("test should hold most recent sessions")
+	}
+	hist, test = SplitRecent(many, 10)
+	if hist != nil || len(test) != 5 {
+		t.Errorf("SplitRecent overflow = %d,%d", len(hist), len(test))
+	}
+}
+
+// Property: sessionization is a partition — every entry appears exactly
+// once, sessions are per-user and time-ordered within.
+func TestPropertySessionizePartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := &Log{}
+		base := ts("2012-06-01 00:00:00")
+		n := 1 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			user := fmt.Sprintf("u%d", rng.Intn(4))
+			base = base.Add(time.Duration(rng.Intn(3600)) * time.Second)
+			l.Append(Entry{user, fmt.Sprintf("query %c%d", 'a'+rune(rng.Intn(5)), rng.Intn(8)), "", base})
+		}
+		sessions := Sessionize(l, SessionizerConfig{})
+		total := 0
+		for _, s := range sessions {
+			total += len(s.Entries)
+			for i, e := range s.Entries {
+				if e.UserID != s.UserID {
+					return false
+				}
+				if i > 0 && e.Time.Before(s.Entries[i-1].Time) {
+					return false
+				}
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+package querylog
+
+import (
+	"strings"
+	"unicode"
+)
+
+// stopwords are high-frequency English function words removed during
+// tokenization; they carry no facet signal and would otherwise dominate
+// the query–term bipartite.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "for": true, "from": true, "how": true,
+	"in": true, "is": true, "it": true, "of": true, "on": true, "or": true,
+	"that": true, "the": true, "this": true, "to": true, "was": true,
+	"what": true, "when": true, "where": true, "who": true, "will": true,
+	"with": true, "www": true,
+}
+
+// IsStopword reports whether the (lowercased) token is a stopword.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// NormalizeQuery lowercases a query and collapses runs of whitespace and
+// punctuation into single spaces, producing the canonical form used as
+// the query-node identity in all graphs.
+func NormalizeQuery(q string) string {
+	var b strings.Builder
+	b.Grow(len(q))
+	lastSpace := true
+	for _, r := range strings.ToLower(q) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(r)
+			lastSpace = false
+		} else if !lastSpace {
+			b.WriteByte(' ')
+			lastSpace = true
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Tokenize splits a query into lowercase terms, dropping stopwords and
+// single-character leftovers. It never returns empty strings.
+func Tokenize(q string) []string {
+	fields := strings.Fields(NormalizeQuery(q))
+	out := fields[:0]
+	for _, f := range fields {
+		if len(f) > 1 && !stopwords[f] {
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		// A query made entirely of stopwords still needs at least one
+		// term node; keep the normalized fields in that case.
+		return fields
+	}
+	return out
+}
+
+// TermVector returns the term-frequency vector of a query as a sparse
+// map, the form the PPR metric and the CM baseline consume.
+func TermVector(q string) map[string]float64 {
+	v := make(map[string]float64)
+	for _, t := range Tokenize(q) {
+		v[t]++
+	}
+	return v
+}

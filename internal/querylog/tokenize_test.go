@@ -1,0 +1,52 @@
+package querylog
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNormalizeQuery(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Sun  Java", "sun java"},
+		{"  SUN ", "sun"},
+		{"solar-cell!!", "solar cell"},
+		{"a.b/c", "a b c"},
+		{"", ""},
+		{"C++ tutorial", "c tutorial"},
+	}
+	for _, c := range cases {
+		if got := NormalizeQuery(c.in); got != c.want {
+			t.Errorf("NormalizeQuery(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	if got := Tokenize("the sun and the moon"); !reflect.DeepEqual(got, []string{"sun", "moon"}) {
+		t.Errorf("Tokenize = %v", got)
+	}
+	// All-stopword queries keep their fields rather than vanishing.
+	if got := Tokenize("to be or not to be"); len(got) == 0 {
+		t.Error("all-stopword query produced no tokens")
+	}
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("Tokenize(\"\") = %v", got)
+	}
+	// Single characters are dropped.
+	if got := Tokenize("x y sun"); !reflect.DeepEqual(got, []string{"sun"}) {
+		t.Errorf("Tokenize = %v", got)
+	}
+}
+
+func TestTermVector(t *testing.T) {
+	v := TermVector("sun sun java")
+	if v["sun"] != 2 || v["java"] != 1 {
+		t.Errorf("TermVector = %v", v)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") || IsStopword("sun") {
+		t.Error("stopword detection wrong")
+	}
+}

@@ -1,0 +1,86 @@
+package randomwalk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func randomStochastic(rng *rand.Rand, n int) *sparse.Matrix {
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				b.Add(i, j, rng.Float64())
+			}
+		}
+	}
+	return b.Build().RowNormalized()
+}
+
+// Property: enlarging the target set can only LOWER (or keep) every
+// node's hitting time — more targets are easier to hit. This is the
+// monotonicity Algorithm 1's greedy selection depends on.
+func TestPropertyHittingTimeMonotoneInTargetSet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		tr := randomStochastic(rng, n)
+		a := rng.Intn(n)
+		b := (a + 1 + rng.Intn(n-1)) % n
+		l := 1 + rng.Intn(15)
+		hSmall := HittingTimeToSet(tr, map[int]bool{a: true}, l)
+		hBig := HittingTimeToSet(tr, map[int]bool{a: true, b: true}, l)
+		for i := range hSmall {
+			if hBig[i] > hSmall[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Forward with zero steps returns the start distribution.
+func TestPropertyForwardZeroSteps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		tr := randomStochastic(rng, n)
+		start := Unit(n, rng.Intn(n))
+		p := Forward(tr, start, 0, 0.3)
+		for i := range p {
+			if p[i] != start[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hitting times are bounded by the truncation depth l.
+func TestPropertyHittingTimeBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		tr := randomStochastic(rng, n)
+		l := 1 + rng.Intn(20)
+		h := HittingTimeToSet(tr, map[int]bool{rng.Intn(n): true}, l)
+		for _, v := range h {
+			if v < 0 || v > float64(l)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

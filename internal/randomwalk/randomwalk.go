@@ -1,0 +1,101 @@
+// Package randomwalk provides generic Markov random-walk machinery on
+// sparse transition matrices: multi-step forward and backward visit
+// distributions (the FRW/BRW baselines of Craswell & Szummer) and
+// truncated hitting times (Mei et al.), which the HT, DQS and PHT
+// baselines and PQS-DA's own diversification stage build on.
+package randomwalk
+
+import (
+	"repro/internal/sparse"
+)
+
+// Forward computes the t-step forward walk distribution p_t = p_0 Tᵗ
+// with per-step self-transition probability selfLoop (Craswell &
+// Szummer keep the walker in place with probability s each step; pass 0
+// to disable). start is the initial distribution over nodes.
+func Forward(trans *sparse.Matrix, start []float64, steps int, selfLoop float64) []float64 {
+	n := trans.Rows()
+	p := append([]float64(nil), start...)
+	next := make([]float64, n)
+	for s := 0; s < steps; s++ {
+		trans.MulVecT(p, next) // next[j] = Σ_i p[i]·T[i,j]
+		if selfLoop > 0 {
+			for i := range next {
+				next[i] = selfLoop*p[i] + (1-selfLoop)*next[i]
+			}
+		}
+		p, next = next, p
+	}
+	return p
+}
+
+// Backward computes the t-step backward walk scores: the probability
+// that a walk started at each node reaches the start distribution after
+// t steps, b_t = Tᵗ b_0 (column vector iteration). The BRW baseline
+// ranks suggestion candidates by this score.
+func Backward(trans *sparse.Matrix, start []float64, steps int, selfLoop float64) []float64 {
+	n := trans.Rows()
+	b := append([]float64(nil), start...)
+	next := make([]float64, n)
+	for s := 0; s < steps; s++ {
+		trans.MulVec(b, next) // next[i] = Σ_j T[i,j]·b[j]
+		if selfLoop > 0 {
+			for i := range next {
+				next[i] = selfLoop*b[i] + (1-selfLoop)*next[i]
+			}
+		}
+		b, next = next, b
+	}
+	return b
+}
+
+// TruncatedHittingTime computes the l-step truncated expected hitting
+// time from every node to the target set S on the transition matrix:
+//
+//	h_{t+1}(i) = 1 + Σ_j T[i,j]·h_t(j)   for i ∉ S,   h(i) = 0 on S,
+//
+// iterated l times from h_0 = 0 (paper Eq. 17 / Algorithm 1). Nodes in S
+// have hitting time 0. Dangling probability mass (rows summing below 1,
+// including fully disconnected nodes) self-loops, so nodes that cannot
+// reach S saturate at exactly l — callers can treat h ≥ l as
+// "unreachable within the horizon".
+func TruncatedHittingTime(trans *sparse.Matrix, inS func(i int) bool, l int) []float64 {
+	n := trans.Rows()
+	h := make([]float64, n)
+	next := make([]float64, n)
+	rowSum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowSum[i] = trans.RowSum(i)
+	}
+	for t := 0; t < l; t++ {
+		for i := 0; i < n; i++ {
+			if inS(i) {
+				next[i] = 0
+				continue
+			}
+			s := 1.0
+			trans.Row(i, func(j int, v float64) {
+				s += v * h[j]
+			})
+			if dangling := 1 - rowSum[i]; dangling > 1e-12 {
+				s += dangling * h[i]
+			}
+			next[i] = s
+		}
+		h, next = next, h
+	}
+	return h
+}
+
+// HittingTimeToSet is a convenience wrapper taking the target set as a
+// map.
+func HittingTimeToSet(trans *sparse.Matrix, set map[int]bool, l int) []float64 {
+	return TruncatedHittingTime(trans, func(i int) bool { return set[i] }, l)
+}
+
+// Unit returns a length-n one-hot distribution at idx.
+func Unit(n, idx int) []float64 {
+	v := make([]float64, n)
+	v[idx] = 1
+	return v
+}

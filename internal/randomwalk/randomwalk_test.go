@@ -1,0 +1,196 @@
+package randomwalk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+// chain builds the transition matrix of a simple directed chain
+// 0 → 1 → 2 → … → n−1 (absorbing at the end).
+func chain(n int) *sparse.Matrix {
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n-1; i++ {
+		b.Add(i, i+1, 1)
+	}
+	return b.Build()
+}
+
+// ring builds a symmetric random walk on an n-cycle.
+func ring(n int) *sparse.Matrix {
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, (i+1)%n, 0.5)
+		b.Add(i, (i+n-1)%n, 0.5)
+	}
+	return b.Build()
+}
+
+func TestForwardChain(t *testing.T) {
+	tr := chain(4)
+	p := Forward(tr, Unit(4, 0), 2, 0)
+	if p[2] != 1 {
+		t.Errorf("after 2 steps mass at %v, want all at node 2", p)
+	}
+}
+
+func TestForwardSelfLoop(t *testing.T) {
+	tr := chain(3)
+	p := Forward(tr, Unit(3, 0), 1, 0.25)
+	if math.Abs(p[0]-0.25) > 1e-12 || math.Abs(p[1]-0.75) > 1e-12 {
+		t.Errorf("self-loop distribution = %v", p)
+	}
+}
+
+func TestForwardPreservesMassOnStochastic(t *testing.T) {
+	tr := ring(7)
+	p := Forward(tr, Unit(7, 3), 25, 0.1)
+	s := 0.0
+	for _, v := range p {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("mass = %v, want 1", s)
+	}
+}
+
+func TestBackwardChain(t *testing.T) {
+	tr := chain(4)
+	// Backward score w.r.t. node 3: probability a 2-step walk from each
+	// node reaches node 3 — only node 1 does.
+	b := Backward(tr, Unit(4, 3), 2, 0)
+	want := []float64{0, 1, 0, 0}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Errorf("b = %v, want %v", b, want)
+			break
+		}
+	}
+}
+
+func TestForwardBackwardDuality(t *testing.T) {
+	// For any stochastic T: Forward(p0, t)·q0 == p0·Backward(q0, t).
+	rng := rand.New(rand.NewSource(3))
+	n := 9
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				b.Add(i, j, rng.Float64())
+			}
+		}
+	}
+	tr := b.Build().RowNormalized()
+	p0 := Unit(n, 2)
+	q0 := Unit(n, 7)
+	steps := 4
+	fwd := Forward(tr, p0, steps, 0)
+	bwd := Backward(tr, q0, steps, 0)
+	lhs, rhs := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		lhs += fwd[i] * q0[i]
+		rhs += p0[i] * bwd[i]
+	}
+	if math.Abs(lhs-rhs) > 1e-12 {
+		t.Errorf("duality violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestTruncatedHittingTimeChain(t *testing.T) {
+	// On the chain 0→1→2→3 with target {3}: h(3)=0, h(2)=1, h(1)=2,
+	// h(0)=3 once l ≥ 3.
+	tr := chain(4)
+	h := HittingTimeToSet(tr, map[int]bool{3: true}, 10)
+	want := []float64{3, 2, 1, 0}
+	for i := range want {
+		if math.Abs(h[i]-want[i]) > 1e-12 {
+			t.Fatalf("h = %v, want %v", h, want)
+		}
+	}
+}
+
+func TestTruncatedHittingTimeUnreachable(t *testing.T) {
+	// Two disconnected nodes: from node 1 the set {0} is unreachable;
+	// truncated h grows with l (saturating at l).
+	b := sparse.NewBuilder(2, 2)
+	b.Add(1, 1, 1)
+	tr := b.Build()
+	h := HittingTimeToSet(tr, map[int]bool{0: true}, 15)
+	if h[0] != 0 {
+		t.Errorf("h[0] = %v, want 0", h[0])
+	}
+	if h[1] != 15 {
+		t.Errorf("h[1] = %v, want l = 15", h[1])
+	}
+}
+
+func TestHittingTimeMonotoneInL(t *testing.T) {
+	// Truncated hitting time is non-decreasing in the truncation depth.
+	tr := ring(8)
+	set := map[int]bool{0: true}
+	prev := HittingTimeToSet(tr, set, 1)
+	for l := 2; l <= 12; l++ {
+		h := HittingTimeToSet(tr, set, l)
+		for i := range h {
+			if h[i]+1e-12 < prev[i] {
+				t.Fatalf("l=%d node %d: h decreased %v → %v", l, i, prev[i], h[i])
+			}
+		}
+		prev = h
+	}
+}
+
+func TestHittingTimeNearerIsSmaller(t *testing.T) {
+	// On the ring, nodes closer to the target have smaller hitting time.
+	tr := ring(9)
+	h := HittingTimeToSet(tr, map[int]bool{0: true}, 50)
+	if !(h[1] < h[2] && h[2] < h[3] && h[3] < h[4]) {
+		t.Errorf("hitting times not increasing with distance: %v", h)
+	}
+	// Symmetry of the ring.
+	if math.Abs(h[1]-h[8]) > 1e-9 || math.Abs(h[4]-h[5]) > 1e-9 {
+		t.Errorf("ring symmetry violated: %v", h)
+	}
+}
+
+// Property: h is 0 exactly on the target set, positive elsewhere (for
+// l ≥ 1).
+func TestPropertyHittingTimeZeroOnSet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		b := sparse.NewBuilder(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					b.Add(i, j, rng.Float64())
+				}
+			}
+		}
+		tr := b.Build().RowNormalized()
+		set := map[int]bool{rng.Intn(n): true}
+		h := HittingTimeToSet(tr, set, 1+rng.Intn(10))
+		for i := range h {
+			if set[i] && h[i] != 0 {
+				return false
+			}
+			if !set[i] && h[i] < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := Unit(4, 2)
+	if u[2] != 1 || u[0] != 0 || len(u) != 4 {
+		t.Errorf("Unit = %v", u)
+	}
+}

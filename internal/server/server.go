@@ -1,0 +1,370 @@
+// Package server implements the web-search middleware of the paper's
+// HPR study (Section VI-C): an HTTP service that serves PQS-DA
+// suggestions, records the searchers' query log for future profile
+// training, and collects explicit 6-point relevance ratings of the
+// suggestions it served.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/querylog"
+)
+
+// Server is the suggestion middleware. Create with New and mount via
+// Handler.
+type Server struct {
+	engine *core.Engine
+	// engineMu serializes engine mutation (refresh/learn) against
+	// concurrent suggestion serving.
+	engineMu sync.RWMutex
+	// lastIngested is how many recorded entries have been handed to the
+	// engine already.
+	lastIngested int
+
+	mu sync.Mutex
+	// recorded accumulates the query events observed through the
+	// middleware (the experts' log in the paper's study).
+	recorded querylog.Log
+	// feedback accumulates explicit suggestion ratings.
+	feedback []Feedback
+	// sink, when set, receives every recorded entry and rating as TSV
+	// lines for durable storage.
+	sink io.Writer
+}
+
+// Feedback is one explicit rating of a served suggestion on the
+// paper's 6-point scale {0, 0.2, 0.4, 0.6, 0.8, 1}.
+type Feedback struct {
+	User       string    `json:"user"`
+	Query      string    `json:"query"`
+	Suggestion string    `json:"suggestion"`
+	Rating     float64   `json:"rating"`
+	At         time.Time `json:"at"`
+}
+
+// New wraps an engine. sink may be nil; when set, recorded events and
+// feedback are appended to it as TSV lines.
+func New(engine *core.Engine, sink io.Writer) *Server {
+	return &Server{engine: engine, sink: sink}
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /api/suggest", s.handleSuggestGet)
+	mux.HandleFunc("POST /api/suggest", s.handleSuggestPost)
+	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
+	mux.HandleFunc("POST /api/log", s.handleLog)
+	mux.HandleFunc("POST /api/learn", s.handleLearn)
+	mux.HandleFunc("POST /api/refresh", s.handleRefresh)
+	return mux
+}
+
+// RefreshRequest is the POST /api/refresh body: ingest all recorded
+// traffic into the engine and rebuild per mode ("graphs", "foldin" or
+// "retrain").
+type RefreshRequest struct {
+	Mode string `json:"mode"`
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	var req RefreshRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	var mode core.RefreshMode
+	switch req.Mode {
+	case "", "graphs":
+		mode = core.RebuildGraphs
+	case "foldin":
+		mode = core.FoldInUsers
+	case "retrain":
+		mode = core.RetrainProfiles
+	default:
+		httpError(w, http.StatusBadRequest, "mode must be graphs, foldin or retrain")
+		return
+	}
+	// Snapshot the fresh entries under the record lock.
+	s.mu.Lock()
+	fresh := append([]querylog.Entry(nil), s.recorded.Entries[s.lastIngested:]...)
+	s.lastIngested = s.recorded.Len()
+	s.mu.Unlock()
+
+	s.engineMu.Lock()
+	s.engine.Ingest(fresh)
+	err := s.engine.Refresh(mode)
+	s.engineMu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "refreshed", "ingested": len(fresh)})
+}
+
+// LearnRequest is the POST /api/learn body: fold the middleware's
+// recorded history for the user into the engine's profiles (online
+// profiling of new users without retraining).
+type LearnRequest struct {
+	User string `json:"user"`
+}
+
+func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	var req LearnRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.User == "" {
+		httpError(w, http.StatusBadRequest, "missing user")
+		return
+	}
+	s.mu.Lock()
+	entries := s.recorded.ByUser(req.User)
+	s.mu.Unlock()
+	if len(entries) == 0 {
+		httpError(w, http.StatusNotFound, "no recorded history for user")
+		return
+	}
+	s.engineMu.Lock()
+	err := s.engine.LearnUser(req.User, entries)
+	s.engineMu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "learned", "entries": len(entries)})
+}
+
+// SuggestRequest is the POST /api/suggest body.
+type SuggestRequest struct {
+	User  string `json:"user"`
+	Query string `json:"query"`
+	K     int    `json:"k"`
+	// Context lists the current session's previous queries, most
+	// recent last, with RFC3339 timestamps.
+	Context []ContextItem `json:"context,omitempty"`
+	// At is the submission time (RFC3339; empty means now).
+	At string `json:"at,omitempty"`
+}
+
+// ContextItem is one search-context query.
+type ContextItem struct {
+	Query string `json:"query"`
+	At    string `json:"at"`
+}
+
+// SuggestResponse is the suggestion payload.
+type SuggestResponse struct {
+	Suggestions []string `json:"suggestions"`
+	Diversified []string `json:"diversified"`
+	CompactSize int      `json:"compactSize"`
+	ElapsedMS   float64  `json:"elapsedMs"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n, f := s.recorded.Len(), len(s.feedback)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "recordedEntries": n, "feedback": f,
+	})
+}
+
+func (s *Server) handleSuggestGet(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	k := 10
+	if ks := q.Get("k"); ks != "" {
+		if _, err := fmt.Sscanf(ks, "%d", &k); err != nil {
+			httpError(w, http.StatusBadRequest, "bad k")
+			return
+		}
+	}
+	s.serveSuggestion(w, SuggestRequest{User: q.Get("user"), Query: q.Get("q"), K: k})
+}
+
+func (s *Server) handleSuggestPost(w http.ResponseWriter, r *http.Request) {
+	var req SuggestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	s.serveSuggestion(w, req)
+}
+
+func (s *Server) serveSuggestion(w http.ResponseWriter, req SuggestRequest) {
+	if req.Query == "" {
+		httpError(w, http.StatusBadRequest, "missing query")
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.K > 100 {
+		req.K = 100
+	}
+	at := time.Now()
+	if req.At != "" {
+		t, err := time.Parse(time.RFC3339, req.At)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad at timestamp")
+			return
+		}
+		at = t
+	}
+	var ctx []querylog.Entry
+	for _, c := range req.Context {
+		t, err := time.Parse(time.RFC3339, c.At)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad context timestamp")
+			return
+		}
+		ctx = append(ctx, querylog.Entry{UserID: req.User, Query: c.Query, Time: t})
+	}
+
+	start := time.Now()
+	s.engineMu.RLock()
+	res, err := s.engine.Suggest(req.User, req.Query, ctx, at, req.K)
+	s.engineMu.RUnlock()
+	if err != nil {
+		if errors.Is(err, core.ErrUnknownQuery) {
+			writeJSON(w, http.StatusOK, SuggestResponse{Suggestions: []string{}, Diversified: []string{}})
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// The middleware records what the searcher asked — future profile
+	// training data, as in the paper's four-month study.
+	s.record(querylog.Entry{UserID: req.User, Query: req.Query, Time: at})
+
+	writeJSON(w, http.StatusOK, SuggestResponse{
+		Suggestions: res.Suggestions,
+		Diversified: res.Diversified,
+		CompactSize: res.CompactSize,
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var fb Feedback
+	if err := json.NewDecoder(r.Body).Decode(&fb); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if fb.User == "" || fb.Suggestion == "" {
+		httpError(w, http.StatusBadRequest, "missing user or suggestion")
+		return
+	}
+	if !validRating(fb.Rating) {
+		httpError(w, http.StatusBadRequest, "rating must be one of 0, 0.2, 0.4, 0.6, 0.8, 1")
+		return
+	}
+	fb.At = time.Now()
+	s.mu.Lock()
+	s.feedback = append(s.feedback, fb)
+	if s.sink != nil {
+		fmt.Fprintf(s.sink, "feedback\t%s\t%s\t%s\t%.1f\n", fb.User, fb.Query, fb.Suggestion, fb.Rating)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
+}
+
+// LogRequest is the POST /api/log body: one raw search event.
+type LogRequest struct {
+	User       string `json:"user"`
+	Query      string `json:"query"`
+	ClickedURL string `json:"clickedUrl,omitempty"`
+	At         string `json:"at,omitempty"`
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	var req LogRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.User == "" || req.Query == "" {
+		httpError(w, http.StatusBadRequest, "missing user or query")
+		return
+	}
+	at := time.Now()
+	if req.At != "" {
+		t, err := time.Parse(time.RFC3339, req.At)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad at timestamp")
+			return
+		}
+		at = t
+	}
+	s.record(querylog.Entry{UserID: req.User, Query: req.Query, ClickedURL: req.ClickedURL, Time: at})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
+}
+
+func (s *Server) record(e querylog.Entry) {
+	s.mu.Lock()
+	s.recorded.Append(e)
+	if s.sink != nil {
+		fmt.Fprintf(s.sink, "entry\t%s\t%s\t%s\t%s\n",
+			e.UserID, e.Query, e.ClickedURL, e.Time.UTC().Format(time.RFC3339))
+	}
+	s.mu.Unlock()
+}
+
+// Recorded returns a copy of the query log observed so far.
+func (s *Server) Recorded() *querylog.Log {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &querylog.Log{Entries: append([]querylog.Entry(nil), s.recorded.Entries...)}
+	return out
+}
+
+// FeedbackLog returns a copy of the collected ratings.
+func (s *Server) FeedbackLog() []Feedback {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Feedback(nil), s.feedback...)
+}
+
+// MeanHPR returns the average rating collected so far (NaN-free: 0
+// when empty) — the number the paper's Fig. 6 averages over experts.
+func (s *Server) MeanHPR() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.feedback) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, f := range s.feedback {
+		sum += f.Rating
+	}
+	return sum / float64(len(s.feedback))
+}
+
+func validRating(r float64) bool {
+	for _, v := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1} {
+		if r > v-1e-9 && r < v+1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,39 @@
+package sparse
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// matrixWire is the gob wire form of a Matrix (the in-memory fields
+// are unexported by design; serialization goes through this mirror).
+type matrixWire struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Matrix) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(matrixWire{
+		Rows: m.rows, Cols: m.cols,
+		RowPtr: m.rowPtr, ColIdx: m.colIdx, Val: m.val,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Matrix) GobDecode(data []byte) error {
+	var w matrixWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	m.rows, m.cols = w.Rows, w.Cols
+	m.rowPtr, m.colIdx, m.val = w.RowPtr, w.ColIdx, w.Val
+	if m.rowPtr == nil {
+		m.rowPtr = make([]int, m.rows+1)
+	}
+	return nil
+}

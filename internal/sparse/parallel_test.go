@@ -1,0 +1,77 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMulVecParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{5, 50, 500} {
+		m := randomMatrix(rng, n, n, 0.2)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := m.MulVec(x, nil)
+		for _, workers := range []int{0, 1, 2, 7, 64} {
+			got := m.MulVecParallel(x, nil, workers)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d workers=%d row %d: %v != %v", n, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSolveCGParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := 400
+	a := spdMatrix(rng, n)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x1, it1, err1 := SolveCG(a, b, nil, SolveOptions{Tol: 1e-10})
+	x2, it2, err2 := SolveCG(a, b, nil, SolveOptions{Tol: 1e-10, Workers: 4})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	if it1 != it2 {
+		t.Fatalf("iteration counts differ: %d vs %d (parallel must be bit-identical)", it1, it2)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("solutions differ at %d: %v vs %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+func BenchmarkMulVecSequential(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	m := randomMatrix(rng, 3000, 3000, 0.02)
+	x := make([]float64, 3000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(x, dst)
+	}
+}
+
+func BenchmarkMulVecParallel4(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	m := randomMatrix(rng, 3000, 3000, 0.02)
+	x := make([]float64, 3000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecParallel(x, dst, 4)
+	}
+}

@@ -1,0 +1,79 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestScaleSym(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.Add(0, 1, 2)
+	b.Add(1, 2, 3)
+	b.Add(2, 0, 4)
+	m := b.Build()
+	s := m.ScaleSym(func(i, j int) float64 { return float64(i + j) })
+	if got := s.At(0, 1); got != 2 {
+		t.Errorf("At(0,1) = %v, want 2·1", got)
+	}
+	if got := s.At(1, 2); got != 9 {
+		t.Errorf("At(1,2) = %v, want 3·3", got)
+	}
+	if got := s.At(2, 0); got != 8 {
+		t.Errorf("At(2,0) = %v, want 4·2", got)
+	}
+	// Structure is preserved even for zero factors.
+	z := m.ScaleSym(func(i, j int) float64 { return 0 })
+	if z.NNZ() != m.NNZ() {
+		t.Errorf("ScaleSym changed structure: %d vs %d stored", z.NNZ(), m.NNZ())
+	}
+	if z.At(0, 1) != 0 {
+		t.Error("zero factor not applied")
+	}
+	// Source untouched.
+	if m.At(0, 1) != 2 {
+		t.Error("ScaleSym mutated its receiver")
+	}
+}
+
+func TestScaleSymMatchesScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randomMatrix(rng, 6, 7, 0.4)
+	a := m.Scale(2.5)
+	b := m.ScaleSym(func(i, j int) float64 { return 2.5 })
+	if !Equal(a, b, 1e-12) {
+		t.Error("ScaleSym with constant factor disagrees with Scale")
+	}
+}
+
+func TestAddKeepsSortedStructure(t *testing.T) {
+	// The merge-based Add must produce strictly increasing columns per
+	// row (the CSR invariant every other operation relies on).
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randomMatrix(rng, n, n, 0.4)
+		b := randomMatrix(rng, n, n, 0.4)
+		s := Add(a, b, rng.NormFloat64())
+		for r := 0; r < n; r++ {
+			prev := -1
+			s.Row(r, func(c int, v float64) {
+				if c <= prev {
+					t.Fatalf("row %d columns not strictly increasing", r)
+				}
+				prev = c
+			})
+		}
+	}
+}
+
+func TestAddCancellationDropsEntry(t *testing.T) {
+	b1 := NewBuilder(1, 2)
+	b1.Add(0, 0, 5)
+	b1.Add(0, 1, 1)
+	b2 := NewBuilder(1, 2)
+	b2.Add(0, 0, 5)
+	m := Add(b1.Build(), b2.Build(), -1)
+	if m.NNZ() != 1 || m.At(0, 1) != 1 {
+		t.Errorf("cancelled entry kept: nnz=%d", m.NNZ())
+	}
+}

@@ -1,0 +1,452 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/numeric"
+	"repro/internal/odp"
+	"repro/internal/querylog"
+)
+
+// Config controls world generation. The zero value is filled with
+// defaults sized for fast tests; benchmarks scale the counts up.
+type Config struct {
+	Seed int64
+
+	// NumFacets is the number of topics/leaf categories (default 12).
+	NumFacets int
+	// VocabPerFacet is each facet's vocabulary size (default 40).
+	VocabPerFacet int
+	// SharedTerms is the number of globally ambiguous head terms, each
+	// injected into several facets (default 6).
+	SharedTerms int
+	// FacetsPerSharedTerm is how many facets each ambiguous term spans
+	// (default 3).
+	FacetsPerSharedTerm int
+	// URLsPerFacet is each facet's page count (default 15).
+	URLsPerFacet int
+
+	// NumUsers is the number of simulated humans (default 30).
+	NumUsers int
+	// SessionsPerUser is the number of search sessions each user runs
+	// (default 12).
+	SessionsPerUser int
+	// MeanSessionLen is the mean queries per session, geometric with
+	// minimum 1 (default 2.5).
+	MeanSessionLen float64
+	// FocusFacets is how many facets a user's preference concentrates on
+	// (default 3).
+	FocusFacets int
+
+	// ClickProb is the chance a query gets a click (default 0.75).
+	ClickProb float64
+	// NoiseClickProb is the chance a click lands on a random off-facet
+	// URL (default 0.05).
+	NoiseClickProb float64
+	// AmbiguousQueryProb is the chance a session opens with a bare
+	// shared-head-term query when the facet has one (default 0.5).
+	AmbiguousQueryProb float64
+	// RepeatQueryProb is the chance a (non-opening) query verbatim
+	// re-issues one of the user's own past queries in the same facet —
+	// the well-documented re-finding behaviour of real searchers, and
+	// the strongest per-user signal the UPM exploits (default 0.35).
+	RepeatQueryProb float64
+	// UserWordBias is the multiplicative boost a user gives to their
+	// preferred sub-vocabulary within a facet (default 6).
+	UserWordBias float64
+
+	// RobotUsers adds this many robotic burst users for cleaning tests
+	// (default 0).
+	RobotUsers int
+
+	// Start and Span define the log's time range (defaults: 2012-01-01,
+	// 120 days).
+	Start time.Time
+	Span  time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	def := func(p *int, v int) {
+		if *p <= 0 {
+			*p = v
+		}
+	}
+	def(&c.NumFacets, 12)
+	def(&c.VocabPerFacet, 40)
+	def(&c.SharedTerms, 6)
+	def(&c.FacetsPerSharedTerm, 3)
+	def(&c.URLsPerFacet, 15)
+	def(&c.NumUsers, 30)
+	def(&c.SessionsPerUser, 12)
+	def(&c.FocusFacets, 3)
+	if c.MeanSessionLen <= 0 {
+		c.MeanSessionLen = 2.5
+	}
+	if c.ClickProb <= 0 {
+		c.ClickProb = 0.75
+	}
+	if c.NoiseClickProb <= 0 {
+		c.NoiseClickProb = 0.05
+	}
+	if c.AmbiguousQueryProb <= 0 {
+		c.AmbiguousQueryProb = 0.5
+	}
+	if c.RepeatQueryProb <= 0 {
+		c.RepeatQueryProb = 0.35
+	}
+	if c.UserWordBias <= 0 {
+		c.UserWordBias = 6
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Span <= 0 {
+		c.Span = 120 * 24 * time.Hour
+	}
+	return c
+}
+
+// Generate builds a complete synthetic world from the config.
+func Generate(cfg Config) *World {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	w := &World{
+		Config:           cfg,
+		Log:              &querylog.Log{},
+		UserPrefs:        make(map[string][]float64),
+		urlInfo:          make(map[string]URLInfo),
+		entryFacet:       make(map[entryKey]int),
+		queryFacetCounts: make(map[string][]int),
+	}
+
+	w.buildTaxonomyAndFacets(rng)
+	w.buildUsersAndSessions(rng)
+	w.addRobots(rng)
+	w.assignQueryCategories()
+	return w
+}
+
+// buildTaxonomyAndFacets creates the category tree, facet vocabularies,
+// ambiguous head terms and facet URL spaces.
+func (w *World) buildTaxonomyAndFacets(rng *rand.Rand) {
+	cfg := w.Config
+	// Choose branching so the full tree has at least NumFacets leaves.
+	branching := 2
+	for branching*branching*branching < cfg.NumFacets {
+		branching++
+	}
+	tax := odp.Generate(rng, odp.GenerateConfig{Depth: 3, Branching: branching})
+	w.Taxonomy = tax
+
+	used := make(map[string]bool) // global word uniqueness
+	word := func(minSyll, maxSyll int) string {
+		for {
+			n := minSyll + rng.Intn(maxSyll-minSyll+1)
+			s := ""
+			for i := 0; i < n; i++ {
+				s += syllable(rng)
+			}
+			if !used[s] && !querylog.IsStopword(s) {
+				used[s] = true
+				return s
+			}
+		}
+	}
+
+	w.Facets = make([]Facet, cfg.NumFacets)
+	for f := 0; f < cfg.NumFacets; f++ {
+		terms := make([]string, cfg.VocabPerFacet)
+		weights := make([]float64, cfg.VocabPerFacet)
+		for i := range terms {
+			terms[i] = word(2, 4)
+			weights[i] = 1 / float64(i+1) // Zipf rank weights
+		}
+		urls := make([]string, cfg.URLsPerFacet)
+		uw := make([]float64, cfg.URLsPerFacet)
+		for i := range urls {
+			urls[i] = fmt.Sprintf("www.%s%d.com/%s", word(2, 3), i, tax.Leaves[f].String())
+			uw[i] = 1 / float64(i+1)
+		}
+		w.Facets[f] = Facet{
+			ID:          f,
+			Category:    tax.Leaves[f],
+			Terms:       terms,
+			TermWeights: weights,
+			URLs:        urls,
+			URLWeights:  uw,
+			TimeAlpha:   1 + rng.Float64()*4,
+			TimeBeta:    1 + rng.Float64()*4,
+		}
+	}
+
+	// Ambiguous head terms: inject each into several facets at high
+	// rank. Facet choice is biased toward taxonomy relatives of an
+	// anchor facet — ambiguous query senses usually live in related
+	// categories (a brand vs. its product line), with the occasional
+	// "sun"-style cross-branch collision.
+	for s := 0; s < cfg.SharedTerms; s++ {
+		head := word(1, 2)
+		n := cfg.FacetsPerSharedTerm
+		if n > cfg.NumFacets {
+			n = cfg.NumFacets
+		}
+		anchor := rng.Intn(cfg.NumFacets)
+		chosen := map[int]bool{anchor: true}
+		for len(chosen) < n {
+			weights := make([]float64, cfg.NumFacets)
+			for f := range weights {
+				if chosen[f] {
+					continue
+				}
+				rel := odp.Relevance(w.Facets[anchor].Category, w.Facets[f].Category)
+				weights[f] = 0.2 + 4*rel // relatives preferred, strangers possible
+			}
+			chosen[numeric.SampleCategorical(rng, weights)] = true
+		}
+		for f := range chosen {
+			fc := &w.Facets[f]
+			fc.Terms = append(fc.Terms, head)
+			fc.TermWeights = append(fc.TermWeights, 1.5) // above Zipf rank 1
+			fc.HeadTerms = append(fc.HeadTerms, head)
+		}
+	}
+
+	// URL ground truth: title vector from the facet's top terms + the
+	// page's own identity; topic vector peaked on the facet with small
+	// mass on taxonomy siblings.
+	for f := range w.Facets {
+		fc := &w.Facets[f]
+		for i, u := range fc.URLs {
+			title := make(map[string]float64)
+			// Titles mix the facet's most prominent vocabulary.
+			for j := 0; j < 6 && j < len(fc.Terms); j++ {
+				k := numeric.SampleCategorical(rng, fc.TermWeights)
+				title[fc.Terms[k]] += 1
+				_ = j
+			}
+			topics := make([]float64, len(w.Facets))
+			for g := range w.Facets {
+				rel := odp.Relevance(fc.Category, w.Facets[g].Category)
+				topics[g] = 0.05 * rel
+			}
+			topics[f] = 1
+			numeric.Normalize(topics)
+			w.urlInfo[u] = URLInfo{Facet: f, Title: title, Topics: topics}
+			w.Taxonomy.Assign(u, fc.Category)
+			_ = i
+		}
+	}
+}
+
+// buildUsersAndSessions simulates every human user's search history.
+func (w *World) buildUsersAndSessions(rng *rand.Rand) {
+	cfg := w.Config
+	for u := 0; u < cfg.NumUsers; u++ {
+		uid := userID(u)
+		pref := w.sampleUserPreference(rng)
+		w.UserPrefs[uid] = pref
+
+		// Idiosyncratic word/URL taste: a boost multiplier per facet term
+		// and per facet URL (the "Toyota vs Ford" effect).
+		wordBoost := make([][]float64, len(w.Facets))
+		urlBoost := make([][]float64, len(w.Facets))
+		for f := range w.Facets {
+			wordBoost[f] = biasVector(rng, len(w.Facets[f].Terms), cfg.UserWordBias)
+			urlBoost[f] = biasVector(rng, len(w.Facets[f].URLs), cfg.UserWordBias)
+		}
+
+		// Per-facet memory of this user's past queries for re-finding.
+		pastQueries := make([][]string, len(w.Facets))
+
+		// Session start positions: sorted uniform draws keep per-user
+		// timestamps strictly increasing.
+		positions := make([]float64, cfg.SessionsPerUser)
+		for i := range positions {
+			positions[i] = rng.Float64()
+		}
+		sort.Float64s(positions)
+
+		clock := time.Time{}
+		for s := 0; s < cfg.SessionsPerUser; s++ {
+			pos := positions[s]
+			start := cfg.Start.Add(time.Duration(pos * float64(cfg.Span)))
+			if !start.After(clock) {
+				start = clock.Add(time.Hour) // enforce monotone per-user time
+			}
+			facet := w.sampleSessionFacet(rng, pref, pos)
+			clock = w.emitSession(rng, uid, facet, start, wordBoost[facet], urlBoost[facet], &pastQueries[facet])
+		}
+	}
+}
+
+// sampleUserPreference draws a sparse preference over facets: a few
+// focus facets carry almost all the mass.
+func (w *World) sampleUserPreference(rng *rand.Rand) []float64 {
+	cfg := w.Config
+	pref := make([]float64, len(w.Facets))
+	perm := rng.Perm(len(w.Facets))
+	n := cfg.FocusFacets
+	if n > len(w.Facets) {
+		n = len(w.Facets)
+	}
+	for i := 0; i < n; i++ {
+		pref[perm[i]] = 1 + rng.Float64()*3
+	}
+	// A whisper of mass everywhere: preferences drift, and evaluation
+	// needs nonzero probability for off-focus facets.
+	for i := range pref {
+		pref[i] += 0.05
+	}
+	numeric.Normalize(pref)
+	return pref
+}
+
+// sampleSessionFacet combines long-term preference with the facet's
+// temporal profile at normalized time pos — users follow trends.
+func (w *World) sampleSessionFacet(rng *rand.Rand, pref []float64, pos float64) int {
+	weights := make([]float64, len(w.Facets))
+	for f := range w.Facets {
+		fc := &w.Facets[f]
+		weights[f] = pref[f] * (0.1 + numeric.BetaPDF(pos, fc.TimeAlpha, fc.TimeBeta))
+	}
+	return numeric.SampleCategorical(rng, weights)
+}
+
+// emitSession generates one session's entries and returns the user's
+// advanced clock.
+func (w *World) emitSession(rng *rand.Rand, uid string, facet int, start time.Time, wordBoost, urlBoost []float64, past *[]string) time.Time {
+	cfg := w.Config
+	fc := &w.Facets[facet]
+
+	// Geometric session length with mean MeanSessionLen.
+	length := 1
+	p := 1 / cfg.MeanSessionLen
+	for rng.Float64() > p && length < 8 {
+		length++
+	}
+
+	clock := start
+	for q := 0; q < length; q++ {
+		var query string
+		switch {
+		case q == 0 && len(fc.HeadTerms) > 0 && rng.Float64() < cfg.AmbiguousQueryProb:
+			// Open with the bare ambiguous head term — the "sun" moment.
+			query = fc.HeadTerms[rng.Intn(len(fc.HeadTerms))]
+		case len(*past) > 0 && rng.Float64() < cfg.RepeatQueryProb:
+			// Re-find: verbatim re-issue of one of the user's own past
+			// queries in this facet.
+			query = (*past)[rng.Intn(len(*past))]
+		default:
+			query = w.facetQuery(rng, fc, wordBoost)
+			*past = append(*past, query)
+		}
+		url := ""
+		if rng.Float64() < cfg.ClickProb {
+			if rng.Float64() < cfg.NoiseClickProb {
+				other := &w.Facets[rng.Intn(len(w.Facets))]
+				url = other.URLs[rng.Intn(len(other.URLs))]
+			} else {
+				weights := make([]float64, len(fc.URLs))
+				for i := range weights {
+					weights[i] = fc.URLWeights[i] * urlBoost[i]
+				}
+				url = fc.URLs[numeric.SampleCategorical(rng, weights)]
+			}
+		}
+		e := querylog.Entry{UserID: uid, Query: query, ClickedURL: url, Time: clock}
+		w.Log.Append(e)
+		w.recordEntry(e, facet)
+		clock = clock.Add(time.Duration(20+rng.Intn(90)) * time.Second)
+	}
+	return clock
+}
+
+// facetQuery samples a 1–3 term query from the facet vocabulary under
+// the user's word bias.
+func (w *World) facetQuery(rng *rand.Rand, fc *Facet, wordBoost []float64) string {
+	weights := make([]float64, len(fc.Terms))
+	for i := range weights {
+		weights[i] = fc.TermWeights[i] * wordBoost[i]
+	}
+	n := 1 + rng.Intn(3)
+	seen := make(map[int]bool, n)
+	q := ""
+	for i := 0; i < n; i++ {
+		k := numeric.SampleCategorical(rng, weights)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if q != "" {
+			q += " "
+		}
+		q += fc.Terms[k]
+	}
+	return q
+}
+
+// recordEntry stores ground truth for an emitted entry.
+func (w *World) recordEntry(e querylog.Entry, facet int) {
+	w.entryFacet[entryKey{e.UserID, e.Time.UnixNano()}] = facet
+	norm := querylog.NormalizeQuery(e.Query)
+	counts := w.queryFacetCounts[norm]
+	if counts == nil {
+		counts = make([]int, len(w.Facets))
+		w.queryFacetCounts[norm] = counts
+	}
+	counts[facet]++
+}
+
+// addRobots appends burst traffic from robotic users (cleaning fodder).
+func (w *World) addRobots(rng *rand.Rand) {
+	cfg := w.Config
+	for r := 0; r < cfg.RobotUsers; r++ {
+		uid := fmt.Sprintf("robot%03d", r)
+		clock := cfg.Start.Add(time.Duration(rng.Int63n(int64(cfg.Span))))
+		for i := 0; i < 100; i++ {
+			fc := &w.Facets[rng.Intn(len(w.Facets))]
+			e := querylog.Entry{
+				UserID: uid,
+				Query:  fc.Terms[rng.Intn(len(fc.Terms))] + " spam",
+				Time:   clock,
+			}
+			w.Log.Append(e)
+			clock = clock.Add(500 * time.Millisecond)
+		}
+	}
+}
+
+// assignQueryCategories binds every distinct query to its dominant
+// facet's category in the taxonomy (the oracle the Relevance metric
+// needs).
+func (w *World) assignQueryCategories() {
+	for q, counts := range w.queryFacetCounts {
+		f := numeric.ArgMax(intsToFloats(counts))
+		w.Taxonomy.Assign(q, w.Facets[f].Category)
+	}
+}
+
+// biasVector returns per-item multiplicative boosts: roughly a third of
+// the items get boosted by bias, the rest stay at 1.
+func biasVector(rng *rand.Rand, n int, bias float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		if rng.Float64() < 1.0/3 {
+			v[i] = bias
+		} else {
+			v[i] = 1
+		}
+	}
+	return v
+}
+
+// syllable emits a pronounceable consonant-vowel pair.
+func syllable(rng *rand.Rand) string {
+	const cons = "bcdfghjklmnprstvwz"
+	const vow = "aeiou"
+	return string([]byte{cons[rng.Intn(len(cons))], vow[rng.Intn(len(vow))]})
+}

@@ -1,0 +1,269 @@
+package synth
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/querylog"
+)
+
+func smallWorld(t *testing.T) *World {
+	t.Helper()
+	return Generate(Config{Seed: 42, NumFacets: 6, NumUsers: 10, SessionsPerUser: 8})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7, NumFacets: 4, NumUsers: 5, SessionsPerUser: 4})
+	b := Generate(Config{Seed: 7, NumFacets: 4, NumUsers: 5, SessionsPerUser: 4})
+	if a.Log.Len() != b.Log.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Log.Len(), b.Log.Len())
+	}
+	for i := range a.Log.Entries {
+		ea, eb := a.Log.Entries[i], b.Log.Entries[i]
+		if ea != eb {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, ea, eb)
+		}
+	}
+	c := Generate(Config{Seed: 8, NumFacets: 4, NumUsers: 5, SessionsPerUser: 4})
+	if c.Log.Len() == a.Log.Len() {
+		same := true
+		for i := range a.Log.Entries {
+			if a.Log.Entries[i] != c.Log.Entries[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical logs")
+		}
+	}
+}
+
+func TestWorldShape(t *testing.T) {
+	w := smallWorld(t)
+	if len(w.Facets) != 6 {
+		t.Fatalf("facets = %d", len(w.Facets))
+	}
+	if got := len(w.UserIDs()); got != 10 {
+		t.Fatalf("users = %d", got)
+	}
+	if w.Log.Len() == 0 {
+		t.Fatal("empty log")
+	}
+	// Every user should have emitted something.
+	for _, u := range w.UserIDs() {
+		if len(w.Log.ByUser(u)) == 0 {
+			t.Errorf("user %s has no entries", u)
+		}
+	}
+}
+
+func TestEveryEntryHasGroundTruth(t *testing.T) {
+	w := smallWorld(t)
+	for _, e := range w.Log.Entries {
+		f, ok := w.FacetOf(e)
+		if !ok {
+			t.Fatalf("entry %v has no facet ground truth", e)
+		}
+		if f < 0 || f >= len(w.Facets) {
+			t.Fatalf("facet %d out of range", f)
+		}
+		if q := w.QueryFacet(querylog.NormalizeQuery(e.Query)); q < 0 {
+			t.Errorf("query %q unknown to QueryFacet", e.Query)
+		}
+	}
+}
+
+func TestClickedURLsAreKnown(t *testing.T) {
+	w := smallWorld(t)
+	clicks := 0
+	for _, e := range w.Log.Entries {
+		if e.ClickedURL == "" {
+			continue
+		}
+		clicks++
+		info, ok := w.URL(e.ClickedURL)
+		if !ok {
+			t.Fatalf("clicked URL %q has no info", e.ClickedURL)
+		}
+		if len(info.Title) == 0 {
+			t.Errorf("URL %q has empty title vector", e.ClickedURL)
+		}
+		if math.Abs(sum(info.Topics)-1) > 1e-9 {
+			t.Errorf("URL %q topic vector sums to %v", e.ClickedURL, sum(info.Topics))
+		}
+	}
+	if clicks == 0 {
+		t.Fatal("no clicks generated at all")
+	}
+}
+
+func TestAmbiguousHeadTermsSpanFacets(t *testing.T) {
+	w := smallWorld(t)
+	headFacets := make(map[string]map[int]bool)
+	for f, fc := range w.Facets {
+		for _, h := range fc.HeadTerms {
+			if headFacets[h] == nil {
+				headFacets[h] = make(map[int]bool)
+			}
+			headFacets[h][f] = true
+		}
+	}
+	if len(headFacets) == 0 {
+		t.Fatal("no head terms generated")
+	}
+	for h, facets := range headFacets {
+		if len(facets) < 2 {
+			t.Errorf("head term %q spans only %d facet(s)", h, len(facets))
+		}
+	}
+}
+
+func TestPageSim(t *testing.T) {
+	w := smallWorld(t)
+	f0, f1 := w.Facets[0], w.Facets[1]
+	same := w.PageSim(f0.URLs[0], f0.URLs[1])
+	diff := w.PageSim(f0.URLs[0], f1.URLs[0])
+	if same <= diff {
+		t.Errorf("same-facet sim %v should exceed cross-facet sim %v", same, diff)
+	}
+	if w.PageSim("nope", f0.URLs[0]) != 0 {
+		t.Error("unknown URL sim should be 0")
+	}
+}
+
+func TestUserPrefsAreDistributions(t *testing.T) {
+	w := smallWorld(t)
+	for u, pref := range w.UserPrefs {
+		if len(pref) != len(w.Facets) {
+			t.Fatalf("user %s pref len %d", u, len(pref))
+		}
+		if math.Abs(sum(pref)-1) > 1e-9 {
+			t.Errorf("user %s pref sums to %v", u, sum(pref))
+		}
+		for _, p := range pref {
+			if p <= 0 {
+				t.Errorf("user %s has nonpositive pref mass", u)
+			}
+		}
+	}
+}
+
+func TestPerUserTimestampsStrictlyIncrease(t *testing.T) {
+	w := smallWorld(t)
+	for _, u := range w.UserIDs() {
+		entries := w.Log.ByUser(u)
+		for i := 1; i < len(entries); i++ {
+			if !entries[i].Time.After(entries[i-1].Time) {
+				t.Fatalf("user %s timestamps not strictly increasing at %d", u, i)
+			}
+		}
+	}
+}
+
+func TestSessionsAreCoherent(t *testing.T) {
+	// Most queries inside a derived session should share one facet — the
+	// generator writes facet-coherent sessions, sessionization should
+	// mostly recover them.
+	w := smallWorld(t)
+	sessions := querylog.Sessionize(w.Log, querylog.SessionizerConfig{})
+	coherent := 0
+	for _, s := range sessions {
+		f0, _ := w.FacetOf(s.Entries[0])
+		ok := true
+		for _, e := range s.Entries[1:] {
+			if f, _ := w.FacetOf(e); f != f0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			coherent++
+		}
+	}
+	if frac := float64(coherent) / float64(len(sessions)); frac < 0.9 {
+		t.Errorf("only %.0f%% of sessions facet-coherent, want ≥90%%", frac*100)
+	}
+}
+
+func TestRobotsGeneratedWhenRequested(t *testing.T) {
+	w := Generate(Config{Seed: 3, NumFacets: 4, NumUsers: 5, SessionsPerUser: 4, RobotUsers: 2})
+	robots := 0
+	for _, u := range w.Log.Users() {
+		if len(u) > 5 && u[:5] == "robot" {
+			robots++
+		}
+	}
+	if robots != 2 {
+		t.Fatalf("robot users = %d, want 2", robots)
+	}
+	cleaned, stats := querylog.Clean(w.Log, querylog.CleanerConfig{})
+	if stats.RoboticUsers != 2 {
+		t.Errorf("cleaner found %d robots, want 2", stats.RoboticUsers)
+	}
+	for _, u := range cleaned.Users() {
+		if len(u) > 5 && u[:5] == "robot" {
+			t.Error("robot survived cleaning")
+		}
+	}
+}
+
+func TestNormalizeTime(t *testing.T) {
+	w := smallWorld(t)
+	start, end := w.TimeSpan()
+	if w.NormalizeTime(start) != 0 {
+		t.Error("start should map to 0")
+	}
+	if w.NormalizeTime(end) != 1 {
+		t.Error("end should map to 1")
+	}
+	mid := start.Add(end.Sub(start) / 2)
+	if v := w.NormalizeTime(mid); math.Abs(v-0.5) > 1e-9 {
+		t.Errorf("mid = %v", v)
+	}
+	if w.NormalizeTime(start.Add(-24*time.Hour)) != 0 {
+		t.Error("before-start should clamp to 0")
+	}
+	if w.NormalizeTime(end.Add(24*time.Hour)) != 1 {
+		t.Error("after-end should clamp to 1")
+	}
+}
+
+func sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func TestWriteGroundTruth(t *testing.T) {
+	w := smallWorld(t)
+	var buf bytes.Buffer
+	if err := w.WriteGroundTruth(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "Kind\t") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	kinds := map[string]int{}
+	for _, l := range lines[1:] {
+		kinds[strings.SplitN(l, "\t", 2)[0]]++
+	}
+	if kinds["query"] == 0 || kinds["url"] == 0 || kinds["user"] != 10 {
+		t.Errorf("kind counts = %v", kinds)
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := w.WriteGroundTruth(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("ground truth export not deterministic")
+	}
+}

@@ -1,0 +1,220 @@
+// Package synth generates synthetic search-engine query logs with known
+// ground truth. It stands in for the proprietary commercial log (12,085
+// users) the paper evaluates on; see DESIGN.md for the substitution
+// argument. The generator reproduces the statistical structure PQS-DA
+// exploits:
+//
+//   - facets: coherent topics with their own vocabulary and URL space,
+//     each a leaf of a synthetic ODP-style taxonomy;
+//   - query ambiguity: shared "head" terms (the paper's "sun") that
+//     belong to several facets at once;
+//   - users with sparse long-term facet preferences and idiosyncratic
+//     word/URL usage inside a facet (the paper's "Toyota vs Ford"
+//     example);
+//   - sessions: short reformulation chains within one facet;
+//   - web dynamics: per-facet Beta-shaped popularity over the log's
+//     time span (exercising the UPM's Topics-over-Time machinery);
+//   - clickthrough noise and optional robot traffic for the cleaning
+//     stage.
+//
+// Every run is deterministic in the seed.
+package synth
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/numeric"
+	"repro/internal/odp"
+	"repro/internal/querylog"
+)
+
+// Facet is one coherent topic: a leaf category, a weighted vocabulary, a
+// weighted URL set and a temporal popularity profile.
+type Facet struct {
+	ID       int
+	Category odp.Category
+	// Terms and TermWeights describe the facet language model (Zipf-ish).
+	Terms       []string
+	TermWeights []float64
+	// HeadTerms are the ambiguous terms this facet shares with others.
+	HeadTerms []string
+	// URLs and URLWeights describe the facet's clickable pages.
+	URLs       []string
+	URLWeights []float64
+	// TimeAlpha/TimeBeta shape the facet's Beta popularity profile over
+	// the normalized [0,1] log time span.
+	TimeAlpha, TimeBeta float64
+}
+
+// URLInfo is the ground truth attached to a synthetic URL.
+type URLInfo struct {
+	Facet int
+	// Title is the high-quality field (HTML/document title) word vector
+	// used by the PPR metric.
+	Title map[string]float64
+	// Topics is the page's distribution over facets, used as the page
+	// representation in the Diversity metric's sim(p, p').
+	Topics []float64
+}
+
+type entryKey struct {
+	user string
+	when int64 // UnixNano; per-user timestamps are unique by construction
+}
+
+// World is a generated query-log universe with full ground truth.
+type World struct {
+	Config   Config
+	Taxonomy *odp.Taxonomy
+	Facets   []Facet
+	Log      *querylog.Log
+	// UserPrefs maps each user to a distribution over facets.
+	UserPrefs map[string][]float64
+
+	urlInfo    map[string]URLInfo
+	entryFacet map[entryKey]int
+	// queryFacetCounts counts, per normalized query, how often each facet
+	// generated it; the dominant facet defines the query's category.
+	queryFacetCounts map[string][]int
+}
+
+// FacetOf returns the facet that generated the entry (the user's intended
+// facet at that moment); ok is false for entries not produced by this
+// world (e.g. hand-added ones).
+func (w *World) FacetOf(e querylog.Entry) (int, bool) {
+	f, ok := w.entryFacet[entryKey{e.UserID, e.Time.UnixNano()}]
+	return f, ok
+}
+
+// URL returns the ground-truth info of a URL; ok is false for unknown
+// URLs.
+func (w *World) URL(u string) (URLInfo, bool) {
+	i, ok := w.urlInfo[u]
+	return i, ok
+}
+
+// PageSim returns the similarity between two clicked pages — the cosine
+// of their facet-topic vectors — the sim(p, p') of the paper's Eq. 32.
+func (w *World) PageSim(u1, u2 string) float64 {
+	a, ok1 := w.urlInfo[u1]
+	b, ok2 := w.urlInfo[u2]
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return numeric.Cosine(a.Topics, b.Topics)
+}
+
+// QueryFacet returns the dominant generating facet of a normalized query
+// string, or -1 when the query never occurred.
+func (w *World) QueryFacet(normQuery string) int {
+	counts, ok := w.queryFacetCounts[normQuery]
+	if !ok {
+		return -1
+	}
+	return numeric.ArgMax(intsToFloats(counts))
+}
+
+// QueryCategory returns the ODP category of a normalized query (that of
+// its dominant facet), or nil when unknown.
+func (w *World) QueryCategory(normQuery string) odp.Category {
+	f := w.QueryFacet(normQuery)
+	if f < 0 {
+		return nil
+	}
+	return w.Facets[f].Category
+}
+
+// FacetRelevance returns the Eq. 34 taxonomy relevance between two
+// facets' categories.
+func (w *World) FacetRelevance(f1, f2 int) float64 {
+	return odp.Relevance(w.Facets[f1].Category, w.Facets[f2].Category)
+}
+
+// TimeSpan returns the generated log's configured time range.
+func (w *World) TimeSpan() (time.Time, time.Time) {
+	return w.Config.Start, w.Config.Start.Add(w.Config.Span)
+}
+
+// NormalizeTime maps an absolute timestamp into the [0,1] span used by
+// temporal models; values are clamped to [0,1].
+func (w *World) NormalizeTime(t time.Time) float64 {
+	span := w.Config.Span.Seconds()
+	if span <= 0 {
+		return 0
+	}
+	x := t.Sub(w.Config.Start).Seconds() / span
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// UserIDs returns all generated (non-robot) user IDs in order.
+func (w *World) UserIDs() []string {
+	out := make([]string, w.Config.NumUsers)
+	for i := range out {
+		out[i] = userID(i)
+	}
+	return out
+}
+
+func userID(i int) string { return fmt.Sprintf("u%04d", i) }
+
+// WriteGroundTruth exports the world's oracle as TSV for external
+// analysis: one section per kind (query, url, user), with the entity,
+// its dominant facet and the facet's taxonomy category (queries/URLs)
+// or the full facet-preference vector (users).
+func (w *World) WriteGroundTruth(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	if _, err := fmt.Fprintln(bw, "Kind\tEntity\tFacet\tDetail"); err != nil {
+		return err
+	}
+	// Queries in deterministic order.
+	queries := make([]string, 0, len(w.queryFacetCounts))
+	for q := range w.queryFacetCounts {
+		queries = append(queries, q)
+	}
+	sort.Strings(queries)
+	for _, q := range queries {
+		f := w.QueryFacet(q)
+		fmt.Fprintf(bw, "query\t%s\t%d\t%s\n", q, f, w.Facets[f].Category)
+	}
+	urls := make([]string, 0, len(w.urlInfo))
+	for u := range w.urlInfo {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	for _, u := range urls {
+		info := w.urlInfo[u]
+		fmt.Fprintf(bw, "url\t%s\t%d\t%s\n", u, info.Facet, w.Facets[info.Facet].Category)
+	}
+	for _, uid := range w.UserIDs() {
+		pref := w.UserPrefs[uid]
+		best := 0
+		parts := make([]string, len(pref))
+		for f, p := range pref {
+			parts[f] = fmt.Sprintf("%.3f", p)
+			if p > pref[best] {
+				best = f
+			}
+		}
+		fmt.Fprintf(bw, "user\t%s\t%d\t%s\n", uid, best, strings.Join(parts, ","))
+	}
+	return bw.Flush()
+}
+
+func intsToFloats(v []int) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}

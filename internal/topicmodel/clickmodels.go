@@ -1,0 +1,284 @@
+package topicmodel
+
+import (
+	"math/rand"
+
+	"repro/internal/numeric"
+)
+
+// This file implements the three query-log topic models of Jiang et al.
+// (DASFAA 2013, the paper's [34]), which differ in how clicked URLs
+// enter the generative process:
+//
+//   - MWM (Meta-Word Model): URLs are folded into the word vocabulary
+//     as meta-words; a single LDA runs over the merged token stream.
+//   - TUM (Term-URL Model): each topic owns separate term and URL
+//     multinomials; word tokens and URL tokens draw their topics
+//     independently from the document mixture.
+//   - CTM (Clickthrough Model): the clicked URL of a query is generated
+//     from the same topic as the query's words — the topic is drawn
+//     once per clickthrough event, coupling terms and URLs.
+
+// MWM is the meta-word model.
+type MWM struct {
+	inner *LDA
+	v     int // real word vocabulary size; URLs occupy ids v..v+u-1
+}
+
+// TrainMWM folds URLs into the vocabulary and fits LDA on the merged
+// stream.
+func TrainMWM(c *Corpus, cfg TrainConfig) *MWM {
+	merged := &Corpus{Words: c.Words, URLs: c.URLs}
+	v := c.V()
+	for _, d := range c.Docs {
+		nd := Document{UserID: d.UserID}
+		for _, s := range d.Sessions {
+			ns := Session{Time: s.Time}
+			for _, ev := range s.Events {
+				ne := QueryEvent{Words: append([]int(nil), ev.Words...), URL: NoURL}
+				if ev.URL != NoURL {
+					ne.Words = append(ne.Words, v+ev.URL) // meta-word
+				}
+				ns.Events = append(ns.Events, ne)
+			}
+			nd.Sessions = append(nd.Sessions, ns)
+		}
+		merged.Docs = append(merged.Docs, nd)
+	}
+	// The merged vocabulary is larger than Words alone; train LDA with a
+	// corpus whose V() reflects it.
+	inner := trainLDAWithVocab(merged, cfg, v+c.U())
+	return &MWM{inner: inner, v: v}
+}
+
+// trainLDAWithVocab is TrainLDA with an explicit vocabulary size (the
+// merged stream uses ids beyond c.V()).
+func trainLDAWithVocab(c *Corpus, cfg TrainConfig, vocab int) *LDA {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &LDA{cfg: cfg, v: vocab}
+	m.init(c)
+	z := make([][][]int, len(c.Docs))
+	for d, doc := range c.Docs {
+		z[d] = make([][]int, len(doc.Sessions))
+		for s, sess := range doc.Sessions {
+			sessWords := sess.Words()
+			z[d][s] = make([]int, len(sessWords))
+			for i, w := range sessWords {
+				k := rng.Intn(cfg.K)
+				z[d][s][i] = k
+				m.add(d, k, w, 1)
+			}
+		}
+	}
+	weights := make([]float64, cfg.K)
+	for it := 0; it < cfg.Iterations; it++ {
+		for d, doc := range c.Docs {
+			for s, sess := range doc.Sessions {
+				sessWords := sess.Words()
+				for i, w := range sessWords {
+					old := z[d][s][i]
+					m.add(d, old, w, -1)
+					for k := 0; k < cfg.K; k++ {
+						weights[k] = (m.ndk[d][k] + cfg.Alpha) *
+							(m.nkw[k][w] + cfg.Beta) / (m.nk[k] + cfg.Beta*float64(m.v))
+					}
+					k := numeric.SampleCategorical(rng, weights)
+					z[d][s][i] = k
+					m.add(d, k, w, 1)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Name implements Model.
+func (m *MWM) Name() string { return "MWM" }
+
+// K implements Model.
+func (m *MWM) K() int { return m.inner.K() }
+
+// PredictiveWordProb implements Model. Word probabilities are
+// renormalized over the word portion of the merged vocabulary so the
+// comparison with word-only models is fair.
+func (m *MWM) PredictiveWordProb(d, w int) float64 {
+	if d >= len(m.inner.ndk) || w >= m.v {
+		return 1e-12
+	}
+	theta := m.inner.Theta(d)
+	return mixturePredictive(theta, func(k int) float64 {
+		// Mass on real words under topic k.
+		wordMass := (m.inner.nk[k] - m.urlMass(k) + m.inner.cfg.Beta*float64(m.v))
+		return (m.inner.nkw[k][w] + m.inner.cfg.Beta) / wordMass
+	})
+}
+
+// urlMass returns the token count topic k spends on meta-words.
+func (m *MWM) urlMass(k int) float64 {
+	s := 0.0
+	for u := m.v; u < m.inner.v; u++ {
+		s += m.inner.nkw[k][u]
+	}
+	return s
+}
+
+// TUM is the term-URL model: independent word and URL topic draws with
+// separate per-topic emission distributions.
+type TUM struct {
+	cfg  TrainConfig
+	v, u int
+	ndk  [][]float64
+	nkw  [][]float64
+	nk   []float64
+	nku  [][]float64
+	nkuS []float64
+	ndS  []float64
+}
+
+// TrainTUM fits the term-URL model by collapsed Gibbs sampling over
+// word tokens and URL tokens independently.
+func TrainTUM(c *Corpus, cfg TrainConfig) *TUM {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &TUM{cfg: cfg, v: c.V(), u: c.U()}
+	m.ndk = make([][]float64, len(c.Docs))
+	m.ndS = make([]float64, len(c.Docs))
+	for d := range m.ndk {
+		m.ndk[d] = make([]float64, cfg.K)
+	}
+	m.nkw = make([][]float64, cfg.K)
+	m.nk = make([]float64, cfg.K)
+	m.nku = make([][]float64, cfg.K)
+	m.nkuS = make([]float64, cfg.K)
+	for k := 0; k < cfg.K; k++ {
+		m.nkw[k] = make([]float64, m.v)
+		m.nku[k] = make([]float64, m.u)
+	}
+
+	zw := make([][][]int, len(c.Docs)) // word-token topics per session
+	zu := make([][][]int, len(c.Docs)) // URL-token topics per session
+	for d, doc := range c.Docs {
+		zw[d] = make([][]int, len(doc.Sessions))
+		zu[d] = make([][]int, len(doc.Sessions))
+		for s, sess := range doc.Sessions {
+			words, urls := sess.Words(), sess.URLs()
+			zw[d][s] = make([]int, len(words))
+			zu[d][s] = make([]int, len(urls))
+			for i, w := range words {
+				k := rng.Intn(cfg.K)
+				zw[d][s][i] = k
+				m.addWord(d, k, w, 1)
+			}
+			for i, u := range urls {
+				k := rng.Intn(cfg.K)
+				zu[d][s][i] = k
+				m.addURL(d, k, u, 1)
+			}
+		}
+	}
+	weights := make([]float64, cfg.K)
+	for it := 0; it < cfg.Iterations; it++ {
+		for d, doc := range c.Docs {
+			for s, sess := range doc.Sessions {
+				words, urls := sess.Words(), sess.URLs()
+				for i, w := range words {
+					old := zw[d][s][i]
+					m.addWord(d, old, w, -1)
+					for k := 0; k < cfg.K; k++ {
+						weights[k] = (m.ndk[d][k] + cfg.Alpha) *
+							(m.nkw[k][w] + cfg.Beta) / (m.nk[k] + cfg.Beta*float64(m.v))
+					}
+					k := numeric.SampleCategorical(rng, weights)
+					zw[d][s][i] = k
+					m.addWord(d, k, w, 1)
+				}
+				for i, u := range urls {
+					old := zu[d][s][i]
+					m.addURL(d, old, u, -1)
+					for k := 0; k < cfg.K; k++ {
+						weights[k] = (m.ndk[d][k] + cfg.Alpha) *
+							(m.nku[k][u] + cfg.Delta) / (m.nkuS[k] + cfg.Delta*float64(m.u))
+					}
+					k := numeric.SampleCategorical(rng, weights)
+					zu[d][s][i] = k
+					m.addURL(d, k, u, 1)
+				}
+			}
+		}
+	}
+	return m
+}
+
+func (m *TUM) addWord(d, k, w int, delta float64) {
+	m.ndk[d][k] += delta
+	m.ndS[d] += delta
+	m.nkw[k][w] += delta
+	m.nk[k] += delta
+}
+
+func (m *TUM) addURL(d, k, u int, delta float64) {
+	m.ndk[d][k] += delta
+	m.ndS[d] += delta
+	m.nku[k][u] += delta
+	m.nkuS[k] += delta
+}
+
+// Name implements Model.
+func (m *TUM) Name() string { return "TUM" }
+
+// K implements Model.
+func (m *TUM) K() int { return m.cfg.K }
+
+// Theta returns the smoothed document–topic distribution.
+func (m *TUM) Theta(d int) []float64 {
+	theta := make([]float64, m.cfg.K)
+	denom := m.ndS[d] + m.cfg.Alpha*float64(m.cfg.K)
+	for k := range theta {
+		theta[k] = (m.ndk[d][k] + m.cfg.Alpha) / denom
+	}
+	return theta
+}
+
+// PredictiveWordProb implements Model.
+func (m *TUM) PredictiveWordProb(d, w int) float64 {
+	if d >= len(m.ndk) || w >= m.v {
+		return 1e-12
+	}
+	return mixturePredictive(m.Theta(d), func(k int) float64 {
+		return (m.nkw[k][w] + m.cfg.Beta) / (m.nk[k] + m.cfg.Beta*float64(m.v))
+	})
+}
+
+// CTM is the clickthrough model: each CLICKTHROUGH event — a (query,
+// clicked URL) pair — draws one topic that generates both the query's
+// words and the URL. Unlike PTM2 it ignores clickless queries entirely
+// (it models the click graph's information, nothing more), and unlike
+// TUM the query words and the URL of one event share a topic.
+type CTM struct{ *PTM }
+
+// TrainCTM fits the clickthrough model on the clicked events only.
+func TrainCTM(c *Corpus, cfg TrainConfig) *CTM {
+	clicked := &Corpus{Words: c.Words, URLs: c.URLs}
+	for _, d := range c.Docs {
+		nd := Document{UserID: d.UserID}
+		for _, s := range d.Sessions {
+			ns := Session{Time: s.Time}
+			for _, ev := range s.Events {
+				if ev.URL != NoURL {
+					ns.Events = append(ns.Events, ev)
+				}
+			}
+			if len(ns.Events) > 0 {
+				nd.Sessions = append(nd.Sessions, ns)
+			}
+		}
+		// Keep the document even when empty so indices stay aligned with
+		// the source corpus.
+		clicked.Docs = append(clicked.Docs, nd)
+	}
+	return &CTM{PTM: trainPTM(clicked, cfg, true)}
+}
+
+// Name implements Model.
+func (m *CTM) Name() string { return "CTM" }

@@ -1,0 +1,190 @@
+// Package topicmodel implements the generative models the paper's
+// Section V and Fig. 4 evaluate: the proposed User Profiling Model (UPM)
+// and the baselines LDA, TOT, PTM1, PTM2, MWM, TUM, CTM and SSTM. All
+// models share one corpus format — per-user documents made of sessions
+// of query events (words plus optional clicked URL) with normalized
+// timestamps — and one held-out perplexity protocol (Eq. 35).
+package topicmodel
+
+import (
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/querylog"
+)
+
+// QueryEvent is a single log entry inside a session: the query's word
+// tokens and the clicked URL token (NoURL when the user did not click).
+type QueryEvent struct {
+	Words []int
+	URL   int
+}
+
+// NoURL marks a query event without a click.
+const NoURL = -1
+
+// Session is one search session inside a user document, with a
+// timestamp normalized into [0, 1] over the log's time span.
+type Session struct {
+	Events []QueryEvent
+	Time   float64
+}
+
+// Words returns all word tokens of the session in order.
+func (s Session) Words() []int {
+	var out []int
+	for _, e := range s.Events {
+		out = append(out, e.Words...)
+	}
+	return out
+}
+
+// URLs returns all clicked URL tokens of the session in order.
+func (s Session) URLs() []int {
+	var out []int
+	for _, e := range s.Events {
+		if e.URL != NoURL {
+			out = append(out, e.URL)
+		}
+	}
+	return out
+}
+
+// Document is one user's search history.
+type Document struct {
+	UserID   string
+	Sessions []Session
+}
+
+// NumWords returns the total word-token count of the document.
+func (d Document) NumWords() int {
+	n := 0
+	for _, s := range d.Sessions {
+		for _, e := range s.Events {
+			n += len(e.Words)
+		}
+	}
+	return n
+}
+
+// Corpus is a collection of user documents over shared word and URL
+// vocabularies.
+type Corpus struct {
+	Docs  []Document
+	Words *bipartite.Index
+	URLs  *bipartite.Index
+	// TimeMin and TimeMax record the absolute time range the [0,1]
+	// session timestamps were normalized over, so later fold-in data
+	// can be mapped consistently. Zero values mean unknown.
+	TimeMin, TimeMax time.Time
+}
+
+// NormTime maps an absolute timestamp into the corpus's [0,1] span,
+// clamping outside values; 0.5 when the span is unknown or empty.
+func (c *Corpus) NormTime(t time.Time) float64 {
+	if c.TimeMin.IsZero() || !c.TimeMax.After(c.TimeMin) {
+		return 0.5
+	}
+	x := t.Sub(c.TimeMin).Seconds() / c.TimeMax.Sub(c.TimeMin).Seconds()
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// V returns the word vocabulary size.
+func (c *Corpus) V() int { return c.Words.Len() }
+
+// U returns the URL vocabulary size.
+func (c *Corpus) U() int { return c.URLs.Len() }
+
+// TotalWords returns the corpus-wide word-token count.
+func (c *Corpus) TotalWords() int {
+	n := 0
+	for _, d := range c.Docs {
+		n += d.NumWords()
+	}
+	return n
+}
+
+// BuildCorpus assembles a corpus from sessionized query-log data. One
+// document is created per user, in the user order of the sessions.
+// normTime maps absolute timestamps into [0,1]; pass nil to derive the
+// range from the sessions themselves.
+func BuildCorpus(sessions []querylog.Session, normTime func(time.Time) float64) *Corpus {
+	c := &Corpus{
+		Words: bipartite.NewIndex(),
+		URLs:  bipartite.NewIndex(),
+	}
+	var minT, maxT time.Time
+	for _, s := range sessions {
+		for _, e := range s.Entries {
+			if minT.IsZero() || e.Time.Before(minT) {
+				minT = e.Time
+			}
+			if maxT.IsZero() || e.Time.After(maxT) {
+				maxT = e.Time
+			}
+		}
+	}
+	c.TimeMin, c.TimeMax = minT, maxT
+	if normTime == nil {
+		normTime = c.NormTime
+	}
+	docOf := make(map[string]int)
+	for _, s := range sessions {
+		di, ok := docOf[s.UserID]
+		if !ok {
+			di = len(c.Docs)
+			docOf[s.UserID] = di
+			c.Docs = append(c.Docs, Document{UserID: s.UserID})
+		}
+		sess := Session{Time: normTime(s.Entries[0].Time)}
+		for _, e := range s.Entries {
+			ev := QueryEvent{URL: NoURL}
+			for _, w := range querylog.Tokenize(e.Query) {
+				ev.Words = append(ev.Words, c.Words.Intern(w))
+			}
+			if e.ClickedURL != "" {
+				ev.URL = c.URLs.Intern(e.ClickedURL)
+			}
+			if len(ev.Words) > 0 || ev.URL != NoURL {
+				sess.Events = append(sess.Events, ev)
+			}
+		}
+		if len(sess.Events) == 0 {
+			continue
+		}
+		c.Docs[di].Sessions = append(c.Docs[di].Sessions, sess)
+	}
+	return c
+}
+
+// SplitPrefix divides the corpus into an observed part (the first
+// fraction of each document's sessions, by count) and a held-out part,
+// sharing vocabularies with the original — the protocol behind the
+// paper's Eq. 35 perplexity. Documents keep their indices; a document
+// whose prefix would be empty contributes all sessions to observed and
+// none to held-out (nothing to predict for brand-new users).
+func (c *Corpus) SplitPrefix(fraction float64) (observed, heldOut *Corpus) {
+	if fraction <= 0 {
+		fraction = 0.5
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	observed = &Corpus{Words: c.Words, URLs: c.URLs}
+	heldOut = &Corpus{Words: c.Words, URLs: c.URLs}
+	for _, d := range c.Docs {
+		cut := int(float64(len(d.Sessions)) * fraction)
+		if cut == 0 {
+			cut = len(d.Sessions)
+		}
+		observed.Docs = append(observed.Docs, Document{UserID: d.UserID, Sessions: d.Sessions[:cut]})
+		heldOut.Docs = append(heldOut.Docs, Document{UserID: d.UserID, Sessions: d.Sessions[cut:]})
+	}
+	return observed, heldOut
+}

@@ -1,0 +1,123 @@
+package topicmodel
+
+import (
+	"testing"
+
+	"repro/internal/querylog"
+	"repro/internal/synth"
+)
+
+func synthSessions(t *testing.T) (*synth.World, []querylog.Session) {
+	t.Helper()
+	w := synth.Generate(synth.Config{Seed: 23, NumFacets: 5, NumUsers: 12, SessionsPerUser: 30})
+	return w, querylog.Sessionize(w.Log, querylog.SessionizerConfig{})
+}
+
+func synthCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	w, sessions := synthSessions(t)
+	return BuildCorpus(sessions, w.NormalizeTime)
+}
+
+func TestBuildCorpusStructure(t *testing.T) {
+	w, sessions := synthSessions(t)
+	c := BuildCorpus(sessions, w.NormalizeTime)
+	if len(c.Docs) != 12 {
+		t.Fatalf("docs = %d, want 12 (one per user)", len(c.Docs))
+	}
+	if c.V() == 0 || c.U() == 0 {
+		t.Fatal("empty vocabularies")
+	}
+	if c.TotalWords() == 0 {
+		t.Fatal("no word tokens")
+	}
+	for _, d := range c.Docs {
+		if len(d.Sessions) == 0 {
+			t.Errorf("user %s has no sessions", d.UserID)
+		}
+		for _, s := range d.Sessions {
+			if s.Time < 0 || s.Time > 1 {
+				t.Errorf("session time %v outside [0,1]", s.Time)
+			}
+			if len(s.Events) == 0 {
+				t.Error("empty session kept")
+			}
+		}
+	}
+}
+
+func TestBuildCorpusNilNormTime(t *testing.T) {
+	_, sessions := synthSessions(t)
+	c := BuildCorpus(sessions, nil)
+	for _, d := range c.Docs {
+		for _, s := range d.Sessions {
+			if s.Time < 0 || s.Time > 1 {
+				t.Fatalf("derived time %v outside [0,1]", s.Time)
+			}
+		}
+	}
+}
+
+func TestSessionWordsURLs(t *testing.T) {
+	s := Session{Events: []QueryEvent{
+		{Words: []int{1, 2}, URL: 7},
+		{Words: []int{3}, URL: NoURL},
+	}}
+	if got := s.Words(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Words = %v", got)
+	}
+	if got := s.URLs(); len(got) != 1 || got[0] != 7 {
+		t.Errorf("URLs = %v", got)
+	}
+}
+
+func TestSplitPrefixInvariants(t *testing.T) {
+	c := synthCorpus(t)
+	obs, held := c.SplitPrefix(0.6)
+	if len(obs.Docs) != len(c.Docs) || len(held.Docs) != len(c.Docs) {
+		t.Fatal("split changed document count")
+	}
+	for d := range c.Docs {
+		if len(obs.Docs[d].Sessions)+len(held.Docs[d].Sessions) != len(c.Docs[d].Sessions) {
+			t.Fatalf("doc %d sessions not partitioned", d)
+		}
+		if len(obs.Docs[d].Sessions) == 0 {
+			t.Errorf("doc %d has empty observed prefix", d)
+		}
+		// Held-out sessions are the most recent ones.
+		if len(held.Docs[d].Sessions) > 0 {
+			lastObs := obs.Docs[d].Sessions[len(obs.Docs[d].Sessions)-1].Time
+			firstHeld := held.Docs[d].Sessions[0].Time
+			if firstHeld < lastObs-1e-9 {
+				t.Errorf("doc %d: held-out starts before observed ends", d)
+			}
+		}
+	}
+	// Vocabularies are shared, not copied.
+	if obs.Words != c.Words || held.URLs != c.URLs {
+		t.Error("split did not share vocabularies")
+	}
+}
+
+func TestSplitPrefixClamps(t *testing.T) {
+	c := synthCorpus(t)
+	obs, held := c.SplitPrefix(5)
+	for d := range c.Docs {
+		if len(held.Docs[d].Sessions) != 0 {
+			t.Fatal("fraction > 1 should hold out nothing")
+		}
+		if len(obs.Docs[d].Sessions) != len(c.Docs[d].Sessions) {
+			t.Fatal("fraction > 1 should observe everything")
+		}
+	}
+}
+
+func TestDocumentNumWords(t *testing.T) {
+	d := Document{Sessions: []Session{
+		{Events: []QueryEvent{{Words: []int{1, 2}, URL: NoURL}}},
+		{Events: []QueryEvent{{Words: []int{3}, URL: 0}}},
+	}}
+	if d.NumWords() != 3 {
+		t.Errorf("NumWords = %d", d.NumWords())
+	}
+}

@@ -1,0 +1,146 @@
+package topicmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin down the STRUCTURAL differences between the nine
+// models — the properties that make each baseline a distinct point in
+// Fig. 4's comparison rather than a renamed copy.
+
+// couplingCorpus: word w identifies the query; the clicked URL is
+// perfectly determined by the query's topic. A model that couples the
+// URL to the query's topic (CTM, PTM2) can exploit this; a model
+// drawing URL topics independently (TUM) cannot.
+func couplingCorpus() *Corpus {
+	c := &Corpus{Words: newTestIndex(8), URLs: newTestIndex(4)}
+	for d := 0; d < 8; d++ {
+		topic := d % 2
+		doc := Document{UserID: string(rune('a' + d))}
+		for s := 0; s < 10; s++ {
+			sess := Session{Time: 0.5}
+			// Words 0–3 with URL 0|1 for topic A; words 4–7 with URL 2|3
+			// for topic B.
+			ev := QueryEvent{
+				Words: []int{topic*4 + s%4, topic*4 + (s+1)%4},
+				URL:   topic*2 + s%2,
+			}
+			sess.Events = append(sess.Events, ev)
+			doc.Sessions = append(doc.Sessions, sess)
+		}
+		c.Docs = append(c.Docs, doc)
+	}
+	return c
+}
+
+func TestCTMCouplesQueryAndURLTopics(t *testing.T) {
+	c := couplingCorpus()
+	m := TrainCTM(c, TrainConfig{K: 2, Iterations: 60, Seed: 2})
+	// Under CTM the per-topic URL distributions should separate: the
+	// URLs of topic A's queries concentrate in one latent topic.
+	// Measure: for each latent topic, URL mass should be lopsided
+	// between {0,1} and {2,3}.
+	for k := 0; k < 2; k++ {
+		a := m.PhiURL(k, 0) + m.PhiURL(k, 1)
+		b := m.PhiURL(k, 2) + m.PhiURL(k, 3)
+		ratio := math.Max(a, b) / (a + b)
+		if ratio < 0.9 {
+			t.Errorf("latent topic %d: URL groups not separated (ratio %.2f)", k, ratio)
+		}
+	}
+}
+
+func TestMWMTreatsURLsAsMetaWords(t *testing.T) {
+	c := couplingCorpus()
+	m := TrainMWM(c, TrainConfig{K: 2, Iterations: 60, Seed: 2})
+	// MWM's predictive word distribution must renormalize over REAL
+	// words only, despite training on the merged stream.
+	for _, d := range []int{0, 1} {
+		sum := 0.0
+		for w := 0; w < c.V(); w++ {
+			sum += m.PredictiveWordProb(d, w)
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("doc %d: word mass %v, want 1 (meta-words must not leak)", d, sum)
+		}
+	}
+}
+
+func TestPTMQueryLevelCoherence(t *testing.T) {
+	// Every word of one query shares a topic under PTM; under LDA the
+	// tokens may split. Construct queries whose words individually pull
+	// to different topics but whose co-occurrence is decisive.
+	c := &Corpus{Words: newTestIndex(6), URLs: newTestIndex(0)}
+	for d := 0; d < 6; d++ {
+		doc := Document{UserID: string(rune('a' + d))}
+		topic := d % 2
+		for s := 0; s < 8; s++ {
+			sess := Session{Time: 0.5}
+			sess.Events = append(sess.Events, QueryEvent{
+				Words: []int{topic * 3, topic*3 + 1, topic*3 + 2},
+				URL:   NoURL,
+			})
+			doc.Sessions = append(doc.Sessions, sess)
+		}
+		c.Docs = append(c.Docs, doc)
+	}
+	m := TrainPTM1(c, TrainConfig{K: 2, Iterations: 60, Alpha: 1, Seed: 3})
+	// Document mixtures must be sharply single-topic: a query-level
+	// model cannot split a 3-word one-topic query.
+	for d := range c.Docs {
+		th := m.Theta(d)
+		max := math.Max(th[0], th[1])
+		if max < 0.9 {
+			t.Errorf("doc %d: theta %v not concentrated (query-level assignment should be decisive)", d, th)
+		}
+	}
+}
+
+func TestCTMIgnoresClicklessQueries(t *testing.T) {
+	// A corpus where every click belongs to topic-A queries and all
+	// topic-B queries are clickless: CTM must train fine and its URL
+	// distributions describe only the clicked half.
+	c := &Corpus{Words: newTestIndex(6), URLs: newTestIndex(2)}
+	doc := Document{UserID: "solo"}
+	for s := 0; s < 12; s++ {
+		sess := Session{Time: 0.5}
+		if s%2 == 0 {
+			sess.Events = append(sess.Events, QueryEvent{Words: []int{0, 1}, URL: s % 2})
+		} else {
+			sess.Events = append(sess.Events, QueryEvent{Words: []int{3, 4}, URL: NoURL})
+		}
+		doc.Sessions = append(doc.Sessions, sess)
+	}
+	c.Docs = append(c.Docs, doc)
+	m := TrainCTM(c, TrainConfig{K: 2, Iterations: 30, Seed: 4})
+	// Words 3,4 never appear in a clicked event; CTM's topics carry
+	// only smoothing mass for them, strictly less than for words 0,1.
+	seen := m.Phi(0, 0) + m.Phi(1, 0)
+	unseen := m.Phi(0, 3) + m.Phi(1, 3)
+	if unseen >= seen {
+		t.Errorf("clickless word mass %v ≥ clicked word mass %v", unseen, seen)
+	}
+}
+
+func TestUPMTopWords(t *testing.T) {
+	c := synthCorpus(t)
+	m := trainedUPM(t, c)
+	top := m.TopWords(0, 5)
+	if len(top) != 5 {
+		t.Fatalf("TopWords returned %d", len(top))
+	}
+	// Descending by prior probability.
+	for i := 1; i < len(top); i++ {
+		if m.PriorWordProb(0, top[i-1]) < m.PriorWordProb(0, top[i]) {
+			t.Fatal("TopWords not sorted by prior probability")
+		}
+	}
+	// Per-user view exists and is sorted too.
+	topFor := m.TopWordsFor(0, 0, 5)
+	for i := 1; i < len(topFor); i++ {
+		if m.WordProb(0, 0, topFor[i-1]) < m.WordProb(0, 0, topFor[i]) {
+			t.Fatal("TopWordsFor not sorted by posterior probability")
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package topicmodel
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// upmWire mirrors UPM for gob: the trained model — hyperparameters,
+// temporal parameters and per-user counts — is exactly the "concise
+// summary of each user's preference" the paper stores offline for
+// online personalization (Section V-A).
+type upmWire struct {
+	Cfg        UPMConfig
+	V, U       int
+	Alpha      []float64
+	BetaPrior  [][]float64
+	DeltaPrior [][]float64
+	BetaSum    []float64
+	DeltaSum   []float64
+	Tau        [][2]float64
+	Ndk        [][]float64
+	NdkSum     []float64
+	Nkwd       [][]map[int]float64
+	NkwdSum    [][]float64
+	Nkud       [][]map[int]float64
+	NkudSum    [][]float64
+	DocID      map[string]int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *UPM) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(upmWire{
+		Cfg: m.cfg, V: m.v, U: m.u,
+		Alpha: m.alpha, BetaPrior: m.betaPrior, DeltaPrior: m.deltaPrior,
+		BetaSum: m.betaSum, DeltaSum: m.deltaSum, Tau: m.tau,
+		Ndk: m.ndk, NdkSum: m.ndkSum,
+		Nkwd: m.nkwd, NkwdSum: m.nkwdSum,
+		Nkud: m.nkud, NkudSum: m.nkudSum,
+		DocID: m.docID,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *UPM) GobDecode(data []byte) error {
+	var w upmWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	m.cfg, m.v, m.u = w.Cfg, w.V, w.U
+	m.alpha, m.betaPrior, m.deltaPrior = w.Alpha, w.BetaPrior, w.DeltaPrior
+	m.betaSum, m.deltaSum, m.tau = w.BetaSum, w.DeltaSum, w.Tau
+	m.ndk, m.ndkSum = w.Ndk, w.NdkSum
+	m.nkwd, m.nkwdSum = w.Nkwd, w.NkwdSum
+	m.nkud, m.nkudSum = w.Nkud, w.NkudSum
+	m.docID = w.DocID
+	return nil
+}

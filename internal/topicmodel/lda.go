@@ -1,0 +1,116 @@
+package topicmodel
+
+import (
+	"math/rand"
+
+	"repro/internal/numeric"
+)
+
+// LDA is standard Latent Dirichlet Allocation (Blei et al., the paper's
+// [19]) trained by collapsed Gibbs sampling at the word-token level,
+// with topic–word distributions shared across documents.
+type LDA struct {
+	cfg TrainConfig
+	v   int // vocabulary size
+	// ndk[d][k]: tokens of doc d assigned to topic k.
+	ndk [][]float64
+	// nkw[k][w]: corpus-wide tokens of word w assigned to topic k.
+	nkw [][]float64
+	// nk[k]: total tokens on topic k.
+	nk []float64
+	// ndSum[d]: token count of doc d.
+	ndSum []float64
+}
+
+// TrainLDA fits LDA on the corpus (URLs and timestamps are ignored —
+// LDA sees only query words).
+func TrainLDA(c *Corpus, cfg TrainConfig) *LDA {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &LDA{cfg: cfg, v: c.V()}
+	m.init(c)
+
+	// Token-level assignment state: z[d][s][i].
+	z := make([][][]int, len(c.Docs))
+	for d, doc := range c.Docs {
+		z[d] = make([][]int, len(doc.Sessions))
+		for s, sess := range doc.Sessions {
+			sessWords := sess.Words()
+			z[d][s] = make([]int, len(sessWords))
+			for i, w := range sessWords {
+				k := rng.Intn(cfg.K)
+				z[d][s][i] = k
+				m.add(d, k, w, 1)
+			}
+		}
+	}
+	weights := make([]float64, cfg.K)
+	for it := 0; it < cfg.Iterations; it++ {
+		for d, doc := range c.Docs {
+			for s, sess := range doc.Sessions {
+				sessWords := sess.Words()
+				for i, w := range sessWords {
+					old := z[d][s][i]
+					m.add(d, old, w, -1)
+					for k := 0; k < cfg.K; k++ {
+						weights[k] = (m.ndk[d][k] + cfg.Alpha) *
+							(m.nkw[k][w] + cfg.Beta) / (m.nk[k] + cfg.Beta*float64(m.v))
+					}
+					k := numeric.SampleCategorical(rng, weights)
+					z[d][s][i] = k
+					m.add(d, k, w, 1)
+				}
+			}
+		}
+	}
+	return m
+}
+
+func (m *LDA) init(c *Corpus) {
+	m.ndk = make([][]float64, len(c.Docs))
+	m.ndSum = make([]float64, len(c.Docs))
+	for d := range m.ndk {
+		m.ndk[d] = make([]float64, m.cfg.K)
+	}
+	m.nkw = make([][]float64, m.cfg.K)
+	m.nk = make([]float64, m.cfg.K)
+	for k := range m.nkw {
+		m.nkw[k] = make([]float64, m.v)
+	}
+}
+
+func (m *LDA) add(d, k, w int, delta float64) {
+	m.ndk[d][k] += delta
+	m.nkw[k][w] += delta
+	m.nk[k] += delta
+	m.ndSum[d] += delta
+}
+
+// Name implements Model.
+func (m *LDA) Name() string { return "LDA" }
+
+// K implements Model.
+func (m *LDA) K() int { return m.cfg.K }
+
+// Theta returns the smoothed document–topic distribution of document d.
+func (m *LDA) Theta(d int) []float64 {
+	theta := make([]float64, m.cfg.K)
+	denom := m.ndSum[d] + m.cfg.Alpha*float64(m.cfg.K)
+	for k := range theta {
+		theta[k] = (m.ndk[d][k] + m.cfg.Alpha) / denom
+	}
+	return theta
+}
+
+// Phi returns the smoothed topic–word probability φ_kw.
+func (m *LDA) Phi(k, w int) float64 {
+	return (m.nkw[k][w] + m.cfg.Beta) / (m.nk[k] + m.cfg.Beta*float64(m.v))
+}
+
+// PredictiveWordProb implements Model.
+func (m *LDA) PredictiveWordProb(d, w int) float64 {
+	if d >= len(m.ndk) || w >= m.v {
+		return 1e-12
+	}
+	return mixturePredictive(m.Theta(d), func(k int) float64 { return m.Phi(k, w) })
+}

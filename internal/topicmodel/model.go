@@ -1,0 +1,98 @@
+package topicmodel
+
+import (
+	"math"
+)
+
+// Model is the interface every trained generative model exposes for the
+// Fig. 4 perplexity comparison: the per-document predictive word
+// distribution p(w | d, trained state).
+type Model interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// K returns the topic count.
+	K() int
+	// PredictiveWordProb returns p(word w | document d). Implementations
+	// must return a strictly positive probability for any in-vocabulary
+	// word (priors smooth unseen words).
+	PredictiveWordProb(d, w int) float64
+}
+
+// TrainConfig is shared by all trainers.
+type TrainConfig struct {
+	// K is the topic count (default 10).
+	K int
+	// Iterations is the number of Gibbs sweeps (default 100).
+	Iterations int
+	// Alpha and Beta are the symmetric Dirichlet priors for document–
+	// topic and topic–word distributions (defaults 50/K and 0.01).
+	Alpha, Beta float64
+	// Delta is the symmetric prior for topic–URL distributions where a
+	// model has them (default 0.01).
+	Delta float64
+	// Seed drives the sampler.
+	Seed int64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 100
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 50 / float64(c.K)
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.01
+	}
+	if c.Delta <= 0 {
+		c.Delta = 0.01
+	}
+	return c
+}
+
+// HeldOutPerplexity computes the paper's Eq. 35: the perplexity of the
+// held-out word tokens under the model's per-document predictive
+// distribution,
+//
+//	exp( − Σ_d Σ_i log p(w_i | d) / Σ_d N_d ).
+//
+// Held-out documents must use the same indices and vocabulary as the
+// training corpus. Documents beyond the model's training set are
+// skipped. It returns +Inf when the model assigns zero mass to any
+// held-out token and NaN when there are no held-out tokens.
+func HeldOutPerplexity(m Model, heldOut *Corpus, numTrainedDocs int) float64 {
+	logSum := 0.0
+	n := 0
+	for d, doc := range heldOut.Docs {
+		if d >= numTrainedDocs {
+			continue
+		}
+		for _, s := range doc.Sessions {
+			for _, w := range s.Words() {
+				p := m.PredictiveWordProb(d, w)
+				if p <= 0 {
+					return math.Inf(1)
+				}
+				logSum += math.Log(p)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(-logSum / float64(n))
+}
+
+// mixturePredictive computes Σ_k θ[k]·φ[k][w], the standard predictive
+// word probability for mixture models.
+func mixturePredictive(theta []float64, phiW func(k int) float64) float64 {
+	p := 0.0
+	for k := range theta {
+		p += theta[k] * phiW(k)
+	}
+	return p
+}

@@ -1,0 +1,191 @@
+package topicmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+// quickCfg keeps model tests fast.
+var quickCfg = TrainConfig{K: 5, Iterations: 30, Beta: 0.1, Delta: 0.1, Seed: 1}
+
+// allModels trains every baseline model on the corpus.
+func allModels(t *testing.T, c *Corpus) []Model {
+	t.Helper()
+	return []Model{
+		TrainLDA(c, quickCfg),
+		TrainTOT(c, quickCfg),
+		TrainPTM1(c, quickCfg),
+		TrainPTM2(c, quickCfg),
+		TrainMWM(c, quickCfg),
+		TrainTUM(c, quickCfg),
+		TrainCTM(c, quickCfg),
+		TrainSSTM(c, quickCfg),
+		TrainUPM(c, UPMConfig{K: 5, Iterations: 30, Seed: 1, HyperRounds: 1, HyperIters: 5}),
+	}
+}
+
+func TestAllModelsNamesDistinct(t *testing.T) {
+	c := synthCorpus(t)
+	names := make(map[string]bool)
+	for _, m := range allModels(t, c) {
+		if names[m.Name()] {
+			t.Errorf("duplicate model name %q", m.Name())
+		}
+		names[m.Name()] = true
+		if m.K() != 5 {
+			t.Errorf("%s: K = %d, want 5", m.Name(), m.K())
+		}
+	}
+	for _, want := range []string{"LDA", "TOT", "PTM1", "PTM2", "MWM", "TUM", "CTM", "SSTM", "UPM"} {
+		if !names[want] {
+			t.Errorf("missing model %s", want)
+		}
+	}
+}
+
+// Every model's predictive word distribution must be a proper
+// distribution over the vocabulary for every document.
+func TestAllModelsPredictiveIsDistribution(t *testing.T) {
+	c := synthCorpus(t)
+	for _, m := range allModels(t, c) {
+		for _, d := range []int{0, len(c.Docs) - 1} {
+			sum := 0.0
+			for w := 0; w < c.V(); w++ {
+				p := m.PredictiveWordProb(d, w)
+				if p <= 0 || math.IsNaN(p) {
+					t.Fatalf("%s: p(w=%d|d=%d) = %v", m.Name(), w, d, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Errorf("%s: Σ_w p(w|d=%d) = %v, want 1", m.Name(), d, sum)
+			}
+		}
+	}
+}
+
+func TestAllModelsBeatUniformPerplexity(t *testing.T) {
+	c := synthCorpus(t)
+	obs, held := c.SplitPrefix(0.7)
+	uniform := uniformModel{v: c.V()}
+	uniformPerp := HeldOutPerplexity(uniform, held, len(obs.Docs))
+	for _, m := range []Model{
+		TrainLDA(obs, quickCfg),
+		TrainSSTM(obs, quickCfg),
+		TrainUPM(obs, UPMConfig{K: 5, Iterations: 30, Seed: 1, HyperRounds: 1, HyperIters: 5}),
+	} {
+		p := HeldOutPerplexity(m, held, len(obs.Docs))
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("%s: perplexity = %v", m.Name(), p)
+		}
+		if p >= uniformPerp {
+			t.Errorf("%s: perplexity %v not below uniform %v", m.Name(), p, uniformPerp)
+		}
+	}
+}
+
+type uniformModel struct{ v int }
+
+func (u uniformModel) Name() string                        { return "uniform" }
+func (u uniformModel) K() int                              { return 1 }
+func (u uniformModel) PredictiveWordProb(d, w int) float64 { return 1 / float64(u.v) }
+
+func TestHeldOutPerplexityEdgeCases(t *testing.T) {
+	c := synthCorpus(t)
+	_, held := c.SplitPrefix(0.7)
+	// No trained docs → nothing to score.
+	if got := HeldOutPerplexity(uniformModel{v: c.V()}, held, 0); !math.IsNaN(got) {
+		t.Errorf("perplexity over nothing = %v, want NaN", got)
+	}
+	// Zero-probability model → +Inf.
+	if got := HeldOutPerplexity(zeroModel{}, held, len(held.Docs)); !math.IsInf(got, 1) {
+		t.Errorf("zero-prob perplexity = %v, want +Inf", got)
+	}
+}
+
+type zeroModel struct{}
+
+func (zeroModel) Name() string                        { return "zero" }
+func (zeroModel) K() int                              { return 1 }
+func (zeroModel) PredictiveWordProb(d, w int) float64 { return 0 }
+
+// LDA must separate two cleanly disjoint topics.
+func TestLDARecoversDisjointTopics(t *testing.T) {
+	// Vocabulary 0–4 belongs to topic A, 5–9 to topic B; docs use one.
+	c := &Corpus{Words: newTestIndex(10), URLs: newTestIndex(0)}
+	for d := 0; d < 10; d++ {
+		base := (d % 2) * 5
+		doc := Document{UserID: string(rune('a' + d))}
+		for s := 0; s < 6; s++ {
+			sess := Session{Time: 0.5}
+			ev := QueryEvent{URL: NoURL}
+			for i := 0; i < 5; i++ {
+				ev.Words = append(ev.Words, base+(s+i)%5)
+			}
+			sess.Events = append(sess.Events, ev)
+			doc.Sessions = append(doc.Sessions, sess)
+		}
+		c.Docs = append(c.Docs, doc)
+	}
+	m := TrainLDA(c, TrainConfig{K: 2, Iterations: 80, Seed: 3})
+	// Same-group docs should agree on their dominant topic; cross-group
+	// docs should not.
+	top := func(d int) int {
+		th := m.Theta(d)
+		if th[0] > th[1] {
+			return 0
+		}
+		return 1
+	}
+	if top(0) != top(2) || top(1) != top(3) {
+		t.Error("same-topic documents disagree on dominant topic")
+	}
+	if top(0) == top(1) {
+		t.Error("different-topic documents share a dominant topic")
+	}
+}
+
+// TOT must localize topics in time when word use is time-dependent.
+func TestTOTTemporalLocalization(t *testing.T) {
+	c := &Corpus{Words: newTestIndex(10), URLs: newTestIndex(0)}
+	for d := 0; d < 8; d++ {
+		doc := Document{UserID: string(rune('a' + d))}
+		for s := 0; s < 8; s++ {
+			early := s < 4
+			base := 0
+			tm := 0.1 + 0.05*float64(s%4)
+			if !early {
+				base = 5
+				tm = 0.8 + 0.04*float64(s%4)
+			}
+			sess := Session{Time: tm}
+			ev := QueryEvent{URL: NoURL}
+			for i := 0; i < 4; i++ {
+				ev.Words = append(ev.Words, base+(s+i)%5)
+			}
+			sess.Events = append(sess.Events, ev)
+			doc.Sessions = append(doc.Sessions, sess)
+		}
+		c.Docs = append(c.Docs, doc)
+	}
+	m := TrainTOT(c, TrainConfig{K: 2, Iterations: 80, Seed: 4})
+	mean := func(k int) float64 {
+		a, b := m.TopicTime(k)
+		return a / (a + b)
+	}
+	m0, m1 := mean(0), mean(1)
+	if math.Abs(m0-m1) < 0.3 {
+		t.Errorf("topic time means %v and %v not separated", m0, m1)
+	}
+}
+
+// newTestIndex builds an index with n placeholder entries.
+func newTestIndex(n int) *bipartite.Index {
+	ix := bipartite.NewIndex()
+	for i := 0; i < n; i++ {
+		ix.Intern(string(rune('A' + i)))
+	}
+	return ix
+}

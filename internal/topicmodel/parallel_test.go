@@ -1,0 +1,46 @@
+package topicmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// The parallel Gibbs sweep must be bit-identical to the sequential one:
+// all UPM state is per-document and each document has its own RNG
+// stream (see UPMConfig.Workers).
+func TestUPMParallelMatchesSequential(t *testing.T) {
+	c := synthCorpus(t)
+	seq := TrainUPM(c, UPMConfig{K: 5, Iterations: 25, Seed: 3, HyperRounds: 1, HyperIters: 5, Workers: 1})
+	par := TrainUPM(c, UPMConfig{K: 5, Iterations: 25, Seed: 3, HyperRounds: 1, HyperIters: 5, Workers: 4})
+	for d := 0; d < seq.NumDocs(); d++ {
+		ts, tp := seq.Theta(d), par.Theta(d)
+		for k := range ts {
+			if math.Abs(ts[k]-tp[k]) > 1e-12 {
+				t.Fatalf("doc %d topic %d: sequential %v vs parallel %v", d, k, ts[k], tp[k])
+			}
+		}
+	}
+	for k := 0; k < seq.K(); k++ {
+		for w := 0; w < c.V(); w++ {
+			if math.Abs(seq.PriorWordProb(k, w)-par.PriorWordProb(k, w)) > 1e-12 {
+				t.Fatalf("learned beta differs at (%d,%d)", k, w)
+			}
+		}
+		as, bs := seq.Tau(k)
+		ap, bp := par.Tau(k)
+		if as != ap || bs != bp {
+			t.Fatalf("tau differs at topic %d", k)
+		}
+	}
+}
+
+// Degenerate worker counts behave.
+func TestUPMWorkersEdgeCases(t *testing.T) {
+	c := synthCorpus(t)
+	for _, workers := range []int{0, 1, 100} {
+		m := TrainUPM(c, UPMConfig{K: 3, Iterations: 5, Seed: 1, HyperRounds: -1, Workers: workers})
+		if m.NumDocs() != len(c.Docs) {
+			t.Fatalf("workers=%d: NumDocs %d", workers, m.NumDocs())
+		}
+	}
+}

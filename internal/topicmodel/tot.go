@@ -1,0 +1,101 @@
+package topicmodel
+
+import (
+	"math/rand"
+
+	"repro/internal/numeric"
+)
+
+// TOT is the Topics-over-Time model (Wang & McCallum, the paper's
+// [29]): LDA extended with a per-topic Beta distribution over
+// (normalized) timestamps; each word token's topic must also explain
+// the token's timestamp, so topics acquire temporal localization.
+type TOT struct {
+	*LDA
+	// tau[k] = (a, b) of topic k's Beta distribution.
+	tau [][2]float64
+}
+
+// TrainTOT fits TOT by collapsed Gibbs sampling; the Beta parameters
+// are re-estimated by method of moments (the original TOT procedure,
+// identical in form to the paper's Eqs. 28–29) after every sweep.
+func TrainTOT(c *Corpus, cfg TrainConfig) *TOT {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &TOT{LDA: &LDA{cfg: cfg, v: c.V()}}
+	m.LDA.init(c)
+	m.tau = make([][2]float64, cfg.K)
+	for k := range m.tau {
+		m.tau[k] = [2]float64{1, 1} // uniform to start
+	}
+
+	z := make([][][]int, len(c.Docs))
+	for d, doc := range c.Docs {
+		z[d] = make([][]int, len(doc.Sessions))
+		for s, sess := range doc.Sessions {
+			sessWords := sess.Words()
+			z[d][s] = make([]int, len(sessWords))
+			for i, w := range sessWords {
+				k := rng.Intn(cfg.K)
+				z[d][s][i] = k
+				m.add(d, k, w, 1)
+			}
+		}
+	}
+
+	weights := make([]float64, cfg.K)
+	for it := 0; it < cfg.Iterations; it++ {
+		for d, doc := range c.Docs {
+			for s, sess := range doc.Sessions {
+				sessWords := sess.Words()
+				for i, w := range sessWords {
+					old := z[d][s][i]
+					m.add(d, old, w, -1)
+					for k := 0; k < cfg.K; k++ {
+						weights[k] = (m.ndk[d][k] + cfg.Alpha) *
+							(m.nkw[k][w] + cfg.Beta) / (m.nk[k] + cfg.Beta*float64(m.v)) *
+							numeric.BetaPDF(sess.Time, m.tau[k][0], m.tau[k][1])
+					}
+					k := numeric.SampleCategorical(rng, weights)
+					z[d][s][i] = k
+					m.add(d, k, w, 1)
+				}
+			}
+		}
+		m.refitBeta(c, z)
+	}
+	return m
+}
+
+// refitBeta re-estimates each topic's Beta parameters from the
+// timestamps of its currently assigned tokens (method of moments).
+func (m *TOT) refitBeta(c *Corpus, z [][][]int) {
+	samples := make([][]float64, m.cfg.K)
+	for d, doc := range c.Docs {
+		for s, sess := range doc.Sessions {
+			for i := range sess.Words() {
+				k := z[d][s][i]
+				samples[k] = append(samples[k], sess.Time)
+			}
+		}
+	}
+	for k := range samples {
+		if len(samples[k]) < 2 {
+			m.tau[k] = [2]float64{1, 1}
+			continue
+		}
+		a, b := numeric.FitBetaMoments(numeric.Mean(samples[k]), numeric.Variance(samples[k]))
+		m.tau[k] = [2]float64{a, b}
+	}
+}
+
+// Name implements Model.
+func (m *TOT) Name() string { return "TOT" }
+
+// TopicTime returns topic k's Beta parameters.
+func (m *TOT) TopicTime(k int) (a, b float64) { return m.tau[k][0], m.tau[k][1] }
+
+// TopicTimeDensity returns the density of topic k at normalized time t.
+func (m *TOT) TopicTimeDensity(k int, t float64) float64 {
+	return numeric.BetaPDF(t, m.tau[k][0], m.tau[k][1])
+}

@@ -1,0 +1,373 @@
+package topicmodel
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/numeric"
+)
+
+// UPM is the paper's User Profiling Model (Section V-A, Algorithm 2):
+//
+//   - each user document d has a topic mixture θ_d ~ Dir(α);
+//   - every SESSION draws one topic z ~ Mult(θ_d) — words and URLs in a
+//     session are generated from the same topic;
+//   - words come from per-document, per-topic multinomials
+//     φ_kd ~ Dir(β_k) and URLs from Ω_kd ~ Dir(δ_k): the priors β_k, δ_k
+//     are LEARNED vectors that carry the global topic content (the role
+//     LDA's φ plays) while the per-document counts capture each user's
+//     idiosyncratic word/URL usage (the "Toyota vs Ford" effect);
+//   - session timestamps come from per-topic Beta(τ_k) distributions
+//     (web dynamics, as in Topics-over-Time).
+//
+// Inference alternates collapsed Gibbs sampling of session topics
+// (Eq. 23) with hyperparameter optimization of α, β, δ by L-BFGS on the
+// complete likelihood (Eqs. 25–27) and method-of-moments Beta updates
+// (Eqs. 28–29).
+type UPM struct {
+	cfg  UPMConfig
+	v, u int
+	// alpha[k], betaPrior[k][w], deltaPrior[k][u] are the learned
+	// hyperparameters.
+	alpha      []float64
+	betaPrior  [][]float64
+	deltaPrior [][]float64
+	betaSum    []float64 // Σ_w betaPrior[k][w]
+	deltaSum   []float64 // Σ_u deltaPrior[k][u]
+	// tau[k] are the per-topic Beta(τ_k1, τ_k2) timestamp parameters.
+	tau [][2]float64
+	// Counts: sessions per doc-topic; words/URLs per topic-doc.
+	ndk     [][]float64         // [d][k] session counts C_dk
+	ndkSum  []float64           // sessions per doc
+	nkwd    [][]map[int]float64 // [d][k] word counts C_kwd (sparse)
+	nkwdSum [][]float64         // [d][k] total word tokens
+	nkud    [][]map[int]float64 // [d][k] URL counts C_kud (sparse)
+	nkudSum [][]float64         // [d][k] total URL tokens
+	docID   map[string]int
+}
+
+// UPMConfig tunes UPM training.
+type UPMConfig struct {
+	// K is the topic count (default 10).
+	K int
+	// Iterations is the number of Gibbs sweeps (default 100).
+	Iterations int
+	// InitAlpha, InitBeta, InitDelta initialize the hyperparameters
+	// (defaults 2, 0.1, 0.1 — user documents have few sessions, so a
+	// small α keeps profiles from smearing). They are subsequently
+	// learned when HyperRounds > 0.
+	InitAlpha, InitBeta, InitDelta float64
+	// HyperRounds is how many hyperparameter-optimization rounds are
+	// interleaved with sampling (default 2: midway and at the end; 0
+	// disables learning, degenerating to fixed symmetric priors).
+	HyperRounds int
+	// HyperIters bounds each L-BFGS run (default 15).
+	HyperIters int
+	// Seed drives the sampler.
+	Seed int64
+	// Workers parallelizes the Gibbs sweep across user documents
+	// (default 1 = sequential). Unlike LDA — whose topic–word counts
+	// are global, making parallel Gibbs approximate (the paper's [31])
+	// — every UPM count structure is per-document, so the per-sweep
+	// document loop is EXACTLY parallel given the sweep's fixed
+	// hyperparameters. Results are identical for any worker count:
+	// every document samples from its own deterministic RNG stream.
+	Workers int
+}
+
+func (c UPMConfig) withDefaults() UPMConfig {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 100
+	}
+	if c.InitAlpha <= 0 {
+		c.InitAlpha = 2
+	}
+	if c.InitBeta <= 0 {
+		c.InitBeta = 0.1
+	}
+	if c.InitDelta <= 0 {
+		c.InitDelta = 0.1
+	}
+	if c.HyperRounds < 0 {
+		c.HyperRounds = 0
+	} else if c.HyperRounds == 0 {
+		c.HyperRounds = 2
+	}
+	if c.HyperIters <= 0 {
+		c.HyperIters = 15
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// TrainUPM fits the UPM on the corpus. Sampling parallelizes across
+// documents when cfg.Workers > 1 with bit-identical results (every
+// document owns an independent RNG stream, and all Gibbs state is
+// per-document; hyperparameters are only updated at sweep barriers).
+func TrainUPM(c *Corpus, cfg UPMConfig) *UPM {
+	cfg = cfg.withDefaults()
+	m := newUPM(c, cfg)
+
+	// Per-document RNG streams: the sampling of document d is a pure
+	// function of (seed, d, corpus), independent of worker scheduling.
+	docRngs := make([]*rand.Rand, len(c.Docs))
+	for d := range docRngs {
+		docRngs[d] = rand.New(rand.NewSource(cfg.Seed<<20 + int64(d)))
+	}
+
+	// Session-level assignments z[d][s].
+	z := make([][]int, len(c.Docs))
+	for d, doc := range c.Docs {
+		z[d] = make([]int, len(doc.Sessions))
+		for s, sess := range doc.Sessions {
+			k := docRngs[d].Intn(cfg.K)
+			z[d][s] = k
+			m.addSession(d, k, sess, 1)
+		}
+	}
+
+	hyperAt := make(map[int]bool)
+	for r := 1; r <= cfg.HyperRounds; r++ {
+		hyperAt[cfg.Iterations*r/cfg.HyperRounds-1] = true
+	}
+
+	sweepDoc := func(d int, logw []float64) {
+		doc := c.Docs[d]
+		for s, sess := range doc.Sessions {
+			old := z[d][s]
+			m.addSession(d, old, sess, -1)
+			for k := 0; k < cfg.K; k++ {
+				logw[k] = m.sessionLogWeight(d, k, sess)
+			}
+			k := numeric.SampleLogCategorical(docRngs[d], logw)
+			z[d][s] = k
+			m.addSession(d, k, sess, 1)
+		}
+	}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		if cfg.Workers == 1 || len(c.Docs) < 2*cfg.Workers {
+			logw := make([]float64, cfg.K)
+			for d := range c.Docs {
+				sweepDoc(d, logw)
+			}
+		} else {
+			var wg sync.WaitGroup
+			next := int64(-1)
+			for w := 0; w < cfg.Workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					logw := make([]float64, cfg.K)
+					for {
+						d := int(atomic.AddInt64(&next, 1))
+						if d >= len(c.Docs) {
+							return
+						}
+						sweepDoc(d, logw)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		m.refitTau(c, z)
+		if hyperAt[it] {
+			m.optimizeHyperparameters()
+		}
+	}
+	return m
+}
+
+func newUPM(c *Corpus, cfg UPMConfig) *UPM {
+	m := &UPM{
+		cfg: cfg, v: c.V(), u: c.U(),
+		alpha:      make([]float64, cfg.K),
+		betaPrior:  make([][]float64, cfg.K),
+		deltaPrior: make([][]float64, cfg.K),
+		betaSum:    make([]float64, cfg.K),
+		deltaSum:   make([]float64, cfg.K),
+		tau:        make([][2]float64, cfg.K),
+		ndk:        make([][]float64, len(c.Docs)),
+		ndkSum:     make([]float64, len(c.Docs)),
+		nkwd:       make([][]map[int]float64, len(c.Docs)),
+		nkwdSum:    make([][]float64, len(c.Docs)),
+		nkud:       make([][]map[int]float64, len(c.Docs)),
+		nkudSum:    make([][]float64, len(c.Docs)),
+		docID:      make(map[string]int, len(c.Docs)),
+	}
+	for k := 0; k < cfg.K; k++ {
+		m.alpha[k] = cfg.InitAlpha
+		m.betaPrior[k] = make([]float64, m.v)
+		m.deltaPrior[k] = make([]float64, m.u)
+		for w := range m.betaPrior[k] {
+			m.betaPrior[k][w] = cfg.InitBeta
+		}
+		for u := range m.deltaPrior[k] {
+			m.deltaPrior[k][u] = cfg.InitDelta
+		}
+		m.betaSum[k] = cfg.InitBeta * float64(m.v)
+		m.deltaSum[k] = cfg.InitDelta * float64(m.u)
+		m.tau[k] = [2]float64{1, 1}
+	}
+	for d, doc := range c.Docs {
+		m.docID[doc.UserID] = d
+		m.ndk[d] = make([]float64, cfg.K)
+		m.nkwd[d] = make([]map[int]float64, cfg.K)
+		m.nkwdSum[d] = make([]float64, cfg.K)
+		m.nkud[d] = make([]map[int]float64, cfg.K)
+		m.nkudSum[d] = make([]float64, cfg.K)
+		for k := 0; k < cfg.K; k++ {
+			m.nkwd[d][k] = make(map[int]float64)
+			m.nkud[d][k] = make(map[int]float64)
+		}
+	}
+	return m
+}
+
+func (m *UPM) addSession(d, k int, sess Session, delta float64) {
+	m.ndk[d][k] += delta
+	m.ndkSum[d] += delta
+	for _, w := range sess.Words() {
+		m.nkwd[d][k][w] += delta
+		if m.nkwd[d][k][w] == 0 {
+			delete(m.nkwd[d][k], w)
+		}
+		m.nkwdSum[d][k] += delta
+	}
+	for _, u := range sess.URLs() {
+		m.nkud[d][k][u] += delta
+		if m.nkud[d][k][u] == 0 {
+			delete(m.nkud[d][k], u)
+		}
+		m.nkudSum[d][k] += delta
+	}
+}
+
+// sessionLogWeight is the collapsed Gibbs conditional (Eq. 23) for
+// assigning the session to topic k: the doc-mixture factor, the
+// sequential Dirichlet-multinomial probability of the session's words
+// under φ_kd (prior β_k), likewise for URLs under Ω_kd (prior δ_k), and
+// the Beta timestamp density.
+func (m *UPM) sessionLogWeight(d, k int, sess Session) float64 {
+	lw := math.Log(m.ndk[d][k] + m.alpha[k])
+	wSum := m.nkwdSum[d][k]
+	bumpW := make(map[int]float64)
+	for _, w := range sess.Words() {
+		lw += math.Log((m.nkwd[d][k][w] + bumpW[w] + m.betaPrior[k][w]) / (wSum + m.betaSum[k]))
+		bumpW[w]++
+		wSum++
+	}
+	uSum := m.nkudSum[d][k]
+	bumpU := make(map[int]float64)
+	for _, u := range sess.URLs() {
+		lw += math.Log((m.nkud[d][k][u] + bumpU[u] + m.deltaPrior[k][u]) / (uSum + m.deltaSum[k]))
+		bumpU[u]++
+		uSum++
+	}
+	lw += numeric.BetaLogPDF(sess.Time, m.tau[k][0], m.tau[k][1])
+	return lw
+}
+
+// refitTau re-estimates τ_k (Eqs. 28–29) from the timestamps of
+// sessions currently on topic k.
+func (m *UPM) refitTau(c *Corpus, z [][]int) {
+	samples := make([][]float64, m.cfg.K)
+	for d, doc := range c.Docs {
+		for s := range doc.Sessions {
+			k := z[d][s]
+			samples[k] = append(samples[k], doc.Sessions[s].Time)
+		}
+	}
+	for k := range samples {
+		if len(samples[k]) < 2 {
+			m.tau[k] = [2]float64{1, 1}
+			continue
+		}
+		a, b := numeric.FitBetaMoments(numeric.Mean(samples[k]), numeric.Variance(samples[k]))
+		m.tau[k] = [2]float64{a, b}
+	}
+}
+
+// Name implements Model.
+func (m *UPM) Name() string { return "UPM" }
+
+// K implements Model.
+func (m *UPM) K() int { return m.cfg.K }
+
+// NumDocs returns the number of trained user documents.
+func (m *UPM) NumDocs() int { return len(m.ndk) }
+
+// DocOf returns the document index of a user ID.
+func (m *UPM) DocOf(userID string) (int, bool) {
+	d, ok := m.docID[userID]
+	return d, ok
+}
+
+// Theta returns the user's topic profile θ_d (Eq. 30).
+func (m *UPM) Theta(d int) []float64 {
+	theta := make([]float64, m.cfg.K)
+	denom := m.ndkSum[d] + numeric.Sum(m.alpha)
+	for k := range theta {
+		theta[k] = (m.ndk[d][k] + m.alpha[k]) / denom
+	}
+	return theta
+}
+
+// WordProb returns the posterior-mean per-user topic–word probability
+// p(w | k, d) = (C_kwd + β_kw) / (C_k·d + Σβ_k): the user's own usage
+// smoothed toward the globally learned topic content.
+func (m *UPM) WordProb(d, k, w int) float64 {
+	return (m.nkwd[d][k][w] + m.betaPrior[k][w]) / (m.nkwdSum[d][k] + m.betaSum[k])
+}
+
+// PriorWordProb returns the prior-mean word probability β_kw / Σβ_k —
+// the literal B(n+β)/B(β) factor of the paper's Eq. 31 for a
+// single-occurrence word.
+func (m *UPM) PriorWordProb(k, w int) float64 {
+	return m.betaPrior[k][w] / m.betaSum[k]
+}
+
+// URLProb returns the posterior-mean per-user topic–URL probability.
+func (m *UPM) URLProb(d, k, u int) float64 {
+	return (m.nkud[d][k][u] + m.deltaPrior[k][u]) / (m.nkudSum[d][k] + m.deltaSum[k])
+}
+
+// Tau returns topic k's Beta timestamp parameters.
+func (m *UPM) Tau(k int) (a, b float64) { return m.tau[k][0], m.tau[k][1] }
+
+// Alpha returns the learned document-mixture hyperparameters.
+func (m *UPM) Alpha() []float64 { return numeric.Clone(m.alpha) }
+
+// TopWords returns the n highest-probability word IDs of topic k under
+// the LEARNED global prior β_k (the shared topic content), most
+// probable first — the standard topic-interpretation view.
+func (m *UPM) TopWords(k, n int) []int {
+	return numeric.TopK(m.betaPrior[k], n)
+}
+
+// TopWordsFor returns the n words of topic k the USER d emphasizes
+// most, by posterior probability — the per-user view of the same topic
+// (the "Toyota vs Ford" lens).
+func (m *UPM) TopWordsFor(d, k, n int) []int {
+	scores := make([]float64, m.v)
+	for w := range scores {
+		scores[w] = m.WordProb(d, k, w)
+	}
+	return numeric.TopK(scores, n)
+}
+
+// PredictiveWordProb implements Model.
+func (m *UPM) PredictiveWordProb(d, w int) float64 {
+	if d >= len(m.ndk) || w >= m.v {
+		return 1e-12
+	}
+	theta := m.Theta(d)
+	return mixturePredictive(theta, func(k int) float64 { return m.WordProb(d, k, w) })
+}

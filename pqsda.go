@@ -1,0 +1,176 @@
+// Package pqsda is the public facade of this reproduction of
+// "Personalized Query Suggestion With Diversity Awareness" (Jiang,
+// Leung, Vosecky, Ng — ICDE 2014).
+//
+// PQS-DA answers an ambiguous search query ("sun") with a suggestion
+// list that is DIVERSIFIED — covering the query's facets (Sun
+// Microsystems, the star, the newspaper) — and PERSONALIZED — ranked so
+// the facets matching the user's long-term interests come first.
+//
+// # Quick start
+//
+//	log, _ := pqsda.ReadLogFile("queries.tsv") // or pqsda.SyntheticLog(...)
+//	engine, _ := pqsda.NewEngine(log, pqsda.Config{})
+//	res, _ := engine.Suggest("u0001", "sun", nil, time.Now(), 10)
+//	fmt.Println(res.Suggestions)
+//
+// The heavy lifting lives in the internal packages (see DESIGN.md for
+// the architecture): internal/bipartite builds the multi-bipartite
+// query-log representation, internal/regularize and
+// internal/hittingtime implement the two-phase diversification,
+// internal/topicmodel trains the User Profiling Model, and
+// internal/profile personalizes the ranking.
+package pqsda
+
+import (
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/querylog"
+	"repro/internal/synth"
+	"repro/internal/topicmodel"
+)
+
+// Entry is one query-log record: who searched what, what they clicked
+// (empty for no click), and when.
+type Entry = querylog.Entry
+
+// Log is an ordered collection of entries.
+type Log = querylog.Log
+
+// Session is one user's burst of queries serving a single information
+// need.
+type Session = querylog.Session
+
+// Result is a suggestion run: the final personalized list, the
+// intermediate diversified list, and timing/size diagnostics.
+type Result = core.Result
+
+// Engine is a ready-to-serve PQS-DA instance. Build one with NewEngine.
+type Engine = core.Engine
+
+// SyntheticConfig parameterizes the synthetic query-log generator that
+// stands in for a production search log.
+type SyntheticConfig = synth.Config
+
+// World is a generated synthetic universe: the log plus full ground
+// truth (facets, page topics, user preferences) for evaluation.
+type World = synth.World
+
+// Config tunes the engine. The zero value reproduces the paper's
+// recommended configuration: cf·iqf weighting, a 200-query compact
+// representation, light regularization, and UPM-based personalization.
+type Config struct {
+	// RawWeights switches the multi-bipartite edges from cf·iqf to raw
+	// frequencies (the paper's Fig. 3 ablation).
+	RawWeights bool
+	// CompactBudget is the paper's ℚ, the compact representation size
+	// (default 200).
+	CompactBudget int
+	// Topics is the UPM topic count (default 10).
+	Topics int
+	// TrainingIterations is the UPM Gibbs sweep count (default 100).
+	TrainingIterations int
+	// Seed drives every stochastic component (sampler initialization).
+	Seed int64
+	// Workers parallelizes UPM training across user documents and the
+	// Eq. 15 solve across matrix rows (0/1 = sequential; results are
+	// identical either way).
+	Workers int
+	// DiversificationOnly skips user profiling: Suggest returns the
+	// diversified ranking unchanged (the intermediate system of the
+	// paper's Section VI-B).
+	DiversificationOnly bool
+}
+
+// NewEngine cleans the log, builds the multi-bipartite representation
+// and (unless disabled) trains user profiles. The input log is not
+// modified.
+func NewEngine(l *Log, cfg Config) (*Engine, error) {
+	cleaned, _ := querylog.Clean(l, querylog.CleanerConfig{})
+	cc := core.Config{
+		Compact: bipartite.CompactConfig{Budget: cfg.CompactBudget},
+		UPM: topicmodel.UPMConfig{
+			K:          cfg.Topics,
+			Iterations: cfg.TrainingIterations,
+			Seed:       cfg.Seed,
+			Workers:    cfg.Workers,
+		},
+		SkipPersonalization: cfg.DiversificationOnly,
+	}
+	cc.Regularize.Solver.Workers = cfg.Workers
+	if cfg.RawWeights {
+		cc.Weighting = bipartite.Raw
+	} else {
+		cc.Weighting = bipartite.CFIQF
+	}
+	return core.NewEngine(cleaned, cc)
+}
+
+// AdvancedConfig exposes every stage's tunables for research use; see
+// the internal packages' documentation for the semantics.
+type AdvancedConfig = core.Config
+
+// NewEngineAdvanced builds an engine from a fully explicit
+// configuration without cleaning the log first.
+func NewEngineAdvanced(l *Log, cfg AdvancedConfig) (*Engine, error) {
+	return core.NewEngine(l, cfg)
+}
+
+// SyntheticLog generates a synthetic world (log + ground truth). Use
+// World.Log as the engine input and the World's oracles for
+// evaluation.
+func SyntheticLog(cfg SyntheticConfig) *World {
+	return synth.Generate(cfg)
+}
+
+// ReadLog parses a TSV query log (UserID, Query, ClickedURL, Timestamp
+// with a header line) from r.
+func ReadLog(r io.Reader) (*Log, error) {
+	return querylog.ReadTSV(r)
+}
+
+// ReadLogFile parses a TSV query log from a file.
+func ReadLogFile(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return querylog.ReadTSV(f)
+}
+
+// ReadAOLLog parses the classic AOL-2006 query-log format
+// (AnonID\tQuery\tQueryTime\tItemRank\tClickURL).
+func ReadAOLLog(r io.Reader) (*Log, error) {
+	return querylog.ReadAOL(r)
+}
+
+// WriteLog serializes a log as TSV.
+func WriteLog(l *Log, w io.Writer) error {
+	return l.WriteTSV(w)
+}
+
+// Sessionize segments a log into sessions with the default
+// configuration (30-minute timeout with lexical-similarity rescue).
+func Sessionize(l *Log) []Session {
+	return querylog.Sessionize(l, querylog.SessionizerConfig{})
+}
+
+// Suggest is a convenience one-shot: build an engine over the log and
+// produce k personalized suggestions for the user's query at time now.
+// For repeated queries, build the Engine once and reuse it.
+func Suggest(l *Log, userID, query string, k int, cfg Config) ([]string, error) {
+	e, err := NewEngine(l, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Suggest(userID, query, nil, time.Now(), k)
+	if err != nil {
+		return nil, err
+	}
+	return res.Suggestions, nil
+}

@@ -1,0 +1,90 @@
+package pqsda
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func facadeWorld(t *testing.T) *World {
+	t.Helper()
+	return SyntheticLog(SyntheticConfig{Seed: 61, NumFacets: 5, NumUsers: 10, SessionsPerUser: 15})
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	w := facadeWorld(t)
+	e, err := NewEngine(w.Log, Config{CompactBudget: 60, Topics: 5, TrainingIterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a frequent query.
+	best, bestN := "", 0
+	for q, n := range w.Log.QueryFrequency() {
+		if n > bestN {
+			best, bestN = q, n
+		}
+	}
+	res, err := e.Suggest(w.UserIDs()[0], best, nil, time.Now(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suggestions) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if len(res.Suggestions) != len(res.Diversified) {
+		t.Error("personalization changed the candidate set size")
+	}
+}
+
+func TestFacadeDiversificationOnly(t *testing.T) {
+	w := facadeWorld(t)
+	e, err := NewEngine(w.Log, Config{CompactBudget: 60, DiversificationOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Profiles != nil {
+		t.Error("DiversificationOnly engine trained profiles")
+	}
+}
+
+func TestFacadeLogRoundTrip(t *testing.T) {
+	w := facadeWorld(t)
+	var buf bytes.Buffer
+	if err := WriteLog(w.Log, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != w.Log.Len() {
+		t.Fatalf("round trip %d != %d", got.Len(), w.Log.Len())
+	}
+}
+
+func TestFacadeSessionize(t *testing.T) {
+	w := facadeWorld(t)
+	sessions := Sessionize(w.Log)
+	if len(sessions) == 0 {
+		t.Fatal("no sessions")
+	}
+}
+
+func TestFacadeOneShotSuggest(t *testing.T) {
+	w := facadeWorld(t)
+	best, bestN := "", 0
+	for q, n := range w.Log.QueryFrequency() {
+		if n > bestN {
+			best, bestN = q, n
+		}
+	}
+	sugs, err := Suggest(w.Log, w.UserIDs()[0], best, 5, Config{
+		CompactBudget: 50, Topics: 5, TrainingIterations: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 || len(sugs) > 5 {
+		t.Fatalf("suggestions = %v", sugs)
+	}
+}
