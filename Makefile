@@ -1,0 +1,21 @@
+# Development targets. `make ci` is what every PR must pass: vet,
+# build, and the full test suite under the race detector (the serving
+# path is lock-free by design — races are correctness bugs here).
+
+GO ?= go
+
+.PHONY: build test race vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: vet build race

@@ -40,6 +40,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print stage diagnostics")
 		workers   = flag.Int("workers", 1, "parallel workers for training and solving")
 		serve     = flag.String("serve", "", "serve the HTTP suggestion API on this address instead of the CLI")
+		reqTimout = flag.Duration("request-timeout", 5*time.Second, "per-request suggestion deadline for -serve (0 disables; overruns return 504)")
 		savePath  = flag.String("save", "", "persist the trained engine to this file and exit")
 		enginePth = flag.String("engine", "", "load a persisted engine instead of training from a log")
 	)
@@ -114,7 +115,9 @@ func main() {
 
 	if *serve != "" {
 		srv := server.New(engine, os.Stderr)
-		fmt.Fprintf(os.Stderr, "serving suggestion API on %s (GET /api/suggest?user=&q=&k=)\n", *serve)
+		srv.SetRequestTimeout(*reqTimout)
+		fmt.Fprintf(os.Stderr, "serving suggestion API on %s (GET /api/suggest?user=&q=&k=; stats on /api/stats and /debug/vars; request timeout %v)\n",
+			*serve, *reqTimout)
 		fatal(http.ListenAndServe(*serve, srv.Handler()))
 	}
 

@@ -81,7 +81,8 @@ func TestLiveDeploymentLoop(t *testing.T) {
 		if code := post("/api/learn", server.LearnRequest{User: v}, nil); code != 200 {
 			t.Fatalf("learn %s: status %d", v, code)
 		}
-		if engine.Profiles.Theta(v) == nil {
+		// /api/learn hot-swaps a cloned engine in; read the serving one.
+		if srv.Engine().Profiles.Theta(v) == nil {
 			t.Fatalf("visitor %s unprofiled after /api/learn", v)
 		}
 	}

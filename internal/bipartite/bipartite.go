@@ -64,6 +64,11 @@ type Representation struct {
 	// lazy computation safe under concurrent suggestion serving.
 	avgOnce       sync.Once
 	avgTransition *sparse.Matrix
+
+	// wT memoizes WTransposed per view (object→query adjacency), used on
+	// the unknown-query fallback path of every cold request.
+	wTOnce [NumViews]sync.Once
+	wT     [NumViews]*sparse.Matrix
 }
 
 // Build constructs the full multi-bipartite representation from a log.
@@ -229,6 +234,17 @@ func (r *Representation) AverageTransition() *sparse.Matrix {
 		r.avgTransition = acc
 	})
 	return r.avgTransition
+}
+
+// WTransposed returns the object→query adjacency W[v]ᵀ, computed once
+// and memoized (the representation is immutable after Build); callers
+// must not mutate it. A new Representation — every Refresh builds one —
+// starts with an empty cache, so staleness is impossible.
+func (r *Representation) WTransposed(v View) *sparse.Matrix {
+	r.wTOnce[v].Do(func() {
+		r.wT[v] = r.W[v].Transpose()
+	})
+	return r.wT[v]
 }
 
 // ClickedURLs returns the URL names clicked for query node q, with their

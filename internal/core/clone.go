@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/profile"
+	"repro/internal/querylog"
+)
+
+// Clone returns an engine that serves identically to e but shares no
+// mutable state with it: the log is deep-copied and, when the engine
+// has profiles, so is the UPM (FoldIn mutates it in place). Immutable
+// built artifacts — the representation and the corpus vocabularies —
+// are shared, so a clone is cheap relative to a rebuild.
+//
+// Clone is the foundation of non-blocking refresh: mutate the clone
+// (Ingest, Refresh, LearnUser) off the serving path, then atomically
+// swap it in. The original keeps serving Suggest throughout.
+func (e *Engine) Clone() *Engine {
+	out := &Engine{
+		cfg:      e.cfg,
+		Sessions: e.Sessions,
+		Rep:      e.Rep,
+		Corpus:   e.Corpus,
+		dirty:    e.dirty,
+	}
+	if e.Log != nil {
+		out.Log = &querylog.Log{Entries: append([]querylog.Entry(nil), e.Log.Entries...)}
+	}
+	if e.Profiles != nil {
+		out.Profiles = profile.NewStore(e.Profiles.UPM().Clone(), e.Corpus)
+	}
+	return out
+}
+
+// CanRefresh reports whether Refresh(mode) can succeed on this engine,
+// without mutating anything — callers should check it BEFORE ingesting
+// entries so a rejected refresh leaves no half-applied state behind.
+func (e *Engine) CanRefresh(mode RefreshMode) error {
+	if e.Log == nil {
+		return errors.New("core: engine has no log (loaded from a snapshot); refresh unsupported")
+	}
+	if mode != RebuildGraphs && e.Profiles == nil {
+		return errors.New("core: engine has no profiles to refresh")
+	}
+	return nil
+}
+
+// Rebuild is the hot-swap refresh: it validates the mode, clones the
+// engine, ingests the fresh entries into the clone and refreshes it,
+// returning the rebuilt engine. The receiver is never mutated and
+// remains fully servable while Rebuild runs — swap the returned engine
+// in (e.g. via atomic.Pointer) once it is ready.
+func (e *Engine) Rebuild(entries []querylog.Entry, mode RefreshMode) (*Engine, error) {
+	if err := e.CanRefresh(mode); err != nil {
+		return nil, err
+	}
+	next := e.Clone()
+	next.Ingest(entries)
+	if err := next.Refresh(mode); err != nil {
+		return nil, err
+	}
+	return next, nil
+}

@@ -5,8 +5,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/bipartite"
@@ -106,16 +108,28 @@ func NewEngine(l *querylog.Log, cfg Config) (*Engine, error) {
 
 // SuggestDiversified runs the diversification component only: compact
 // representation, Eq. 15 first candidate, cross-bipartite hitting-time
-// selection. context lists the user's previous queries in the current
+// selection. sctx lists the user's previous queries in the current
 // session (most recent last); at is the submission time of the input
 // query, used for the Eq. 7 decay.
-func (e *Engine) SuggestDiversified(query string, context []querylog.Entry, at time.Time, k int) (Result, error) {
+func (e *Engine) SuggestDiversified(query string, sctx []querylog.Entry, at time.Time, k int) (Result, error) {
+	return e.SuggestDiversifiedContext(context.Background(), query, sctx, at, k)
+}
+
+// SuggestDiversifiedContext is SuggestDiversified with request-scoped
+// cancellation, threaded into the Eq. 15 CG solve and the hitting-time
+// greedy loop. On deadline overrun the returned error wraps ctx.Err()
+// and the Result keeps the stage timings completed so far, so callers
+// can report partial progress.
+func (e *Engine) SuggestDiversifiedContext(ctx context.Context, query string, sctx []querylog.Entry, at time.Time, k int) (Result, error) {
 	var res Result
 	if k <= 0 {
 		return res, fmt.Errorf("core: k = %d", k)
 	}
-	seeds, seedTimes := e.resolveSeeds(query, context, at)
-	if len(seeds) == 0 {
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	seeds, seedTimes, nInput := e.resolveSeeds(query, sctx, at)
+	if nInput == 0 {
 		return res, ErrUnknownQuery
 	}
 
@@ -127,28 +141,45 @@ func (e *Engine) SuggestDiversified(query string, context []querylog.Entry, at t
 		return res, ErrUnknownQuery
 	}
 
-	// Seed locals: the input query (local 0) and its context.
+	// Seed locals: the input-derived seeds first, then the search
+	// context. Term-fallback seeds stand in for the input query itself,
+	// so they must NOT enter the Eq. 7 context vector with a decay
+	// weight — only true context entries (i ≥ nInput) do.
 	seedLocals := make([]int, 0, len(seeds))
-	var ctx []regularize.ContextEntry
+	var rctx []regularize.ContextEntry
+	inputSeeds := 0
 	for i := range seeds {
 		local, ok := compact.LocalOf[seeds[i]]
 		if !ok {
 			continue
 		}
 		seedLocals = append(seedLocals, local)
-		if i > 0 {
-			ctx = append(ctx, regularize.ContextEntry{Local: local, Before: seedTimes[i]})
+		if i < nInput {
+			inputSeeds++
+		} else {
+			rctx = append(rctx, regularize.ContextEntry{Local: local, Before: seedTimes[i]})
 		}
 	}
-	f0 := regularize.ContextVector(compact.Size(), seedLocals[0], ctx, e.cfg.Regularize.Lambda)
+	// Every seed may miss the compact representation (e.g. a degenerate
+	// budget); indexing seedLocals[0] would panic, and without an
+	// input-derived seed F⁰ has no anchor — the query is unservable.
+	if len(seedLocals) == 0 || inputSeeds == 0 {
+		return res, ErrUnknownQuery
+	}
+	f0 := regularize.ContextVector(compact.Size(), seedLocals[0], rctx, e.cfg.Regularize.Lambda)
+	// Additional fallback seeds share the anchor weight 1 (they are
+	// alternates for the input query, not decayed context).
+	for i := 1; i < inputSeeds; i++ {
+		f0[seedLocals[i]] = 1
+	}
 
 	t0 = time.Now()
-	reg, err := regularize.FirstCandidate(compact, f0, seedLocals, e.cfg.Regularize)
+	reg, err := regularize.FirstCandidateCtx(ctx, compact, f0, seedLocals, e.cfg.Regularize)
 	res.SolveTime = time.Since(t0)
+	res.SolveIterations = reg.Iterations
 	if err != nil {
 		return res, err
 	}
-	res.SolveIterations = reg.Iterations
 	if reg.First < 0 {
 		return res, ErrUnknownQuery
 	}
@@ -172,7 +203,7 @@ func (e *Engine) SuggestDiversified(query string, context []querylog.Entry, at t
 
 	t0 = time.Now()
 	walker := hittingtime.NewWalker(compact, e.cfg.Hitting)
-	selected := walker.SelectDiverse(reg.First, k, seedLocals, pool)
+	selected, herr := walker.SelectDiverseCtx(ctx, reg.First, k, seedLocals, pool)
 	res.HittingTime = time.Since(t0)
 
 	res.Diversified = make([]string, len(selected))
@@ -180,14 +211,20 @@ func (e *Engine) SuggestDiversified(query string, context []querylog.Entry, at t
 		res.Diversified[i] = compact.QueryName(s)
 	}
 	res.Suggestions = res.Diversified
-	return res, nil
+	return res, herr
 }
 
 // Suggest runs the full pipeline: diversification followed by
 // personalized re-ranking (preference scores + Borda aggregation) when
 // the engine has profiles and knows the user.
-func (e *Engine) Suggest(userID, query string, context []querylog.Entry, at time.Time, k int) (Result, error) {
-	res, err := e.SuggestDiversified(query, context, at, k)
+func (e *Engine) Suggest(userID, query string, sctx []querylog.Entry, at time.Time, k int) (Result, error) {
+	return e.SuggestContext(context.Background(), userID, query, sctx, at, k)
+}
+
+// SuggestContext is Suggest with request-scoped cancellation threaded
+// through every stage (see SuggestDiversifiedContext).
+func (e *Engine) SuggestContext(ctx context.Context, userID, query string, sctx []querylog.Entry, at time.Time, k int) (Result, error) {
+	res, err := e.SuggestDiversifiedContext(ctx, query, sctx, at, k)
 	if err != nil || e.Profiles == nil {
 		return res, err
 	}
@@ -235,10 +272,10 @@ func (e *Engine) Personalize(userID string, candidates []string) []string {
 // resolveSeeds maps the input query and its context to representation
 // query IDs plus each context entry's elapsed time before the input.
 // Unknown input queries fall back to term-sharing queries so cold
-// queries still get served.
-func (e *Engine) resolveSeeds(query string, context []querylog.Entry, at time.Time) ([]int, []time.Duration) {
-	var seeds []int
-	var times []time.Duration
+// queries still get served. nInput reports how many leading seeds are
+// derived from the input query itself (1 for a known query, up to 3
+// term-fallback stand-ins otherwise) — the rest are search context.
+func (e *Engine) resolveSeeds(query string, sctx []querylog.Entry, at time.Time) (seeds []int, times []time.Duration, nInput int) {
 	if id, ok := e.Rep.QueryID(query); ok {
 		seeds = append(seeds, id)
 		times = append(times, 0)
@@ -248,7 +285,8 @@ func (e *Engine) resolveSeeds(query string, context []querylog.Entry, at time.Ti
 			times = append(times, 0)
 		}
 	}
-	for _, c := range context {
+	nInput = len(seeds)
+	for _, c := range sctx {
 		if id, ok := e.Rep.QueryID(c.Query); ok {
 			seeds = append(seeds, id)
 			dt := at.Sub(c.Time)
@@ -258,14 +296,17 @@ func (e *Engine) resolveSeeds(query string, context []querylog.Entry, at time.Ti
 			times = append(times, dt)
 		}
 	}
-	return seeds, times
+	return seeds, times, nInput
 }
 
 // termFallbackSeeds finds up to n known queries sharing terms with an
-// unknown input query, preferring those sharing more weight.
+// unknown input query, preferring those sharing more weight. The
+// term→query adjacency is memoized on the representation, so cold
+// queries cost one sparse-row scan per token instead of a full
+// transpose per request.
 func (e *Engine) termFallbackSeeds(query string, n int) []int {
 	scores := make(map[int]float64)
-	wT := e.Rep.W[bipartite.ViewTerm].Transpose()
+	wT := e.Rep.WTransposed(bipartite.ViewTerm)
 	for _, tok := range querylog.Tokenize(query) {
 		t, ok := e.Rep.Objects[bipartite.ViewTerm].Lookup(tok)
 		if !ok {
@@ -279,18 +320,18 @@ func (e *Engine) termFallbackSeeds(query string, n int) []int {
 		q int
 		s float64
 	}
-	var cands []cand
+	cands := make([]cand, 0, len(scores))
 	for q, s := range scores {
 		cands = append(cands, cand{q, s})
 	}
-	// Highest shared weight first; stable by id.
-	for i := 0; i < len(cands); i++ {
-		for j := i + 1; j < len(cands); j++ {
-			if cands[j].s > cands[i].s || (cands[j].s == cands[i].s && cands[j].q < cands[i].q) {
-				cands[i], cands[j] = cands[j], cands[i]
-			}
+	// Highest shared weight first; ties break toward the smaller query
+	// id so the order is deterministic.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].s != cands[j].s {
+			return cands[i].s > cands[j].s
 		}
-	}
+		return cands[i].q < cands[j].q
+	})
 	if n > len(cands) {
 		n = len(cands)
 	}

@@ -49,22 +49,34 @@ func (e *Engine) Explain(userID, query string, context []querylog.Entry, at time
 	}
 	ex.CompactSize = res.CompactSize
 
-	// Recompute the stage internals for the diagnostics.
-	seeds, seedTimes := e.resolveSeeds(query, context, at)
+	// Recompute the stage internals for the diagnostics, mirroring
+	// SuggestDiversifiedContext's seed classification: input-derived
+	// seeds (including term-fallback stand-ins) anchor F⁰ at weight 1,
+	// only true search context decays per Eq. 7.
+	seeds, seedTimes, nInput := e.resolveSeeds(query, context, at)
 	compact := e.Rep.BuildCompact(seeds, e.cfg.Compact)
 	seedLocals := make([]int, 0, len(seeds))
 	var rctx []regularize.ContextEntry
+	inputSeeds := 0
 	for i := range seeds {
 		local, ok := compact.LocalOf[seeds[i]]
 		if !ok {
 			continue
 		}
 		seedLocals = append(seedLocals, local)
-		if i > 0 {
+		if i < nInput {
+			inputSeeds++
+		} else {
 			rctx = append(rctx, regularize.ContextEntry{Local: local, Before: seedTimes[i]})
 		}
 	}
+	if len(seedLocals) == 0 || inputSeeds == 0 {
+		return ex, ErrUnknownQuery
+	}
 	f0 := regularize.ContextVector(compact.Size(), seedLocals[0], rctx, e.cfg.Regularize.Lambda)
+	for i := 1; i < inputSeeds; i++ {
+		f0[seedLocals[i]] = 1
+	}
 	reg, err := regularize.FirstCandidate(compact, f0, seedLocals, e.cfg.Regularize)
 	if err != nil {
 		return ex, err

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"sort"
 
 	"repro/internal/bipartite"
@@ -14,8 +13,8 @@ import (
 // recorded traffic) to the engine's log WITHOUT rebuilding anything:
 // suggestions keep using the current representation until Refresh is
 // called. Ingest+Refresh are not safe to run concurrently with Suggest;
-// serve from one engine while refreshing another (engines are cheap to
-// Save/Load) or serialize externally.
+// use Rebuild (clone + refresh + swap) to refresh without blocking the
+// serving path, or serialize externally.
 func (e *Engine) Ingest(entries []querylog.Entry) {
 	for _, en := range entries {
 		e.Log.Append(en)
@@ -47,8 +46,8 @@ const (
 // from the full log, and profiles are updated per mode. It returns an
 // error when mode needs profiles but the engine has none.
 func (e *Engine) Refresh(mode RefreshMode) error {
-	if mode != RebuildGraphs && e.Profiles == nil {
-		return errors.New("core: engine has no profiles to refresh")
+	if err := e.CanRefresh(mode); err != nil {
+		return err
 	}
 	// Users with new entries, before the dirty counter resets.
 	changed := map[string]bool{}

@@ -1,0 +1,43 @@
+package hittingtime
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// Cancellation between greedy rounds must return the partial selection
+// together with ctx.Err().
+func TestSelectDiverseCtxCancelled(t *testing.T) {
+	_, _, c := compactFixture(t)
+	wk := NewWalker(c, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sel, err := wk.SelectDiverseCtx(ctx, 0, 5, nil, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The pre-chosen first candidate is returned as the partial list.
+	if len(sel) != 1 || sel[0] != 0 {
+		t.Fatalf("partial selection = %v, want [0]", sel)
+	}
+}
+
+// The context-free wrapper must match the background-context variant.
+func TestSelectDiverseCtxBackgroundMatches(t *testing.T) {
+	_, _, c := compactFixture(t)
+	wk := NewWalker(c, Config{})
+	plain := wk.SelectDiverse(0, 6, nil, nil)
+	withCtx, err := wk.SelectDiverseCtx(context.Background(), 0, 6, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(withCtx) {
+		t.Fatalf("lengths differ: %d vs %d", len(plain), len(withCtx))
+	}
+	for i := range plain {
+		if plain[i] != withCtx[i] {
+			t.Fatalf("selections differ at %d: %v vs %v", i, plain, withCtx)
+		}
+	}
+}

@@ -9,6 +9,8 @@
 package hittingtime
 
 import (
+	"context"
+
 	"repro/internal/bipartite"
 	"repro/internal/randomwalk"
 	"repro/internal/sparse"
@@ -118,9 +120,19 @@ func (w *Walker) HittingTime(s map[int]bool) []float64 {
 // discovery order — the ranked candidate list of the diversification
 // component.
 func (w *Walker) SelectDiverse(first int, k int, excluded []int, pool []int) []int {
+	sel, _ := w.SelectDiverseCtx(context.Background(), first, k, excluded, pool)
+	return sel
+}
+
+// SelectDiverseCtx is SelectDiverse with request-scoped cancellation:
+// the context is checked before every greedy round (each round is one
+// l-step truncated hitting-time computation over the compact graph).
+// On cancellation it returns the candidates selected so far together
+// with ctx.Err(), so a serving deadline yields a usable partial list.
+func (w *Walker) SelectDiverseCtx(ctx context.Context, first int, k int, excluded []int, pool []int) ([]int, error) {
 	n := w.trans.Rows()
 	if k <= 0 || first < 0 || first >= n {
-		return nil
+		return nil, nil
 	}
 	banned := make(map[int]bool, len(excluded))
 	for _, e := range excluded {
@@ -146,6 +158,9 @@ func (w *Walker) SelectDiverse(first int, k int, excluded []int, pool []int) []i
 	selected := []int{first}
 	inS := map[int]bool{first: true}
 	for len(selected) < k {
+		if err := ctx.Err(); err != nil {
+			return selected, err
+		}
 		h := w.HittingTime(inS)
 		best, bestH := -1, -1.0
 		for _, i := range candidates {
@@ -162,5 +177,5 @@ func (w *Walker) SelectDiverse(first int, k int, excluded []int, pool []int) []i
 		selected = append(selected, best)
 		inS[best] = true
 	}
-	return selected
+	return selected, nil
 }

@@ -11,6 +11,7 @@
 package regularize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -125,6 +126,14 @@ type Result struct {
 // the most relevant suggestion candidate. seeds (input query + search
 // context, compact-local) are excluded from candidacy.
 func FirstCandidate(c *bipartite.Compact, f0 []float64, seeds []int, cfg Config) (Result, error) {
+	return FirstCandidateCtx(context.Background(), c, f0, seeds, cfg)
+}
+
+// FirstCandidateCtx is FirstCandidate with request-scoped cancellation,
+// threaded into the CG iteration of the Eq. 15 solve. On cancellation
+// the returned error wraps ctx.Err() and carries the iteration count
+// reached, so serving timings stay reportable.
+func FirstCandidateCtx(ctx context.Context, c *bipartite.Compact, f0 []float64, seeds []int, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -134,9 +143,9 @@ func FirstCandidate(c *bipartite.Compact, f0 []float64, seeds []int, cfg Config)
 		return Result{}, fmt.Errorf("regularize: F0 length %d != compact size %d", len(f0), n)
 	}
 	a := System(c, cfg)
-	f, iters, err := sparse.SolveCG(a, f0, nil, cfg.Solver)
+	f, iters, err := sparse.SolveCGCtx(ctx, a, f0, nil, cfg.Solver)
 	if err != nil {
-		return Result{}, fmt.Errorf("regularize: solving Eq. 15: %w", err)
+		return Result{Iterations: iters}, fmt.Errorf("regularize: solving Eq. 15: %w", err)
 	}
 	excluded := make(map[int]bool, len(seeds))
 	for _, s := range seeds {

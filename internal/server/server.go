@@ -3,15 +3,26 @@
 // suggestions, records the searchers' query log for future profile
 // training, and collects explicit 6-point relevance ratings of the
 // suggestions it served.
+//
+// The serving path is non-blocking and bounded: the engine lives behind
+// an atomic pointer, mutation (refresh/learn) happens on a clone that
+// is hot-swapped in when ready, and every suggestion request carries a
+// context deadline threaded down to the Eq. 15 CG solve and the
+// hitting-time greedy loop.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -21,15 +32,25 @@ import (
 // Server is the suggestion middleware. Create with New and mount via
 // Handler.
 type Server struct {
-	engine *core.Engine
-	// engineMu serializes engine mutation (refresh/learn) against
-	// concurrent suggestion serving.
-	engineMu sync.RWMutex
+	// engine is the serving engine. Suggestion requests Load it without
+	// any lock; mutators build a replacement off the serving path and
+	// Store it — an in-flight request keeps using the engine it loaded,
+	// which stays valid (engines are immutable once swapped in).
+	engine atomic.Pointer[core.Engine]
+	// swapMu serializes the clone→mutate→swap sequences of /api/refresh
+	// and /api/learn against each other. The suggestion path never
+	// takes it.
+	swapMu sync.Mutex
+	// timeoutNs is the per-request suggestion deadline in nanoseconds
+	// (0 = none), settable at runtime via SetRequestTimeout.
+	timeoutNs atomic.Int64
+
+	stats serverStats
+
+	mu sync.Mutex
 	// lastIngested is how many recorded entries have been handed to the
 	// engine already.
 	lastIngested int
-
-	mu sync.Mutex
 	// recorded accumulates the query events observed through the
 	// middleware (the experts' log in the paper's study).
 	recorded querylog.Log
@@ -51,13 +72,32 @@ type Feedback struct {
 }
 
 // New wraps an engine. sink may be nil; when set, recorded events and
-// feedback are appended to it as TSV lines.
+// feedback are appended to it as TSV lines (control characters in
+// user-supplied fields are backslash-escaped so one event is always one
+// line).
 func New(engine *core.Engine, sink io.Writer) *Server {
-	return &Server{engine: engine, sink: sink}
+	s := &Server{sink: sink}
+	s.engine.Store(engine)
+	return s
 }
+
+// Engine returns the engine currently serving suggestions. Refresh and
+// learn swap in a new engine, so holders of the returned pointer see a
+// consistent—possibly slightly stale—snapshot.
+func (s *Server) Engine() *core.Engine { return s.engine.Load() }
+
+// SetRequestTimeout bounds every suggestion request: on overrun the
+// handler stops the pipeline (mid-CG-solve if need be) and returns 504
+// with the stage timings completed so far. Zero disables the deadline.
+// Safe to call while serving.
+func (s *Server) SetRequestTimeout(d time.Duration) { s.timeoutNs.Store(int64(d)) }
+
+// RequestTimeout returns the configured per-request deadline.
+func (s *Server) RequestTimeout() time.Duration { return time.Duration(s.timeoutNs.Load()) }
 
 // Handler returns the HTTP handler with all routes mounted.
 func (s *Server) Handler() http.Handler {
+	s.publishExpvar()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /api/suggest", s.handleSuggestGet)
@@ -66,19 +106,33 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/log", s.handleLog)
 	mux.HandleFunc("POST /api/learn", s.handleLearn)
 	mux.HandleFunc("POST /api/refresh", s.handleRefresh)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
+}
+
+// decodeBody decodes an optional JSON request body into v. An empty
+// body is valid and leaves v at its zero value, so handlers whose
+// request fields all have documented defaults (e.g. /api/refresh's
+// mode) accept a bare POST.
+func decodeBody(r *http.Request, v any) error {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil || errors.Is(err, io.EOF) {
+		return nil
+	}
+	return err
 }
 
 // RefreshRequest is the POST /api/refresh body: ingest all recorded
 // traffic into the engine and rebuild per mode ("graphs", "foldin" or
-// "retrain").
+// "retrain"). An empty body (or empty mode) means "graphs".
 type RefreshRequest struct {
 	Mode string `json:"mode"`
 }
 
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	var req RefreshRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeBody(r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
@@ -94,21 +148,49 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "mode must be graphs, foldin or retrain")
 		return
 	}
-	// Snapshot the fresh entries under the record lock.
+
+	// One rebuild at a time; suggestions never wait here — they read
+	// the old engine until the swap below.
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.engine.Load()
+
+	// Validate BEFORE ingesting: a mode the engine cannot satisfy must
+	// not consume the recorded entries or touch any engine state.
+	if err := cur.CanRefresh(mode); err != nil {
+		s.stats.refreshErrors.Add(1)
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+
+	// Snapshot the fresh entries under the record lock. Entries that
+	// arrive while the rebuild runs stay pending for the next refresh.
 	s.mu.Lock()
+	prevIngested := s.lastIngested
 	fresh := append([]querylog.Entry(nil), s.recorded.Entries[s.lastIngested:]...)
 	s.lastIngested = s.recorded.Len()
 	s.mu.Unlock()
 
-	s.engineMu.Lock()
-	s.engine.Ingest(fresh)
-	err := s.engine.Refresh(mode)
-	s.engineMu.Unlock()
+	start := time.Now()
+	next, err := cur.Rebuild(fresh, mode)
 	if err != nil {
+		// Roll the ingest cursor back: the entries were never applied.
+		s.mu.Lock()
+		s.lastIngested = prevIngested
+		s.mu.Unlock()
+		s.stats.refreshErrors.Add(1)
 		httpError(w, http.StatusConflict, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "refreshed", "ingested": len(fresh)})
+	s.engine.Store(next)
+	d := time.Since(start)
+	s.stats.observeRefresh(d)
+	s.stats.swaps.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "refreshed",
+		"ingested":   len(fresh),
+		"durationMs": float64(d.Microseconds()) / 1000,
+	})
 }
 
 // LearnRequest is the POST /api/learn body: fold the middleware's
@@ -120,7 +202,7 @@ type LearnRequest struct {
 
 func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	var req LearnRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeBody(r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
@@ -128,6 +210,7 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing user")
 		return
 	}
+	s.stats.learnRequests.Add(1)
 	s.mu.Lock()
 	entries := s.recorded.ByUser(req.User)
 	s.mu.Unlock()
@@ -135,13 +218,23 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no recorded history for user")
 		return
 	}
-	s.engineMu.Lock()
-	err := s.engine.LearnUser(req.User, entries)
-	s.engineMu.Unlock()
-	if err != nil {
+	// Fold-in mutates the profile store, so it follows the same
+	// clone→mutate→swap discipline as refresh: suggestions keep reading
+	// the old engine until the swap.
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.engine.Load()
+	if cur.Profiles == nil {
+		httpError(w, http.StatusConflict, "core: engine built without personalization")
+		return
+	}
+	next := cur.Clone()
+	if err := next.LearnUser(req.User, entries); err != nil {
 		httpError(w, http.StatusConflict, err.Error())
 		return
 	}
+	s.engine.Store(next)
+	s.stats.swaps.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"status": "learned", "entries": len(entries)})
 }
 
@@ -177,32 +270,44 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok", "recordedEntries": n, "feedback": f,
+		"swaps": s.stats.swaps.Load(),
 	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats.snapshot())
 }
 
 func (s *Server) handleSuggestGet(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	k := 10
 	if ks := q.Get("k"); ks != "" {
-		if _, err := fmt.Sscanf(ks, "%d", &k); err != nil {
-			httpError(w, http.StatusBadRequest, "bad k")
+		// strconv.Atoi rejects trailing garbage ("5x") that Sscanf
+		// silently accepted; non-positive k is an error, not a panic
+		// source further down.
+		v, err := strconv.Atoi(ks)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, "k must be a positive integer")
 			return
 		}
+		k = v
 	}
-	s.serveSuggestion(w, SuggestRequest{User: q.Get("user"), Query: q.Get("q"), K: k})
+	s.serveSuggestion(w, r, SuggestRequest{User: q.Get("user"), Query: q.Get("q"), K: k})
 }
 
 func (s *Server) handleSuggestPost(w http.ResponseWriter, r *http.Request) {
 	var req SuggestRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeBody(r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
-	s.serveSuggestion(w, req)
+	s.serveSuggestion(w, r, req)
 }
 
-func (s *Server) serveSuggestion(w http.ResponseWriter, req SuggestRequest) {
+func (s *Server) serveSuggestion(w http.ResponseWriter, r *http.Request, req SuggestRequest) {
+	s.stats.suggestRequests.Add(1)
 	if req.Query == "" {
+		s.stats.suggestErrors.Add(1)
 		httpError(w, http.StatusBadRequest, "missing query")
 		return
 	}
@@ -216,30 +321,60 @@ func (s *Server) serveSuggestion(w http.ResponseWriter, req SuggestRequest) {
 	if req.At != "" {
 		t, err := time.Parse(time.RFC3339, req.At)
 		if err != nil {
+			s.stats.suggestErrors.Add(1)
 			httpError(w, http.StatusBadRequest, "bad at timestamp")
 			return
 		}
 		at = t
 	}
-	var ctx []querylog.Entry
+	var sctx []querylog.Entry
 	for _, c := range req.Context {
 		t, err := time.Parse(time.RFC3339, c.At)
 		if err != nil {
+			s.stats.suggestErrors.Add(1)
 			httpError(w, http.StatusBadRequest, "bad context timestamp")
 			return
 		}
-		ctx = append(ctx, querylog.Entry{UserID: req.User, Query: c.Query, Time: t})
+		sctx = append(sctx, querylog.Entry{UserID: req.User, Query: c.Query, Time: t})
+	}
+
+	// Request-scoped deadline: client disconnects cancel via
+	// r.Context(), and the configured timeout bounds the pipeline.
+	ctx := r.Context()
+	if d := s.RequestTimeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
 	}
 
 	start := time.Now()
-	s.engineMu.RLock()
-	res, err := s.engine.Suggest(req.User, req.Query, ctx, at, req.K)
-	s.engineMu.RUnlock()
+	// Lock-free engine access: a refresh swapping the pointer mid-call
+	// does not affect this request, which finishes on its snapshot.
+	res, err := s.engine.Load().SuggestContext(ctx, req.User, req.Query, sctx, at, req.K)
+	elapsed := time.Since(start)
+	s.observeStages(res, elapsed)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Deadline overrun (or client gone): report how far the
+			// pipeline got instead of running the solver to completion.
+			s.stats.suggestTimeouts.Add(1)
+			writeJSON(w, http.StatusGatewayTimeout, map[string]any{
+				"error":           "deadline exceeded",
+				"compactSize":     res.CompactSize,
+				"solveIterations": res.SolveIterations,
+				"compactMs":       ms(res.CompactTime),
+				"solveMs":         ms(res.SolveTime),
+				"hittingMs":       ms(res.HittingTime),
+				"elapsedMs":       ms(elapsed),
+			})
+			return
+		}
 		if errors.Is(err, core.ErrUnknownQuery) {
+			s.stats.suggestUnknown.Add(1)
 			writeJSON(w, http.StatusOK, SuggestResponse{Suggestions: []string{}, Diversified: []string{}})
 			return
 		}
+		s.stats.suggestErrors.Add(1)
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -251,13 +386,34 @@ func (s *Server) serveSuggestion(w http.ResponseWriter, req SuggestRequest) {
 		Suggestions: res.Suggestions,
 		Diversified: res.Diversified,
 		CompactSize: res.CompactSize,
-		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+		ElapsedMS:   ms(elapsed),
 	})
 }
 
+// observeStages feeds the core.Result timing breakdown into the latency
+// aggregates (partial results from cancelled requests count too — their
+// completed stages are real work).
+func (s *Server) observeStages(res core.Result, total time.Duration) {
+	s.stats.total.observe(total)
+	if res.CompactTime > 0 {
+		s.stats.compact.observe(res.CompactTime)
+	}
+	if res.SolveTime > 0 {
+		s.stats.solve.observe(res.SolveTime)
+	}
+	if res.HittingTime > 0 {
+		s.stats.hitting.observe(res.HittingTime)
+	}
+	if res.PersonalizeTime > 0 {
+		s.stats.personalize.observe(res.PersonalizeTime)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var fb Feedback
-	if err := json.NewDecoder(r.Body).Decode(&fb); err != nil {
+	if err := decodeBody(r, &fb); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
@@ -269,11 +425,13 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "rating must be one of 0, 0.2, 0.4, 0.6, 0.8, 1")
 		return
 	}
+	s.stats.feedbackRequests.Add(1)
 	fb.At = time.Now()
 	s.mu.Lock()
 	s.feedback = append(s.feedback, fb)
 	if s.sink != nil {
-		fmt.Fprintf(s.sink, "feedback\t%s\t%s\t%s\t%.1f\n", fb.User, fb.Query, fb.Suggestion, fb.Rating)
+		fmt.Fprintf(s.sink, "feedback\t%s\t%s\t%s\t%.1f\n",
+			escapeTSV(fb.User), escapeTSV(fb.Query), escapeTSV(fb.Suggestion), fb.Rating)
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
@@ -289,7 +447,7 @@ type LogRequest struct {
 
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 	var req LogRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeBody(r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
@@ -306,6 +464,7 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 		}
 		at = t
 	}
+	s.stats.logRequests.Add(1)
 	s.record(querylog.Entry{UserID: req.User, Query: req.Query, ClickedURL: req.ClickedURL, Time: at})
 	writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
 }
@@ -315,10 +474,23 @@ func (s *Server) record(e querylog.Entry) {
 	s.recorded.Append(e)
 	if s.sink != nil {
 		fmt.Fprintf(s.sink, "entry\t%s\t%s\t%s\t%s\n",
-			e.UserID, e.Query, e.ClickedURL, e.Time.UTC().Format(time.RFC3339))
+			escapeTSV(e.UserID), escapeTSV(e.Query), escapeTSV(e.ClickedURL),
+			e.Time.UTC().Format(time.RFC3339))
 	}
 	s.mu.Unlock()
 }
+
+// escapeTSV backslash-escapes the characters that would corrupt the
+// one-event-per-line TSV sink: user-controlled queries and suggestions
+// may legally contain tabs and newlines.
+func escapeTSV(s string) string {
+	if !strings.ContainsAny(s, "\t\n\r\\") {
+		return s
+	}
+	return tsvEscaper.Replace(s)
+}
+
+var tsvEscaper = strings.NewReplacer("\\", `\\`, "\t", `\t`, "\n", `\n`, "\r", `\r`)
 
 // Recorded returns a copy of the query log observed so far.
 func (s *Server) Recorded() *querylog.Log {

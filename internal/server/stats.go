@@ -1,0 +1,117 @@
+package server
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// stageStats aggregates one pipeline stage's latency: count, sum and
+// max, all updated lock-free so the suggestion hot path never contends.
+type stageStats struct {
+	count atomic.Int64
+	sumNs atomic.Int64
+	maxNs atomic.Int64
+}
+
+func (st *stageStats) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	st.count.Add(1)
+	st.sumNs.Add(ns)
+	for {
+		cur := st.maxNs.Load()
+		if ns <= cur || st.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+func (st *stageStats) snapshot() map[string]any {
+	n := st.count.Load()
+	sum := st.sumNs.Load()
+	mean := 0.0
+	if n > 0 {
+		mean = float64(sum) / float64(n) / 1e6
+	}
+	return map[string]any{
+		"count":   n,
+		"totalMs": float64(sum) / 1e6,
+		"meanMs":  mean,
+		"maxMs":   float64(st.maxNs.Load()) / 1e6,
+	}
+}
+
+// serverStats is the middleware's observability surface: request and
+// error counters, per-stage latency aggregates fed from core.Result
+// timings, and refresh/hot-swap accounting. It backs both /api/stats
+// and the expvar-published "pqsda" variable on /debug/vars.
+type serverStats struct {
+	suggestRequests atomic.Int64
+	suggestErrors   atomic.Int64
+	suggestUnknown  atomic.Int64
+	suggestTimeouts atomic.Int64
+
+	logRequests      atomic.Int64
+	feedbackRequests atomic.Int64
+	learnRequests    atomic.Int64
+
+	refreshes     atomic.Int64
+	refreshErrors atomic.Int64
+	// swaps counts successful engine hot-swaps (refresh + learn).
+	swaps         atomic.Int64
+	refreshSumNs  atomic.Int64
+	lastRefreshNs atomic.Int64
+
+	compact     stageStats
+	solve       stageStats
+	hitting     stageStats
+	personalize stageStats
+	total       stageStats
+}
+
+func (ss *serverStats) observeRefresh(d time.Duration) {
+	ss.refreshes.Add(1)
+	ss.refreshSumNs.Add(d.Nanoseconds())
+	ss.lastRefreshNs.Store(d.Nanoseconds())
+}
+
+func (ss *serverStats) snapshot() map[string]any {
+	return map[string]any{
+		"suggest": map[string]any{
+			"requests": ss.suggestRequests.Load(),
+			"errors":   ss.suggestErrors.Load(),
+			"unknown":  ss.suggestUnknown.Load(),
+			"timeouts": ss.suggestTimeouts.Load(),
+		},
+		"log":      map[string]any{"requests": ss.logRequests.Load()},
+		"feedback": map[string]any{"requests": ss.feedbackRequests.Load()},
+		"learn":    map[string]any{"requests": ss.learnRequests.Load()},
+		"refresh": map[string]any{
+			"count":         ss.refreshes.Load(),
+			"errors":        ss.refreshErrors.Load(),
+			"swaps":         ss.swaps.Load(),
+			"totalMs":       float64(ss.refreshSumNs.Load()) / 1e6,
+			"lastRefreshMs": float64(ss.lastRefreshNs.Load()) / 1e6,
+		},
+		"stages": map[string]any{
+			"compact":     ss.compact.snapshot(),
+			"solve":       ss.solve.snapshot(),
+			"hitting":     ss.hitting.snapshot(),
+			"personalize": ss.personalize.snapshot(),
+			"total":       ss.total.snapshot(),
+		},
+	}
+}
+
+// expvar variable names are process-global and Publish panics on
+// duplicates, so only the first Server in a process exports its stats
+// there (tests spin up many servers). /api/stats is always
+// per-instance.
+var expvarOnce sync.Once
+
+func (s *Server) publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("pqsda", expvar.Func(func() any { return s.stats.snapshot() }))
+	})
+}

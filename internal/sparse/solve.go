@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -46,6 +47,16 @@ func (o SolveOptions) withDefaults(n int) SolveOptions {
 // x0 may be nil (start from zero). It returns the solution and the number
 // of iterations used.
 func SolveCG(a *Matrix, b, x0 []float64, opts SolveOptions) ([]float64, int, error) {
+	return SolveCGCtx(context.Background(), a, b, x0, opts)
+}
+
+// SolveCGCtx is SolveCG with request-scoped cancellation: the context is
+// checked once per iteration (each iteration is one mat-vec, so the
+// check granularity is O(nnz) work). On cancellation it returns the
+// iterate reached so far together with ctx.Err(), so callers can report
+// partial progress — this is what bounds a slow Eq. 15 solve under a
+// serving deadline.
+func SolveCGCtx(ctx context.Context, a *Matrix, b, x0 []float64, opts SolveOptions) ([]float64, int, error) {
 	n := a.Rows()
 	if a.Cols() != n {
 		panic(fmt.Sprintf("sparse: SolveCG needs a square matrix, got %dx%d", a.Rows(), a.Cols()))
@@ -87,6 +98,9 @@ func SolveCG(a *Matrix, b, x0 []float64, opts SolveOptions) ([]float64, int, err
 	}
 	rz := dot(r, z)
 	for it := 1; it <= opts.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return x, it - 1, err
+		}
 		a.MulVecParallel(p, ap, opts.Workers)
 		pap := dot(p, ap)
 		if pap == 0 {

@@ -1,0 +1,57 @@
+package sparse
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// A pre-cancelled context must abort before the first iteration and
+// return the starting iterate.
+func TestSolveCGCtxCancelledBeforeStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := spdMatrix(rng, 40)
+	b := make([]float64, 40)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x, iters, err := SolveCGCtx(ctx, a, b, nil, SolveOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if iters != 0 {
+		t.Errorf("iterations = %d before cancellation was noticed, want 0", iters)
+	}
+	for i, v := range x {
+		if v != 0 {
+			t.Fatalf("x[%d] = %v, want the zero starting iterate", i, v)
+		}
+	}
+}
+
+// SolveCG (no context) must stay the uncancellable baseline: identical
+// results to SolveCGCtx with a background context.
+func TestSolveCGCtxBackgroundMatchesSolveCG(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := spdMatrix(rng, 30)
+	b := make([]float64, 30)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x1, it1, err1 := SolveCG(a, b, nil, SolveOptions{})
+	x2, it2, err2 := SolveCGCtx(context.Background(), a, b, nil, SolveOptions{})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v, %v", err1, err2)
+	}
+	if it1 != it2 {
+		t.Fatalf("iteration counts differ: %d vs %d", it1, it2)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("solutions differ at %d: %v vs %v", i, x1[i], x2[i])
+		}
+	}
+}

@@ -42,6 +42,23 @@ func (m *UPM) GobEncode() ([]byte, error) {
 	return buf.Bytes(), err
 }
 
+// Clone deep-copies the model via its gob wire format: the copy shares
+// no mutable state with the original, so FoldIn on one never races with
+// reads of the other. This backs the engine's hot-swap refresh path.
+func (m *UPM) Clone() *UPM {
+	data, err := m.GobEncode()
+	if err != nil {
+		// The wire format covers every field; encoding a live model
+		// cannot fail short of OOM.
+		panic("topicmodel: cloning UPM: " + err.Error())
+	}
+	out := &UPM{}
+	if err := out.GobDecode(data); err != nil {
+		panic("topicmodel: cloning UPM: " + err.Error())
+	}
+	return out
+}
+
 // GobDecode implements gob.GobDecoder.
 func (m *UPM) GobDecode(data []byte) error {
 	var w upmWire
