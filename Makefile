@@ -1,10 +1,11 @@
 # Development targets. `make ci` is what every PR must pass: vet,
-# build, and the full test suite under the race detector (the serving
-# path is lock-free by design — races are correctness bugs here).
+# build, the full test suite under the race detector (the serving
+# path is lock-free by design — races are correctness bugs here), and
+# a one-iteration benchmark smoke run so the harness can't rot.
 
 GO ?= go
 
-.PHONY: build test race vet ci
+.PHONY: build test race vet bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -18,4 +19,10 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet build race
+# Every benchmark runs exactly once: catches harness bitrot (bad
+# fixtures, panics, compile errors in bench-only code) without paying
+# for a real measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: vet build race bench-smoke

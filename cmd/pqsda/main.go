@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -41,6 +42,8 @@ func main() {
 		workers   = flag.Int("workers", 1, "parallel workers for training and solving")
 		serve     = flag.String("serve", "", "serve the HTTP suggestion API on this address instead of the CLI")
 		reqTimout = flag.Duration("request-timeout", 5*time.Second, "per-request suggestion deadline for -serve (0 disables; overruns return 504)")
+		cacheSize = flag.Int("cache-size", 4096, "suggestion cache capacity in entries (0 disables caching)")
+		cacheTTL  = flag.Duration("cache-ttl", 0, "suggestion cache entry lifetime (0: entries live until evicted or the engine is swapped)")
 		savePath  = flag.String("save", "", "persist the trained engine to this file and exit")
 		enginePth = flag.String("engine", "", "load a persisted engine instead of training from a log")
 	)
@@ -113,16 +116,22 @@ func main() {
 		return
 	}
 
+	if *cacheSize > 0 {
+		engine.EnableCache(*cacheSize, *cacheTTL)
+	}
+
 	if *serve != "" {
 		srv := server.New(engine, os.Stderr)
 		srv.SetRequestTimeout(*reqTimout)
-		fmt.Fprintf(os.Stderr, "serving suggestion API on %s (GET /api/suggest?user=&q=&k=; stats on /api/stats and /debug/vars; request timeout %v)\n",
-			*serve, *reqTimout)
+		fmt.Fprintf(os.Stderr, "serving suggestion API on %s (GET /v1/suggest?user=&q=&k=; stats on /v1/stats and /debug/vars; request timeout %v; cache %d entries)\n",
+			*serve, *reqTimout, *cacheSize)
 		fatal(http.ListenAndServe(*serve, srv.Handler()))
 	}
 
 	answer := func(q string) {
-		res, err := engine.Suggest(*user, q, nil, time.Now(), *k)
+		res, err := engine.Do(context.Background(), core.SuggestRequest{
+			User: *user, Query: q, K: *k,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%q: %v\n", q, err)
 			return
@@ -131,8 +140,8 @@ func main() {
 			fmt.Printf("%2d. %s\n", i+1, s)
 		}
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "compact=%d queries, solve=%d iters, stages: compact %v, solve %v, hitting %v, personalize %v\n",
-				res.CompactSize, res.SolveIterations,
+			fmt.Fprintf(os.Stderr, "compact=%d queries, solve=%d iters, cached=%v, stages: compact %v, solve %v, hitting %v, personalize %v\n",
+				res.CompactSize, res.SolveIterations, res.CacheHit,
 				res.CompactTime.Round(time.Microsecond), res.SolveTime.Round(time.Microsecond),
 				res.HittingTime.Round(time.Microsecond), res.PersonalizeTime.Round(time.Microsecond))
 		}

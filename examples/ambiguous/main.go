@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -88,7 +89,9 @@ func main() {
 
 	// Personalization: each persona sees its own facet first.
 	for _, p := range personas {
-		r, err := engine.Suggest(p.users[0], "sun", nil, time.Now(), 6)
+		r, err := engine.Do(context.Background(), pqsda.SuggestRequest{
+			User: p.users[0], Query: "sun", K: 6,
+		})
 		if err != nil {
 			panic(err)
 		}

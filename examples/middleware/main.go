@@ -46,7 +46,7 @@ func main() {
 	expert := "expert-007"
 	history := world.Log.ByUser(world.UserIDs()[3]) // borrow realistic behaviour
 	for _, e := range history[:10] {
-		post(ts.URL+"/api/log", server.LogRequest{
+		post(ts.URL+"/v1/log", server.LogRequest{
 			User: expert, Query: e.Query, ClickedURL: e.ClickedURL,
 			At: e.Time.Format(time.RFC3339),
 		})
@@ -54,13 +54,13 @@ func main() {
 	fmt.Printf("recorded %d searches for %s\n", 10, expert)
 
 	// Fold the expert into the profiles — no retraining.
-	post(ts.URL+"/api/learn", server.LearnRequest{User: expert})
-	fmt.Println("profile learned via /api/learn")
+	post(ts.URL+"/v1/learn", server.LearnRequest{User: expert})
+	fmt.Println("profile learned via /v1/learn")
 
 	// The expert asks for suggestions.
 	input := history[0].Query
 	var sugg server.SuggestResponse
-	postInto(ts.URL+"/api/suggest", server.SuggestRequest{
+	postInto(ts.URL+"/v1/suggest", server.SuggestRequest{
 		User: expert, Query: input, K: 5,
 	}, &sugg)
 	fmt.Printf("suggestions for %q: %d (served in %.1fms)\n",
@@ -75,7 +75,7 @@ func main() {
 		if world.QueryFacet(s) == intended {
 			rating = 1.0
 		}
-		post(ts.URL+"/api/feedback", server.Feedback{
+		post(ts.URL+"/v1/feedback", server.Feedback{
 			User: expert, Query: input, Suggestion: s, Rating: rating,
 		})
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -40,7 +41,9 @@ func main() {
 	user := world.UserIDs()[0]
 	fmt.Printf("\ninput query: %q  (user %s)\n", input, user)
 
-	res, err := engine.Suggest(user, input, nil, time.Now(), 10)
+	res, err := engine.Do(context.Background(), pqsda.SuggestRequest{
+		User: user, Query: input, K: 10,
+	})
 	if err != nil {
 		panic(err)
 	}

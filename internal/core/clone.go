@@ -16,13 +16,23 @@ import (
 // Clone is the foundation of non-blocking refresh: mutate the clone
 // (Ingest, Refresh, LearnUser) off the serving path, then atomically
 // swap it in. The original keeps serving Suggest throughout.
+//
+// The clone gets the NEXT generation number and shares the suggestion
+// cache: once the clone is swapped in, cache entries computed against
+// the original stop being addressable (their keys carry the old
+// generation) and age out of the LRU — swap-time invalidation without a
+// flush. Swap sequences are serialized by the caller (the server's
+// swapMu), so generations are strictly increasing along the chain of
+// serving engines.
 func (e *Engine) Clone() *Engine {
 	out := &Engine{
-		cfg:      e.cfg,
-		Sessions: e.Sessions,
-		Rep:      e.Rep,
-		Corpus:   e.Corpus,
-		dirty:    e.dirty,
+		cfg:        e.cfg,
+		Sessions:   e.Sessions,
+		Rep:        e.Rep,
+		Corpus:     e.Corpus,
+		generation: e.generation + 1,
+		cache:      e.cache,
+		dirty:      e.dirty,
 	}
 	if e.Log != nil {
 		out.Log = &querylog.Log{Entries: append([]querylog.Entry(nil), e.Log.Entries...)}

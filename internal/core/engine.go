@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bipartite"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/querylog"
 	"repro/internal/regularize"
+	"repro/internal/suggestcache"
 	"repro/internal/topicmodel"
 )
 
@@ -57,6 +59,18 @@ type Engine struct {
 	Corpus   *topicmodel.Corpus
 	Profiles *profile.Store // nil when personalization is skipped
 
+	// generation identifies this engine snapshot for cache keying:
+	// stamped at build, bumped by Clone. Immutable afterwards, so the
+	// lock-free serving path reads it without synchronization.
+	generation uint64
+	// cache, when attached (EnableCache), memoizes diversified lists
+	// keyed by (generation, query, context fingerprint, k). Shared by
+	// clones — generation keying handles invalidation across swaps.
+	cache *suggestcache.Cache[Result]
+	// cgSolves counts Eq. 15 CG solves run by this instance (cache
+	// effectiveness ground truth; see SolveCount).
+	cgSolves atomic.Int64
+
 	// dirty counts entries ingested since the last build/Refresh.
 	dirty int
 }
@@ -76,8 +90,15 @@ type Result struct {
 	// SolveIterations is the CG iteration count of the Eq. 15 solve.
 	SolveIterations int
 	// CompactTime, SolveTime, HittingTime and PersonalizeTime are the
-	// stage durations.
+	// stage durations. On a cache hit the first three are zero — this
+	// request did not run those stages.
 	CompactTime, SolveTime, HittingTime, PersonalizeTime time.Duration
+	// Generation is the engine snapshot that produced this result.
+	Generation uint64
+	// CacheHit reports that the diversified list came from the
+	// suggestion cache (directly or by coalescing onto a concurrent
+	// identical request) instead of a fresh pipeline run.
+	CacheHit bool
 }
 
 // ErrUnknownQuery is returned when the input query has no node in the
@@ -93,10 +114,11 @@ func NewEngine(l *querylog.Log, cfg Config) (*Engine, error) {
 	}
 	sessions := querylog.Sessionize(l, cfg.Sessionizer)
 	e := &Engine{
-		cfg:      cfg,
-		Log:      l,
-		Sessions: sessions,
-		Rep:      bipartite.BuildFromSessions(sessions, cfg.Weighting),
+		cfg:        cfg,
+		Log:        l,
+		Sessions:   sessions,
+		Rep:        bipartite.BuildFromSessions(sessions, cfg.Weighting),
+		generation: 1,
 	}
 	if !cfg.SkipPersonalization {
 		e.Corpus = topicmodel.BuildCorpus(sessions, nil)
@@ -174,6 +196,7 @@ func (e *Engine) SuggestDiversifiedContext(ctx context.Context, query string, sc
 	}
 
 	t0 = time.Now()
+	e.cgSolves.Add(1)
 	reg, err := regularize.FirstCandidateCtx(ctx, compact, f0, seedLocals, e.cfg.Regularize)
 	res.SolveTime = time.Since(t0)
 	res.SolveIterations = reg.Iterations
@@ -217,21 +240,20 @@ func (e *Engine) SuggestDiversifiedContext(ctx context.Context, query string, sc
 // Suggest runs the full pipeline: diversification followed by
 // personalized re-ranking (preference scores + Borda aggregation) when
 // the engine has profiles and knows the user.
+//
+// Deprecated: use Do with a SuggestRequest; the positional form is kept
+// as a thin wrapper for source compatibility.
 func (e *Engine) Suggest(userID, query string, sctx []querylog.Entry, at time.Time, k int) (Result, error) {
-	return e.SuggestContext(context.Background(), userID, query, sctx, at, k)
+	return e.Do(context.Background(), SuggestRequest{User: userID, Query: query, Context: sctx, At: at, K: k})
 }
 
 // SuggestContext is Suggest with request-scoped cancellation threaded
 // through every stage (see SuggestDiversifiedContext).
+//
+// Deprecated: use Do with a SuggestRequest; the positional form is kept
+// as a thin wrapper for source compatibility.
 func (e *Engine) SuggestContext(ctx context.Context, userID, query string, sctx []querylog.Entry, at time.Time, k int) (Result, error) {
-	res, err := e.SuggestDiversifiedContext(ctx, query, sctx, at, k)
-	if err != nil || e.Profiles == nil {
-		return res, err
-	}
-	t0 := time.Now()
-	res.Suggestions = e.Personalize(userID, res.Diversified)
-	res.PersonalizeTime = time.Since(t0)
-	return res, nil
+	return e.Do(ctx, SuggestRequest{User: userID, Query: query, Context: sctx, At: at, K: k})
 }
 
 // LearnUser folds a (new or returning) user's search history into the

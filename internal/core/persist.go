@@ -56,7 +56,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	if wire.Rep == nil {
 		return nil, fmt.Errorf("core: engine file has no representation")
 	}
-	e := &Engine{cfg: wire.Cfg, Rep: wire.Rep}
+	e := &Engine{cfg: wire.Cfg, Rep: wire.Rep, generation: 1}
 	if wire.HasUPM {
 		if wire.UPM == nil || wire.WordIndex == nil {
 			return nil, fmt.Errorf("core: engine file profile section incomplete")

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/querylog"
+	"repro/internal/suggestcache"
+)
+
+// SuggestRequest is the request object of the suggestion API: one
+// struct instead of the old positional 5-argument family, so new knobs
+// (cache bypass, per-request personalization skip) extend the surface
+// without another signature.
+type SuggestRequest struct {
+	// User is the user to personalize for; empty serves the
+	// diversified ranking (anonymous traffic).
+	User string
+	// Query is the input query.
+	Query string
+	// Context lists the current session's previous queries, most
+	// recent last (the paper's search context, Definition 2).
+	Context []querylog.Entry
+	// At is the submission time, anchoring the Eq. 7 decay of Context.
+	// Zero means now.
+	At time.Time
+	// K is the number of suggestions (must be positive).
+	K int
+	// SkipPersonalization returns the diversified ranking even when the
+	// engine has profiles for User.
+	SkipPersonalization bool
+	// NoCache bypasses the suggestion cache for this request (the
+	// computation still runs; its result is not stored or shared).
+	NoCache bool
+}
+
+// Do runs the suggestion pipeline for one request. It is the primary
+// entry point; the positional Suggest/SuggestContext signatures are
+// deprecated wrappers around it.
+//
+// When the engine has a cache (EnableCache), the expensive
+// user-INDEPENDENT part — compact build, Eq. 15 CG solve, hitting-time
+// selection — is served from it under a key of (engine generation,
+// normalized query, time-bucketed context fingerprint, k). Concurrent
+// identical misses coalesce to a single computation. Personalization is
+// a cheap per-user re-rank and always runs on top of the cached
+// diversified list, so one cache entry serves every user asking the
+// same thing.
+//
+// Callers must treat the slices in the returned Result as read-only:
+// on a cache hit Diversified is shared with other requests.
+func (e *Engine) Do(ctx context.Context, req SuggestRequest) (Result, error) {
+	if req.K <= 0 {
+		return Result{}, fmt.Errorf("core: k = %d", req.K)
+	}
+	at := req.At
+	if at.IsZero() {
+		at = time.Now()
+	}
+
+	var res Result
+	var err error
+	if e.cache != nil && !req.NoCache {
+		key := suggestcache.Key{
+			Generation: e.generation,
+			Query:      querylog.NormalizeQuery(req.Query),
+			ContextFP:  ContextFingerprint(req.Context, at, e.cfg.Regularize.Lambda),
+			K:          req.K,
+		}
+		var out suggestcache.Outcome
+		res, out, err = e.cache.Do(ctx, key, func(ctx context.Context) (Result, error) {
+			return e.SuggestDiversifiedContext(ctx, req.Query, req.Context, at, req.K)
+		})
+		if out == suggestcache.Hit || out == suggestcache.Coalesced {
+			// The stage timings belong to the request that actually ran
+			// the pipeline; this request did none of that work.
+			res.CompactTime, res.SolveTime, res.HittingTime = 0, 0, 0
+			res.CacheHit = true
+		}
+	} else {
+		res, err = e.SuggestDiversifiedContext(ctx, req.Query, req.Context, at, req.K)
+	}
+	res.Generation = e.generation
+	if err != nil {
+		return res, err
+	}
+	if !req.SkipPersonalization && e.Profiles != nil {
+		t0 := time.Now()
+		res.Suggestions = e.Personalize(req.User, res.Diversified)
+		res.PersonalizeTime = time.Since(t0)
+	} else {
+		res.Suggestions = res.Diversified
+		res.PersonalizeTime = 0
+	}
+	return res, nil
+}
+
+// contextBucketsPerHalfLife is the fingerprint resolution: Eq. 7 decay
+// exponents are quantized to quarter half-lives, so context entries
+// whose weights differ by less than ~16% share a bucket.
+const contextBucketsPerHalfLife = 4
+
+// contextMaxBucket drops context entries whose decay weight has fallen
+// below ~1e-4 — they no longer influence the F⁰ vector measurably, so
+// keying on them would only fragment the cache.
+const contextMaxBucket = 53 // ≈ ln(1e4)/ln(2) · 4
+
+// ContextFingerprint canonicalizes a search context for cache keying:
+// each context query is normalized and paired with its Eq. 7 decay
+// exponent λ·Δt quantized into quarter-half-life buckets. Two requests
+// whose contexts would decay indistinguishably therefore share a cache
+// entry; entries decayed to irrelevance are dropped. The empty context
+// fingerprints to "".
+func ContextFingerprint(sctx []querylog.Entry, at time.Time, lambda float64) string {
+	if len(sctx) == 0 {
+		return ""
+	}
+	if lambda <= 0 {
+		lambda = math.Ln2 / 60 // regularize.Config's documented default
+	}
+	var b strings.Builder
+	for _, en := range sctx {
+		dt := at.Sub(en.Time)
+		if dt < 0 {
+			dt = 0
+		}
+		bucket := int(lambda * dt.Seconds() / math.Ln2 * contextBucketsPerHalfLife)
+		if bucket > contextMaxBucket {
+			continue
+		}
+		// \x1f/\x1e are field/record separators no normalized query can
+		// contain, so fingerprints cannot collide across entry splits.
+		fmt.Fprintf(&b, "%s\x1f%d\x1e", querylog.NormalizeQuery(en.Query), bucket)
+	}
+	return b.String()
+}
+
+// EnableCache attaches a suggestion cache of at most size entries with
+// the given TTL (0 = no expiry) and returns it. The cache stores
+// diversified (pre-personalization) lists keyed by engine generation,
+// so clones and rebuilt engines SHARE it: a hot-swap invalidates old
+// entries by making their generation unaddressable rather than by
+// flushing. Call before serving; replacing a cache while requests are
+// in flight is not synchronized.
+func (e *Engine) EnableCache(size int, ttl time.Duration) *suggestcache.Cache[Result] {
+	e.cache = suggestcache.New[Result](suggestcache.Config{MaxEntries: size, TTL: ttl})
+	return e.cache
+}
+
+// Cache returns the attached suggestion cache, nil when disabled.
+func (e *Engine) Cache() *suggestcache.Cache[Result] { return e.cache }
+
+// Generation identifies the engine snapshot. It is stamped at build
+// time and bumped by every Clone (and therefore by Rebuild and the
+// server's learn path), so each hot-swapped engine carries a fresh
+// value and cache keys of replaced snapshots can never be served again.
+func (e *Engine) Generation() uint64 { return e.generation }
+
+// SolveCount reports how many Eq. 15 CG solves this engine instance has
+// run — the cache tests' ground truth that coalesced requests share one
+// solve. Clones start at zero.
+func (e *Engine) SolveCount() int64 { return e.cgSolves.Load() }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/baselines"
@@ -123,7 +124,9 @@ func (s *Setup) personalizationFixture(wt bipartite.Weighting) (*persFixture, er
 		tests:  tests,
 		methods: []persMethod{
 			{"PQS-DA", func(user, query string, at time.Time, k int) []string {
-				res, err := engine.Suggest(user, query, nil, at, k)
+				res, err := engine.Do(context.Background(), core.SuggestRequest{
+					User: user, Query: query, At: at, K: k,
+				})
 				if err != nil {
 					return nil
 				}

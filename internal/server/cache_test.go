@@ -1,0 +1,238 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// cachedServer is a diversification-only fixture with the suggestion
+// cache enabled, the way cmd/pqsda -serve wires it.
+func cachedServer(t *testing.T) (*Server, *httptest.Server, *synth.World) {
+	t.Helper()
+	w := synth.Generate(synth.Config{Seed: 83, NumFacets: 4, NumUsers: 8, SessionsPerUser: 12})
+	engine, err := core.NewEngine(w.Log, core.Config{
+		Compact:             bipartite.CompactConfig{Budget: 40},
+		SkipPersonalization: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.EnableCache(512, 0)
+	srv := New(engine, nil)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, w
+}
+
+// A repeated request is served from cache, reported as such, and
+// byte-identical to the uncached answer for the same snapshot.
+func TestSuggestServedFromCache(t *testing.T) {
+	srv, ts, w := cachedServer(t)
+	q := url.QueryEscape(pickKnownQuery(t, w))
+
+	var first, second, fresh SuggestResponse
+	if code := getJSON(t, ts.URL+"/v1/suggest?q="+q+"&k=5", &first); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if first.Cached {
+		t.Fatal("first request reported a cache hit")
+	}
+	if code := getJSON(t, ts.URL+"/v1/suggest?q="+q+"&k=5", &second); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !second.Cached {
+		t.Fatal("repeat request missed the cache")
+	}
+	// nocache=1 bypasses the cache and recomputes — same answer.
+	if code := getJSON(t, ts.URL+"/v1/suggest?q="+q+"&k=5&nocache=1", &fresh); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if fresh.Cached {
+		t.Fatal("nocache request reported a cache hit")
+	}
+	if fmt.Sprint(first.Suggestions) != fmt.Sprint(second.Suggestions) ||
+		fmt.Sprint(first.Suggestions) != fmt.Sprint(fresh.Suggestions) {
+		t.Fatalf("cached/uncached diverged:\n%v\n%v\n%v", first.Suggestions, second.Suggestions, fresh.Suggestions)
+	}
+
+	var stats map[string]any
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	cache, ok := stats["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("/v1/stats has no cache section: %v", stats)
+	}
+	if cache["hits"].(float64) < 1 || cache["misses"].(float64) < 1 {
+		t.Errorf("cache stats = %v", cache)
+	}
+	if stats["suggest"].(map[string]any)["cacheHits"].(float64) < 1 {
+		t.Errorf("suggest.cacheHits missing: %v", stats["suggest"])
+	}
+	if srv.Engine().Cache().Stats().Hits < 1 {
+		t.Error("engine cache counters disagree")
+	}
+}
+
+// N concurrent identical requests over HTTP must trigger exactly one
+// pipeline run: one miss, N−1 hits/coalesces (run with -race).
+func TestConcurrentHTTPRequestsCoalesce(t *testing.T) {
+	srv, ts, w := cachedServer(t)
+	q := url.QueryEscape(pickKnownQuery(t, w))
+	before := srv.Engine().SolveCount()
+
+	const n = 16
+	var wg sync.WaitGroup
+	lists := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out SuggestResponse
+			if code := getJSON(t, ts.URL+"/v1/suggest?q="+q+"&k=5", &out); code != 200 {
+				t.Errorf("status %d", code)
+				return
+			}
+			lists[i] = fmt.Sprint(out.Suggestions)
+		}(i)
+	}
+	wg.Wait()
+
+	if got := srv.Engine().SolveCount() - before; got != 1 {
+		t.Fatalf("%d CG solves for %d concurrent identical requests", got, n)
+	}
+	for i := 1; i < n; i++ {
+		if lists[i] != lists[0] {
+			t.Fatalf("request %d saw a different list", i)
+		}
+	}
+	st := srv.Engine().Cache().Stats()
+	if st.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1 (%+v)", st.Misses, st)
+	}
+}
+
+// The swap-invalidation acceptance test over HTTP, run with -race:
+// while suggestion traffic hammers a cached server, refreshes hot-swap
+// new engine generations. Invariants: (a) generations observed by one
+// sequential client never decrease, (b) after a swap is acknowledged,
+// the cached answer equals a forced fresh recompute — a post-swap
+// request can never observe a pre-swap cached list.
+func TestCacheInvalidationAcrossSwapsHTTP(t *testing.T) {
+	srv, ts, w := cachedServer(t)
+	rawQ := pickKnownQuery(t, w)
+	q := url.QueryEscape(rawQ)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var lastGen uint64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var out SuggestResponse
+				code := getJSON(t, fmt.Sprintf("%s/v1/suggest?user=u%d&q=%s&k=5", ts.URL, g, q), &out)
+				if code != http.StatusOK {
+					t.Errorf("suggest during swaps: status %d", code)
+					return
+				}
+				if out.Generation < lastGen {
+					t.Errorf("generation went backwards: %d after %d", out.Generation, lastGen)
+					return
+				}
+				lastGen = out.Generation
+			}
+		}(g)
+	}
+
+	// Sequential swapper: feed fresh traffic, refresh, then verify the
+	// cached answer for the new generation against a forced recompute.
+	for swap := 0; swap < 4; swap++ {
+		for i := 0; i < 3; i++ {
+			postJSON(t, ts.URL+"/v1/log", LogRequest{
+				User: fmt.Sprintf("fresh%d", swap), Query: fmt.Sprintf("swap probe %d", swap),
+			}, nil)
+		}
+		var ref map[string]any
+		if code := postJSON(t, ts.URL+"/v1/refresh", RefreshRequest{Mode: "graphs"}, &ref); code != 200 {
+			t.Fatalf("refresh %d: status %d (%v)", swap, code, ref)
+		}
+		newGen := uint64(ref["generation"].(float64))
+
+		var cached, fresh SuggestResponse
+		if code := getJSON(t, ts.URL+"/v1/suggest?q="+q+"&k=5", &cached); code != 200 {
+			t.Fatalf("post-swap suggest: status %d", code)
+		}
+		if cached.Generation < newGen {
+			t.Fatalf("post-swap request served generation %d, refresh produced %d", cached.Generation, newGen)
+		}
+		if code := getJSON(t, ts.URL+"/v1/suggest?q="+q+"&k=5&nocache=1", &fresh); code != 200 {
+			t.Fatalf("post-swap nocache suggest: status %d", code)
+		}
+		// Identical snapshot → identical list, whether cached or not. A
+		// stale pre-swap entry would show up here as a divergence.
+		if cached.Generation == fresh.Generation &&
+			fmt.Sprint(cached.Suggestions) != fmt.Sprint(fresh.Suggestions) {
+			t.Fatalf("swap %d: cached list diverged from fresh compute at generation %d:\n%v\n%v",
+				swap, cached.Generation, cached.Suggestions, fresh.Suggestions)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The engine chain ended ≥ 4 generations past the seed.
+	if gen := srv.Engine().Generation(); gen < 5 {
+		t.Errorf("final generation = %d after 4 swaps", gen)
+	}
+}
+
+// The TTL flag path: entries expire even without a swap.
+func TestServerCacheTTL(t *testing.T) {
+	w := synth.Generate(synth.Config{Seed: 84, NumFacets: 3, NumUsers: 6, SessionsPerUser: 10})
+	engine, err := core.NewEngine(w.Log, core.Config{
+		Compact:             bipartite.CompactConfig{Budget: 30},
+		SkipPersonalization: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := engine.EnableCache(64, time.Minute)
+	now := time.Now()
+	clock := now
+	var mu sync.Mutex
+	cache.SetClock(func() time.Time { mu.Lock(); defer mu.Unlock(); return clock })
+	srv := New(engine, nil)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	q := url.QueryEscape(pickKnownQuery(t, w))
+	var out SuggestResponse
+	getJSON(t, ts.URL+"/v1/suggest?q="+q+"&k=5", &out)
+	getJSON(t, ts.URL+"/v1/suggest?q="+q+"&k=5", &out)
+	if !out.Cached {
+		t.Fatal("warm entry not served")
+	}
+	mu.Lock()
+	clock = clock.Add(2 * time.Minute)
+	mu.Unlock()
+	getJSON(t, ts.URL+"/v1/suggest?q="+q+"&k=5", &out)
+	if out.Cached {
+		t.Fatal("expired entry served")
+	}
+	if cache.Stats().Expirations < 1 {
+		t.Error("no expiration counted")
+	}
+}

@@ -204,15 +204,21 @@ func TestSuggestDeadline504(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("expired deadline: status %d, want 504", resp.StatusCode)
 	}
-	var out map[string]any
+	var out struct {
+		Error struct {
+			Code    string         `json:"code"`
+			Message string         `json:"message"`
+			Details map[string]any `json:"details"`
+		} `json:"error"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	if out["error"] != "deadline exceeded" {
-		t.Errorf("504 body = %v", out)
+	if out.Error.Code != "deadline_exceeded" {
+		t.Errorf("504 code = %q", out.Error.Code)
 	}
-	if _, ok := out["elapsedMs"]; !ok {
-		t.Errorf("504 body missing partial timings: %v", out)
+	if _, ok := out.Error.Details["elapsedMs"]; !ok {
+		t.Errorf("504 envelope missing partial timings: %+v", out.Error)
 	}
 
 	// Restore a generous deadline: the same request now succeeds.

@@ -8,7 +8,24 @@
 // an atomic pointer, mutation (refresh/learn) happens on a clone that
 // is hot-swapped in when ready, and every suggestion request carries a
 // context deadline threaded down to the Eq. 15 CG solve and the
-// hitting-time greedy loop.
+// hitting-time greedy loop. When the engine carries a suggestion cache
+// (core.Engine.EnableCache), repeated and concurrent identical
+// requests are served from memory; each hot-swap bumps the engine
+// generation, which invalidates the previous snapshot's cache entries
+// by construction.
+//
+// # API versions
+//
+// The canonical surface is versioned under /v1 (/v1/suggest,
+// /v1/suggest/batch, /v1/feedback, /v1/log, /v1/learn, /v1/refresh,
+// /v1/stats). Every error is the uniform envelope
+//
+//	{"error": {"code": "...", "message": "...", "details": {...}}}
+//
+// The pre-versioning /api/* paths remain mounted as aliases of the same
+// handlers; they answer identically but emit a "Deprecation: true"
+// header and a Link to their successor. /v1/suggest/batch has no legacy
+// alias (it postdates the /api surface).
 package server
 
 import (
@@ -37,9 +54,10 @@ type Server struct {
 	// Store it — an in-flight request keeps using the engine it loaded,
 	// which stays valid (engines are immutable once swapped in).
 	engine atomic.Pointer[core.Engine]
-	// swapMu serializes the clone→mutate→swap sequences of /api/refresh
-	// and /api/learn against each other. The suggestion path never
-	// takes it.
+	// swapMu serializes the clone→mutate→swap sequences of /v1/refresh
+	// and /v1/learn against each other. The suggestion path never
+	// takes it. Serialization also keeps engine generations strictly
+	// increasing, which the suggestion cache's keying relies on.
 	swapMu sync.Mutex
 	// timeoutNs is the per-request suggestion deadline in nanoseconds
 	// (0 = none), settable at runtime via SetRequestTimeout.
@@ -95,25 +113,111 @@ func (s *Server) SetRequestTimeout(d time.Duration) { s.timeoutNs.Store(int64(d)
 // RequestTimeout returns the configured per-request deadline.
 func (s *Server) RequestTimeout() time.Duration { return time.Duration(s.timeoutNs.Load()) }
 
-// Handler returns the HTTP handler with all routes mounted.
+// Handler returns the HTTP handler with all routes mounted: the
+// canonical /v1 surface, the deprecated /api aliases, health and
+// expvar.
 func (s *Server) Handler() http.Handler {
 	s.publishExpvar()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /api/suggest", s.handleSuggestGet)
-	mux.HandleFunc("POST /api/suggest", s.handleSuggestPost)
-	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
-	mux.HandleFunc("POST /api/log", s.handleLog)
-	mux.HandleFunc("POST /api/learn", s.handleLearn)
-	mux.HandleFunc("POST /api/refresh", s.handleRefresh)
-	mux.HandleFunc("GET /api/stats", s.handleStats)
+	// Routes shared by /v1 (canonical) and /api (deprecated alias).
+	routes := []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"GET", "/suggest", s.handleSuggestGet},
+		{"POST", "/suggest", s.handleSuggestPost},
+		{"POST", "/feedback", s.handleFeedback},
+		{"POST", "/log", s.handleLog},
+		{"POST", "/learn", s.handleLearn},
+		{"POST", "/refresh", s.handleRefresh},
+		{"GET", "/stats", s.handleStats},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
+		mux.HandleFunc(rt.method+" /api"+rt.path, deprecatedAlias("/v1"+rt.path, rt.h))
+	}
+	// Batch is v1-only: it postdates the /api surface.
+	mux.HandleFunc("POST /v1/suggest/batch", s.handleSuggestBatch)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
 }
 
+// deprecatedAlias wraps a handler for the legacy /api mount: identical
+// behavior, plus the standard deprecation headers pointing clients at
+// the /v1 successor.
+func deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+// --- Error envelope --------------------------------------------------
+
+// apiError is the uniform error payload: a stable machine-readable
+// code, a human-readable message, and optional structured details
+// (e.g. the partial stage timings of a timed-out request).
+type apiError struct {
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
+}
+
+// errorEnvelope is the wire shape of every non-2xx response:
+// {"error": {"code", "message", "details"}}.
+type errorEnvelope struct {
+	Error *apiError `json:"error"`
+}
+
+// Stable error codes of the /v1 surface (documented in README).
+const (
+	codeBadJSON          = "bad_json"          // 400: body is not valid JSON
+	codeMissingQuery     = "missing_query"     // 400: no input query
+	codeMissingUser      = "missing_user"      // 400: endpoint needs a user
+	codeMissingField     = "missing_field"     // 400: other required field absent
+	codeBadK             = "bad_k"             // 400: k not a positive integer
+	codeBadTimestamp     = "bad_timestamp"     // 400: at/context time not RFC3339
+	codeBadMode          = "bad_mode"          // 400: unknown refresh mode
+	codeBadRating        = "bad_rating"        // 400: rating off the 6-point scale
+	codeBadBatch         = "bad_batch"         // 400: batch payload empty/malformed
+	codeBatchTooLarge    = "batch_too_large"   // 413: batch exceeds MaxBatchSize
+	codeNotFound         = "not_found"         // 404: no recorded history
+	codeConflict         = "conflict"          // 409: engine cannot satisfy the mutation
+	codeDeadlineExceeded = "deadline_exceeded" // 504: per-request deadline overrun
+	codeInternal         = "internal"          // 500: unexpected pipeline failure
+)
+
+func newAPIError(code, message string) *apiError {
+	return &apiError{Code: code, Message: message}
+}
+
+func writeAPIError(w http.ResponseWriter, status int, e *apiError) {
+	writeJSON(w, status, errorEnvelope{Error: e})
+}
+
+// statusOf maps an error code to its HTTP status.
+func statusOf(code string) int {
+	switch code {
+	case codeNotFound:
+		return http.StatusNotFound
+	case codeConflict:
+		return http.StatusConflict
+	case codeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case codeInternal:
+		return http.StatusInternalServerError
+	case codeBatchTooLarge:
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 // decodeBody decodes an optional JSON request body into v. An empty
 // body is valid and leaves v at its zero value, so handlers whose
-// request fields all have documented defaults (e.g. /api/refresh's
+// request fields all have documented defaults (e.g. /v1/refresh's
 // mode) accept a bare POST.
 func decodeBody(r *http.Request, v any) error {
 	err := json.NewDecoder(r.Body).Decode(v)
@@ -123,7 +227,9 @@ func decodeBody(r *http.Request, v any) error {
 	return err
 }
 
-// RefreshRequest is the POST /api/refresh body: ingest all recorded
+// --- Refresh / learn -------------------------------------------------
+
+// RefreshRequest is the POST /v1/refresh body: ingest all recorded
 // traffic into the engine and rebuild per mode ("graphs", "foldin" or
 // "retrain"). An empty body (or empty mode) means "graphs".
 type RefreshRequest struct {
@@ -133,7 +239,7 @@ type RefreshRequest struct {
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	var req RefreshRequest
 	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
 		return
 	}
 	var mode core.RefreshMode
@@ -145,7 +251,7 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	case "retrain":
 		mode = core.RetrainProfiles
 	default:
-		httpError(w, http.StatusBadRequest, "mode must be graphs, foldin or retrain")
+		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadMode, "mode must be graphs, foldin or retrain"))
 		return
 	}
 
@@ -159,7 +265,7 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	// not consume the recorded entries or touch any engine state.
 	if err := cur.CanRefresh(mode); err != nil {
 		s.stats.refreshErrors.Add(1)
-		httpError(w, http.StatusConflict, err.Error())
+		writeAPIError(w, http.StatusConflict, newAPIError(codeConflict, err.Error()))
 		return
 	}
 
@@ -179,7 +285,7 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		s.lastIngested = prevIngested
 		s.mu.Unlock()
 		s.stats.refreshErrors.Add(1)
-		httpError(w, http.StatusConflict, err.Error())
+		writeAPIError(w, http.StatusConflict, newAPIError(codeConflict, err.Error()))
 		return
 	}
 	s.engine.Store(next)
@@ -189,11 +295,12 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "refreshed",
 		"ingested":   len(fresh),
+		"generation": next.Generation(),
 		"durationMs": float64(d.Microseconds()) / 1000,
 	})
 }
 
-// LearnRequest is the POST /api/learn body: fold the middleware's
+// LearnRequest is the POST /v1/learn body: fold the middleware's
 // recorded history for the user into the engine's profiles (online
 // profiling of new users without retraining).
 type LearnRequest struct {
@@ -203,11 +310,11 @@ type LearnRequest struct {
 func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	var req LearnRequest
 	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
 		return
 	}
 	if req.User == "" {
-		httpError(w, http.StatusBadRequest, "missing user")
+		writeAPIError(w, http.StatusBadRequest, newAPIError(codeMissingUser, "missing user"))
 		return
 	}
 	s.stats.learnRequests.Add(1)
@@ -215,7 +322,7 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	entries := s.recorded.ByUser(req.User)
 	s.mu.Unlock()
 	if len(entries) == 0 {
-		httpError(w, http.StatusNotFound, "no recorded history for user")
+		writeAPIError(w, http.StatusNotFound, newAPIError(codeNotFound, "no recorded history for user"))
 		return
 	}
 	// Fold-in mutates the profile store, so it follows the same
@@ -225,20 +332,26 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	defer s.swapMu.Unlock()
 	cur := s.engine.Load()
 	if cur.Profiles == nil {
-		httpError(w, http.StatusConflict, "core: engine built without personalization")
+		writeAPIError(w, http.StatusConflict, newAPIError(codeConflict, "core: engine built without personalization"))
 		return
 	}
 	next := cur.Clone()
 	if err := next.LearnUser(req.User, entries); err != nil {
-		httpError(w, http.StatusConflict, err.Error())
+		writeAPIError(w, http.StatusConflict, newAPIError(codeConflict, err.Error()))
 		return
 	}
 	s.engine.Store(next)
 	s.stats.swaps.Add(1)
-	writeJSON(w, http.StatusOK, map[string]any{"status": "learned", "entries": len(entries)})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "learned", "entries": len(entries), "generation": next.Generation(),
+	})
 }
 
-// SuggestRequest is the POST /api/suggest body.
+// --- Suggest ---------------------------------------------------------
+
+// SuggestRequest is the suggestion request on the wire, decoded
+// uniformly from the GET query string and the POST JSON body (one
+// decoder — the two transports cannot drift).
 type SuggestRequest struct {
 	User  string `json:"user"`
 	Query string `json:"query"`
@@ -248,6 +361,8 @@ type SuggestRequest struct {
 	Context []ContextItem `json:"context,omitempty"`
 	// At is the submission time (RFC3339; empty means now).
 	At string `json:"at,omitempty"`
+	// NoCache bypasses the suggestion cache for this request.
+	NoCache bool `json:"noCache,omitempty"`
 }
 
 // ContextItem is one search-context query.
@@ -262,68 +377,73 @@ type SuggestResponse struct {
 	Diversified []string `json:"diversified"`
 	CompactSize int      `json:"compactSize"`
 	ElapsedMS   float64  `json:"elapsedMs"`
+	// Generation identifies the engine snapshot that answered; it bumps
+	// on every refresh/learn hot-swap.
+	Generation uint64 `json:"generation"`
+	// Cached reports the diversified list came from the suggestion
+	// cache (personalization still ran fresh for this user).
+	Cached bool `json:"cached"`
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	n, f := s.recorded.Len(), len(s.feedback)
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok", "recordedEntries": n, "feedback": f,
-		"swaps": s.stats.swaps.Load(),
-	})
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.stats.snapshot())
-}
-
-func (s *Server) handleSuggestGet(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	k := 10
-	if ks := q.Get("k"); ks != "" {
-		// strconv.Atoi rejects trailing garbage ("5x") that Sscanf
-		// silently accepted; non-positive k is an error, not a panic
-		// source further down.
-		v, err := strconv.Atoi(ks)
-		if err != nil || v < 1 {
-			httpError(w, http.StatusBadRequest, "k must be a positive integer")
-			return
-		}
-		k = v
-	}
-	s.serveSuggestion(w, r, SuggestRequest{User: q.Get("user"), Query: q.Get("q"), K: k})
-}
-
-func (s *Server) handleSuggestPost(w http.ResponseWriter, r *http.Request) {
+// decodeSuggestRequest is the single decoder both transports go
+// through. GET reads user/q/k/at/nocache from the query string; POST
+// reads the JSON body. K validation is shared: absent means the default
+// (10), an explicitly supplied k must be a positive integer, and values
+// above 100 are clamped by validateSuggestRequest.
+func decodeSuggestRequest(r *http.Request) (SuggestRequest, *apiError) {
 	var req SuggestRequest
-	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		req.User = q.Get("user")
+		req.Query = q.Get("q")
+		req.At = q.Get("at")
+		req.NoCache = q.Get("nocache") == "1" || q.Get("nocache") == "true"
+		if ks := q.Get("k"); ks != "" {
+			// strconv.Atoi rejects trailing garbage ("5x") that Sscanf
+			// silently accepted; non-positive k is an error, not a
+			// panic source further down.
+			v, err := strconv.Atoi(ks)
+			if err != nil || v < 1 {
+				return req, newAPIError(codeBadK, "k must be a positive integer")
+			}
+			req.K = v
+		}
+		return req, nil
 	}
-	s.serveSuggestion(w, r, req)
+	if err := decodeBody(r, &req); err != nil {
+		return req, newAPIError(codeBadJSON, "bad JSON: "+err.Error())
+	}
+	if req.K < 0 {
+		return req, newAPIError(codeBadK, "k must be a positive integer")
+	}
+	return req, nil
 }
 
-func (s *Server) serveSuggestion(w http.ResponseWriter, r *http.Request, req SuggestRequest) {
-	s.stats.suggestRequests.Add(1)
+// maxK caps the suggestion count: the diversification pool scales with
+// k, so an unbounded k is a self-inflicted denial of service.
+const maxK = 100
+
+// validateSuggestRequest turns the wire request into a core request:
+// required fields, k defaulting/clamping, timestamp parsing. This is
+// the ONE place suggestion validation happens — GET, POST and batch all
+// flow through it.
+func validateSuggestRequest(req SuggestRequest) (core.SuggestRequest, *apiError) {
+	var out core.SuggestRequest
 	if req.Query == "" {
-		s.stats.suggestErrors.Add(1)
-		httpError(w, http.StatusBadRequest, "missing query")
-		return
+		return out, newAPIError(codeMissingQuery, "missing query")
 	}
-	if req.K <= 0 {
-		req.K = 10
+	k := req.K
+	if k == 0 {
+		k = 10
 	}
-	if req.K > 100 {
-		req.K = 100
+	if k > maxK {
+		k = maxK
 	}
 	at := time.Now()
 	if req.At != "" {
 		t, err := time.Parse(time.RFC3339, req.At)
 		if err != nil {
-			s.stats.suggestErrors.Add(1)
-			httpError(w, http.StatusBadRequest, "bad at timestamp")
-			return
+			return out, newAPIError(codeBadTimestamp, "bad at timestamp")
 		}
 		at = t
 	}
@@ -331,16 +451,65 @@ func (s *Server) serveSuggestion(w http.ResponseWriter, r *http.Request, req Sug
 	for _, c := range req.Context {
 		t, err := time.Parse(time.RFC3339, c.At)
 		if err != nil {
-			s.stats.suggestErrors.Add(1)
-			httpError(w, http.StatusBadRequest, "bad context timestamp")
-			return
+			return out, newAPIError(codeBadTimestamp, "bad context timestamp")
 		}
 		sctx = append(sctx, querylog.Entry{UserID: req.User, Query: c.Query, Time: t})
 	}
+	return core.SuggestRequest{
+		User:    req.User,
+		Query:   req.Query,
+		Context: sctx,
+		At:      at,
+		K:       k,
+		NoCache: req.NoCache,
+	}, nil
+}
 
-	// Request-scoped deadline: client disconnects cancel via
-	// r.Context(), and the configured timeout bounds the pipeline.
-	ctx := r.Context()
+func (s *Server) handleSuggestGet(w http.ResponseWriter, r *http.Request) {
+	req, aerr := decodeSuggestRequest(r)
+	if aerr != nil {
+		s.stats.suggestRequests.Add(1)
+		s.stats.suggestErrors.Add(1)
+		writeAPIError(w, statusOf(aerr.Code), aerr)
+		return
+	}
+	s.serveSuggestion(w, r, req)
+}
+
+func (s *Server) handleSuggestPost(w http.ResponseWriter, r *http.Request) {
+	req, aerr := decodeSuggestRequest(r)
+	if aerr != nil {
+		s.stats.suggestRequests.Add(1)
+		s.stats.suggestErrors.Add(1)
+		writeAPIError(w, statusOf(aerr.Code), aerr)
+		return
+	}
+	s.serveSuggestion(w, r, req)
+}
+
+func (s *Server) serveSuggestion(w http.ResponseWriter, r *http.Request, req SuggestRequest) {
+	resp, aerr := s.suggestOnce(r.Context(), req)
+	if aerr != nil {
+		writeAPIError(w, statusOf(aerr.Code), aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// suggestOnce runs one validated suggestion end to end: stats,
+// deadline, engine snapshot, pipeline (through the cache when enabled),
+// recording. Shared by the single and batch endpoints.
+func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*SuggestResponse, *apiError) {
+	s.stats.suggestRequests.Add(1)
+	creq, aerr := validateSuggestRequest(req)
+	if aerr != nil {
+		s.stats.suggestErrors.Add(1)
+		return nil, aerr
+	}
+
+	// Request-scoped deadline: client disconnects cancel via the
+	// request context, and the configured timeout bounds the pipeline.
+	ctx := rctx
 	if d := s.RequestTimeout(); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
@@ -350,49 +519,166 @@ func (s *Server) serveSuggestion(w http.ResponseWriter, r *http.Request, req Sug
 	start := time.Now()
 	// Lock-free engine access: a refresh swapping the pointer mid-call
 	// does not affect this request, which finishes on its snapshot.
-	res, err := s.engine.Load().SuggestContext(ctx, req.User, req.Query, sctx, at, req.K)
+	res, err := s.engine.Load().Do(ctx, creq)
 	elapsed := time.Since(start)
 	s.observeStages(res, elapsed)
+	if res.CacheHit {
+		s.stats.suggestCacheHits.Add(1)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			// Deadline overrun (or client gone): report how far the
 			// pipeline got instead of running the solver to completion.
 			s.stats.suggestTimeouts.Add(1)
-			writeJSON(w, http.StatusGatewayTimeout, map[string]any{
-				"error":           "deadline exceeded",
-				"compactSize":     res.CompactSize,
-				"solveIterations": res.SolveIterations,
-				"compactMs":       ms(res.CompactTime),
-				"solveMs":         ms(res.SolveTime),
-				"hittingMs":       ms(res.HittingTime),
-				"elapsedMs":       ms(elapsed),
-			})
-			return
+			return nil, &apiError{
+				Code:    codeDeadlineExceeded,
+				Message: "deadline exceeded",
+				Details: map[string]any{
+					"compactSize":     res.CompactSize,
+					"solveIterations": res.SolveIterations,
+					"compactMs":       ms(res.CompactTime),
+					"solveMs":         ms(res.SolveTime),
+					"hittingMs":       ms(res.HittingTime),
+					"elapsedMs":       ms(elapsed),
+				},
+			}
 		}
 		if errors.Is(err, core.ErrUnknownQuery) {
 			s.stats.suggestUnknown.Add(1)
-			writeJSON(w, http.StatusOK, SuggestResponse{Suggestions: []string{}, Diversified: []string{}})
-			return
+			return &SuggestResponse{
+				Suggestions: []string{}, Diversified: []string{},
+				Generation: res.Generation,
+			}, nil
 		}
 		s.stats.suggestErrors.Add(1)
-		httpError(w, http.StatusInternalServerError, err.Error())
-		return
+		return nil, newAPIError(codeInternal, err.Error())
 	}
 	// The middleware records what the searcher asked — future profile
 	// training data, as in the paper's four-month study.
-	s.record(querylog.Entry{UserID: req.User, Query: req.Query, Time: at})
+	s.record(querylog.Entry{UserID: creq.User, Query: creq.Query, Time: creq.At})
 
-	writeJSON(w, http.StatusOK, SuggestResponse{
+	return &SuggestResponse{
 		Suggestions: res.Suggestions,
 		Diversified: res.Diversified,
 		CompactSize: res.CompactSize,
 		ElapsedMS:   ms(elapsed),
+		Generation:  res.Generation,
+		Cached:      res.CacheHit,
+	}, nil
+}
+
+// --- Batch suggest ---------------------------------------------------
+
+// MaxBatchSize bounds one /v1/suggest/batch payload.
+const MaxBatchSize = 256
+
+// BatchSuggestRequest is the POST /v1/suggest/batch body.
+type BatchSuggestRequest struct {
+	Requests []SuggestRequest `json:"requests"`
+}
+
+// BatchItemResult is one element of the batch response, positionally
+// matching the request payload: either a response or an error envelope
+// entry, never both.
+type BatchItemResult struct {
+	Status   int              `json:"status"`
+	Response *SuggestResponse `json:"response,omitempty"`
+	Error    *apiError        `json:"error,omitempty"`
+}
+
+// BatchSuggestResponse is the batch payload.
+type BatchSuggestResponse struct {
+	Results   []BatchItemResult `json:"results"`
+	ElapsedMS float64           `json:"elapsedMs"`
+}
+
+// handleSuggestBatch answers many suggestion requests in one round
+// trip. Items run concurrently and flow through the same cache as
+// single requests, so duplicate items in one payload coalesce to a
+// single pipeline run (and popular items are shared with concurrent
+// single-request traffic).
+func (s *Server) handleSuggestBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSuggestRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadBatch, "requests must be a non-empty array"))
+		return
+	}
+	if len(req.Requests) > MaxBatchSize {
+		writeAPIError(w, http.StatusRequestEntityTooLarge, newAPIError(codeBatchTooLarge,
+			fmt.Sprintf("batch of %d exceeds the limit of %d", len(req.Requests), MaxBatchSize)))
+		return
+	}
+	s.stats.batchRequests.Add(1)
+
+	start := time.Now()
+	results := make([]BatchItemResult, len(req.Requests))
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, aerr := s.suggestOnce(r.Context(), req.Requests[i])
+			if aerr != nil {
+				results[i] = BatchItemResult{Status: statusOf(aerr.Code), Error: aerr}
+				return
+			}
+			results[i] = BatchItemResult{Status: http.StatusOK, Response: resp}
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchSuggestResponse{
+		Results:   results,
+		ElapsedMS: ms(time.Since(start)),
 	})
+}
+
+// --- Observability ---------------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n, f := s.recorded.Len(), len(s.feedback)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "recordedEntries": n, "feedback": f,
+		"swaps":      s.stats.swaps.Load(),
+		"generation": s.engine.Load().Generation(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsPayload())
+}
+
+// statsPayload combines the request/stage counters with the serving
+// engine's generation and, when caching is enabled, the cache's
+// hit/miss/coalesce/eviction counters. Backs /v1/stats and expvar.
+func (s *Server) statsPayload() map[string]any {
+	m := s.stats.snapshot()
+	eng := s.engine.Load()
+	m["engine"] = map[string]any{"generation": eng.Generation()}
+	if c := eng.Cache(); c != nil {
+		st := c.Stats()
+		m["cache"] = map[string]any{
+			"hits":        st.Hits,
+			"misses":      st.Misses,
+			"coalesced":   st.Coalesced,
+			"evictions":   st.Evictions,
+			"expirations": st.Expirations,
+			"entries":     st.Entries,
+			"hitRate":     st.HitRate(),
+		}
+	}
+	return m
 }
 
 // observeStages feeds the core.Result timing breakdown into the latency
 // aggregates (partial results from cancelled requests count too — their
-// completed stages are real work).
+// completed stages are real work; cache hits report zero for the stages
+// they skipped and are not observed there).
 func (s *Server) observeStages(res core.Result, total time.Duration) {
 	s.stats.total.observe(total)
 	if res.CompactTime > 0 {
@@ -411,18 +697,20 @@ func (s *Server) observeStages(res core.Result, total time.Duration) {
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
+// --- Feedback / log --------------------------------------------------
+
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var fb Feedback
 	if err := decodeBody(r, &fb); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
 		return
 	}
 	if fb.User == "" || fb.Suggestion == "" {
-		httpError(w, http.StatusBadRequest, "missing user or suggestion")
+		writeAPIError(w, http.StatusBadRequest, newAPIError(codeMissingField, "missing user or suggestion"))
 		return
 	}
 	if !validRating(fb.Rating) {
-		httpError(w, http.StatusBadRequest, "rating must be one of 0, 0.2, 0.4, 0.6, 0.8, 1")
+		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadRating, "rating must be one of 0, 0.2, 0.4, 0.6, 0.8, 1"))
 		return
 	}
 	s.stats.feedbackRequests.Add(1)
@@ -437,7 +725,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
 }
 
-// LogRequest is the POST /api/log body: one raw search event.
+// LogRequest is the POST /v1/log body: one raw search event.
 type LogRequest struct {
 	User       string `json:"user"`
 	Query      string `json:"query"`
@@ -448,18 +736,18 @@ type LogRequest struct {
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 	var req LogRequest
 	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
 		return
 	}
 	if req.User == "" || req.Query == "" {
-		httpError(w, http.StatusBadRequest, "missing user or query")
+		writeAPIError(w, http.StatusBadRequest, newAPIError(codeMissingField, "missing user or query"))
 		return
 	}
 	at := time.Now()
 	if req.At != "" {
 		t, err := time.Parse(time.RFC3339, req.At)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad at timestamp")
+			writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadTimestamp, "bad at timestamp"))
 			return
 		}
 		at = t
@@ -535,8 +823,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
 }

@@ -51,6 +51,12 @@ type serverStats struct {
 	suggestErrors   atomic.Int64
 	suggestUnknown  atomic.Int64
 	suggestTimeouts atomic.Int64
+	// suggestCacheHits counts requests whose diversified list came from
+	// the suggestion cache (batch items included).
+	suggestCacheHits atomic.Int64
+	// batchRequests counts /v1/suggest/batch payloads (their items are
+	// counted individually in suggestRequests).
+	batchRequests atomic.Int64
 
 	logRequests      atomic.Int64
 	feedbackRequests atomic.Int64
@@ -79,10 +85,12 @@ func (ss *serverStats) observeRefresh(d time.Duration) {
 func (ss *serverStats) snapshot() map[string]any {
 	return map[string]any{
 		"suggest": map[string]any{
-			"requests": ss.suggestRequests.Load(),
-			"errors":   ss.suggestErrors.Load(),
-			"unknown":  ss.suggestUnknown.Load(),
-			"timeouts": ss.suggestTimeouts.Load(),
+			"requests":  ss.suggestRequests.Load(),
+			"errors":    ss.suggestErrors.Load(),
+			"unknown":   ss.suggestUnknown.Load(),
+			"timeouts":  ss.suggestTimeouts.Load(),
+			"cacheHits": ss.suggestCacheHits.Load(),
+			"batches":   ss.batchRequests.Load(),
 		},
 		"log":      map[string]any{"requests": ss.logRequests.Load()},
 		"feedback": map[string]any{"requests": ss.feedbackRequests.Load()},
@@ -112,6 +120,6 @@ var expvarOnce sync.Once
 
 func (s *Server) publishExpvar() {
 	expvarOnce.Do(func() {
-		expvar.Publish("pqsda", expvar.Func(func() any { return s.stats.snapshot() }))
+		expvar.Publish("pqsda", expvar.Func(func() any { return s.statsPayload() }))
 	})
 }

@@ -1,0 +1,312 @@
+// Package suggestcache is a snapshot-keyed result cache with request
+// coalescing for the suggestion hot path.
+//
+// The cache exists because the paper's pipeline front-loads all of its
+// cost into inputs that repeat: the Eq. 15 CG solve and the Algorithm-1
+// hitting-time greedy loop depend only on (query, session context, k)
+// and on the engine snapshot they run against — not on the user, whose
+// personalization (Section V) is a cheap re-rank applied afterwards. A
+// popular head query therefore pays the full diversification once per
+// engine snapshot and is served from memory until the next hot-swap,
+// the same way click-graph suggestion systems amortize their
+// random-walk cost.
+//
+// Invalidation is by construction, not by flush: every key embeds the
+// engine's generation number (stamped when the engine is built and
+// bumped by every clone→mutate→swap), so entries computed against a
+// replaced engine can never be returned — they simply stop being
+// addressable and age out of the LRU.
+//
+// Coalescing: when N identical requests miss concurrently, one caller
+// (the leader) runs the computation and the other N−1 wait on its
+// result. A waiter whose own context dies stops waiting; if instead the
+// LEADER's context dies mid-solve, the surviving waiters elect a new
+// leader and retry rather than inheriting a cancellation they did not
+// cause.
+package suggestcache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key identifies one cacheable suggestion computation. Two requests
+// with equal keys are guaranteed (by the caller) to produce the same
+// value, so all fields that influence the computation must be folded
+// in.
+type Key struct {
+	// Generation is the engine snapshot the value was computed against.
+	// Bumped on every hot-swap, it makes stale entries unaddressable.
+	Generation uint64
+	// Query is the normalized input query (querylog.NormalizeQuery).
+	Query string
+	// ContextFP fingerprints the session context: each context query
+	// with its Eq. 7 decay weight quantized into time buckets, so two
+	// requests whose contexts would decay indistinguishably share an
+	// entry (see core.ContextFingerprint).
+	ContextFP string
+	// K is the requested suggestion count.
+	K int
+	// Scope partitions the cache when the cached value is NOT
+	// user-independent. The suggestion path caches the diversified
+	// (pre-personalization) list and leaves Scope empty — "anonymous" —
+	// so one entry serves every user asking the same thing.
+	Scope string
+}
+
+// Outcome reports how Do satisfied a request.
+type Outcome int
+
+const (
+	// Miss: this caller ran the computation.
+	Miss Outcome = iota
+	// Hit: served from a stored entry.
+	Hit
+	// Coalesced: waited on a concurrent identical computation.
+	Coalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// Config tunes the cache.
+type Config struct {
+	// MaxEntries bounds the LRU (default 4096; values < 1 take the
+	// default).
+	MaxEntries int
+	// TTL expires entries by age. Zero disables expiry: generation
+	// keying already bounds staleness to the life of an engine
+	// snapshot, so the TTL is belt-and-suspenders against very
+	// long-lived snapshots.
+	TTL time.Duration
+}
+
+const defaultMaxEntries = 4096
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Coalesced   int64 `json:"coalesced"`
+	Evictions   int64 `json:"evictions"`
+	Expirations int64 `json:"expirations"`
+	Entries     int   `json:"entries"`
+}
+
+// HitRate returns hits / (hits + misses + coalesced), 0 when idle.
+func (s Stats) HitRate() float64 {
+	n := s.Hits + s.Misses + s.Coalesced
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(n)
+}
+
+// Cache is a thread-safe LRU with singleflight coalescing. The zero
+// value is not usable; create with New.
+type Cache[V any] struct {
+	cfg Config
+	// now is the clock, swappable in tests to exercise the TTL without
+	// sleeping.
+	now func() time.Time
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	entries  map[Key]*list.Element
+	inflight map[Key]*call[V]
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	coalesced   atomic.Int64
+	evictions   atomic.Int64
+	expirations atomic.Int64
+}
+
+type entry[V any] struct {
+	key      Key
+	val      V
+	storedAt time.Time
+}
+
+// call is one in-flight computation: the leader closes done after
+// setting val/err; waiters read them only after done.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New creates a cache.
+func New[V any](cfg Config) *Cache[V] {
+	if cfg.MaxEntries < 1 {
+		cfg.MaxEntries = defaultMaxEntries
+	}
+	return &Cache[V]{
+		cfg:      cfg,
+		now:      time.Now,
+		ll:       list.New(),
+		entries:  make(map[Key]*list.Element),
+		inflight: make(map[Key]*call[V]),
+	}
+}
+
+// Get returns the cached value for key, if present and fresh.
+func (c *Cache[V]) Get(key Key) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.lookupLocked(key); ok {
+		c.hits.Add(1)
+		return v, true
+	}
+	var zero V
+	return zero, false
+}
+
+// lookupLocked checks the LRU for a fresh entry, expiring a stale one.
+func (c *Cache[V]) lookupLocked(key Key) (V, bool) {
+	var zero V
+	el, ok := c.entries[key]
+	if !ok {
+		return zero, false
+	}
+	en := el.Value.(*entry[V])
+	if c.cfg.TTL > 0 && c.now().Sub(en.storedAt) > c.cfg.TTL {
+		c.removeLocked(el)
+		c.expirations.Add(1)
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	return en.val, true
+}
+
+// Put stores a value, evicting from the cold end when over capacity.
+func (c *Cache[V]) Put(key Key, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, v)
+}
+
+func (c *Cache[V]) putLocked(key Key, v V) {
+	if el, ok := c.entries[key]; ok {
+		en := el.Value.(*entry[V])
+		en.val = v
+		en.storedAt = c.now()
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&entry[V]{key: key, val: v, storedAt: c.now()})
+	c.entries[key] = el
+	for c.ll.Len() > c.cfg.MaxEntries {
+		c.removeLocked(c.ll.Back())
+		c.evictions.Add(1)
+	}
+}
+
+func (c *Cache[V]) removeLocked(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.entries, el.Value.(*entry[V]).key)
+}
+
+// Do returns the value for key, computing it with fn on a miss.
+// Concurrent Do calls for the same key coalesce: exactly one runs fn
+// (with its own context) and the rest share the outcome. Errors are
+// returned to every sharer but never stored, so the next request
+// retries. If the computation fails because the LEADER's context was
+// cancelled while this caller's context is still live, this caller
+// retries (one of the survivors becomes the new leader) instead of
+// propagating a cancellation it did not cause.
+func (c *Cache[V]) Do(ctx context.Context, key Key, fn func(ctx context.Context) (V, error)) (V, Outcome, error) {
+	var zero V
+	for {
+		c.mu.Lock()
+		if v, ok := c.lookupLocked(key); ok {
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return v, Hit, nil
+		}
+		if cl, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			c.coalesced.Add(1)
+			select {
+			case <-cl.done:
+			case <-ctx.Done():
+				return zero, Coalesced, ctx.Err()
+			}
+			if isCancellation(cl.err) && ctx.Err() == nil {
+				continue // leader died, not us: re-run the election
+			}
+			return cl.val, Coalesced, cl.err
+		}
+		// This caller is the leader.
+		cl := &call[V]{done: make(chan struct{})}
+		c.inflight[key] = cl
+		c.mu.Unlock()
+		c.misses.Add(1)
+
+		v, err := fn(ctx)
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err == nil {
+			c.putLocked(key, v)
+		}
+		c.mu.Unlock()
+		cl.val, cl.err = v, err
+		close(cl.done)
+		return v, Miss, err
+	}
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Len returns the number of stored entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Purge drops every stored entry (in-flight computations finish and
+// store their results normally). Counters are not reset.
+func (c *Cache[V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.entries = make(map[Key]*list.Element)
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	n := c.ll.Len()
+	c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Coalesced:   c.coalesced.Load(),
+		Evictions:   c.evictions.Load(),
+		Expirations: c.expirations.Load(),
+		Entries:     n,
+	}
+}
+
+// SetClock replaces the cache's time source (tests only).
+func (c *Cache[V]) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	c.now = now
+	c.mu.Unlock()
+}

@@ -1,0 +1,298 @@
+package suggestcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(gen uint64, q string, k int) Key {
+	return Key{Generation: gen, Query: q, K: k}
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c := New[string](Config{MaxEntries: 8})
+	ctx := context.Background()
+	calls := 0
+	compute := func(context.Context) (string, error) { calls++; return "v", nil }
+
+	v, out, err := c.Do(ctx, key(1, "sun", 5), compute)
+	if err != nil || v != "v" || out != Miss {
+		t.Fatalf("first Do = %q %v %v", v, out, err)
+	}
+	v, out, err = c.Do(ctx, key(1, "sun", 5), compute)
+	if err != nil || v != "v" || out != Hit {
+		t.Fatalf("second Do = %q %v %v", v, out, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Distinct generations, queries, k, context fingerprints and scopes must
+// all address distinct entries.
+func TestKeyComponentsPartition(t *testing.T) {
+	c := New[int](Config{MaxEntries: 64})
+	ctx := context.Background()
+	n := 0
+	keys := []Key{
+		{Generation: 1, Query: "sun", K: 5},
+		{Generation: 2, Query: "sun", K: 5},
+		{Generation: 1, Query: "moon", K: 5},
+		{Generation: 1, Query: "sun", K: 6},
+		{Generation: 1, Query: "sun", K: 5, ContextFP: "solar@0"},
+		{Generation: 1, Query: "sun", K: 5, Scope: "u0001"},
+	}
+	for _, k := range keys {
+		c.Do(ctx, k, func(context.Context) (int, error) { n++; return n, nil })
+	}
+	if n != len(keys) {
+		t.Fatalf("computed %d values for %d distinct keys", n, len(keys))
+	}
+	// And every one hits afterwards.
+	for i, k := range keys {
+		v, out, _ := c.Do(ctx, k, func(context.Context) (int, error) { t.Fatal("recompute"); return 0, nil })
+		if out != Hit || v != i+1 {
+			t.Fatalf("key %d: %v %v", i, v, out)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](Config{MaxEntries: 3})
+	for i := 0; i < 3; i++ {
+		c.Put(key(1, fmt.Sprintf("q%d", i), 1), i)
+	}
+	// Touch q0 so q1 is the cold end.
+	if _, ok := c.Get(key(1, "q0", 1)); !ok {
+		t.Fatal("q0 missing before eviction")
+	}
+	c.Put(key(1, "q3", 1), 3)
+	if _, ok := c.Get(key(1, "q1", 1)); ok {
+		t.Fatal("LRU kept the cold entry")
+	}
+	if _, ok := c.Get(key(1, "q0", 1)); !ok {
+		t.Fatal("LRU evicted the recently used entry")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New[int](Config{MaxEntries: 8, TTL: time.Minute})
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+	c.Put(key(1, "sun", 5), 42)
+	if _, ok := c.Get(key(1, "sun", 5)); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get(key(1, "sun", 5)); ok {
+		t.Fatal("expired entry served")
+	}
+	if st := c.Stats(); st.Expirations != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New[int](Config{MaxEntries: 8})
+	ctx := context.Background()
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := c.Do(ctx, key(1, "sun", 5), func(context.Context) (int, error) { calls++; return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, out, err := c.Do(ctx, key(1, "sun", 5), func(context.Context) (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 || out != Miss {
+		t.Fatalf("retry = %v %v %v", v, out, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// N concurrent identical requests must coalesce to ONE computation, and
+// every caller must see the same value.
+func TestCoalescing(t *testing.T) {
+	c := New[int](Config{MaxEntries: 8})
+	var computes atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fn := func(context.Context) (int, error) {
+		close(started)
+		<-release
+		computes.Add(1)
+		return 99, nil
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	outs := make([]Outcome, n)
+	vals := make([]int, n)
+	// The leader.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		vals[0], outs[0], _ = c.Do(context.Background(), key(1, "sun", 5), fn)
+	}()
+	<-started // leader is inside fn; everyone else must coalesce
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], outs[i], _ = c.Do(context.Background(), key(1, "sun", 5),
+				func(context.Context) (int, error) {
+					computes.Add(1)
+					return 99, nil
+				})
+		}(i)
+	}
+	// Give the waiters a moment to join the in-flight call, then let
+	// the leader finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d computations for %d concurrent identical requests", got, n)
+	}
+	var hits, misses, coal int
+	for i := 0; i < n; i++ {
+		if vals[i] != 99 {
+			t.Fatalf("caller %d got %d", i, vals[i])
+		}
+		switch outs[i] {
+		case Hit:
+			hits++
+		case Miss:
+			misses++
+		case Coalesced:
+			coal++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("misses = %d (hits %d, coalesced %d)", misses, hits, coal)
+	}
+	if coal == 0 {
+		t.Fatal("no caller coalesced")
+	}
+}
+
+// A waiter whose own context dies stops waiting with its own error.
+func TestWaiterCancellation(t *testing.T) {
+	c := New[int](Config{MaxEntries: 8})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(context.Background(), key(1, "sun", 5), func(context.Context) (int, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, key(1, "sun", 5), func(context.Context) (int, error) { return 2, nil })
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter still waiting")
+	}
+	close(release)
+}
+
+// If the LEADER's context dies mid-computation, a live waiter must not
+// inherit the cancellation: it retries and becomes the new leader.
+func TestLeaderCancellationElectsNewLeader(t *testing.T) {
+	c := New[int](Config{MaxEntries: 8})
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go c.Do(leaderCtx, key(1, "sun", 5), func(ctx context.Context) (int, error) {
+		close(started)
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	<-started
+
+	done := make(chan int, 1)
+	go func() {
+		v, _, err := c.Do(context.Background(), key(1, "sun", 5),
+			func(context.Context) (int, error) { return 42, nil })
+		if err != nil {
+			t.Errorf("survivor err = %v", err)
+		}
+		done <- v
+	}()
+	time.Sleep(10 * time.Millisecond) // let the survivor join the call
+	cancelLeader()
+	select {
+	case v := <-done:
+		if v != 42 {
+			t.Fatalf("survivor got %d", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("survivor never recovered from the leader's cancellation")
+	}
+}
+
+// Race hammer: many goroutines over a small key space with concurrent
+// generation bumps. Run with -race; correctness assertion is that a
+// value computed for generation g is only ever observed under keys of
+// generation g.
+func TestHammerConcurrent(t *testing.T) {
+	c := New[[2]uint64](Config{MaxEntries: 32})
+	var gen atomic.Uint64
+	gen.Store(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				q := fmt.Sprintf("q%d", i%7)
+				kk := Key{Generation: gen.Load(), Query: q, K: 5}
+				v, _, err := c.Do(context.Background(), kk, func(context.Context) ([2]uint64, error) {
+					return [2]uint64{kk.Generation, uint64(len(q))}, nil
+				})
+				if err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+				if v[0] != kk.Generation {
+					t.Errorf("generation %d key served value computed for generation %d", kk.Generation, v[0])
+					return
+				}
+			}
+		}(g)
+	}
+	// Swapper: bump the generation while the hammer runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			gen.Add(1)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+}

@@ -11,8 +11,15 @@
 //
 //	log, _ := pqsda.ReadLogFile("queries.tsv") // or pqsda.SyntheticLog(...)
 //	engine, _ := pqsda.NewEngine(log, pqsda.Config{})
-//	res, _ := engine.Suggest("u0001", "sun", nil, time.Now(), 10)
+//	res, _ := engine.Do(ctx, pqsda.SuggestRequest{User: "u0001", Query: "sun", K: 10})
 //	fmt.Println(res.Suggestions)
+//
+// Engine.Do is the request API: a SuggestRequest carries the user, the
+// query, optional session context, and knobs like K, NoCache and
+// SkipPersonalization. Engines built for serving can attach a
+// snapshot-keyed suggestion cache with Engine.EnableCache; cached
+// entries are invalidated automatically when the engine is rebuilt
+// (see internal/suggestcache).
 //
 // The heavy lifting lives in the internal packages (see DESIGN.md for
 // the architecture): internal/bipartite builds the multi-bipartite
@@ -23,9 +30,9 @@
 package pqsda
 
 import (
+	"context"
 	"io"
 	"os"
-	"time"
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
@@ -51,6 +58,11 @@ type Result = core.Result
 
 // Engine is a ready-to-serve PQS-DA instance. Build one with NewEngine.
 type Engine = core.Engine
+
+// SuggestRequest is the versioned request object accepted by
+// Engine.Do: user, query, optional session context, and per-request
+// knobs (K, NoCache, SkipPersonalization).
+type SuggestRequest = core.SuggestRequest
 
 // SyntheticConfig parameterizes the synthetic query-log generator that
 // stands in for a production search log.
@@ -168,7 +180,7 @@ func Suggest(l *Log, userID, query string, k int, cfg Config) ([]string, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.Suggest(userID, query, nil, time.Now(), k)
+	res, err := e.Do(context.Background(), SuggestRequest{User: userID, Query: query, K: k})
 	if err != nil {
 		return nil, err
 	}
