@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench-smoke ci
+.PHONY: build test race vet fmt-check bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,13 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Fails when any file needs gofmt — keeps diffs mechanical-noise-free.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
@@ -25,4 +32,4 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: vet build race bench-smoke
+ci: vet fmt-check build race bench-smoke

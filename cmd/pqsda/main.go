@@ -17,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -42,6 +43,8 @@ func main() {
 		workers   = flag.Int("workers", 1, "parallel workers for training and solving")
 		serve     = flag.String("serve", "", "serve the HTTP suggestion API on this address instead of the CLI")
 		reqTimout = flag.Duration("request-timeout", 5*time.Second, "per-request suggestion deadline for -serve (0 disables; overruns return 504)")
+		slowQuery = flag.Duration("slow-query", 250*time.Millisecond, "log the full trace of any suggestion slower than this (0 disables)")
+		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the serving mux")
 		cacheSize = flag.Int("cache-size", 4096, "suggestion cache capacity in entries (0 disables caching)")
 		cacheTTL  = flag.Duration("cache-ttl", 0, "suggestion cache entry lifetime (0: entries live until evicted or the engine is swapped)")
 		savePath  = flag.String("save", "", "persist the trained engine to this file and exit")
@@ -123,8 +126,13 @@ func main() {
 	if *serve != "" {
 		srv := server.New(engine, os.Stderr)
 		srv.SetRequestTimeout(*reqTimout)
-		fmt.Fprintf(os.Stderr, "serving suggestion API on %s (GET /v1/suggest?user=&q=&k=; stats on /v1/stats and /debug/vars; request timeout %v; cache %d entries)\n",
-			*serve, *reqTimout, *cacheSize)
+		srv.SetSlowQueryThreshold(*slowQuery)
+		srv.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo})))
+		if *pprofFlag {
+			srv.EnablePProf()
+		}
+		fmt.Fprintf(os.Stderr, "serving suggestion API on %s (GET /v1/suggest?user=&q=&k=&debug=trace; stats on /v1/stats, /metrics, /debug/traces, /debug/vars; request timeout %v; slow-query %v; cache %d entries; pprof %v)\n",
+			*serve, *reqTimout, *slowQuery, *cacheSize, *pprofFlag)
 		fatal(http.ListenAndServe(*serve, srv.Handler()))
 	}
 

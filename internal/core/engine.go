@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/hittingtime"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/querylog"
 	"repro/internal/regularize"
@@ -89,6 +90,12 @@ type Result struct {
 	CompactSize int
 	// SolveIterations is the CG iteration count of the Eq. 15 solve.
 	SolveIterations int
+	// SolveResidual is the final relative residual of the Eq. 15 solve
+	// (zero on cache hits — this request ran no solve).
+	SolveResidual float64
+	// HittingRounds is the number of Algorithm-1 greedy rounds run
+	// (zero on cache hits).
+	HittingRounds int
 	// CompactTime, SolveTime, HittingTime and PersonalizeTime are the
 	// stage durations. On a cache hit the first three are zero — this
 	// request did not run those stages.
@@ -156,9 +163,14 @@ func (e *Engine) SuggestDiversifiedContext(ctx context.Context, query string, sc
 	}
 
 	t0 := time.Now()
+	sp := obs.StartSpan(ctx, "compact")
 	compact := e.Rep.BuildCompact(seeds, e.cfg.Compact)
 	res.CompactTime = time.Since(t0)
 	res.CompactSize = compact.Size()
+	sp.SetAttr("seeds", len(seeds))
+	sp.SetAttr("inputSeeds", nInput)
+	sp.SetAttr("size", compact.Size())
+	sp.End()
 	if compact.Size() < 2 {
 		return res, ErrUnknownQuery
 	}
@@ -196,10 +208,15 @@ func (e *Engine) SuggestDiversifiedContext(ctx context.Context, query string, sc
 	}
 
 	t0 = time.Now()
+	sp = obs.StartSpan(ctx, "solve")
 	e.cgSolves.Add(1)
 	reg, err := regularize.FirstCandidateCtx(ctx, compact, f0, seedLocals, e.cfg.Regularize)
 	res.SolveTime = time.Since(t0)
 	res.SolveIterations = reg.Iterations
+	res.SolveResidual = reg.Residual
+	sp.SetAttr("cgIterations", reg.Iterations)
+	sp.SetAttr("residual", reg.Residual)
+	sp.End()
 	if err != nil {
 		return res, err
 	}
@@ -225,9 +242,17 @@ func (e *Engine) SuggestDiversifiedContext(ctx context.Context, query string, sc
 	pool := ranked[:poolSize]
 
 	t0 = time.Now()
+	sp = obs.StartSpan(ctx, "hitting")
 	walker := hittingtime.NewWalker(compact, e.cfg.Hitting)
 	selected, herr := walker.SelectDiverseCtx(ctx, reg.First, k, seedLocals, pool)
 	res.HittingTime = time.Since(t0)
+	if n := len(selected); n > 0 {
+		res.HittingRounds = n - 1
+	}
+	sp.SetAttr("rounds", res.HittingRounds)
+	sp.SetAttr("selected", len(selected))
+	sp.SetAttr("poolSize", len(pool))
+	sp.End()
 
 	res.Diversified = make([]string, len(selected))
 	for i, s := range selected {

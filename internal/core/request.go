@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/querylog"
 	"repro/internal/suggestcache"
 )
@@ -89,8 +90,13 @@ func (e *Engine) Do(ctx context.Context, req SuggestRequest) (Result, error) {
 	}
 	if !req.SkipPersonalization && e.Profiles != nil {
 		t0 := time.Now()
+		sp := obs.StartSpan(ctx, "personalize")
 		res.Suggestions = e.Personalize(req.User, res.Diversified)
 		res.PersonalizeTime = time.Since(t0)
+		sp.SetAttr("user", req.User)
+		sp.SetAttr("known", e.Profiles.Theta(req.User) != nil)
+		sp.SetAttr("candidates", len(res.Diversified))
+		sp.End()
 	} else {
 		res.Suggestions = res.Diversified
 		res.PersonalizeTime = 0

@@ -251,24 +251,24 @@ func TestContextFingerprint(t *testing.T) {
 		t.Errorf("empty context fingerprint = %q", got)
 	}
 	// Same bucket (quarter half-life = 15s): indistinguishable decay.
-	a := ContextFingerprint([]querylog.Entry{entry("solar power", 2 * time.Second)}, at, lambda)
-	b := ContextFingerprint([]querylog.Entry{entry("Solar  POWER!", 9 * time.Second)}, at, lambda)
+	a := ContextFingerprint([]querylog.Entry{entry("solar power", 2*time.Second)}, at, lambda)
+	b := ContextFingerprint([]querylog.Entry{entry("Solar  POWER!", 9*time.Second)}, at, lambda)
 	if a != b {
 		t.Errorf("near-identical contexts fingerprint apart:\n%q\n%q", a, b)
 	}
 	// A minute of extra age changes the weight materially → new bucket.
-	c := ContextFingerprint([]querylog.Entry{entry("solar power", 62 * time.Second)}, at, lambda)
+	c := ContextFingerprint([]querylog.Entry{entry("solar power", 62*time.Second)}, at, lambda)
 	if a == c {
 		t.Error("materially decayed context shares a fingerprint")
 	}
 	// Different query, same bucket → different fingerprint.
-	d := ContextFingerprint([]querylog.Entry{entry("lunar power", 2 * time.Second)}, at, lambda)
+	d := ContextFingerprint([]querylog.Entry{entry("lunar power", 2*time.Second)}, at, lambda)
 	if a == d {
 		t.Error("different context queries share a fingerprint")
 	}
 	// A context decayed to irrelevance (weight < 1e-4) drops out
 	// entirely: it cannot fragment the cache.
-	e := ContextFingerprint([]querylog.Entry{entry("ancient history", 24 * time.Hour)}, at, lambda)
+	e := ContextFingerprint([]querylog.Entry{entry("ancient history", 24*time.Hour)}, at, lambda)
 	if e != "" {
 		t.Errorf("irrelevant context kept in fingerprint: %q", e)
 	}

@@ -12,6 +12,7 @@ import (
 	"context"
 
 	"repro/internal/bipartite"
+	"repro/internal/obs"
 	"repro/internal/randomwalk"
 	"repro/internal/sparse"
 )
@@ -129,11 +130,31 @@ func (w *Walker) SelectDiverse(first int, k int, excluded []int, pool []int) []i
 // l-step truncated hitting-time computation over the compact graph).
 // On cancellation it returns the candidates selected so far together
 // with ctx.Err(), so a serving deadline yields a usable partial list.
-func (w *Walker) SelectDiverseCtx(ctx context.Context, first int, k int, excluded []int, pool []int) ([]int, error) {
+//
+// The greedy loop is observable: with an obs trace on the context it
+// records a "greedy_select" span (rounds, selected, pool size), and
+// with a metric sink it feeds the hitting-round and walk-step depth
+// histograms (walk steps = rounds × truncation depth l). Both no-op
+// otherwise.
+func (w *Walker) SelectDiverseCtx(ctx context.Context, first int, k int, excluded []int, pool []int) (selected []int, err error) {
 	n := w.trans.Rows()
 	if k <= 0 || first < 0 || first >= n {
 		return nil, nil
 	}
+	sp := obs.StartSpan(ctx, "greedy_select")
+	rounds := 0
+	defer func() {
+		obs.Observe(ctx, obs.MetricHittingRounds, float64(rounds))
+		obs.Observe(ctx, obs.MetricHittingWalkSteps, float64(rounds*w.cfg.Iterations))
+		if sp != nil {
+			sp.SetAttr("rounds", rounds)
+			sp.SetAttr("selected", len(selected))
+			sp.SetAttr("walkDepth", w.cfg.Iterations)
+			sp.SetAttr("poolSize", len(pool))
+			sp.SetAttr("cancelled", err != nil)
+			sp.End()
+		}
+	}()
 	banned := make(map[int]bool, len(excluded))
 	for _, e := range excluded {
 		banned[e] = true
@@ -155,13 +176,14 @@ func (w *Walker) SelectDiverseCtx(ctx context.Context, first int, k int, exclude
 			candidates = append(candidates, i)
 		}
 	}
-	selected := []int{first}
+	selected = []int{first}
 	inS := map[int]bool{first: true}
 	for len(selected) < k {
 		if err := ctx.Err(); err != nil {
 			return selected, err
 		}
 		h := w.HittingTime(inS)
+		rounds++
 		best, bestH := -1, -1.0
 		for _, i := range candidates {
 			if inS[i] || banned[i] {

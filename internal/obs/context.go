@@ -1,0 +1,82 @@
+package obs
+
+import "context"
+
+// The pipeline is instrumented from the HTTP handler down to the CG
+// solver, but the deep packages (sparse, hittingtime, suggestcache)
+// must not depend on the server. The contract is the context: the
+// server attaches a Trace, a metric Sink and a request ID; instrumented
+// code calls StartSpan / Observe / RequestIDFrom, all of which no-op
+// when nothing is attached (a library user or benchmark pays only a
+// context lookup).
+
+type ctxKey int
+
+const (
+	ctxTrace ctxKey = iota
+	ctxSink
+	ctxRequestID
+)
+
+// Sink receives named histogram observations. *Registry implements it.
+type Sink interface {
+	Observe(name string, v float64)
+}
+
+// Names of the label-less pipeline-depth histograms the instrumented
+// packages record into. The server registers histograms under exactly
+// these names; any registry without them drops the observations.
+const (
+	// MetricCGIterations is the CG iteration count of one Eq. 15 solve.
+	MetricCGIterations = "pqsda_cg_iterations"
+	// MetricCGResidual is the final relative residual of one solve.
+	MetricCGResidual = "pqsda_cg_residual"
+	// MetricHittingRounds is the number of greedy rounds one
+	// Algorithm-1 selection ran (each round is one truncated
+	// hitting-time computation).
+	MetricHittingRounds = "pqsda_hitting_rounds"
+	// MetricHittingWalkSteps is rounds × truncation depth l — the
+	// total matrix-sweep count of one selection.
+	MetricHittingWalkSteps = "pqsda_hitting_walk_steps"
+)
+
+// WithTrace attaches a trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxTrace, t)
+}
+
+// TraceFrom returns the attached trace, nil when absent.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxTrace).(*Trace)
+	return t
+}
+
+// StartSpan opens a span on the context's trace; returns a nil span
+// (whose methods no-op) when no trace is attached.
+func StartSpan(ctx context.Context, name string) *Span {
+	return TraceFrom(ctx).StartSpan(name)
+}
+
+// WithSink attaches a metric sink to the context.
+func WithSink(ctx context.Context, s Sink) context.Context {
+	return context.WithValue(ctx, ctxSink, s)
+}
+
+// Observe records v into the context's sink under name; no-op when no
+// sink is attached or the sink has no histogram of that name.
+func Observe(ctx context.Context, name string, v float64) {
+	if s, ok := ctx.Value(ctxSink).(Sink); ok {
+		s.Observe(name, v)
+	}
+}
+
+// WithRequestID attaches a request ID to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxRequestID, id)
+}
+
+// RequestIDFrom returns the attached request ID, "" when absent.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxRequestID).(string)
+	return id
+}

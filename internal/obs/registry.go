@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels are the constant label pairs of one metric series (e.g.
+// {"stage": "solve"}). nil means no labels.
+type Labels map[string]string
+
+// Registry holds metric series and renders them in the Prometheus text
+// exposition format (version 0.0.4). Registration takes a lock;
+// observation and by-name lookup (Observe) are lock-free, so a registry
+// installed on the serving hot path adds no contention.
+//
+// Unlike expvar's process-global namespace, a Registry is an instance:
+// every Server (or test) owns its own and nothing collides.
+type Registry struct {
+	mu     sync.Mutex
+	series []series
+	// byName maps the names of label-less histograms for the
+	// context-sink Observe path. Registration replaces the whole map
+	// (copy-on-write) so lookups are a lock-free atomic load.
+	byName atomic.Pointer[map[string]*Histogram]
+}
+
+type series struct {
+	name, help, typ string // typ: "counter" | "gauge" | "histogram"
+	labels          Labels
+	hist            *Histogram     // histogram series
+	fn              func() float64 // counter/gauge series
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	empty := map[string]*Histogram{}
+	r.byName.Store(&empty)
+	return r
+}
+
+// NewHistogram registers and returns a histogram series. Several
+// histograms may share a name with distinct labels (they render as one
+// metric family). Label-less histograms are additionally addressable by
+// name through Observe — the hook packages deep in the pipeline
+// (sparse, hittingtime) use to record without importing the server.
+func (r *Registry) NewHistogram(name, help string, bounds []float64, labels Labels) *Histogram {
+	h := NewHistogram(bounds)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.series = append(r.series, series{name: name, help: help, typ: "histogram", labels: labels, hist: h})
+	if len(labels) == 0 {
+		old := *r.byName.Load()
+		next := make(map[string]*Histogram, len(old)+1)
+		for k, v := range old {
+			next[k] = v
+		}
+		next[name] = h
+		r.byName.Store(&next)
+	}
+	return h
+}
+
+// CounterFunc registers a counter series backed by a read function —
+// the natural fit for the server's existing atomic counters.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(series{name: name, help: help, typ: "counter", labels: labels, fn: fn})
+}
+
+// GaugeFunc registers a gauge series backed by a read function.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(series{name: name, help: help, typ: "gauge", labels: labels, fn: fn})
+}
+
+func (r *Registry) register(s series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.series = append(r.series, s)
+}
+
+// Observe records v into the label-less histogram registered under
+// name. Unknown names are a silent no-op, so instrumented packages work
+// against any registry (or none). The lookup is one atomic pointer load
+// plus a map read — lock-free.
+func (r *Registry) Observe(name string, v float64) {
+	if h := (*r.byName.Load())[name]; h != nil {
+		h.Observe(v)
+	}
+}
+
+// WritePrometheus renders every registered series in the text
+// exposition format: one # HELP/# TYPE header per metric family (in
+// registration order), histogram families as cumulative _bucket series
+// plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	all := append([]series(nil), r.series...)
+	r.mu.Unlock()
+
+	seen := make(map[string]bool, len(all))
+	for _, s := range all {
+		if !seen[s.name] {
+			seen[s.name] = true
+			if s.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", s.name, escapeHelp(s.help))
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.typ)
+		}
+		switch s.typ {
+		case "histogram":
+			writeHistogram(w, s)
+		default:
+			fmt.Fprintf(w, "%s%s %s\n", s.name, renderLabels(s.labels, "", ""), formatFloat(s.fn()))
+		}
+	}
+}
+
+func writeHistogram(w io.Writer, s series) {
+	snap := s.hist.Snapshot()
+	cum := uint64(0)
+	for i, c := range snap.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(snap.Bounds) {
+			le = formatFloat(snap.Bounds[i])
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, renderLabels(s.labels, "le", le), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", s.name, renderLabels(s.labels, "", ""), formatFloat(snap.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", s.name, renderLabels(s.labels, "", ""), snap.Count)
+}
+
+// renderLabels renders {k="v",...} with keys sorted, appending the
+// extra pair (the histogram `le`) last as Prometheus convention has it.
+// Returns "" when there is nothing to render.
+func renderLabels(labels Labels, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	// %q escapes `\`, `"` and newlines exactly as the exposition
+	// format requires for label values.
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if extraK != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func escapeHelp(v string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(v)
+}
+
+// Handler serves the registry in the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

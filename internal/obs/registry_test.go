@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition output for a
+// small registry: header once per family, cumulative buckets with `le`,
+// _sum/_count, sorted and quoted labels.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_duration_seconds", "Test latency.", []float64{1, 2}, Labels{"stage": "solve"})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+	r.CounterFunc("test_requests_total", "Requests served.", nil, func() float64 { return 42 })
+	r.GaugeFunc("test_generation", "", Labels{"b": "x", "a": `quo"te`}, func() float64 { return 3 })
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `# HELP test_duration_seconds Test latency.
+# TYPE test_duration_seconds histogram
+test_duration_seconds_bucket{stage="solve",le="1"} 1
+test_duration_seconds_bucket{stage="solve",le="2"} 2
+test_duration_seconds_bucket{stage="solve",le="+Inf"} 3
+test_duration_seconds_sum{stage="solve"} 11
+test_duration_seconds_count{stage="solve"} 3
+# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total 42
+# TYPE test_generation gauge
+test_generation{a="quo\"te",b="x"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusParses feeds a realistic registry through a
+// minimal exposition-format parser: every sample line must parse, every
+// histogram family must have monotonically non-decreasing cumulative
+// buckets ending at +Inf == _count, and _sum must match observations.
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	for _, stage := range []string{"compact", "solve"} {
+		h := r.NewHistogram("stage_seconds", "Per-stage latency.", LatencyBuckets, Labels{"stage": stage})
+		for i := 1; i <= 10; i++ {
+			h.Observe(float64(i) * 1e-4)
+		}
+	}
+	depth := r.NewHistogram("cg_iterations", "CG iterations.", CountBuckets, nil)
+	depth.Observe(17)
+	r.CounterFunc("reqs_total", "", nil, func() float64 { return 5 })
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+
+	type family struct {
+		lastCum map[string]uint64 // label-set → last cumulative bucket value
+		infSeen map[string]uint64
+		count   map[string]uint64
+	}
+	families := map[string]*family{}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# ") {
+				parts := strings.SplitN(line, " ", 4)
+				if len(parts) < 4 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+					t.Fatalf("malformed comment line: %q", line)
+				}
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		labels := ""
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			name, labels = name[:i], name[i+1:len(name)-1]
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			fam := name[:len(name)-len("_bucket")]
+			f := families[fam]
+			if f == nil {
+				f = &family{lastCum: map[string]uint64{}, infSeen: map[string]uint64{}, count: map[string]uint64{}}
+				families[fam] = f
+			}
+			le := ""
+			base := []string{}
+			for _, pair := range strings.Split(labels, ",") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok {
+					t.Fatalf("bad label pair %q in %q", pair, line)
+				}
+				uq, err := strconv.Unquote(v)
+				if err != nil {
+					t.Fatalf("label value not quoted in %q: %v", line, err)
+				}
+				if k == "le" {
+					le = uq
+				} else {
+					base = append(base, pair)
+				}
+			}
+			if le == "" {
+				t.Fatalf("bucket without le label: %q", line)
+			}
+			key := strings.Join(base, ",")
+			if uint64(val) < f.lastCum[key] {
+				t.Errorf("non-monotonic cumulative bucket in %s{%s}: %v after %d", fam, labels, val, f.lastCum[key])
+			}
+			f.lastCum[key] = uint64(val)
+			if le == "+Inf" {
+				f.infSeen[key] = uint64(val)
+			} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+				t.Fatalf("non-numeric le %q in %q", le, line)
+			}
+		case strings.HasSuffix(name, "_count"):
+			fam := name[:len(name)-len("_count")]
+			if f := families[fam]; f != nil {
+				f.count[labels] = uint64(val)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(families) != 2 {
+		t.Fatalf("parsed %d histogram families, want 2", len(families))
+	}
+	for fam, f := range families {
+		if len(f.infSeen) == 0 {
+			t.Errorf("family %s has no +Inf bucket", fam)
+		}
+		for key, inf := range f.infSeen {
+			if c, ok := f.count[key]; !ok || c != inf {
+				t.Errorf("family %s{%s}: +Inf bucket %d != _count %d", fam, key, inf, c)
+			}
+		}
+	}
+}
+
+func TestRegistryObserveByName(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("named", "", []float64{1}, nil)
+	labeled := r.NewHistogram("labeled", "", []float64{1}, Labels{"x": "y"})
+	r.Observe("named", 0.5)
+	r.Observe("labeled", 0.5) // labeled series are not name-addressable
+	r.Observe("missing", 0.5) // unknown names are a silent no-op
+	if got := h.Snapshot().Count; got != 1 {
+		t.Errorf("named count = %d, want 1", got)
+	}
+	if got := labeled.Snapshot().Count; got != 0 {
+		t.Errorf("labeled count = %d, want 0 (not addressable by name)", got)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("one_total", "", nil, func() float64 { return 1 })
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if want := fmt.Sprintf("one_total %g\n", 1.0); !strings.Contains(rec.Body.String(), want) {
+		t.Errorf("body missing %q:\n%s", want, rec.Body.String())
+	}
+}

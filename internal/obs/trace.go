@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Trace is one request's span record: the pipeline stages it ran, each
+// with wall-clock bounds and attributes (seeds found, CG iterations,
+// final residual, hitting-time rounds, cache outcome …). A Trace is
+// created per suggestion request and carried down the pipeline via
+// context.Context; instrumented packages add spans through StartSpan
+// without knowing who is listening.
+type Trace struct {
+	// ID is the request ID the trace belongs to.
+	ID    string
+	Start time.Time
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewTrace starts an empty trace.
+func NewTrace(id string) *Trace {
+	return &Trace{ID: id, Start: time.Now()}
+}
+
+// StartSpan opens a named span. Safe on a nil trace (returns a nil
+// span whose methods no-op), so instrumentation costs nothing when no
+// trace is attached to the context.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Span is one timed, attributed operation inside a trace. Methods are
+// nil-safe; a span is written by the single goroutine running its
+// stage.
+type Span struct {
+	name  string
+	start time.Time
+	dur   time.Duration
+	ended bool
+	attrs []Attr
+}
+
+// SetAttr attaches an attribute.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span. Double-End keeps the first duration.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.dur = time.Since(s.start)
+	s.ended = true
+}
+
+// SpanSnapshot is the JSON shape of one span.
+type SpanSnapshot struct {
+	Name string `json:"name"`
+	// StartOffsetMS is the span's start relative to the trace start.
+	StartOffsetMS float64        `json:"startOffsetMs"`
+	DurationMS    float64        `json:"durationMs"`
+	Attrs         map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceSnapshot is the JSON shape of a completed trace, served inline
+// on debug=trace requests and from the /debug/traces ring.
+type TraceSnapshot struct {
+	ID         string         `json:"requestId"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"durationMs"`
+	Spans      []SpanSnapshot `json:"spans"`
+}
+
+// Snapshot renders the trace for serialization. Spans still open are
+// reported with their duration so far. Intended for completed
+// requests; the per-span attrs are copied without synchronization
+// against a stage that is still appending.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	out := TraceSnapshot{ID: t.ID, Start: t.Start, DurationMS: msFloat(time.Since(t.Start))}
+	for _, s := range spans {
+		d := s.dur
+		if !s.ended {
+			d = time.Since(s.start)
+		}
+		ss := SpanSnapshot{
+			Name:          s.name,
+			StartOffsetMS: msFloat(s.start.Sub(t.Start)),
+			DurationMS:    msFloat(d),
+		}
+		if len(s.attrs) > 0 {
+			ss.Attrs = make(map[string]any, len(s.attrs))
+			for _, a := range s.attrs {
+				ss.Attrs[a.Key] = a.Value
+			}
+		}
+		out.Spans = append(out.Spans, ss)
+	}
+	return out
+}
+
+func msFloat(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// TraceRing keeps the last N trace snapshots. Add is a short critical
+// section per completed request (off the per-stage hot path).
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []TraceSnapshot
+	next int
+	n    int
+}
+
+// NewTraceRing creates a ring holding up to capacity traces (minimum 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{buf: make([]TraceSnapshot, capacity)}
+}
+
+// Add stores a snapshot, evicting the oldest when full.
+func (r *TraceRing) Add(ts TraceSnapshot) {
+	r.mu.Lock()
+	r.buf[r.next] = ts
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshots returns the stored traces, most recent first.
+func (r *TraceRing) Snapshots() []TraceSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceSnapshot, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

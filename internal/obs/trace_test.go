@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanLifecycle(t *testing.T) {
+	tr := NewTrace("req-1")
+	sp := tr.StartSpan("solve")
+	sp.SetAttr("iterations", 12)
+	sp.SetAttr("residual", 1e-11)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	d := sp.dur
+	sp.End() // double-End keeps the first duration
+	if sp.dur != d {
+		t.Errorf("double End changed duration: %v → %v", d, sp.dur)
+	}
+
+	snap := tr.Snapshot()
+	if snap.ID != "req-1" {
+		t.Errorf("snapshot ID = %q", snap.ID)
+	}
+	if len(snap.Spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(snap.Spans))
+	}
+	ss := snap.Spans[0]
+	if ss.Name != "solve" {
+		t.Errorf("span name = %q", ss.Name)
+	}
+	if ss.DurationMS <= 0 {
+		t.Errorf("span duration = %g, want > 0", ss.DurationMS)
+	}
+	if ss.Attrs["iterations"] != 12 || ss.Attrs["residual"] != 1e-11 {
+		t.Errorf("span attrs = %v", ss.Attrs)
+	}
+}
+
+// TestNilSafety exercises the "no trace attached" path: every method on
+// a nil trace/span must no-op, because the pipeline calls them
+// unconditionally.
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan("anything")
+	if sp != nil {
+		t.Fatal("nil trace returned a non-nil span")
+	}
+	sp.SetAttr("k", "v") // must not panic
+	sp.End()
+	if snap := tr.Snapshot(); len(snap.Spans) != 0 || snap.ID != "" {
+		t.Errorf("nil trace snapshot = %+v", snap)
+	}
+
+	ctx := context.Background()
+	if TraceFrom(ctx) != nil {
+		t.Error("TraceFrom on bare context should be nil")
+	}
+	StartSpan(ctx, "x").End() // no trace attached: no-op
+	Observe(ctx, "x", 1)      // no sink attached: no-op
+	if id := RequestIDFrom(ctx); id != "" {
+		t.Errorf("RequestIDFrom on bare context = %q", id)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	tr := NewTrace("abc")
+	reg := NewRegistry()
+	h := reg.NewHistogram(MetricCGIterations, "", CountBuckets, nil)
+	ctx := WithTrace(context.Background(), tr)
+	ctx = WithSink(ctx, reg)
+	ctx = WithRequestID(ctx, "abc")
+
+	if TraceFrom(ctx) != tr {
+		t.Error("TraceFrom lost the trace")
+	}
+	StartSpan(ctx, "stage").End()
+	Observe(ctx, MetricCGIterations, 9)
+	if got := h.Snapshot().Count; got != 1 {
+		t.Errorf("sink observation count = %d, want 1", got)
+	}
+	if id := RequestIDFrom(ctx); id != "abc" {
+		t.Errorf("request ID = %q", id)
+	}
+	if got := len(tr.Snapshot().Spans); got != 1 {
+		t.Errorf("trace has %d spans, want 1", got)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(TraceSnapshot{ID: fmt.Sprintf("t%d", i)})
+	}
+	got := r.Snapshots()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(got))
+	}
+	for i, want := range []string{"t4", "t3", "t2"} { // most recent first
+		if got[i].ID != want {
+			t.Errorf("snapshot[%d] = %q, want %q", i, got[i].ID, want)
+		}
+	}
+	if NewTraceRing(0) == nil {
+		t.Fatal("zero-capacity ring should clamp, not fail")
+	}
+}

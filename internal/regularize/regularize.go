@@ -120,6 +120,9 @@ type Result struct {
 	First int
 	// Iterations is the CG iteration count (for the efficiency figures).
 	Iterations int
+	// Residual is the solve's final relative residual ‖Ax−b‖₂/‖b‖₂ —
+	// solver-convergence telemetry surfaced per request.
+	Residual float64
 }
 
 // FirstCandidate solves Eq. 15 on the compact representation and picks
@@ -143,9 +146,14 @@ func FirstCandidateCtx(ctx context.Context, c *bipartite.Compact, f0 []float64, 
 		return Result{}, fmt.Errorf("regularize: F0 length %d != compact size %d", len(f0), n)
 	}
 	a := System(c, cfg)
-	f, iters, err := sparse.SolveCGCtx(ctx, a, f0, nil, cfg.Solver)
+	// Convergence telemetry rides on a local copy of the solver options
+	// so a caller-shared Config is never mutated.
+	var st sparse.SolveStats
+	solver := cfg.Solver
+	solver.Stats = &st
+	f, iters, err := sparse.SolveCGCtx(ctx, a, f0, nil, solver)
 	if err != nil {
-		return Result{Iterations: iters}, fmt.Errorf("regularize: solving Eq. 15: %w", err)
+		return Result{Iterations: iters, Residual: st.Residual}, fmt.Errorf("regularize: solving Eq. 15: %w", err)
 	}
 	excluded := make(map[int]bool, len(seeds))
 	for _, s := range seeds {
@@ -160,7 +168,7 @@ func FirstCandidateCtx(ctx context.Context, c *bipartite.Compact, f0 []float64, 
 			best = i
 		}
 	}
-	return Result{F: f, First: best, Iterations: iters}, nil
+	return Result{F: f, First: best, Iterations: iters, Residual: st.Residual}, nil
 }
 
 // System materializes the Eq. 15 coefficient matrix

@@ -35,6 +35,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -43,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/querylog"
 )
 
@@ -62,8 +64,26 @@ type Server struct {
 	// timeoutNs is the per-request suggestion deadline in nanoseconds
 	// (0 = none), settable at runtime via SetRequestTimeout.
 	timeoutNs atomic.Int64
+	// slowQueryNs is the slow-query trace-log threshold (0 = off).
+	slowQueryNs atomic.Int64
 
 	stats serverStats
+	// tel holds the per-instance metric registry and histograms backing
+	// /metrics and the percentile sections of /v1/stats.
+	tel *telemetry
+	// traces is the ring of recent suggestion traces behind
+	// /debug/traces.
+	traces *obs.TraceRing
+	// logger is the structured request logger (atomic so SetLogger is
+	// safe while serving). Defaults to discard.
+	logger atomic.Pointer[slog.Logger]
+	// start anchors uptime reporting.
+	start time.Time
+	// pprofEnabled mounts net/http/pprof in Handler when set.
+	pprofEnabled bool
+
+	expvarOnce sync.Once
+	expvarName string
 
 	mu sync.Mutex
 	// lastIngested is how many recorded entries have been handed to the
@@ -94,8 +114,11 @@ type Feedback struct {
 // user-supplied fields are backslash-escaped so one event is always one
 // line).
 func New(engine *core.Engine, sink io.Writer) *Server {
-	s := &Server{sink: sink}
+	s := &Server{sink: sink, start: time.Now()}
 	s.engine.Store(engine)
+	s.tel = newTelemetry(s)
+	s.traces = obs.NewTraceRing(defaultTraceRingSize)
+	s.logger.Store(discardLogger())
 	return s
 }
 
@@ -114,8 +137,10 @@ func (s *Server) SetRequestTimeout(d time.Duration) { s.timeoutNs.Store(int64(d)
 func (s *Server) RequestTimeout() time.Duration { return time.Duration(s.timeoutNs.Load()) }
 
 // Handler returns the HTTP handler with all routes mounted: the
-// canonical /v1 surface, the deprecated /api aliases, health and
-// expvar.
+// canonical /v1 surface, the deprecated /api aliases, health, and the
+// observability endpoints (/metrics, /debug/traces, /debug/stats/reset,
+// expvar, and /debug/pprof when EnablePProf was called). The whole mux
+// is wrapped in the request-ID/logging middleware.
 func (s *Server) Handler() http.Handler {
 	s.publishExpvar()
 	mux := http.NewServeMux()
@@ -140,7 +165,8 @@ func (s *Server) Handler() http.Handler {
 	// Batch is v1-only: it postdates the /api surface.
 	mux.HandleFunc("POST /v1/suggest/batch", s.handleSuggestBatch)
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	return mux
+	s.mountDebug(mux)
+	return s.withObs(mux)
 }
 
 // deprecatedAlias wraps a handler for the legacy /api mount: identical
@@ -182,6 +208,7 @@ const (
 	codeBadMode          = "bad_mode"          // 400: unknown refresh mode
 	codeBadRating        = "bad_rating"        // 400: rating off the 6-point scale
 	codeBadBatch         = "bad_batch"         // 400: batch payload empty/malformed
+	codeBadDebug         = "bad_debug"         // 400: unknown debug mode (only "trace")
 	codeBatchTooLarge    = "batch_too_large"   // 413: batch exceeds MaxBatchSize
 	codeNotFound         = "not_found"         // 404: no recorded history
 	codeConflict         = "conflict"          // 409: engine cannot satisfy the mutation
@@ -193,7 +220,15 @@ func newAPIError(code, message string) *apiError {
 	return &apiError{Code: code, Message: message}
 }
 
-func writeAPIError(w http.ResponseWriter, status int, e *apiError) {
+// writeAPIError writes the envelope, stamping the request ID into
+// details so clients and the request log cross-reference on one key.
+func writeAPIError(w http.ResponseWriter, r *http.Request, status int, e *apiError) {
+	if id := obs.RequestIDFrom(r.Context()); id != "" {
+		if e.Details == nil {
+			e.Details = map[string]any{}
+		}
+		e.Details["requestId"] = id
+	}
 	writeJSON(w, status, errorEnvelope{Error: e})
 }
 
@@ -239,7 +274,7 @@ type RefreshRequest struct {
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	var req RefreshRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
+		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
 		return
 	}
 	var mode core.RefreshMode
@@ -251,7 +286,7 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	case "retrain":
 		mode = core.RetrainProfiles
 	default:
-		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadMode, "mode must be graphs, foldin or retrain"))
+		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadMode, "mode must be graphs, foldin or retrain"))
 		return
 	}
 
@@ -265,7 +300,7 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	// not consume the recorded entries or touch any engine state.
 	if err := cur.CanRefresh(mode); err != nil {
 		s.stats.refreshErrors.Add(1)
-		writeAPIError(w, http.StatusConflict, newAPIError(codeConflict, err.Error()))
+		writeAPIError(w, r, http.StatusConflict, newAPIError(codeConflict, err.Error()))
 		return
 	}
 
@@ -285,13 +320,20 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		s.lastIngested = prevIngested
 		s.mu.Unlock()
 		s.stats.refreshErrors.Add(1)
-		writeAPIError(w, http.StatusConflict, newAPIError(codeConflict, err.Error()))
+		writeAPIError(w, r, http.StatusConflict, newAPIError(codeConflict, err.Error()))
 		return
 	}
 	s.engine.Store(next)
 	d := time.Since(start)
 	s.stats.observeRefresh(d)
+	s.tel.refreshDuration.Observe(d.Seconds())
 	s.stats.swaps.Add(1)
+	s.Logger().LogAttrs(r.Context(), slog.LevelInfo, "engine refreshed",
+		slog.String("requestId", obs.RequestIDFrom(r.Context())),
+		slog.String("mode", req.Mode),
+		slog.Int("ingested", len(fresh)),
+		slog.Uint64("generation", next.Generation()),
+		slog.Float64("durationMs", ms(d)))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "refreshed",
 		"ingested":   len(fresh),
@@ -310,11 +352,11 @@ type LearnRequest struct {
 func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	var req LearnRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
+		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
 		return
 	}
 	if req.User == "" {
-		writeAPIError(w, http.StatusBadRequest, newAPIError(codeMissingUser, "missing user"))
+		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeMissingUser, "missing user"))
 		return
 	}
 	s.stats.learnRequests.Add(1)
@@ -322,7 +364,7 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	entries := s.recorded.ByUser(req.User)
 	s.mu.Unlock()
 	if len(entries) == 0 {
-		writeAPIError(w, http.StatusNotFound, newAPIError(codeNotFound, "no recorded history for user"))
+		writeAPIError(w, r, http.StatusNotFound, newAPIError(codeNotFound, "no recorded history for user"))
 		return
 	}
 	// Fold-in mutates the profile store, so it follows the same
@@ -332,16 +374,21 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	defer s.swapMu.Unlock()
 	cur := s.engine.Load()
 	if cur.Profiles == nil {
-		writeAPIError(w, http.StatusConflict, newAPIError(codeConflict, "core: engine built without personalization"))
+		writeAPIError(w, r, http.StatusConflict, newAPIError(codeConflict, "core: engine built without personalization"))
 		return
 	}
 	next := cur.Clone()
 	if err := next.LearnUser(req.User, entries); err != nil {
-		writeAPIError(w, http.StatusConflict, newAPIError(codeConflict, err.Error()))
+		writeAPIError(w, r, http.StatusConflict, newAPIError(codeConflict, err.Error()))
 		return
 	}
 	s.engine.Store(next)
 	s.stats.swaps.Add(1)
+	s.Logger().LogAttrs(r.Context(), slog.LevelInfo, "user folded in",
+		slog.String("requestId", obs.RequestIDFrom(r.Context())),
+		slog.String("user", req.User),
+		slog.Int("entries", len(entries)),
+		slog.Uint64("generation", next.Generation()))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "learned", "entries": len(entries), "generation": next.Generation(),
 	})
@@ -363,6 +410,10 @@ type SuggestRequest struct {
 	At string `json:"at,omitempty"`
 	// NoCache bypasses the suggestion cache for this request.
 	NoCache bool `json:"noCache,omitempty"`
+	// Debug, when set to "trace", returns the request's span tree
+	// (pipeline stages with CG iterations, residual, hitting rounds …)
+	// inline in the response.
+	Debug string `json:"debug,omitempty"`
 }
 
 // ContextItem is one search-context query.
@@ -383,6 +434,11 @@ type SuggestResponse struct {
 	// Cached reports the diversified list came from the suggestion
 	// cache (personalization still ran fresh for this user).
 	Cached bool `json:"cached"`
+	// RequestID echoes the request's ID (also on the X-Request-Id
+	// response header) for cross-referencing logs and traces.
+	RequestID string `json:"requestId,omitempty"`
+	// Trace is the request's span tree, present only for debug=trace.
+	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // decodeSuggestRequest is the single decoder both transports go
@@ -398,6 +454,7 @@ func decodeSuggestRequest(r *http.Request) (SuggestRequest, *apiError) {
 		req.Query = q.Get("q")
 		req.At = q.Get("at")
 		req.NoCache = q.Get("nocache") == "1" || q.Get("nocache") == "true"
+		req.Debug = q.Get("debug")
 		if ks := q.Get("k"); ks != "" {
 			// strconv.Atoi rejects trailing garbage ("5x") that Sscanf
 			// silently accepted; non-positive k is an error, not a
@@ -431,6 +488,9 @@ func validateSuggestRequest(req SuggestRequest) (core.SuggestRequest, *apiError)
 	var out core.SuggestRequest
 	if req.Query == "" {
 		return out, newAPIError(codeMissingQuery, "missing query")
+	}
+	if req.Debug != "" && req.Debug != "trace" {
+		return out, newAPIError(codeBadDebug, `debug must be "trace"`)
 	}
 	k := req.K
 	if k == 0 {
@@ -470,7 +530,7 @@ func (s *Server) handleSuggestGet(w http.ResponseWriter, r *http.Request) {
 	if aerr != nil {
 		s.stats.suggestRequests.Add(1)
 		s.stats.suggestErrors.Add(1)
-		writeAPIError(w, statusOf(aerr.Code), aerr)
+		writeAPIError(w, r, statusOf(aerr.Code), aerr)
 		return
 	}
 	s.serveSuggestion(w, r, req)
@@ -481,7 +541,7 @@ func (s *Server) handleSuggestPost(w http.ResponseWriter, r *http.Request) {
 	if aerr != nil {
 		s.stats.suggestRequests.Add(1)
 		s.stats.suggestErrors.Add(1)
-		writeAPIError(w, statusOf(aerr.Code), aerr)
+		writeAPIError(w, r, statusOf(aerr.Code), aerr)
 		return
 	}
 	s.serveSuggestion(w, r, req)
@@ -490,13 +550,13 @@ func (s *Server) handleSuggestPost(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveSuggestion(w http.ResponseWriter, r *http.Request, req SuggestRequest) {
 	resp, aerr := s.suggestOnce(r.Context(), req)
 	if aerr != nil {
-		writeAPIError(w, statusOf(aerr.Code), aerr)
+		writeAPIError(w, r, statusOf(aerr.Code), aerr)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// suggestOnce runs one validated suggestion end to end: stats,
+// suggestOnce runs one validated suggestion end to end: stats, trace,
 // deadline, engine snapshot, pipeline (through the cache when enabled),
 // recording. Shared by the single and batch endpoints.
 func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*SuggestResponse, *apiError) {
@@ -507,9 +567,16 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 		return nil, aerr
 	}
 
+	// Request-scoped trace: every pipeline stage down to the CG solver
+	// appends spans; the completed trace lands in the /debug/traces
+	// ring, is logged when over the slow-query budget, and is returned
+	// inline for debug=trace. Batch items trace individually.
+	reqID := obs.RequestIDFrom(rctx)
+	tr := obs.NewTrace(reqID)
+	ctx := obs.WithTrace(rctx, tr)
+
 	// Request-scoped deadline: client disconnects cancel via the
 	// request context, and the configured timeout bounds the pipeline.
-	ctx := rctx
 	if d := s.RequestTimeout(); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
@@ -517,11 +584,19 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 	}
 
 	start := time.Now()
+	root := tr.StartSpan("suggest")
+	root.SetAttr("query", creq.Query)
+	root.SetAttr("user", creq.User)
+	root.SetAttr("k", creq.K)
 	// Lock-free engine access: a refresh swapping the pointer mid-call
 	// does not affect this request, which finishes on its snapshot.
 	res, err := s.engine.Load().Do(ctx, creq)
 	elapsed := time.Since(start)
+	root.SetAttr("generation", res.Generation)
+	root.SetAttr("cacheHit", res.CacheHit)
+	root.End()
 	s.observeStages(res, elapsed)
+	snap := s.finishTrace(tr, elapsed)
 	if res.CacheHit {
 		s.stats.suggestCacheHits.Add(1)
 	}
@@ -545,10 +620,14 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 		}
 		if errors.Is(err, core.ErrUnknownQuery) {
 			s.stats.suggestUnknown.Add(1)
-			return &SuggestResponse{
+			resp := &SuggestResponse{
 				Suggestions: []string{}, Diversified: []string{},
-				Generation: res.Generation,
-			}, nil
+				Generation: res.Generation, RequestID: reqID,
+			}
+			if req.Debug == "trace" {
+				resp.Trace = &snap
+			}
+			return resp, nil
 		}
 		s.stats.suggestErrors.Add(1)
 		return nil, newAPIError(codeInternal, err.Error())
@@ -557,14 +636,19 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 	// training data, as in the paper's four-month study.
 	s.record(querylog.Entry{UserID: creq.User, Query: creq.Query, Time: creq.At})
 
-	return &SuggestResponse{
+	resp := &SuggestResponse{
 		Suggestions: res.Suggestions,
 		Diversified: res.Diversified,
 		CompactSize: res.CompactSize,
 		ElapsedMS:   ms(elapsed),
 		Generation:  res.Generation,
 		Cached:      res.CacheHit,
-	}, nil
+		RequestID:   reqID,
+	}
+	if req.Debug == "trace" {
+		resp.Trace = &snap
+	}
+	return resp, nil
 }
 
 // --- Batch suggest ---------------------------------------------------
@@ -600,15 +684,15 @@ type BatchSuggestResponse struct {
 func (s *Server) handleSuggestBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchSuggestRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
+		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
 		return
 	}
 	if len(req.Requests) == 0 {
-		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadBatch, "requests must be a non-empty array"))
+		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadBatch, "requests must be a non-empty array"))
 		return
 	}
 	if len(req.Requests) > MaxBatchSize {
-		writeAPIError(w, http.StatusRequestEntityTooLarge, newAPIError(codeBatchTooLarge,
+		writeAPIError(w, r, http.StatusRequestEntityTooLarge, newAPIError(codeBatchTooLarge,
 			fmt.Sprintf("batch of %d exceeds the limit of %d", len(req.Requests), MaxBatchSize)))
 		return
 	}
@@ -653,11 +737,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.statsPayload())
 }
 
-// statsPayload combines the request/stage counters with the serving
-// engine's generation and, when caching is enabled, the cache's
+// statsPayload combines the request counters with the per-stage latency
+// percentiles, the pipeline-depth histograms (CG iterations/residual,
+// hitting rounds), process runtime stats, the serving engine's
+// generation and, when caching is enabled, the cache's
 // hit/miss/coalesce/eviction counters. Backs /v1/stats and expvar.
 func (s *Server) statsPayload() map[string]any {
 	m := s.stats.snapshot()
+	stages := make(map[string]any, len(s.tel.stageNames))
+	for _, name := range s.tel.stageNames {
+		stages[name] = stageStatsPayload(s.tel.stages[name])
+	}
+	m["stages"] = stages
+	m["solver"] = map[string]any{
+		"cgIterations":     depthStatsPayload(s.tel.cgIterations),
+		"cgResidual":       depthStatsPayload(s.tel.cgResidual),
+		"hittingRounds":    depthStatsPayload(s.tel.hittingRounds),
+		"hittingWalkSteps": depthStatsPayload(s.tel.hittingWalkSteps),
+	}
+	m["http"] = stageStatsPayload(s.tel.httpDuration)
+	m["runtime"] = s.runtimePayload()
 	eng := s.engine.Load()
 	m["engine"] = map[string]any{"generation": eng.Generation()}
 	if c := eng.Cache(); c != nil {
@@ -675,23 +774,23 @@ func (s *Server) statsPayload() map[string]any {
 	return m
 }
 
-// observeStages feeds the core.Result timing breakdown into the latency
-// aggregates (partial results from cancelled requests count too — their
-// completed stages are real work; cache hits report zero for the stages
-// they skipped and are not observed there).
+// observeStages feeds the core.Result timing breakdown into the
+// per-stage latency histograms (partial results from cancelled requests
+// count too — their completed stages are real work; cache hits report
+// zero for the stages they skipped and are not observed there).
 func (s *Server) observeStages(res core.Result, total time.Duration) {
-	s.stats.total.observe(total)
+	s.tel.observeStage("total", total)
 	if res.CompactTime > 0 {
-		s.stats.compact.observe(res.CompactTime)
+		s.tel.observeStage("compact", res.CompactTime)
 	}
 	if res.SolveTime > 0 {
-		s.stats.solve.observe(res.SolveTime)
+		s.tel.observeStage("solve", res.SolveTime)
 	}
 	if res.HittingTime > 0 {
-		s.stats.hitting.observe(res.HittingTime)
+		s.tel.observeStage("hitting", res.HittingTime)
 	}
 	if res.PersonalizeTime > 0 {
-		s.stats.personalize.observe(res.PersonalizeTime)
+		s.tel.observeStage("personalize", res.PersonalizeTime)
 	}
 }
 
@@ -702,15 +801,15 @@ func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var fb Feedback
 	if err := decodeBody(r, &fb); err != nil {
-		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
+		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
 		return
 	}
 	if fb.User == "" || fb.Suggestion == "" {
-		writeAPIError(w, http.StatusBadRequest, newAPIError(codeMissingField, "missing user or suggestion"))
+		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeMissingField, "missing user or suggestion"))
 		return
 	}
 	if !validRating(fb.Rating) {
-		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadRating, "rating must be one of 0, 0.2, 0.4, 0.6, 0.8, 1"))
+		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadRating, "rating must be one of 0, 0.2, 0.4, 0.6, 0.8, 1"))
 		return
 	}
 	s.stats.feedbackRequests.Add(1)
@@ -736,18 +835,18 @@ type LogRequest struct {
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 	var req LogRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
+		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
 		return
 	}
 	if req.User == "" || req.Query == "" {
-		writeAPIError(w, http.StatusBadRequest, newAPIError(codeMissingField, "missing user or query"))
+		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeMissingField, "missing user or query"))
 		return
 	}
 	at := time.Now()
 	if req.At != "" {
 		t, err := time.Parse(time.RFC3339, req.At)
 		if err != nil {
-			writeAPIError(w, http.StatusBadRequest, newAPIError(codeBadTimestamp, "bad at timestamp"))
+			writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadTimestamp, "bad at timestamp"))
 			return
 		}
 		at = t

@@ -2,50 +2,20 @@ package server
 
 import (
 	"expvar"
-	"sync"
+	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// stageStats aggregates one pipeline stage's latency: count, sum and
-// max, all updated lock-free so the suggestion hot path never contends.
-type stageStats struct {
-	count atomic.Int64
-	sumNs atomic.Int64
-	maxNs atomic.Int64
-}
-
-func (st *stageStats) observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	st.count.Add(1)
-	st.sumNs.Add(ns)
-	for {
-		cur := st.maxNs.Load()
-		if ns <= cur || st.maxNs.CompareAndSwap(cur, ns) {
-			return
-		}
-	}
-}
-
-func (st *stageStats) snapshot() map[string]any {
-	n := st.count.Load()
-	sum := st.sumNs.Load()
-	mean := 0.0
-	if n > 0 {
-		mean = float64(sum) / float64(n) / 1e6
-	}
-	return map[string]any{
-		"count":   n,
-		"totalMs": float64(sum) / 1e6,
-		"meanMs":  mean,
-		"maxMs":   float64(st.maxNs.Load()) / 1e6,
-	}
-}
-
-// serverStats is the middleware's observability surface: request and
-// error counters, per-stage latency aggregates fed from core.Result
-// timings, and refresh/hot-swap accounting. It backs both /api/stats
-// and the expvar-published "pqsda" variable on /debug/vars.
+// serverStats is the middleware's counter surface: request and error
+// counters plus refresh/hot-swap accounting, all lock-free atomics.
+// Latency distributions live in the per-Server obs.Registry histograms
+// (see newTelemetry) — count/mean/max-only aggregates hid the tail, so
+// /v1/stats now reports p50/p90/p99 from the same histograms /metrics
+// exposes.
 type serverStats struct {
 	suggestRequests atomic.Int64
 	suggestErrors   atomic.Int64
@@ -57,6 +27,8 @@ type serverStats struct {
 	// batchRequests counts /v1/suggest/batch payloads (their items are
 	// counted individually in suggestRequests).
 	batchRequests atomic.Int64
+	// slowQueries counts suggestions over the slow-query threshold.
+	slowQueries atomic.Int64
 
 	logRequests      atomic.Int64
 	feedbackRequests atomic.Int64
@@ -68,12 +40,6 @@ type serverStats struct {
 	swaps         atomic.Int64
 	refreshSumNs  atomic.Int64
 	lastRefreshNs atomic.Int64
-
-	compact     stageStats
-	solve       stageStats
-	hitting     stageStats
-	personalize stageStats
-	total       stageStats
 }
 
 func (ss *serverStats) observeRefresh(d time.Duration) {
@@ -91,6 +57,7 @@ func (ss *serverStats) snapshot() map[string]any {
 			"timeouts":  ss.suggestTimeouts.Load(),
 			"cacheHits": ss.suggestCacheHits.Load(),
 			"batches":   ss.batchRequests.Load(),
+			"slow":      ss.slowQueries.Load(),
 		},
 		"log":      map[string]any{"requests": ss.logRequests.Load()},
 		"feedback": map[string]any{"requests": ss.feedbackRequests.Load()},
@@ -102,24 +69,230 @@ func (ss *serverStats) snapshot() map[string]any {
 			"totalMs":       float64(ss.refreshSumNs.Load()) / 1e6,
 			"lastRefreshMs": float64(ss.lastRefreshNs.Load()) / 1e6,
 		},
-		"stages": map[string]any{
-			"compact":     ss.compact.snapshot(),
-			"solve":       ss.solve.snapshot(),
-			"hitting":     ss.hitting.snapshot(),
-			"personalize": ss.personalize.snapshot(),
-			"total":       ss.total.snapshot(),
-		},
 	}
 }
 
-// expvar variable names are process-global and Publish panics on
-// duplicates, so only the first Server in a process exports its stats
-// there (tests spin up many servers). /api/stats is always
-// per-instance.
-var expvarOnce sync.Once
+// telemetry is one Server's histogram surface: a private obs.Registry
+// (rendered verbatim by /metrics) plus direct handles on the histograms
+// the serving path feeds. Per-instance by design — unlike expvar there
+// is no process-global namespace to collide in, so every server in a
+// test binary gets its own.
+type telemetry struct {
+	registry *obs.Registry
+
+	// Per-stage latency histograms (seconds), one per pipeline stage of
+	// the paper's Fig. 7 breakdown plus the end-to-end total.
+	stageNames []string
+	stages     map[string]*obs.Histogram
+
+	// Pipeline depth histograms, fed from inside the instrumented
+	// packages via the context metric sink (obs.Observe).
+	cgIterations     *obs.Histogram
+	cgResidual       *obs.Histogram
+	hittingRounds    *obs.Histogram
+	hittingWalkSteps *obs.Histogram
+
+	// httpDuration covers every HTTP request through the middleware.
+	httpDuration *obs.Histogram
+	// refreshDuration covers /v1/refresh rebuilds.
+	refreshDuration *obs.Histogram
+}
+
+// stageName constants keep the /v1/stats keys, the Prometheus "stage"
+// label and the trace span names aligned.
+var pipelineStages = []string{"compact", "solve", "hitting", "personalize", "total"}
+
+// newTelemetry builds the registry and registers every series: the
+// latency/depth histograms and counter/gauge views over the server's
+// atomics, the engine generation and the suggestion-cache counters.
+func newTelemetry(s *Server) *telemetry {
+	reg := obs.NewRegistry()
+	t := &telemetry{
+		registry:   reg,
+		stageNames: pipelineStages,
+		stages:     make(map[string]*obs.Histogram, len(pipelineStages)),
+	}
+	for _, stg := range pipelineStages {
+		t.stages[stg] = reg.NewHistogram("pqsda_stage_duration_seconds",
+			"Latency of one suggestion pipeline stage.",
+			obs.LatencyBuckets, obs.Labels{"stage": stg})
+	}
+	t.cgIterations = reg.NewHistogram(obs.MetricCGIterations,
+		"CG iterations per Eq. 15 solve.", obs.CountBuckets, nil)
+	t.cgResidual = reg.NewHistogram(obs.MetricCGResidual,
+		"Final relative residual per Eq. 15 solve.", obs.ResidualBuckets, nil)
+	t.hittingRounds = reg.NewHistogram(obs.MetricHittingRounds,
+		"Greedy rounds per Algorithm-1 hitting-time selection.", obs.CountBuckets, nil)
+	t.hittingWalkSteps = reg.NewHistogram(obs.MetricHittingWalkSteps,
+		"Walk steps (rounds x truncation depth) per hitting-time selection.", obs.CountBuckets, nil)
+	t.httpDuration = reg.NewHistogram("pqsda_http_request_duration_seconds",
+		"Wall time of one HTTP request through the middleware.", obs.LatencyBuckets, nil)
+	t.refreshDuration = reg.NewHistogram("pqsda_refresh_duration_seconds",
+		"Engine rebuild time per /v1/refresh.", obs.LatencyBuckets, nil)
+
+	counter := func(a *atomic.Int64) func() float64 {
+		return func() float64 { return float64(a.Load()) }
+	}
+	st := &s.stats
+	for _, c := range []struct {
+		name, help string
+		read       func() float64
+	}{
+		{"pqsda_suggest_requests_total", "Suggestion requests received (batch items included).", counter(&st.suggestRequests)},
+		{"pqsda_suggest_errors_total", "Suggestion requests answered with an error envelope.", counter(&st.suggestErrors)},
+		{"pqsda_suggest_unknown_total", "Suggestion requests for queries unknown to the representation.", counter(&st.suggestUnknown)},
+		{"pqsda_suggest_timeouts_total", "Suggestion requests that overran the per-request deadline.", counter(&st.suggestTimeouts)},
+		{"pqsda_suggest_cache_hits_total", "Suggestion requests served from the snapshot-keyed cache.", counter(&st.suggestCacheHits)},
+		{"pqsda_suggest_slow_total", "Suggestions over the slow-query threshold.", counter(&st.slowQueries)},
+		{"pqsda_batch_requests_total", "POST /v1/suggest/batch payloads.", counter(&st.batchRequests)},
+		{"pqsda_log_requests_total", "POST /v1/log events recorded.", counter(&st.logRequests)},
+		{"pqsda_feedback_requests_total", "POST /v1/feedback ratings recorded.", counter(&st.feedbackRequests)},
+		{"pqsda_learn_requests_total", "POST /v1/learn fold-ins requested.", counter(&st.learnRequests)},
+		{"pqsda_refreshes_total", "Successful /v1/refresh rebuilds.", counter(&st.refreshes)},
+		{"pqsda_refresh_errors_total", "Failed /v1/refresh attempts.", counter(&st.refreshErrors)},
+		{"pqsda_engine_swaps_total", "Engine hot-swaps (refresh + learn).", counter(&st.swaps)},
+	} {
+		reg.CounterFunc(c.name, c.help, nil, c.read)
+	}
+
+	reg.GaugeFunc("pqsda_engine_generation", "Generation of the serving engine snapshot.", nil,
+		func() float64 { return float64(s.engine.Load().Generation()) })
+	cacheStat := func(read func(cs cacheCounters) float64) func() float64 {
+		return func() float64 {
+			eng := s.engine.Load()
+			c := eng.Cache()
+			if c == nil {
+				return 0
+			}
+			cs := c.Stats()
+			return read(cacheCounters{
+				hits: cs.Hits, misses: cs.Misses, coalesced: cs.Coalesced,
+				evictions: cs.Evictions, expirations: cs.Expirations, entries: int64(cs.Entries),
+			})
+		}
+	}
+	reg.CounterFunc("pqsda_cache_hits_total", "Suggestion-cache hits.", nil, cacheStat(func(c cacheCounters) float64 { return float64(c.hits) }))
+	reg.CounterFunc("pqsda_cache_misses_total", "Suggestion-cache misses.", nil, cacheStat(func(c cacheCounters) float64 { return float64(c.misses) }))
+	reg.CounterFunc("pqsda_cache_coalesced_total", "Requests coalesced onto a concurrent identical computation.", nil, cacheStat(func(c cacheCounters) float64 { return float64(c.coalesced) }))
+	reg.CounterFunc("pqsda_cache_evictions_total", "Suggestion-cache LRU evictions.", nil, cacheStat(func(c cacheCounters) float64 { return float64(c.evictions) }))
+	reg.GaugeFunc("pqsda_cache_entries", "Suggestion-cache resident entries.", nil, cacheStat(func(c cacheCounters) float64 { return float64(c.entries) }))
+
+	reg.GaugeFunc("pqsda_uptime_seconds", "Seconds since the server was created.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("pqsda_goroutines", "Live goroutines in the process.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("pqsda_heap_alloc_bytes", "Bytes of allocated heap objects.", nil,
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.HeapAlloc) })
+	reg.CounterFunc("pqsda_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", nil,
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.PauseTotalNs) / 1e9 })
+	return t
+}
+
+// cacheCounters decouples the gauge closures from the suggestcache
+// stats struct shape.
+type cacheCounters struct {
+	hits, misses, coalesced, evictions, expirations, entries int64
+}
+
+// observe feeds one stage duration.
+func (t *telemetry) observeStage(stage string, d time.Duration) {
+	if h := t.stages[stage]; h != nil {
+		h.Observe(d.Seconds())
+	}
+}
+
+// reset re-baselines every latency/depth histogram (counts, sums and
+// the previously forever-monotonic max) without touching the request
+// counters — the counters are rates, the histograms are distributions.
+func (t *telemetry) reset() {
+	for _, h := range t.stages {
+		h.Reset()
+	}
+	for _, h := range []*obs.Histogram{
+		t.cgIterations, t.cgResidual, t.hittingRounds, t.hittingWalkSteps,
+		t.httpDuration, t.refreshDuration,
+	} {
+		h.Reset()
+	}
+}
+
+// stageStatsPayload renders one latency histogram for /v1/stats: the
+// legacy count/totalMs/meanMs/maxMs keys plus the tail percentiles the
+// old aggregates could not express.
+func stageStatsPayload(h *obs.Histogram) map[string]any {
+	s := h.Snapshot()
+	return map[string]any{
+		"count":   int64(s.Count),
+		"totalMs": s.Sum * 1e3,
+		"meanMs":  s.Mean() * 1e3,
+		"maxMs":   s.Max * 1e3,
+		"p50Ms":   s.Quantile(0.50) * 1e3,
+		"p90Ms":   s.Quantile(0.90) * 1e3,
+		"p99Ms":   s.Quantile(0.99) * 1e3,
+	}
+}
+
+// depthStatsPayload renders one unitless depth histogram (iterations,
+// rounds, residuals) for /v1/stats.
+func depthStatsPayload(h *obs.Histogram) map[string]any {
+	s := h.Snapshot()
+	return map[string]any{
+		"count": int64(s.Count),
+		"mean":  s.Mean(),
+		"max":   s.Max,
+		"p50":   s.Quantile(0.50),
+		"p90":   s.Quantile(0.90),
+		"p99":   s.Quantile(0.99),
+	}
+}
+
+// runtimePayload is the /v1/stats "runtime" section: process uptime,
+// goroutine count and a memory/GC summary, so a long-running middleware
+// can be health-checked without attaching pprof.
+func (s *Server) runtimePayload() map[string]any {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	lastPause := float64(0)
+	if m.NumGC > 0 {
+		lastPause = float64(m.PauseNs[(m.NumGC+255)%256]) / 1e6
+	}
+	return map[string]any{
+		"uptimeSeconds":  time.Since(s.start).Seconds(),
+		"goroutines":     runtime.NumGoroutine(),
+		"heapAllocBytes": m.HeapAlloc,
+		"heapSysBytes":   m.HeapSys,
+		"numGC":          m.NumGC,
+		"gcPauseTotalMs": float64(m.PauseTotalNs) / 1e6,
+		"lastGCPauseMs":  lastPause,
+	}
+}
+
+// expvarSeq numbers the Servers of this process so each can publish
+// its stats under a unique /debug/vars name: expvar's namespace is
+// process-global and Publish panics on duplicates. The first server
+// keeps the historical name "pqsda"; later ones (more servers in one
+// process, test fixtures) get "pqsda_2", "pqsda_3", … instead of being
+// silently dropped as before. Published closures keep their Server
+// reachable for the life of the process — the price of expvar's global
+// registry; the per-instance /metrics endpoint has no such pin.
+var expvarSeq atomic.Int64
 
 func (s *Server) publishExpvar() {
-	expvarOnce.Do(func() {
-		expvar.Publish("pqsda", expvar.Func(func() any { return s.statsPayload() }))
+	s.expvarOnce.Do(func() {
+		n := expvarSeq.Add(1)
+		name := "pqsda"
+		if n > 1 {
+			name = fmt.Sprintf("pqsda_%d", n)
+		}
+		s.expvarName = name
+		expvar.Publish(name, expvar.Func(func() any { return s.statsPayload() }))
 	})
+}
+
+// ExpvarName reports the name this server's stats are published under
+// on /debug/vars ("pqsda" for the first server in the process,
+// "pqsda_N" after).
+func (s *Server) ExpvarName() string {
+	s.publishExpvar()
+	return s.expvarName
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // ErrNoConvergence is returned by the iterative solvers when the residual
@@ -22,6 +24,23 @@ type SolveOptions struct {
 	// much larger datasets" remark for the Eq. 15 solver. Results are
 	// bit-identical to the sequential solve.
 	Workers int
+	// Stats, when non-nil, is filled with the solve's convergence
+	// telemetry on return (iterations, final relative residual,
+	// convergence). It exists so callers can surface solver internals
+	// without widening the return signature.
+	Stats *SolveStats
+}
+
+// SolveStats is one solve's convergence telemetry.
+type SolveStats struct {
+	// Iterations is the number of CG iterations run.
+	Iterations int
+	// Residual is the final RELATIVE residual ‖Ax−b‖₂/‖b‖₂ (0 for a
+	// zero right-hand side).
+	Residual float64
+	// Converged reports the residual target was reached within the
+	// iteration budget.
+	Converged bool
 }
 
 func (o SolveOptions) withDefaults(n int) SolveOptions {
@@ -56,7 +75,33 @@ func SolveCG(a *Matrix, b, x0 []float64, opts SolveOptions) ([]float64, int, err
 // iterate reached so far together with ctx.Err(), so callers can report
 // partial progress — this is what bounds a slow Eq. 15 solve under a
 // serving deadline.
+//
+// The solve is observable: when the context carries an obs trace it
+// records a "cg_solve" span with iteration count, final relative
+// residual and convergence as attributes, and when it carries a metric
+// sink it feeds the iteration-depth and residual histograms. Both are
+// no-ops otherwise.
 func SolveCGCtx(ctx context.Context, a *Matrix, b, x0 []float64, opts SolveOptions) ([]float64, int, error) {
+	sp := obs.StartSpan(ctx, "cg_solve")
+	x, iters, rel, err := solveCG(ctx, a, b, x0, opts)
+	if sp != nil {
+		sp.SetAttr("n", a.Rows())
+		sp.SetAttr("iterations", iters)
+		sp.SetAttr("residual", rel)
+		sp.SetAttr("converged", err == nil)
+		sp.End()
+	}
+	obs.Observe(ctx, obs.MetricCGIterations, float64(iters))
+	obs.Observe(ctx, obs.MetricCGResidual, rel)
+	if opts.Stats != nil {
+		*opts.Stats = SolveStats{Iterations: iters, Residual: rel, Converged: err == nil}
+	}
+	return x, iters, err
+}
+
+// solveCG is the CG core; it additionally reports the final relative
+// residual for the telemetry wrapper above.
+func solveCG(ctx context.Context, a *Matrix, b, x0 []float64, opts SolveOptions) ([]float64, int, float64, error) {
 	n := a.Rows()
 	if a.Cols() != n {
 		panic(fmt.Sprintf("sparse: SolveCG needs a square matrix, got %dx%d", a.Rows(), a.Cols()))
@@ -94,25 +139,27 @@ func SolveCGCtx(ctx context.Context, a *Matrix, b, x0 []float64, opts SolveOptio
 
 	nb := norm2(b)
 	if nb == 0 {
-		return x, 0, nil // b = 0 → x = 0 (with x0 correction below)
+		return x, 0, 0, nil // b = 0 → x = 0 (with x0 correction below)
 	}
+	rel := norm2(r) / nb // running relative residual, reported on every exit
 	rz := dot(r, z)
 	for it := 1; it <= opts.MaxIter; it++ {
 		if err := ctx.Err(); err != nil {
-			return x, it - 1, err
+			return x, it - 1, rel, err
 		}
 		a.MulVecParallel(p, ap, opts.Workers)
 		pap := dot(p, ap)
 		if pap == 0 {
-			return x, it, ErrNoConvergence
+			return x, it, rel, ErrNoConvergence
 		}
 		alpha := rz / pap
 		for i := range x {
 			x[i] += alpha * p[i]
 			r[i] -= alpha * ap[i]
 		}
-		if norm2(r)/nb <= opts.Tol {
-			return x, it, nil
+		rel = norm2(r) / nb
+		if rel <= opts.Tol {
+			return x, it, rel, nil
 		}
 		for i := range z {
 			z[i] = minv[i] * r[i]
@@ -124,7 +171,7 @@ func SolveCGCtx(ctx context.Context, a *Matrix, b, x0 []float64, opts SolveOptio
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	return x, opts.MaxIter, ErrNoConvergence
+	return x, opts.MaxIter, rel, ErrNoConvergence
 }
 
 // SolveJacobi solves A x = b with Jacobi iteration. It converges for

@@ -32,6 +32,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Key identifies one cacheable suggestion computation. Two requests
@@ -228,6 +230,20 @@ func (c *Cache[V]) removeLocked(el *list.Element) {
 // retries (one of the survivors becomes the new leader) instead of
 // propagating a cancellation it did not cause.
 func (c *Cache[V]) Do(ctx context.Context, key Key, fn func(ctx context.Context) (V, error)) (V, Outcome, error) {
+	// The cache span brackets the whole lookup-or-compute, so on a miss
+	// it encloses the pipeline stages the leader ran; on a hit or a
+	// coalesced wait its duration IS the cost the cache charged.
+	sp := obs.StartSpan(ctx, "cache")
+	v, out, err := c.do(ctx, key, fn)
+	if sp != nil {
+		sp.SetAttr("outcome", out.String())
+		sp.SetAttr("generation", key.Generation)
+		sp.End()
+	}
+	return v, out, err
+}
+
+func (c *Cache[V]) do(ctx context.Context, key Key, fn func(ctx context.Context) (V, error)) (V, Outcome, error) {
 	var zero V
 	for {
 		c.mu.Lock()
