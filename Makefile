@@ -5,7 +5,10 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench-smoke ci
+.PHONY: build test race vet fmt-check bench-smoke bench bench-guard ci
+
+# Where `make bench` writes its aggregated measurements.
+BENCH_OUT ?= BENCH_pr4.json
 
 build:
 	$(GO) build ./...
@@ -32,4 +35,24 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: vet fmt-check build race bench-smoke
+# Real measurement run over the serving hot path — kernel (sparse,
+# randomwalk), stage (hittingtime) and end-to-end (facade/server)
+# benchmarks, 5 repetitions each, aggregated into $(BENCH_OUT) by
+# cmd/benchjson (min ns/op across runs, max B/op & allocs/op).
+bench:
+	@rm -f .bench.out
+	$(GO) test -run '^$$' -bench 'SolveCG|MulVec' -benchmem -count 5 ./internal/sparse/ | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'HittingTime' -benchmem -count 5 ./internal/randomwalk/ | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'HittingStage|NewWalker|SelectDiverse' -benchmem -count 5 ./internal/hittingtime/ | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'SuggestDiversified|ServerSuggest' -benchmem -count 5 . | tee -a .bench.out
+	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < .bench.out
+	@rm -f .bench.out
+
+# Allocation regression guard: the steady-state hitting-time sweep
+# (pooled scratch, precomputed dangling mass) must stay at 0 allocs/op
+# — the tentpole's zero-allocation contract, enforced on every CI run.
+bench-guard:
+	$(GO) test -run '^$$' -bench 'HittingTimeSteadyState' -benchmem ./internal/randomwalk/ | \
+		$(GO) run ./cmd/benchjson -guard BenchmarkHittingTimeSteadyState -max-allocs 0
+
+ci: vet fmt-check build race bench-smoke bench-guard

@@ -1,0 +1,169 @@
+// Command benchjson turns `go test -bench` text output into a JSON
+// document keyed by benchmark name, and doubles as the allocation
+// guard for the hot-path benchmarks.
+//
+// Collect mode (default) reads benchmark output on stdin and writes
+// JSON to -o (stdout when unset). Repeated runs of the same benchmark
+// (-count > 1) are aggregated: ns/op keeps the MINIMUM across runs
+// (the least-noise estimate on a shared box), bytes and allocs keep
+// the maximum (they are deterministic in practice; max surfaces any
+// run that allocated more).
+//
+//	go test -run '^$' -bench . -benchmem -count 5 ./... | benchjson -o BENCH.json
+//
+// Guard mode fails (exit 1) when a named benchmark's allocs/op exceeds
+// a ceiling — `make bench-guard` uses it to keep the steady-state
+// hitting-time sweep allocation-free:
+//
+//	go test -run '^$' -bench SteadyState -benchmem ./internal/randomwalk/ |
+//	    benchjson -guard BenchmarkHittingTimeSteadyState -max-allocs 0
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's aggregated measurement.
+type result struct {
+	Runs     int     `json:"runs"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp float64 `json:"allocs_per_op,omitempty"`
+	hasMem   bool
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkHittingTimeFlat-4   1000   1234 ns/op   56 B/op   7 allocs/op
+//
+// returning the benchmark name (CPU suffix stripped) and the parsed
+// fields, or ok=false for non-benchmark lines.
+func parseLine(line string) (name string, r result, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	name = fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r.Runs = 1
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BPerOp = v
+			r.hasMem = true
+		case "allocs/op":
+			r.AllocsOp = v
+			r.hasMem = true
+		}
+	}
+	return name, r, r.NsPerOp > 0
+}
+
+func merge(into *result, r result) {
+	if into.Runs == 0 {
+		*into = r
+		return
+	}
+	into.Runs += r.Runs
+	if r.NsPerOp < into.NsPerOp {
+		into.NsPerOp = r.NsPerOp
+	}
+	if r.BPerOp > into.BPerOp {
+		into.BPerOp = r.BPerOp
+	}
+	if r.AllocsOp > into.AllocsOp {
+		into.AllocsOp = r.AllocsOp
+	}
+	into.hasMem = into.hasMem || r.hasMem
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file (stdout when empty)")
+	guard := flag.String("guard", "", "guard mode: benchmark name to check instead of emitting JSON")
+	maxAllocs := flag.Float64("max-allocs", 0, "guard mode: fail when allocs/op exceeds this")
+	flag.Parse()
+
+	results := map[string]*result{}
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if results[name] == nil {
+			results[name] = &result{}
+			order = append(order, name)
+		}
+		merge(results[name], r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *guard != "" {
+		r, ok := results[*guard]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: guard benchmark %s not found in input\n", *guard)
+			os.Exit(1)
+		}
+		if !r.hasMem {
+			fmt.Fprintf(os.Stderr, "benchjson: %s has no -benchmem fields to guard\n", *guard)
+			os.Exit(1)
+		}
+		if r.AllocsOp > *maxAllocs {
+			fmt.Fprintf(os.Stderr, "benchjson: %s allocates %.0f allocs/op, ceiling %.0f\n",
+				*guard, r.AllocsOp, *maxAllocs)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %s ok (%.0f allocs/op ≤ %.0f)\n", *guard, r.AllocsOp, *maxAllocs)
+		return
+	}
+
+	doc := make(map[string]*result, len(results))
+	for _, n := range order {
+		doc[n] = results[n]
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(enc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

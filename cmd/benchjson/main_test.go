@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, r, ok := parseLine("BenchmarkHittingTimeFlat-4   \t 1000\t   1234.5 ns/op\t  56 B/op\t       7 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if name != "BenchmarkHittingTimeFlat" {
+		t.Errorf("name = %q (CPU suffix should be stripped)", name)
+	}
+	if r.NsPerOp != 1234.5 || r.BPerOp != 56 || r.AllocsOp != 7 || !r.hasMem {
+		t.Errorf("parsed = %+v", r)
+	}
+
+	if _, _, ok := parseLine("PASS"); ok {
+		t.Error("PASS parsed as benchmark")
+	}
+	if _, _, ok := parseLine("goos: linux"); ok {
+		t.Error("header parsed as benchmark")
+	}
+	// No -cpu suffix, no -benchmem fields.
+	name, r, ok = parseLine("BenchmarkX 10 99 ns/op")
+	if !ok || name != "BenchmarkX" || r.hasMem {
+		t.Errorf("plain line: ok=%v name=%q r=%+v", ok, name, r)
+	}
+}
+
+func TestMergeAggregation(t *testing.T) {
+	var agg result
+	merge(&agg, result{Runs: 1, NsPerOp: 120, BPerOp: 64, AllocsOp: 2, hasMem: true})
+	merge(&agg, result{Runs: 1, NsPerOp: 100, BPerOp: 64, AllocsOp: 3, hasMem: true})
+	merge(&agg, result{Runs: 1, NsPerOp: 140, BPerOp: 32, AllocsOp: 2, hasMem: true})
+	if agg.Runs != 3 {
+		t.Errorf("runs = %d", agg.Runs)
+	}
+	if agg.NsPerOp != 100 { // min across runs
+		t.Errorf("ns/op = %v, want min 100", agg.NsPerOp)
+	}
+	if agg.BPerOp != 64 || agg.AllocsOp != 3 { // max across runs
+		t.Errorf("mem = %v B, %v allocs; want max 64, 3", agg.BPerOp, agg.AllocsOp)
+	}
+}

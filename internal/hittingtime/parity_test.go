@@ -1,0 +1,198 @@
+package hittingtime
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/obs"
+	"repro/internal/randomwalk"
+	"repro/internal/sparse"
+)
+
+// TestFusedConstructionMatchesReference pins the fused one-pass walker
+// construction against the reference pipeline built from the public
+// bipartite/sparse APIs (per-view QueryTransition, ScaleSym by the
+// renormalized cross-view weight, Add): identical structure and values
+// to 1e-12, plus bit-identical precomputed row sums and dangling mass
+// versus the post-hoc RowSum/DanglingMass derivations they replaced.
+func TestFusedConstructionMatchesReference(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"uniform", Config{}},
+		{"skewed", Config{CrossView: [bipartite.NumViews]float64{3, 1, 2}}},
+		{"single-view", Config{CrossView: [bipartite.NumViews]float64{0, 0, 1}}},
+	}
+	_, _, small := compactFixture(t)
+	big := benchCompact(t)
+	for _, fix := range []struct {
+		name string
+		c    *bipartite.Compact
+	}{{"small", small}, {"big", big}} {
+		for _, tc := range cases {
+			t.Run(fix.name+"/"+tc.name, func(t *testing.T) {
+				want := seedNewWalker(fix.c, tc.cfg)
+				wk := NewWalker(fix.c, tc.cfg)
+				got := wk.Transition()
+				if !sparse.Equal(got, want, 1e-12) {
+					t.Fatal("fused transition differs from reference pipeline")
+				}
+				for i := 0; i < got.Rows(); i++ {
+					if rs := got.RowSum(i); wk.RowSums()[i] != rs {
+						t.Fatalf("rowSum[%d] = %v, RowSum %v", i, wk.RowSums()[i], rs)
+					}
+				}
+				dangling := randomwalk.DanglingMass(got)
+				for i, d := range dangling {
+					if wk.dangling[i] != d {
+						t.Fatalf("dangling[%d] = %v, DanglingMass %v", i, wk.dangling[i], d)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSelectDiverseWorkersBitIdentical is the stage-level determinism
+// contract: the greedy selection is byte-identical for every worker
+// count, with and without the early-convergence exit.
+func TestSelectDiverseWorkersBitIdentical(t *testing.T) {
+	c := benchCompact(t)
+	for _, tol := range []float64{-1, 0} { // fixed-l and default early exit
+		ref := NewWalker(c, Config{Tolerance: tol}).SelectDiverse(1, 10, []int{0}, nil)
+		for _, workers := range []int{0, 1, 2, 7, 64} {
+			got := NewWalker(c, Config{Tolerance: tol, Workers: workers}).SelectDiverse(1, 10, []int{0}, nil)
+			if len(got) != len(ref) {
+				t.Fatalf("tol %v workers %d: selected %d, want %d", tol, workers, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("tol %v workers %d: selection differs at %d: %v vs %v",
+						tol, workers, i, got, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectDiverseMatchesSeedGreedy pins the rewritten stage against
+// the seed implementation end to end: the reference greedy loop (map
+// membership, closure kernel, fresh vectors) over the reference
+// transition must produce the exact selection the flat pooled kernel
+// produces, on both fixtures.
+func TestSelectDiverseMatchesSeedGreedy(t *testing.T) {
+	_, _, small := compactFixture(t)
+	for _, fix := range []struct {
+		name string
+		c    *bipartite.Compact
+	}{{"small", small}, {"big", benchCompact(t)}} {
+		t.Run(fix.name, func(t *testing.T) {
+			wk := NewWalker(fix.c, Config{Tolerance: -1}) // seed has no early exit
+			want := seedSelect(seedNewWalker(fix.c, Config{}), 10, 1, 10, []int{0})
+			got := wk.SelectDiverse(1, 10, []int{0}, nil)
+			if len(got) != len(want) {
+				t.Fatalf("selected %d, seed selected %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("selection differs at %d: %v vs seed %v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSelectDiverseConcurrentPooledScratch hammers one walker from many
+// goroutines (run under -race in CI): the package-level scratch pool
+// must never bleed state between concurrent selections, so every result
+// matches the sequential reference exactly.
+func TestSelectDiverseConcurrentPooledScratch(t *testing.T) {
+	c := benchCompact(t)
+	wk := NewWalker(c, Config{Workers: 2})
+	ref := wk.SelectDiverse(1, 8, []int{0}, nil)
+	refH := wk.HittingTime(map[int]bool{1: true})
+	const goroutines, rounds = 8, 5
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				sel := wk.SelectDiverse(1, 8, []int{0}, nil)
+				for i := range ref {
+					if sel[i] != ref[i] {
+						errs <- "selection diverged under concurrency"
+						return
+					}
+				}
+				h := wk.HittingTime(map[int]bool{1: true})
+				for i := range refH {
+					if h[i] != refH[i] {
+						errs <- "hitting times diverged under concurrency"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// captureSink records the last observation per metric name.
+type captureSink struct {
+	mu   sync.Mutex
+	last map[string]float64
+}
+
+func (s *captureSink) Observe(name string, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.last == nil {
+		s.last = map[string]float64{}
+	}
+	s.last[name] = v
+}
+
+// TestWalkStepsMetricCountsExecutedSweeps checks the telemetry
+// contract: the walk-steps histogram receives the sweeps actually
+// executed. With a deep truncation horizon and the default tolerance
+// the early exit fires, so walkSteps must land strictly between rounds
+// (≥ 1 sweep each) and rounds × l — and the early-exited selection must
+// still match the fixed-l one.
+func TestWalkStepsMetricCountsExecutedSweeps(t *testing.T) {
+	c := benchCompact(t)
+	const l = 2000
+	fixed := NewWalker(c, Config{Iterations: l, Tolerance: -1}).SelectDiverse(1, 6, []int{0}, nil)
+
+	sink := &captureSink{}
+	ctx := obs.WithSink(t.Context(), sink)
+	wk := NewWalker(c, Config{Iterations: l}) // default tolerance: early exit armed
+	sel, err := wk.SelectDiverseCtx(ctx, 1, 6, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fixed {
+		if sel[i] != fixed[i] {
+			t.Fatalf("early-exited selection %v differs from fixed-l %v", sel, fixed)
+		}
+	}
+	rounds := sink.last[obs.MetricHittingRounds]
+	steps := sink.last[obs.MetricHittingWalkSteps]
+	if rounds != 5 {
+		t.Fatalf("rounds = %v, want 5 (k−1 greedy rounds)", rounds)
+	}
+	if steps < rounds || steps >= rounds*l {
+		t.Fatalf("walkSteps = %v, want in [rounds, rounds*l) = [%v, %v)", steps, rounds, rounds*l)
+	}
+	if math.Mod(steps, 1) != 0 {
+		t.Fatalf("walkSteps %v not integral", steps)
+	}
+}

@@ -35,8 +35,10 @@ const (
 	// Algorithm-1 selection ran (each round is one truncated
 	// hitting-time computation).
 	MetricHittingRounds = "pqsda_hitting_rounds"
-	// MetricHittingWalkSteps is rounds × truncation depth l — the
-	// total matrix-sweep count of one selection.
+	// MetricHittingWalkSteps is the total matrix-sweep count of one
+	// selection: the sweeps actually executed, which is at most rounds
+	// × truncation depth l and less when a round's recursion converges
+	// early.
 	MetricHittingWalkSteps = "pqsda_hitting_walk_steps"
 )
 

@@ -1,0 +1,95 @@
+package randomwalk
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// The synthetic kernel workload: a 2,000-node transition graph at ~12
+// nonzeros per row (≈24k nnz, large enough for the parallel path to
+// engage) with a small unreachable block and a 3-node target set — the
+// shape of one greedy round on a generously-sized compact
+// representation.
+const benchN, benchDeg, benchL = 2000, 12, 10
+
+func benchFixture() (*sparse.Matrix, []bool, []float64) {
+	rng := rand.New(rand.NewSource(23))
+	trans := randTransition(rng, benchN, benchDeg, 100)
+	inS := make([]bool, benchN)
+	for i := 0; i < 3; i++ {
+		inS[rng.Intn(benchN-100)] = true
+	}
+	return trans, inS, DanglingMass(trans)
+}
+
+// BenchmarkHittingTimeClosure is the seed kernel: closure callback per
+// nonzero, per-call rowSum recomputation, fresh vectors every call.
+func BenchmarkHittingTimeClosure(b *testing.B) {
+	trans, inS, _ := benchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TruncatedHittingTime(trans, func(i int) bool { return inS[i] }, benchL)
+	}
+}
+
+// benchmarkFlat runs the flat kernel at a given worker count with the
+// early exit disabled — the pure kernel-vs-kernel comparison against
+// BenchmarkHittingTimeClosure (identical sweep count).
+func benchmarkFlat(b *testing.B, workers int) {
+	trans, inS, dangling := benchFixture()
+	scratch := &SweepScratch{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TruncatedHittingTimeFlat(trans, inS, HittingTimeOpts{
+			Steps: benchL, Workers: workers, Dangling: dangling, Scratch: scratch,
+		})
+	}
+}
+
+func BenchmarkHittingTimeFlat(b *testing.B)         { benchmarkFlat(b, 1) }
+func BenchmarkHittingTimeFlatWorkers4(b *testing.B) { benchmarkFlat(b, 4) }
+func BenchmarkHittingTimeFlatWorkers8(b *testing.B) { benchmarkFlat(b, 8) }
+
+// BenchmarkHittingTimeSteadyState is the allocation guard (`make
+// bench-guard` fails the build if this ever allocates): the flat
+// kernel on the sequential path with caller scratch and precomputed
+// dangling mass must run the steady-state sweep with 0 allocs/op.
+func BenchmarkHittingTimeSteadyState(b *testing.B) {
+	trans, inS, dangling := benchFixture()
+	scratch := &SweepScratch{}
+	opts := HittingTimeOpts{Steps: benchL, Dangling: dangling, Scratch: scratch}
+	TruncatedHittingTimeFlat(trans, inS, opts) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TruncatedHittingTimeFlat(trans, inS, opts)
+	}
+}
+
+// BenchmarkHittingTimeSeedMap is the kernel exactly as the greedy loop
+// originally invoked it: map-based membership through HittingTimeToSet
+// on a realistic |S| — the honest "before" for the flat kernel numbers
+// above (BenchmarkHittingTimeClosure isolates just the closure cost by
+// using a []bool-backed callback).
+func BenchmarkHittingTimeSeedMap(b *testing.B) {
+	trans, inSb, _ := benchFixture()
+	set := map[int]bool{}
+	for i, in := range inSb {
+		if in {
+			set[i] = true
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for len(set) < 10 {
+		set[rng.Intn(benchN)] = true
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HittingTimeToSet(trans, set, benchL)
+	}
+}

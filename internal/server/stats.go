@@ -124,7 +124,7 @@ func newTelemetry(s *Server) *telemetry {
 	t.hittingRounds = reg.NewHistogram(obs.MetricHittingRounds,
 		"Greedy rounds per Algorithm-1 hitting-time selection.", obs.CountBuckets, nil)
 	t.hittingWalkSteps = reg.NewHistogram(obs.MetricHittingWalkSteps,
-		"Walk steps (rounds x truncation depth) per hitting-time selection.", obs.CountBuckets, nil)
+		"Executed hitting-time sweeps per selection (at most rounds x truncation depth; less when the early convergence exit fires).", obs.CountBuckets, nil)
 	t.httpDuration = reg.NewHistogram("pqsda_http_request_duration_seconds",
 		"Wall time of one HTTP request through the middleware.", obs.LatencyBuckets, nil)
 	t.refreshDuration = reg.NewHistogram("pqsda_refresh_duration_seconds",

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/obs"
 )
@@ -99,6 +100,35 @@ func SolveCGCtx(ctx context.Context, a *Matrix, b, x0 []float64, opts SolveOptio
 	return x, iters, err
 }
 
+// cgScratch holds one solve's work vectors. A cache-miss suggestion
+// request runs exactly one Eq. 15 solve, which used to allocate six
+// n-vectors; pooling them turns that into per-process, not per-request,
+// garbage. The solution vector x is NOT pooled — it is returned to the
+// caller.
+type cgScratch struct {
+	minv, r, z, p, ap []float64
+}
+
+var cgPool = sync.Pool{New: func() any { return new(cgScratch) }}
+
+// resize readies every work vector for an n×n solve, reallocating only
+// when the pooled capacity is insufficient.
+func (s *cgScratch) resize(n int) {
+	if cap(s.minv) < n {
+		s.minv = make([]float64, n)
+		s.r = make([]float64, n)
+		s.z = make([]float64, n)
+		s.p = make([]float64, n)
+		s.ap = make([]float64, n)
+		return
+	}
+	s.minv = s.minv[:n]
+	s.r = s.r[:n]
+	s.z = s.z[:n]
+	s.p = s.p[:n]
+	s.ap = s.ap[:n]
+}
+
 // solveCG is the CG core; it additionally reports the final relative
 // residual for the telemetry wrapper above.
 func solveCG(ctx context.Context, a *Matrix, b, x0 []float64, opts SolveOptions) ([]float64, int, float64, error) {
@@ -111,12 +141,16 @@ func solveCG(ctx context.Context, a *Matrix, b, x0 []float64, opts SolveOptions)
 	}
 	opts = opts.withDefaults(n)
 
+	scratch := cgPool.Get().(*cgScratch)
+	defer cgPool.Put(scratch)
+	scratch.resize(n)
+
 	x := make([]float64, n)
 	if x0 != nil {
 		copy(x, x0)
 	}
 	// Jacobi preconditioner: inverse diagonal (guard zero diagonals).
-	minv := make([]float64, n)
+	minv := scratch.minv
 	for i := 0; i < n; i++ {
 		d := a.At(i, i)
 		if d == 0 {
@@ -125,17 +159,18 @@ func solveCG(ctx context.Context, a *Matrix, b, x0 []float64, opts SolveOptions)
 		minv[i] = 1 / d
 	}
 
-	r := make([]float64, n) // residual b − A x
-	ax := a.MulVec(x, nil)
+	r := scratch.r // residual b − A x
+	ax := a.MulVec(x, scratch.ap)
 	for i := range r {
 		r[i] = b[i] - ax[i]
 	}
-	z := make([]float64, n)
+	z := scratch.z
 	for i := range z {
 		z[i] = minv[i] * r[i]
 	}
-	p := append([]float64(nil), z...)
-	ap := make([]float64, n)
+	p := scratch.p
+	copy(p, z)
+	ap := scratch.ap
 
 	nb := norm2(b)
 	if nb == 0 {

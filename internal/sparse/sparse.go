@@ -173,6 +173,56 @@ func (m *Matrix) Row(r int, fn func(c int, v float64)) {
 	}
 }
 
+// CSRView is a read-only view of a Matrix's CSR arrays, for flat kernels
+// that cannot afford a dynamic call per nonzero (the hitting-time sweep
+// in internal/randomwalk iterates the whole matrix l times per greedy
+// round — a closure callback there is the dominant cost). The slices
+// alias the matrix's backing arrays: callers MUST NOT modify them, and
+// must not retain them past the matrix's lifetime. Row r's entries live
+// at indices RowPtr[r] ≤ i < RowPtr[r+1] of ColIdx/Val, columns
+// ascending.
+type CSRView struct {
+	RowPtr []int
+	ColIdx []int
+	Val    []float64
+}
+
+// View returns the matrix's CSR arrays as a read-only view.
+func (m *Matrix) View() CSRView {
+	return CSRView{RowPtr: m.rowPtr, ColIdx: m.colIdx, Val: m.val}
+}
+
+// FromCSR freezes already-assembled CSR arrays into a Matrix, taking
+// ownership of the slices (callers must not retain or modify them).
+// It is the fast path for kernels that emit rows in ascending order
+// with sorted, duplicate-free columns — for those the Builder's triplet
+// buffering and sort are pure overhead. Requirements, checked in one
+// O(nnz) pass: rowPtr has length rows+1, starts at 0, is monotonically
+// non-decreasing and ends at len(colIdx) == len(val); within each row
+// column indices are strictly increasing and inside [0, cols).
+func FromCSR(rows, cols int, rowPtr, colIdx []int, val []float64) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative dimensions %dx%d", rows, cols))
+	}
+	if len(rowPtr) != rows+1 || rowPtr[0] != 0 || rowPtr[rows] != len(colIdx) || len(colIdx) != len(val) {
+		panic(fmt.Sprintf("sparse: inconsistent CSR arrays (rowPtr %d, colIdx %d, val %d for %d rows)",
+			len(rowPtr), len(colIdx), len(val), rows))
+	}
+	for r := 0; r < rows; r++ {
+		if rowPtr[r+1] < rowPtr[r] {
+			panic(fmt.Sprintf("sparse: rowPtr not monotone at row %d", r))
+		}
+		for p := rowPtr[r]; p < rowPtr[r+1]; p++ {
+			if c := colIdx[p]; c < 0 || c >= cols {
+				panic(fmt.Sprintf("sparse: column %d out of range %dx%d", c, rows, cols))
+			} else if p > rowPtr[r] && c <= colIdx[p-1] {
+				panic(fmt.Sprintf("sparse: row %d columns not strictly increasing", r))
+			}
+		}
+	}
+	return &Matrix{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, val: val}
+}
+
 // RowNNZ returns the number of stored entries in row r.
 func (m *Matrix) RowNNZ(r int) int { return m.rowPtr[r+1] - m.rowPtr[r] }
 
@@ -220,6 +270,16 @@ func (m *Matrix) MulVecParallel(x, dst []float64, workers int) []float64 {
 	if workers <= 1 || m.rows < 4*workers || m.NNZ() < 4096 {
 		return m.MulVec(x, dst)
 	}
+	m.mulVecWorkers(x, dst, workers)
+	return dst
+}
+
+// mulVecWorkers is MulVecParallel's fan-out body. It lives in its own
+// function so the goroutine closure's captured variables are only
+// heap-allocated when the parallel path actually runs — inlined into
+// MulVecParallel, the capture made every sequential-fallback call (one
+// per CG iteration) allocate at function entry.
+func (m *Matrix) mulVecWorkers(x, dst []float64, workers int) {
 	var wg sync.WaitGroup
 	chunk := (m.rows + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -244,7 +304,6 @@ func (m *Matrix) MulVecParallel(x, dst []float64, workers int) []float64 {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return dst
 }
 
 // MulVecT computes y = Mᵀ x without materializing the transpose.

@@ -88,9 +88,11 @@ type Config struct {
 	TrainingIterations int
 	// Seed drives every stochastic component (sampler initialization).
 	Seed int64
-	// Workers parallelizes UPM training across user documents and the
-	// Eq. 15 solve across matrix rows (0/1 = sequential; results are
-	// identical either way).
+	// Workers parallelizes all three compute stages: UPM training
+	// across user documents, the Eq. 15 CG solve's mat-vec across
+	// matrix rows, and the hitting-time sweeps of the diversification
+	// stage across matrix rows (0/1 = sequential; results are
+	// bit-identical at any worker count).
 	Workers int
 	// DiversificationOnly skips user profiling: Suggest returns the
 	// diversified ranking unchanged (the intermediate system of the
@@ -114,6 +116,7 @@ func NewEngine(l *Log, cfg Config) (*Engine, error) {
 		SkipPersonalization: cfg.DiversificationOnly,
 	}
 	cc.Regularize.Solver.Workers = cfg.Workers
+	cc.Hitting.Workers = cfg.Workers
 	if cfg.RawWeights {
 		cc.Weighting = bipartite.Raw
 	} else {

@@ -88,3 +88,49 @@ func TestFacadeOneShotSuggest(t *testing.T) {
 		t.Fatalf("suggestions = %v", sugs)
 	}
 }
+
+// TestFacadeWorkersDeterministic pins the -workers contract end to end:
+// every compute stage (UPM training, the Eq. 15 CG solve, hitting-time
+// sweeps) is bit-identical at any worker count, so two engines differing
+// only in Workers must suggest exactly the same queries in the same
+// order.
+func TestFacadeWorkersDeterministic(t *testing.T) {
+	w := facadeWorld(t)
+	base := Config{CompactBudget: 60, Topics: 5, TrainingIterations: 20}
+	seq, err := NewEngine(w.Log, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Workers = 4
+	parE, err := NewEngine(w.Log, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestN := "", 0
+	for q, n := range w.Log.QueryFrequency() {
+		if n > bestN {
+			best, bestN = q, n
+		}
+	}
+	now := time.Now()
+	for _, uid := range w.UserIDs()[:3] {
+		a, err := seq.Suggest(uid, best, nil, now, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parE.Suggest(uid, best, nil, now, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Suggestions) != len(b.Suggestions) {
+			t.Fatalf("user %s: %d vs %d suggestions", uid, len(a.Suggestions), len(b.Suggestions))
+		}
+		for i := range a.Suggestions {
+			if a.Suggestions[i] != b.Suggestions[i] {
+				t.Fatalf("user %s: suggestion %d differs: %q vs %q",
+					uid, i, a.Suggestions[i], b.Suggestions[i])
+			}
+		}
+	}
+}
