@@ -8,7 +8,7 @@ GO ?= go
 .PHONY: build test race vet fmt-check bench-smoke bench bench-guard ci
 
 # Where `make bench` writes its aggregated measurements.
-BENCH_OUT ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr5.json
 
 build:
 	$(GO) build ./...
@@ -45,14 +45,19 @@ bench:
 	$(GO) test -run '^$$' -bench 'HittingTime' -benchmem -count 5 ./internal/randomwalk/ | tee -a .bench.out
 	$(GO) test -run '^$$' -bench 'HittingStage|NewWalker|SelectDiverse' -benchmem -count 5 ./internal/hittingtime/ | tee -a .bench.out
 	$(GO) test -run '^$$' -bench 'SuggestDiversified|ServerSuggest' -benchmem -count 5 . | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'RefreshBuild' -benchmem -count 5 ./internal/core/ | tee -a .bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < .bench.out
 	@rm -f .bench.out
 
-# Allocation regression guard: the steady-state hitting-time sweep
-# (pooled scratch, precomputed dangling mass) must stay at 0 allocs/op
-# — the tentpole's zero-allocation contract, enforced on every CI run.
+# Allocation regression guards: the steady-state hitting-time sweep
+# (pooled scratch, precomputed dangling mass) must stay at 0 allocs/op,
+# and a steady-state delta snapshot build must stay allocation-bounded
+# (proportional to the delta and merged rows — measured 55 allocs/op,
+# guarded at 80 for headroom), enforced on every CI run.
 bench-guard:
 	$(GO) test -run '^$$' -bench 'HittingTimeSteadyState' -benchmem ./internal/randomwalk/ | \
 		$(GO) run ./cmd/benchjson -guard BenchmarkHittingTimeSteadyState -max-allocs 0
+	$(GO) test -run '^$$' -bench 'DeltaBuildSteadyState' -benchmem ./internal/bipartite/ | \
+		$(GO) run ./cmd/benchjson -guard BenchmarkDeltaBuildSteadyState -max-allocs 80
 
 ci: vet fmt-check build race bench-smoke bench-guard

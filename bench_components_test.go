@@ -21,8 +21,8 @@ import (
 // trained UPM without retraining.
 func BenchmarkFoldIn(b *testing.B) {
 	e, _ := componentFixture(b)
-	donor := e.Log.Users()[0]
-	entries := e.Log.ByUser(donor)
+	donor := e.Log().Users()[0]
+	entries := e.Log().ByUser(donor)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := e.LearnUser("bench-user", entries); err != nil {
@@ -68,7 +68,7 @@ func BenchmarkServerSuggest(b *testing.B) {
 	srv := server.New(e, nil)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	users := e.Log.Users()
+	users := e.Log().Users()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		body, _ := json.Marshal(server.SuggestRequest{
@@ -85,10 +85,10 @@ func BenchmarkServerSuggest(b *testing.B) {
 // BenchmarkPreferenceScore measures one Eq. 31 evaluation.
 func BenchmarkPreferenceScore(b *testing.B) {
 	e, qs := componentFixture(b)
-	user := e.Log.Users()[0]
+	user := e.Log().Users()[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.Profiles.PreferenceScore(user, qs[i%len(qs)], profile.Posterior)
+		e.Profiles().PreferenceScore(user, qs[i%len(qs)], profile.Posterior)
 	}
 }
 
@@ -116,10 +116,10 @@ func BenchmarkBordaAggregate(b *testing.B) {
 // plumbing) at 20 Gibbs sweeps.
 func BenchmarkUPMFoldInDirect(b *testing.B) {
 	e, _ := componentFixture(b)
-	upm := e.Profiles.UPM()
+	upm := e.Profiles().UPM()
 	// Reuse the first trained doc's sessions via the corpus.
-	sessions := topicmodel.SessionsForFoldIn(e.Corpus,
-		e.Sessions[:min(10, len(e.Sessions))], nil)
+	sessions := topicmodel.SessionsForFoldIn(e.Corpus(),
+		e.Sessions()[:min(10, len(e.Sessions()))], nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		upm.FoldIn("bench-direct", sessions, 20, int64(i))

@@ -138,7 +138,7 @@ func BenchmarkSuggestDiversified(b *testing.B) {
 // BenchmarkSuggestPersonalized measures the full pipeline per query.
 func BenchmarkSuggestPersonalized(b *testing.B) {
 	e, qs := componentFixture(b)
-	users := e.Log.Users()
+	users := e.Log().Users()
 	now := time.Now()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -49,6 +49,7 @@ func main() {
 		cacheTTL  = flag.Duration("cache-ttl", 0, "suggestion cache entry lifetime (0: entries live until evicted or the engine is swapped)")
 		savePath  = flag.String("save", "", "persist the trained engine to this file and exit")
 		enginePth = flag.String("engine", "", "load a persisted engine instead of training from a log")
+		refrMode  = flag.String("refresh-mode", "full", "representation build strategy for /v1/refresh: full (recount the whole log) or delta (incremental, bit-identical to full)")
 	)
 	flag.Parse()
 
@@ -98,6 +99,7 @@ func main() {
 			Seed:                *seed,
 			Workers:             *workers,
 			DiversificationOnly: *user == "" && *serve == "" && *savePath == "",
+			RefreshMode:         *refrMode,
 		})
 		if err != nil {
 			fatal(err)

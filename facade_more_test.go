@@ -43,7 +43,7 @@ func TestNewEngineAdvanced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.Rep.Weighting != bipartite.Raw {
+	if e.Rep().Weighting != bipartite.Raw {
 		t.Error("advanced config weighting not honored")
 	}
 }

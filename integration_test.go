@@ -82,7 +82,7 @@ func TestLiveDeploymentLoop(t *testing.T) {
 			t.Fatalf("learn %s: status %d", v, code)
 		}
 		// /api/learn hot-swaps a cloned engine in; read the serving one.
-		if srv.Engine().Profiles.Theta(v) == nil {
+		if srv.Engine().Profiles().Theta(v) == nil {
 			t.Fatalf("visitor %s unprofiled after /api/learn", v)
 		}
 	}

@@ -80,81 +80,14 @@ func Build(l *querylog.Log, scfg querylog.SessionizerConfig, wt Weighting) *Repr
 
 // BuildFromSessions constructs the representation from pre-segmented
 // sessions (useful when the caller needs the same segmentation
-// elsewhere).
+// elsewhere). It is the full-rebuild path: the mergeable builder counts
+// every session from scratch and the result is materialized once (see
+// builder.go; the incremental path shares the same counting and
+// weighting code, which is what makes delta builds bit-identical).
 func BuildFromSessions(sessions []querylog.Session, wt Weighting) *Representation {
-	r := &Representation{
-		Queries:   NewIndex(),
-		Sessions:  sessions,
-		Weighting: wt,
-	}
-	for v := 0; v < NumViews; v++ {
-		r.Objects[v] = NewIndex()
-	}
-
-	// Count raw co-occurrences c^X_ij.
-	type edge struct{ q, o int }
-	counts := [NumViews]map[edge]float64{}
-	for v := range counts {
-		counts[v] = make(map[edge]float64)
-	}
-	// connected[v][o] is the set of distinct queries touching object o,
-	// for the iqf denominators n^X(o).
-	connected := [NumViews]map[int]map[int]bool{}
-	for v := range connected {
-		connected[v] = make(map[int]map[int]bool)
-	}
-	touch := func(v View, q, o int) {
-		counts[v][edge{q, o}]++
-		set := connected[v][o]
-		if set == nil {
-			set = make(map[int]bool)
-			connected[v][o] = set
-		}
-		set[q] = true
-	}
-
-	for si, s := range sessions {
-		sid := r.Objects[ViewSession].Intern(sessionName(si))
-		for _, e := range s.Entries {
-			q := r.Queries.Intern(querylog.NormalizeQuery(e.Query))
-			touch(ViewSession, q, sid)
-			if e.ClickedURL != "" {
-				touch(ViewURL, q, r.Objects[ViewURL].Intern(e.ClickedURL))
-			}
-			for _, t := range querylog.Tokenize(e.Query) {
-				touch(ViewTerm, q, r.Objects[ViewTerm].Intern(t))
-			}
-		}
-	}
-
-	// |Q| for the iqf formulas: the number of distinct queries in the
-	// log (n^X counts distinct queries per object, so the ratio stays in
-	// [1, |Q|] and iqf ≥ 0).
-	totalQ := float64(r.Queries.Len())
-	for v := 0; v < NumViews; v++ {
-		b := sparse.NewBuilder(r.Queries.Len(), r.Objects[v].Len())
-		for e, c := range counts[v] {
-			w := c
-			if wt == CFIQF {
-				n := float64(len(connected[v][e.o]))
-				iqf := math.Log(totalQ / n)
-				if iqf <= 0 {
-					// An object touched by every query carries no signal
-					// but must not erase the edge entirely.
-					iqf = math.Log(1.0001)
-				}
-				w = c * iqf
-			}
-			b.Add(e.q, e.o, w)
-		}
-		r.W[v] = b.Build()
-	}
+	r := StateFromSessions(sessions).Materialize(wt)
+	r.Sessions = sessions
 	return r
-}
-
-func sessionName(i int) string {
-	// Session object names only need uniqueness.
-	return "s#" + itoa(i)
 }
 
 func itoa(i int) string {

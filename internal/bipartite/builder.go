@@ -1,0 +1,301 @@
+package bipartite
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/querylog"
+	"repro/internal/sparse"
+)
+
+// This file implements the mergeable build path of the multi-bipartite
+// representation. The counting state (the raw cf co-occurrence counts
+// of Eqs. 1–3) is kept as an immutable BuilderState; a DeltaBuilder
+// accumulates signed count updates for added and removed sessions, and
+// Apply merges them into a new state in O(nnz + |delta|·log|delta|)
+// instead of recounting the whole log. Materialize derives the weighted
+// Representation (Eqs. 4–6) from a state, recomputing every iqf column
+// from the current counts — the |Q| numerator changes with every new
+// query, so iqf is never patched in place, only recomputed from exact
+// counts, which costs one O(nnz) pass.
+//
+// Counts are integers represented exactly in float64, removals cancel
+// additions exactly, and every edge weight is computed by the same
+// c·log(|Q|/n(o)) expression from the same counts — so a delta-built
+// state materializes to weights bit-identical to a from-scratch rebuild
+// of the same sessions (the guarantee builder_test.go verifies).
+
+// BuilderState is the immutable counting state of a build: the interned
+// node spaces and the raw co-occurrence count matrix of every view.
+// Apply returns a new state and never mutates its input, so a serving
+// snapshot keeps its state while a background delta build derives the
+// next one from it.
+type BuilderState struct {
+	Queries *Index
+	Objects [NumViews]*Index
+	// Counts[v] is the queries × objects matrix of raw co-occurrence
+	// counts c^X_ij (always integers, stored exactly in float64).
+	Counts [NumViews]*sparse.Matrix
+}
+
+// NewBuilderState returns the empty counting state.
+func NewBuilderState() *BuilderState {
+	s := &BuilderState{Queries: NewIndex()}
+	for v := 0; v < NumViews; v++ {
+		s.Objects[v] = NewIndex()
+		s.Counts[v] = sparse.FromCSR(0, 0, []int{0}, nil, nil)
+	}
+	return s
+}
+
+// StateFromSessions builds the counting state of a full rebuild: every
+// session added once, with the canonical per-user session object names.
+func StateFromSessions(sessions []querylog.Session) *BuilderState {
+	d := NewBuilderState().Delta()
+	seq := make(map[string]int)
+	for _, s := range sessions {
+		d.AddSession(SessionObjectName(s.UserID, seq[s.UserID]), s)
+		seq[s.UserID]++
+	}
+	state, err := d.Apply()
+	if err != nil {
+		// Unreachable: a pure-addition delta cannot drive a count
+		// negative.
+		panic(err)
+	}
+	return state
+}
+
+// SessionObjectName names the session object of a user's seq-th session
+// (0-based, chronological). Names are per-user so a delta rebuild of
+// one user's tail never renames another user's session columns; \x1f
+// cannot appear in a user ID that survived querylog.Clean.
+func SessionObjectName(userID string, seq int) string {
+	return userID + "\x1f" + itoa(seq)
+}
+
+// DeltaBuilder accumulates session additions and removals against a
+// base state. It is cheap to create (index overlays, empty count
+// deltas) and single-goroutine; Apply produces the merged state.
+type DeltaBuilder struct {
+	base    *BuilderState
+	queries *indexOverlay
+	objects [NumViews]*indexOverlay
+	deltas  [NumViews]map[edgeKey]float64
+}
+
+type edgeKey struct{ q, o int }
+
+// Delta starts an incremental build on top of s.
+func (s *BuilderState) Delta() *DeltaBuilder {
+	d := &DeltaBuilder{base: s, queries: newIndexOverlay(s.Queries)}
+	for v := 0; v < NumViews; v++ {
+		d.objects[v] = newIndexOverlay(s.Objects[v])
+		d.deltas[v] = make(map[edgeKey]float64)
+	}
+	return d
+}
+
+// AddSession applies the co-occurrence counts of one session: +1 per
+// (query, session-object) entry, per (query, clicked URL) and per
+// (query, term) — exactly what a full rebuild counts for this session.
+// name must be the session's canonical object name (SessionObjectName).
+func (d *DeltaBuilder) AddSession(name string, s querylog.Session) { d.applySession(name, s, 1) }
+
+// RemoveSession cancels a previous AddSession of the identical session
+// under the identical name. Removing a session that was never added
+// drives a count negative, which Apply reports as an error.
+func (d *DeltaBuilder) RemoveSession(name string, s querylog.Session) { d.applySession(name, s, -1) }
+
+func (d *DeltaBuilder) applySession(name string, s querylog.Session, sign float64) {
+	sid := d.objects[ViewSession].intern(name)
+	for _, e := range s.Entries {
+		q := d.queries.intern(querylog.NormalizeQuery(e.Query))
+		d.deltas[ViewSession][edgeKey{q, sid}] += sign
+		if e.ClickedURL != "" {
+			o := d.objects[ViewURL].intern(e.ClickedURL)
+			d.deltas[ViewURL][edgeKey{q, o}] += sign
+		}
+		for _, t := range querylog.Tokenize(e.Query) {
+			o := d.objects[ViewTerm].intern(t)
+			d.deltas[ViewTerm][edgeKey{q, o}] += sign
+		}
+	}
+}
+
+// Apply merges the accumulated deltas into a new state. The base state
+// is not modified. It returns an error when any merged count would go
+// negative (a removal of a session that was never added) — the base
+// state remains valid in that case.
+func (d *DeltaBuilder) Apply() (*BuilderState, error) {
+	out := &BuilderState{Queries: d.queries.result()}
+	for v := 0; v < NumViews; v++ {
+		out.Objects[v] = d.objects[v].result()
+		m, err := mergeCounts(d.base.Counts[v], d.deltas[v],
+			out.Queries.Len(), out.Objects[v].Len(), View(v))
+		if err != nil {
+			return nil, err
+		}
+		out.Counts[v] = m
+	}
+	return out, nil
+}
+
+// mergeCounts merges sorted delta triplets into the base CSR, growing
+// the dimensions to rows × cols. Exact zero counts (removal cancelling
+// addition) are dropped; negative counts are an error.
+func mergeCounts(base *sparse.Matrix, delta map[edgeKey]float64, rows, cols int, v View) (*sparse.Matrix, error) {
+	type trip struct {
+		q, o int
+		c    float64
+	}
+	trips := make([]trip, 0, len(delta))
+	for k, c := range delta {
+		if c != 0 {
+			trips = append(trips, trip{k.q, k.o, c})
+		}
+	}
+	sort.Slice(trips, func(i, j int) bool {
+		if trips[i].q != trips[j].q {
+			return trips[i].q < trips[j].q
+		}
+		return trips[i].o < trips[j].o
+	})
+
+	bv := base.View()
+	baseRows := base.Rows()
+	rowPtr := make([]int, rows+1)
+	colIdx := make([]int, 0, base.NNZ()+len(trips))
+	val := make([]float64, 0, base.NNZ()+len(trips))
+	ti := 0
+	for r := 0; r < rows; r++ {
+		bp, bend := 0, 0
+		if r < baseRows {
+			bp, bend = bv.RowPtr[r], bv.RowPtr[r+1]
+		}
+		for bp < bend || (ti < len(trips) && trips[ti].q == r) {
+			var c int
+			var cv float64
+			switch {
+			case bp < bend && ti < len(trips) && trips[ti].q == r && trips[ti].o == bv.ColIdx[bp]:
+				c, cv = bv.ColIdx[bp], bv.Val[bp]+trips[ti].c
+				bp++
+				ti++
+			case bp < bend && (ti >= len(trips) || trips[ti].q != r || bv.ColIdx[bp] < trips[ti].o):
+				c, cv = bv.ColIdx[bp], bv.Val[bp]
+				bp++
+			default:
+				c, cv = trips[ti].o, trips[ti].c
+				ti++
+			}
+			if cv < 0 {
+				return nil, fmt.Errorf("bipartite: %s count of edge (%d,%d) went negative (%g): removed a session that was never added", v, r, c, cv)
+			}
+			if cv == 0 {
+				continue
+			}
+			colIdx = append(colIdx, c)
+			val = append(val, cv)
+		}
+		rowPtr[r+1] = len(colIdx)
+	}
+	return sparse.FromCSR(rows, cols, rowPtr, colIdx, val), nil
+}
+
+// Materialize derives the weighted Representation from the counting
+// state: for CFIQF it recomputes every object's iqf from the current
+// counts (n(o) = column nnz, |Q| = interned queries) and scales each
+// edge; for Raw the counts matrix itself is the weight matrix (both are
+// immutable, so sharing is safe). The caller attaches Sessions.
+func (s *BuilderState) Materialize(wt Weighting) *Representation {
+	r := &Representation{Queries: s.Queries, Weighting: wt}
+	totalQ := float64(s.Queries.Len())
+	for v := 0; v < NumViews; v++ {
+		r.Objects[v] = s.Objects[v]
+		m := s.Counts[v]
+		if wt != CFIQF {
+			r.W[v] = m
+			continue
+		}
+		mv := m.View()
+		// n^X(o): distinct queries touching object o = column nnz of the
+		// counts (counts are strictly positive once stored).
+		n := make([]int, m.Cols())
+		for _, c := range mv.ColIdx {
+			n[c]++
+		}
+		iqf := make([]float64, m.Cols())
+		for o, cnt := range n {
+			if cnt == 0 {
+				continue
+			}
+			f := math.Log(totalQ / float64(cnt))
+			if f <= 0 {
+				// An object touched by every query carries no signal but
+				// must not erase the edge entirely.
+				f = math.Log(1.0001)
+			}
+			iqf[o] = f
+		}
+		rowPtr := append([]int(nil), mv.RowPtr...)
+		colIdx := append([]int(nil), mv.ColIdx...)
+		val := make([]float64, len(mv.Val))
+		for p, c := range mv.ColIdx {
+			val[p] = mv.Val[p] * iqf[c]
+		}
+		r.W[v] = sparse.FromCSR(m.Rows(), m.Cols(), rowPtr, colIdx, val)
+	}
+	return r
+}
+
+// Clone returns a copy of the index sharing no mutable state with ix.
+func (ix *Index) Clone() *Index {
+	out := &Index{
+		byName: make(map[string]int, len(ix.byName)),
+		names:  append([]string(nil), ix.names...),
+	}
+	for i, n := range out.names {
+		out.byName[n] = i
+	}
+	return out
+}
+
+// indexOverlay resolves names against a base index, assigning IDs past
+// the base for new names without touching the base.
+type indexOverlay struct {
+	base  *Index
+	extra map[string]int
+	names []string // overlay names in ID order
+}
+
+func newIndexOverlay(base *Index) *indexOverlay { return &indexOverlay{base: base} }
+
+func (o *indexOverlay) intern(name string) int {
+	if id, ok := o.base.Lookup(name); ok {
+		return id
+	}
+	if id, ok := o.extra[name]; ok {
+		return id
+	}
+	id := o.base.Len() + len(o.names)
+	if o.extra == nil {
+		o.extra = make(map[string]int)
+	}
+	o.extra[name] = id
+	o.names = append(o.names, name)
+	return id
+}
+
+// result freezes the overlay: the base index is shared untouched when
+// nothing new was interned, cloned-and-extended otherwise.
+func (o *indexOverlay) result() *Index {
+	if len(o.names) == 0 {
+		return o.base
+	}
+	ix := o.base.Clone()
+	for _, n := range o.names {
+		ix.Intern(n)
+	}
+	return ix
+}

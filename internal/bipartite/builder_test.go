@@ -1,0 +1,275 @@
+package bipartite
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/querylog"
+)
+
+// randomLog generates n entries over a small vocabulary so queries and
+// clicks repeat across users (otherwise iqf never discriminates).
+func randomLog(rng *rand.Rand, n int, users int, start time.Time) []querylog.Entry {
+	words := []string{"sun", "java", "solar", "cell", "oracle", "jvm", "panel", "energy", "download", "news"}
+	urls := []string{"", "www.java.com", "java.sun.com", "en.wikipedia.org", "www.oracle.com", "sun.example.com"}
+	out := make([]querylog.Entry, n)
+	for i := range out {
+		q := words[rng.Intn(len(words))]
+		if rng.Intn(2) == 0 {
+			q += " " + words[rng.Intn(len(words))]
+		}
+		out[i] = querylog.Entry{
+			UserID:     fmt.Sprintf("u%02d", rng.Intn(users)),
+			Query:      q,
+			ClickedURL: urls[rng.Intn(len(urls))],
+			// Random minute offsets create a mix of in-session
+			// continuations and timeout boundaries.
+			Time: start.Add(time.Duration(rng.Intn(72*60)) * time.Minute),
+		}
+	}
+	return out
+}
+
+// weightsByName flattens a representation view into (query, object) →
+// weight under the NAMES, not the ids — a delta build interns new
+// queries in arrival order, which differs from the full rebuild's
+// session order, so ids are not comparable but names must be.
+func weightsByName(r *Representation, view int) map[[2]string]float64 {
+	out := make(map[[2]string]float64)
+	v := r.W[view].View()
+	for q := 0; q < r.Queries.Len(); q++ {
+		for p := v.RowPtr[q]; p < v.RowPtr[q+1]; p++ {
+			key := [2]string{r.Queries.Name(q), r.Objects[view].Name(v.ColIdx[p])}
+			out[key] = v.Val[p]
+		}
+	}
+	return out
+}
+
+// iqfByName maps every nonempty object column to its iqf. Empty columns
+// are skipped: a delta build that removed a merged session leaves its
+// old column allocated but empty, which is invisible to every weight.
+func iqfByName(r *Representation, view int) map[string]float64 {
+	out := make(map[string]float64)
+	for o := 0; o < r.Objects[view].Len(); o++ {
+		nonEmpty := false
+		v := r.W[view].View()
+		for q := 0; q < r.Queries.Len() && !nonEmpty; q++ {
+			for p := v.RowPtr[q]; p < v.RowPtr[q+1]; p++ {
+				if v.ColIdx[p] == o && v.Val[p] != 0 {
+					nonEmpty = true
+					break
+				}
+			}
+		}
+		if nonEmpty {
+			out[r.Objects[view].Name(o)] = r.IQF(View(view), o)
+		}
+	}
+	return out
+}
+
+// assertRepsEquivalent requires exact (bit-identical) weight and iqf
+// agreement between two representations across all three views.
+func assertRepsEquivalent(t *testing.T, full, delta *Representation) {
+	t.Helper()
+	for view := 0; view < NumViews; view++ {
+		fw, dw := weightsByName(full, view), weightsByName(delta, view)
+		if len(fw) != len(dw) {
+			t.Fatalf("view %d: full has %d edges, delta %d", view, len(fw), len(dw))
+		}
+		for key, w := range fw {
+			dwv, ok := dw[key]
+			if !ok {
+				t.Fatalf("view %d: delta missing edge %v", view, key)
+			}
+			if w != dwv { // exact: delta must be bit-identical
+				t.Fatalf("view %d edge %v: full %v delta %v (diff %g)", view, key, w, dwv, math.Abs(w-dwv))
+			}
+		}
+		fi, di := iqfByName(full, view), iqfByName(delta, view)
+		if len(fi) != len(di) {
+			t.Fatalf("view %d: full has %d nonempty objects, delta %d", view, len(fi), len(di))
+		}
+		for name, v := range fi {
+			if dv, ok := di[name]; !ok || dv != v {
+				t.Fatalf("view %d iqf[%s]: full %v delta %v", view, name, v, di[name])
+			}
+		}
+	}
+}
+
+// buildDelta replays the engine's incremental path at the bipartite
+// level: sessionize the base, then fold fresh entries in per user via
+// SessionizeDelta + count deltas.
+func buildDelta(t *testing.T, base []querylog.Entry, fresh []querylog.Entry, wt Weighting) *Representation {
+	t.Helper()
+	bl := &querylog.Log{Entries: append([]querylog.Entry(nil), base...)}
+	sessions := querylog.Sessionize(bl, querylog.SessionizerConfig{})
+	state := StateFromSessions(sessions)
+	byUser := querylog.SessionsByUser(sessions)
+
+	freshByUser := make(map[string][]querylog.Entry)
+	for _, e := range fresh {
+		freshByUser[e.UserID] = append(freshByUser[e.UserID], e)
+	}
+	d := state.Delta()
+	for u, fe := range freshByUser {
+		old := byUser[u]
+		keep, rebuilt := querylog.SessionizeDelta(old, fe, querylog.SessionizerConfig{})
+		for i := keep; i < len(old); i++ {
+			d.RemoveSession(SessionObjectName(u, i), old[i])
+		}
+		for i, s := range rebuilt {
+			d.AddSession(SessionObjectName(u, keep+i), s)
+		}
+	}
+	next, err := d.Apply()
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	return next.Materialize(wt)
+}
+
+// TestDeltaBuildEquivalence is the bit-identicality guarantee: folding
+// random ingest bursts in incrementally yields exactly the edge weights
+// and iqf values of a full rebuild over the combined log — for both
+// weightings, across randomized seeds and burst sizes.
+func TestDeltaBuildEquivalence(t *testing.T) {
+	start := ts("2013-01-07 09:00:00")
+	for seed := int64(0); seed < 6; seed++ {
+		for _, wt := range []Weighting{CFIQF, Raw} {
+			rng := rand.New(rand.NewSource(seed))
+			base := randomLog(rng, 300, 12, start)
+			// Fresh entries arrive later but interleave with session
+			// tails (offsets overlap the base's last hours).
+			fresh := randomLog(rng, 30+rng.Intn(60), 12, start.Add(60*time.Hour))
+
+			combined := append(append([]querylog.Entry(nil), base...), fresh...)
+			cl := &querylog.Log{Entries: combined}
+			full := BuildFromSessions(querylog.Sessionize(cl, querylog.SessionizerConfig{}), wt)
+
+			delta := buildDelta(t, base, fresh, wt)
+			assertRepsEquivalent(t, full, delta)
+		}
+	}
+}
+
+// TestDeltaBuildNewUsersAndQueries checks the overlay path: fresh
+// entries from users and queries the base has never seen.
+func TestDeltaBuildNewUsersAndQueries(t *testing.T) {
+	start := ts("2013-01-07 09:00:00")
+	rng := rand.New(rand.NewSource(99))
+	base := randomLog(rng, 200, 8, start)
+	fresh := []querylog.Entry{
+		{UserID: "brandnew", Query: "quantum computing", ClickedURL: "qc.example.com", Time: start.Add(100 * time.Hour)},
+		{UserID: "brandnew", Query: "quantum computing basics", Time: start.Add(100*time.Hour + time.Minute)},
+		{UserID: "u01", Query: "never seen before", Time: start.Add(101 * time.Hour)},
+	}
+	combined := append(append([]querylog.Entry(nil), base...), fresh...)
+	cl := &querylog.Log{Entries: combined}
+	full := BuildFromSessions(querylog.Sessionize(cl, querylog.SessionizerConfig{}), CFIQF)
+	delta := buildDelta(t, base, fresh, CFIQF)
+	assertRepsEquivalent(t, full, delta)
+}
+
+// TestDeltaRemovalCancelsExactly: adding and removing the same session
+// restores the exact previous counts (integer arithmetic in float64 —
+// no drift), and the no-op delta shares the base indices.
+func TestDeltaRemovalCancelsExactly(t *testing.T) {
+	sessions := querylog.Sessionize(tableILog(), querylog.SessionizerConfig{})
+	state := StateFromSessions(sessions)
+
+	extra := querylog.Session{UserID: "u9", Entries: []querylog.Entry{
+		{UserID: "u9", Query: "sun", ClickedURL: "www.java.com", Time: ts("2012-12-15 10:00:00")},
+		{UserID: "u9", Query: "sun java", Time: ts("2012-12-15 10:01:00")},
+	}}
+
+	d := state.Delta()
+	d.AddSession(SessionObjectName("u9", 0), extra)
+	d.RemoveSession(SessionObjectName("u9", 0), extra)
+	next, err := d.Apply()
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	for view := 0; view < NumViews; view++ {
+		a, b := state.Counts[view].View(), next.Counts[view].View()
+		if len(a.Val) != len(b.Val) {
+			t.Fatalf("view %d: nnz changed %d -> %d", view, len(a.Val), len(b.Val))
+		}
+		for i := range a.Val {
+			if a.Val[i] != b.Val[i] || a.ColIdx[i] != b.ColIdx[i] {
+				t.Fatalf("view %d: counts changed at %d", view, i)
+			}
+		}
+	}
+}
+
+// TestDeltaNegativeCountErrors: removing a session that was never
+// counted must surface an error, not a silently negative count.
+func TestDeltaNegativeCountErrors(t *testing.T) {
+	sessions := querylog.Sessionize(tableILog(), querylog.SessionizerConfig{})
+	state := StateFromSessions(sessions)
+	d := state.Delta()
+	d.RemoveSession(SessionObjectName("ghost", 0), querylog.Session{UserID: "ghost", Entries: []querylog.Entry{
+		{UserID: "ghost", Query: "sun", Time: ts("2012-12-15 10:00:00")},
+	}})
+	if _, err := d.Apply(); err == nil {
+		t.Fatal("Apply accepted a negative count")
+	}
+}
+
+// TestDeltaSharesUntouchedIndices: when no new names appear, the merged
+// state reuses the base index objects instead of copying them.
+func TestDeltaSharesUntouchedIndices(t *testing.T) {
+	sessions := querylog.Sessionize(tableILog(), querylog.SessionizerConfig{})
+	state := StateFromSessions(sessions)
+	d := state.Delta()
+	// Re-add an existing session's worth of counts with only known
+	// names (same queries, same URL, same terms).
+	s := sessions[0]
+	d.AddSession(SessionObjectName(s.UserID, 0), s)
+	next, err := d.Apply()
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if next.Queries != state.Queries {
+		t.Error("query index copied despite no new queries")
+	}
+	for view := 0; view < NumViews; view++ {
+		if View(view) != ViewSession && next.Objects[view] != state.Objects[view] {
+			t.Errorf("view %d object index copied despite no new objects", view)
+		}
+	}
+}
+
+// BenchmarkDeltaBuildSteadyState is the bench-guard target: applying a
+// small, fixed delta against a prebuilt state. Allocations must stay
+// bounded (proportional to the delta and the merged rows, not to
+// repeated whole-state copies).
+func BenchmarkDeltaBuildSteadyState(b *testing.B) {
+	start := ts("2013-01-07 09:00:00")
+	rng := rand.New(rand.NewSource(7))
+	base := randomLog(rng, 2000, 40, start)
+	bl := &querylog.Log{Entries: base}
+	sessions := querylog.Sessionize(bl, querylog.SessionizerConfig{})
+	state := StateFromSessions(sessions)
+
+	fresh := querylog.Session{UserID: "u00", Entries: []querylog.Entry{
+		{UserID: "u00", Query: "solar panel", ClickedURL: "sun.example.com", Time: start.Add(80 * time.Hour)},
+		{UserID: "u00", Query: "solar energy", Time: start.Add(80*time.Hour + time.Minute)},
+	}}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := state.Delta()
+		d.AddSession(SessionObjectName("u00", 999), fresh)
+		if _, err := d.Apply(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -23,10 +23,10 @@ func TestCloneIsolatesProfiles(t *testing.T) {
 	if err := c.LearnUser("newbie", entries); err != nil {
 		t.Fatal(err)
 	}
-	if c.Profiles.Theta("newbie") == nil {
+	if c.Profiles().Theta("newbie") == nil {
 		t.Fatal("clone did not learn the user")
 	}
-	if e.Profiles.Theta("newbie") != nil {
+	if e.Profiles().Theta("newbie") != nil {
 		t.Fatal("LearnUser on the clone mutated the original's profiles")
 	}
 }
@@ -37,7 +37,7 @@ func TestRebuildLeavesOriginalServable(t *testing.T) {
 	w := testWorld(t)
 	e := testEngine(t, w, true)
 	q := pickQuery(t, w)
-	origLogLen := e.Log.Len()
+	origLogLen := e.Log().Len()
 
 	fresh := []querylog.Entry{
 		{UserID: "fresh", Query: "rebuild probe query", Time: time.Now()},
@@ -47,14 +47,14 @@ func TestRebuildLeavesOriginalServable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := next.Rep.QueryID("rebuild probe query"); !ok {
+	if _, ok := next.Rep().QueryID("rebuild probe query"); !ok {
 		t.Fatal("rebuilt engine does not know the ingested query")
 	}
-	if _, ok := e.Rep.QueryID("rebuild probe query"); ok {
+	if _, ok := e.Rep().QueryID("rebuild probe query"); ok {
 		t.Fatal("Rebuild mutated the original's representation")
 	}
-	if e.Log.Len() != origLogLen {
-		t.Fatalf("Rebuild grew the original's log: %d -> %d", origLogLen, e.Log.Len())
+	if e.Log().Len() != origLogLen {
+		t.Fatalf("Rebuild grew the original's log: %d -> %d", origLogLen, e.Log().Len())
 	}
 	if e.PendingEntries() != 0 {
 		t.Fatalf("Rebuild left %d pending entries on the original", e.PendingEntries())

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/querylog"
+	"repro/internal/snapshot"
+	"repro/internal/synth"
+)
+
+// logEnd returns the latest timestamp in the world's log, so fresh
+// entries can be appended after the existing history.
+func logEnd(w *synth.World) time.Time {
+	var end time.Time
+	for _, e := range w.Log.Entries {
+		if e.Time.After(end) {
+			end = e.Time
+		}
+	}
+	return end
+}
+
+// freshBurst fabricates n post-history entries mixing existing users
+// (extending or adding sessions) with a brand-new user and both known
+// and novel vocabulary.
+func freshBurst(w *synth.World, n int, seed int64) []querylog.Entry {
+	rng := rand.New(rand.NewSource(seed))
+	users := w.UserIDs()
+	freq := w.Log.QueryFrequency()
+	known := make([]string, 0, len(freq))
+	for q := range freq {
+		known = append(known, q)
+	}
+	base := logEnd(w).Add(time.Minute)
+	out := make([]querylog.Entry, n)
+	for i := range out {
+		u := users[rng.Intn(len(users))]
+		if rng.Intn(8) == 0 {
+			u = "delta-newcomer"
+		}
+		q := known[rng.Intn(len(known))]
+		if rng.Intn(10) == 0 {
+			q = fmt.Sprintf("novel phrase %d", rng.Intn(5))
+		}
+		out[i] = querylog.Entry{
+			UserID: u,
+			Query:  q,
+			Time:   base.Add(time.Duration(rng.Intn(36000)) * time.Second),
+		}
+		if rng.Intn(3) == 0 {
+			out[i].ClickedURL = fmt.Sprintf("example.com/p%d", rng.Intn(40))
+		}
+	}
+	return out
+}
+
+// repWeightsByName flattens one view into (query name, object name) →
+// weight; ids differ between delta and full builds (interning order),
+// names must not.
+func repWeightsByName(r *bipartite.Representation, view bipartite.View) map[[2]string]float64 {
+	out := make(map[[2]string]float64)
+	v := r.W[view].View()
+	for q := 0; q < r.Queries.Len(); q++ {
+		for p := v.RowPtr[q]; p < v.RowPtr[q+1]; p++ {
+			out[[2]string{r.Queries.Name(q), r.Objects[view].Name(v.ColIdx[p])}] = v.Val[p]
+		}
+	}
+	return out
+}
+
+// TestRefreshDeltaEquivalentToFull is the engine-level bit-identicality
+// guarantee: refreshing with DeltaRebuild produces exactly the same
+// (query, object) → weight mapping in all three bipartites as
+// FullRebuild over the same combined log.
+func TestRefreshDeltaEquivalentToFull(t *testing.T) {
+	w := testWorld(t)
+	for _, frac := range []float64{0.01, 0.1} {
+		n := int(float64(w.Log.Len()) * frac)
+		if n < 3 {
+			n = 3
+		}
+		fresh := freshBurst(w, n, int64(n))
+
+		eFull := testEngine(t, w, true)
+		eDelta := testEngine(t, w, true)
+
+		eFull.Ingest(fresh)
+		if err := eFull.RefreshWith(RebuildGraphs, FullRebuild); err != nil {
+			t.Fatal(err)
+		}
+		eDelta.Ingest(fresh)
+		if err := eDelta.RefreshWith(RebuildGraphs, DeltaRebuild); err != nil {
+			t.Fatal(err)
+		}
+
+		if got := eDelta.LastBuild().Mode; got != snapshot.ModeDelta {
+			t.Fatalf("delta engine built in mode %v", got)
+		}
+		if got := eFull.LastBuild().Mode; got != snapshot.ModeFull {
+			t.Fatalf("full engine built in mode %v", got)
+		}
+		if got := eDelta.LastBuild().DeltaEntries; got != len(fresh) {
+			t.Fatalf("DeltaEntries = %d, want %d", got, len(fresh))
+		}
+
+		fr, dr := eFull.Rep(), eDelta.Rep()
+		for view := bipartite.View(0); view < bipartite.NumViews; view++ {
+			fw, dw := repWeightsByName(fr, view), repWeightsByName(dr, view)
+			if len(fw) != len(dw) {
+				t.Fatalf("frac %v view %d: full %d edges, delta %d", frac, view, len(fw), len(dw))
+			}
+			for key, wv := range fw {
+				if dv, ok := dw[key]; !ok || dv != wv {
+					t.Fatalf("frac %v view %d edge %v: full %v delta %v", frac, view, key, wv, dw[key])
+				}
+			}
+		}
+	}
+}
+
+// TestRefreshDeltaFallsBackWithoutState: an engine whose snapshot has
+// no counting state (as after loading from disk) cannot delta-build;
+// the configured delta strategy must silently take the full path, not
+// fail.
+func TestRefreshDeltaFallsBackWithoutState(t *testing.T) {
+	w := testWorld(t)
+	e := testEngine(t, w, true)
+	// Simulate a stateless snapshot the way persistence produces one.
+	prev := e.Snapshot()
+	stripped := *prev
+	stripped.State = nil
+	e.snap.Store(&stripped)
+
+	e.Ingest(freshBurst(w, 5, 7))
+	if err := e.RefreshWith(RebuildGraphs, DeltaRebuild); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.LastBuild().Mode; got != snapshot.ModeFull {
+		t.Fatalf("build mode %v, want full fallback", got)
+	}
+	// And the rebuilt snapshot has state again, so the NEXT refresh can
+	// go incremental.
+	e.Ingest(freshBurst(w, 5, 8))
+	if err := e.RefreshWith(RebuildGraphs, DeltaRebuild); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.LastBuild().Mode; got != snapshot.ModeDelta {
+		t.Fatalf("second build mode %v, want delta", got)
+	}
+}
+
+// TestPendingEntriesAcrossRebuildAndSwap is the dirty-counter
+// regression test: ingest → rebuild → swap must leave the swapped-in
+// engine with zero pending entries while the original still reports its
+// own, and the generations must differ so cache keys cannot collide.
+func TestPendingEntriesAcrossRebuildAndSwap(t *testing.T) {
+	w := testWorld(t)
+	e := testEngine(t, w, true)
+	fresh := freshBurst(w, 10, 3)
+
+	e.Ingest(fresh)
+	if got := e.PendingEntries(); got != len(fresh) {
+		t.Fatalf("pending after ingest = %d, want %d", got, len(fresh))
+	}
+
+	// Rebuild clones; the clone's refresh consumes the pending set.
+	next, err := e.Rebuild(nil, RebuildGraphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := next.PendingEntries(); got != 0 {
+		t.Fatalf("pending after rebuild = %d, want 0", got)
+	}
+	// The original is untouched: still dirty, still old generation.
+	if got := e.PendingEntries(); got != len(fresh) {
+		t.Fatalf("original pending changed to %d", got)
+	}
+	if e.Generation() >= next.Generation() {
+		t.Fatalf("generation did not advance: %d -> %d", e.Generation(), next.Generation())
+	}
+
+	// Simulate the server swap; post-swap state must reflect the fold.
+	var ptr atomic.Pointer[Engine]
+	ptr.Store(next)
+	cur := ptr.Load()
+	if got := cur.PendingEntries(); got != 0 {
+		t.Fatalf("post-swap pending = %d", got)
+	}
+	if cur.Log().Len() != w.Log.Len()+len(fresh) {
+		t.Fatalf("post-swap log %d, want %d", cur.Log().Len(), w.Log.Len()+len(fresh))
+	}
+	if got := cur.DirtyClamps(); got != 0 {
+		t.Fatalf("clean rebuild counted %d dirty clamps", got)
+	}
+}
+
+// TestRefreshClampsDriftedDirtyCounter is the fold-in hardening
+// satellite: a dirty counter that drifted past the log no longer
+// silently skips the fold-in window — Refresh derives the true pending
+// set from the sealed segments, clamps the counter and counts the
+// event.
+func TestRefreshClampsDriftedDirtyCounter(t *testing.T) {
+	w := testWorld(t)
+	e := testEngine(t, w, false)
+
+	// A new user arrives speaking existing vocabulary.
+	src := w.UserIDs()[1]
+	var fresh []querylog.Entry
+	for _, en := range w.Log.ByUser(src)[:6] {
+		en.UserID = "clamp-user"
+		en.Time = en.Time.Add(90 * 24 * time.Hour)
+		fresh = append(fresh, en)
+	}
+	e.Ingest(fresh)
+
+	// Corrupt the counter past the log length — the exact drift that
+	// used to make the old counter-derived window come up empty.
+	e.dirty = e.Log().Len() + 1000
+
+	if err := e.Refresh(FoldInUsers); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.DirtyClamps(); got != 1 {
+		t.Fatalf("DirtyClamps = %d, want 1", got)
+	}
+	if got := e.PendingEntries(); got != 0 {
+		t.Fatalf("pending after refresh = %d", got)
+	}
+	// The fold-in must have actually happened despite the drift.
+	if e.Profiles().Theta("clamp-user") == nil {
+		t.Fatal("drifted counter skipped the fold-in")
+	}
+}
+
+// TestSnapshotSwapHammer runs ingest/refresh/learn/suggest
+// concurrently against a server-style atomic engine pointer. Run with
+// -race; it also asserts the hot-swap ordering guarantee: once a swap
+// lands, requests must see the post-swap vocabulary.
+func TestSnapshotSwapHammer(t *testing.T) {
+	w := testWorld(t)
+	e := testEngine(t, w, false)
+	e.EnableCache(256, 0)
+	query := pickQuery(t, w)
+
+	var ptr atomic.Pointer[Engine]
+	ptr.Store(e)
+	var swapMu sync.Mutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: rebuild-and-swap loop, alternating build strategies.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fresh := freshBurst(w, 5, int64(i))
+			strategy := FullRebuild
+			if i%2 == 0 {
+				strategy = DeltaRebuild
+			}
+			swapMu.Lock()
+			cur := ptr.Load()
+			next, err := cur.RebuildWith(fresh, RebuildGraphs, strategy)
+			if err != nil {
+				swapMu.Unlock()
+				t.Errorf("rebuild: %v", err)
+				return
+			}
+			ptr.Store(next)
+			swapMu.Unlock()
+			// Post-swap visibility: the swapped-in engine must serve
+			// with zero pending and the bumped generation.
+			if next.PendingEntries() != 0 {
+				t.Error("post-swap engine has pending entries")
+				return
+			}
+		}
+	}()
+
+	// Learner: fold a user into whatever engine is current.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hist := w.Log.ByUser(w.UserIDs()[0])[:4]
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cur := ptr.Load()
+			if err := cur.LearnUser(fmt.Sprintf("learner-%d", i%3), hist); err != nil {
+				t.Errorf("learn: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Readers: suggest against the current engine; generations must be
+	// monotonically non-decreasing per reader (snapshot ordering).
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastGen uint64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cur := ptr.Load()
+				res, err := cur.Do(context.Background(), SuggestRequest{
+					User: w.UserIDs()[r], Query: query, K: 5,
+					At: logEnd(w),
+				})
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if res.Generation < lastGen {
+					t.Errorf("reader %d: generation went backwards %d -> %d", r, lastGen, res.Generation)
+					return
+				}
+				lastGen = res.Generation
+			}
+		}(r)
+	}
+
+	time.Sleep(600 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkRefreshBuild measures full vs delta refresh cost at three
+// delta sizes (0.1%, 1%, 10% of the base log) — the EXPERIMENTS.md
+// full-vs-delta table.
+func BenchmarkRefreshBuild(b *testing.B) {
+	w := synth.Generate(synth.Config{Seed: 51, NumFacets: 6, NumUsers: 40, SessionsPerUser: 25})
+	base, err := NewEngine(w.Log, Config{
+		Compact:             bipartite.CompactConfig{Budget: 60},
+		SkipPersonalization: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := w.Log.Len()
+	for _, frac := range []float64{0.001, 0.01, 0.1} {
+		n := int(float64(total) * frac)
+		if n < 1 {
+			n = 1
+		}
+		fresh := freshBurst(w, n, int64(n))
+		for _, tc := range []struct {
+			name     string
+			strategy RefreshStrategy
+		}{{"full", FullRebuild}, {"delta", DeltaRebuild}} {
+			b.Run(fmt.Sprintf("%s/pct=%.1f", tc.name, frac*100), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					next := base.Clone()
+					next.Ingest(fresh)
+					if err := next.RefreshWith(RebuildGraphs, tc.strategy); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

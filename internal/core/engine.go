@@ -2,6 +2,14 @@
 // query-log representation, the two-phase diversification and the
 // UPM-based personalization — into one query-suggestion engine (the
 // paper's Fig. 1 architecture).
+//
+// The engine is a coordinator around an immutable serving snapshot
+// (internal/snapshot): requests load the snapshot once and run entirely
+// on it, while mutation (Ingest/Refresh/LearnUser) derives the NEXT
+// snapshot and swaps it in atomically. The raw log lives in an
+// append-only list of sealed segments, which is what lets Refresh build
+// incrementally: entries past the snapshot's segment coverage are the
+// delta.
 package core
 
 import (
@@ -18,6 +26,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/querylog"
 	"repro/internal/regularize"
+	"repro/internal/snapshot"
 	"repro/internal/suggestcache"
 	"repro/internal/topicmodel"
 )
@@ -49,21 +58,30 @@ type Config struct {
 	// (default 3). Larger values favor diversity, smaller ones
 	// relevance.
 	PoolFactor int
+	// Strategy selects how Refresh rebuilds the representation: a full
+	// rebuild over the whole log (default) or an incremental delta
+	// build over the entries ingested since the last build. The two
+	// produce bit-identical representations; delta is much faster for
+	// small deltas.
+	Strategy RefreshStrategy
 }
 
 // Engine is a ready-to-serve PQS-DA instance.
 type Engine struct {
-	cfg      Config
-	Log      *querylog.Log
-	Sessions []querylog.Session
-	Rep      *bipartite.Representation
-	Corpus   *topicmodel.Corpus
-	Profiles *profile.Store // nil when personalization is skipped
+	cfg Config
 
-	// generation identifies this engine snapshot for cache keying:
-	// stamped at build, bumped by Clone. Immutable afterwards, so the
-	// lock-free serving path reads it without synchronization.
-	generation uint64
+	// snap is the immutable serving snapshot. The lock-free serving
+	// path loads it exactly once per request; mutators build the next
+	// snapshot off to the side and Store it.
+	snap atomic.Pointer[snapshot.Snapshot]
+	// segs is the append-only sealed-segment log. The snapshot records
+	// how many segments it covers; everything after that boundary is
+	// the pending delta for the next Refresh.
+	segs *querylog.SegmentList
+	// hasLog is false for engines deserialized from disk — they carry
+	// no raw entries, so Refresh is unsupported.
+	hasLog bool
+
 	// cache, when attached (EnableCache), memoizes diversified lists
 	// keyed by (generation, query, context fingerprint, k). Shared by
 	// clones — generation keying handles invalidation across swaps.
@@ -72,8 +90,13 @@ type Engine struct {
 	// effectiveness ground truth; see SolveCount).
 	cgSolves atomic.Int64
 
-	// dirty counts entries ingested since the last build/Refresh.
+	// dirty counts entries ingested since the last build/Refresh. The
+	// sealed segments are the source of truth; Refresh clamps a
+	// drifted counter back to them and counts the event (DirtyClamps)
+	// instead of silently mis-sizing the fold-in window.
 	dirty int
+	// dirtyClamps counts dirty-counter drift corrections.
+	dirtyClamps atomic.Int64
 }
 
 // Result is one suggestion run with its intermediate products and
@@ -114,26 +137,64 @@ var ErrUnknownQuery = errors.New("core: query unknown to the log representation"
 
 // NewEngine builds the representation from the log and, unless
 // personalization is skipped, trains the UPM for user profiles. The log
-// should already be cleaned (querylog.Clean).
+// should already be cleaned (querylog.Clean); it is sorted in place as
+// a side effect of sessionization.
 func NewEngine(l *querylog.Log, cfg Config) (*Engine, error) {
 	if l.Len() == 0 {
 		return nil, querylog.ErrEmptyLog
 	}
 	sessions := querylog.Sessionize(l, cfg.Sessionizer)
-	e := &Engine{
-		cfg:        cfg,
-		Log:        l,
-		Sessions:   sessions,
-		Rep:        bipartite.BuildFromSessions(sessions, cfg.Weighting),
-		generation: 1,
-	}
+	e := &Engine{cfg: cfg, segs: &querylog.SegmentList{}, hasLog: true}
+	e.segs.Append(l.Entries)
+	snap := e.builder().FromSessions(sessions, l.Len(), e.segs.NumSegments())
+	snap.Generation = 1
 	if !cfg.SkipPersonalization {
-		e.Corpus = topicmodel.BuildCorpus(sessions, nil)
-		upm := topicmodel.TrainUPM(e.Corpus, cfg.UPM)
-		e.Profiles = profile.NewStore(upm, e.Corpus)
+		snap.Corpus = topicmodel.BuildCorpus(sessions, nil)
+		upm := topicmodel.TrainUPM(snap.Corpus, cfg.UPM)
+		snap.Profiles = profile.NewStore(upm, snap.Corpus)
 	}
+	e.snap.Store(snap)
 	return e, nil
 }
+
+// builder returns the snapshot builder configured for this engine.
+func (e *Engine) builder() snapshot.Builder {
+	return snapshot.Builder{Sessionizer: e.cfg.Sessionizer, Weighting: e.cfg.Weighting}
+}
+
+// Snapshot returns the current immutable serving snapshot. Holders see
+// a consistent — possibly slightly stale after a swap — state; the
+// snapshot's contents never change.
+func (e *Engine) Snapshot() *snapshot.Snapshot { return e.snap.Load() }
+
+// Rep returns the current snapshot's multi-bipartite representation.
+func (e *Engine) Rep() *bipartite.Representation { return e.snap.Load().Rep }
+
+// Sessions returns the current snapshot's canonical session list
+// (read-only).
+func (e *Engine) Sessions() []querylog.Session { return e.snap.Load().Sessions }
+
+// Corpus returns the current snapshot's training corpus (nil when
+// personalization is skipped or the engine was loaded from disk
+// without one).
+func (e *Engine) Corpus() *topicmodel.Corpus { return e.snap.Load().Corpus }
+
+// Profiles returns the current snapshot's profile store, nil when
+// personalization is skipped.
+func (e *Engine) Profiles() *profile.Store { return e.snap.Load().Profiles }
+
+// Log returns a fresh copy of the full append-only log (built + pending
+// entries). It is a flatten of the sealed segments: O(n), intended for
+// tooling and tests, not the serving path.
+func (e *Engine) Log() *querylog.Log { return e.segs.Flatten() }
+
+// LastBuild reports how the current snapshot was built (mode, delta
+// size, duration) — the server surfaces this on /v1/stats and in the
+// refresh response.
+func (e *Engine) LastBuild() snapshot.Stats { return e.snap.Load().Stats }
+
+// Strategy returns the configured default refresh build strategy.
+func (e *Engine) Strategy() RefreshStrategy { return e.cfg.Strategy }
 
 // SuggestDiversified runs the diversification component only: compact
 // representation, Eq. 15 first candidate, cross-bipartite hitting-time
@@ -150,6 +211,12 @@ func (e *Engine) SuggestDiversified(query string, sctx []querylog.Entry, at time
 // and the Result keeps the stage timings completed so far, so callers
 // can report partial progress.
 func (e *Engine) SuggestDiversifiedContext(ctx context.Context, query string, sctx []querylog.Entry, at time.Time, k int) (Result, error) {
+	return e.suggestDiversifiedOn(ctx, e.snap.Load(), query, sctx, at, k)
+}
+
+// suggestDiversifiedOn is the pipeline body, pinned to one snapshot so
+// a request never mixes state across a concurrent hot-swap.
+func (e *Engine) suggestDiversifiedOn(ctx context.Context, snap *snapshot.Snapshot, query string, sctx []querylog.Entry, at time.Time, k int) (Result, error) {
 	var res Result
 	if k <= 0 {
 		return res, fmt.Errorf("core: k = %d", k)
@@ -157,14 +224,14 @@ func (e *Engine) SuggestDiversifiedContext(ctx context.Context, query string, sc
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
-	seeds, seedTimes, nInput := e.resolveSeeds(query, sctx, at)
+	seeds, seedTimes, nInput := resolveSeeds(snap.Rep, query, sctx, at)
 	if nInput == 0 {
 		return res, ErrUnknownQuery
 	}
 
 	t0 := time.Now()
 	sp := obs.StartSpan(ctx, "compact")
-	compact := e.Rep.BuildCompact(seeds, e.cfg.Compact)
+	compact := snap.Rep.BuildCompact(seeds, e.cfg.Compact)
 	res.CompactTime = time.Since(t0)
 	res.CompactSize = compact.Size()
 	sp.SetAttr("seeds", len(seeds))
@@ -284,10 +351,14 @@ func (e *Engine) SuggestContext(ctx context.Context, userID, query string, sctx 
 // LearnUser folds a (new or returning) user's search history into the
 // trained profiles WITHOUT retraining the UPM: the user's sessions are
 // Gibbs-sampled against the learned global topics (see
-// topicmodel.UPM.FoldIn). Subsequent Suggest calls for this user are
-// personalized. It returns an error when the engine has no profiles.
+// topicmodel.UPM.FoldIn). The fold-in runs on a clone of the UPM and is
+// published as a new snapshot (same generation — learning does not
+// invalidate the suggestion cache, which stores user-independent
+// lists), so concurrent Suggest calls never observe a half-updated
+// model. It returns an error when the engine has no profiles.
 func (e *Engine) LearnUser(userID string, entries []querylog.Entry) error {
-	if e.Profiles == nil {
+	prev := e.snap.Load()
+	if prev.Profiles == nil {
 		return errors.New("core: engine built without personalization")
 	}
 	if len(entries) == 0 {
@@ -299,8 +370,12 @@ func (e *Engine) LearnUser(userID string, entries []querylog.Entry) error {
 		l.Append(en)
 	}
 	sessions := querylog.Sessionize(l, e.cfg.Sessionizer)
-	model := topicmodel.SessionsForFoldIn(e.Corpus, sessions, nil)
-	e.Profiles.UPM().FoldIn(userID, model, 0, e.cfg.UPM.Seed)
+	model := topicmodel.SessionsForFoldIn(prev.Corpus, sessions, nil)
+	upm := prev.Profiles.UPM().Clone()
+	upm.FoldIn(userID, model, 0, e.cfg.UPM.Seed)
+	next := *prev
+	next.Profiles = profile.NewStore(upm, prev.Corpus)
+	e.snap.Store(&next)
 	return nil
 }
 
@@ -309,10 +384,14 @@ func (e *Engine) LearnUser(userID string, entries []querylog.Entry) error {
 // preference order (Section V-B). Without profiles or for unknown
 // users it returns the input order.
 func (e *Engine) Personalize(userID string, candidates []string) []string {
-	if e.Profiles == nil || e.Profiles.Theta(userID) == nil {
+	return personalizeOn(e.snap.Load(), e.cfg.ScoreMode, userID, candidates)
+}
+
+func personalizeOn(snap *snapshot.Snapshot, mode profile.ScoreMode, userID string, candidates []string) []string {
+	if snap.Profiles == nil || snap.Profiles.Theta(userID) == nil {
 		return candidates
 	}
-	prefRank := e.Profiles.RankByPreference(userID, candidates, e.cfg.ScoreMode)
+	prefRank := snap.Profiles.RankByPreference(userID, candidates, mode)
 	return profile.BordaAggregate(candidates, prefRank)
 }
 
@@ -322,19 +401,19 @@ func (e *Engine) Personalize(userID string, candidates []string) []string {
 // queries still get served. nInput reports how many leading seeds are
 // derived from the input query itself (1 for a known query, up to 3
 // term-fallback stand-ins otherwise) — the rest are search context.
-func (e *Engine) resolveSeeds(query string, sctx []querylog.Entry, at time.Time) (seeds []int, times []time.Duration, nInput int) {
-	if id, ok := e.Rep.QueryID(query); ok {
+func resolveSeeds(rep *bipartite.Representation, query string, sctx []querylog.Entry, at time.Time) (seeds []int, times []time.Duration, nInput int) {
+	if id, ok := rep.QueryID(query); ok {
 		seeds = append(seeds, id)
 		times = append(times, 0)
 	} else {
-		for _, id := range e.termFallbackSeeds(query, 3) {
+		for _, id := range termFallbackSeeds(rep, query, 3) {
 			seeds = append(seeds, id)
 			times = append(times, 0)
 		}
 	}
 	nInput = len(seeds)
 	for _, c := range sctx {
-		if id, ok := e.Rep.QueryID(c.Query); ok {
+		if id, ok := rep.QueryID(c.Query); ok {
 			seeds = append(seeds, id)
 			dt := at.Sub(c.Time)
 			if dt < 0 {
@@ -351,11 +430,11 @@ func (e *Engine) resolveSeeds(query string, sctx []querylog.Entry, at time.Time)
 // term→query adjacency is memoized on the representation, so cold
 // queries cost one sparse-row scan per token instead of a full
 // transpose per request.
-func (e *Engine) termFallbackSeeds(query string, n int) []int {
+func termFallbackSeeds(rep *bipartite.Representation, query string, n int) []int {
 	scores := make(map[int]float64)
-	wT := e.Rep.WTransposed(bipartite.ViewTerm)
+	wT := rep.WTransposed(bipartite.ViewTerm)
 	for _, tok := range querylog.Tokenize(query) {
-		t, ok := e.Rep.Objects[bipartite.ViewTerm].Lookup(tok)
+		t, ok := rep.Objects[bipartite.ViewTerm].Lookup(tok)
 		if !ok {
 			continue
 		}

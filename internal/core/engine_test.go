@@ -83,7 +83,7 @@ func TestSuggestDiversifiedContextExcluded(t *testing.T) {
 	e := testEngine(t, w, true)
 	// Use a real session: input = second query, context = first.
 	var sess querylog.Session
-	for _, s := range e.Sessions {
+	for _, s := range e.Sessions() {
 		if len(s.Entries) >= 2 {
 			sess = s
 			break
@@ -152,7 +152,7 @@ func TestSuggestUnknownQueryTermFallback(t *testing.T) {
 	known := pickQuery(t, w)
 	toks := querylog.Tokenize(known)
 	unseen := toks[0] + " zzznever"
-	if _, ok := e.Rep.QueryID(unseen); ok {
+	if _, ok := e.Rep().QueryID(unseen); ok {
 		t.Skip("fixture collision")
 	}
 	res, err := e.SuggestDiversified(unseen, nil, time.Now(), 5)
@@ -194,7 +194,7 @@ func TestPersonalizeRanksOwnFacetHigher(t *testing.T) {
 	var head string
 	for _, fc := range w.Facets {
 		for _, h := range fc.HeadTerms {
-			if _, ok := e.Rep.QueryID(h); ok {
+			if _, ok := e.Rep().QueryID(h); ok {
 				head = h
 				break
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	stdcontext "context"
 	"time"
 
 	"repro/internal/hittingtime"
@@ -43,7 +44,10 @@ type CandidateExplanation struct {
 func (e *Engine) Explain(userID, query string, context []querylog.Entry, at time.Time, k int) (Explanation, error) {
 	var ex Explanation
 	ex.Query = query
-	res, err := e.SuggestDiversified(query, context, at, k)
+	// Pin one snapshot for the whole explanation so the re-run and the
+	// diagnostics below cannot straddle a concurrent hot-swap.
+	snap := e.snap.Load()
+	res, err := e.suggestDiversifiedOn(stdcontext.Background(), snap, query, context, at, k)
 	if err != nil {
 		return ex, err
 	}
@@ -53,8 +57,8 @@ func (e *Engine) Explain(userID, query string, context []querylog.Entry, at time
 	// SuggestDiversifiedContext's seed classification: input-derived
 	// seeds (including term-fallback stand-ins) anchor F⁰ at weight 1,
 	// only true search context decays per Eq. 7.
-	seeds, seedTimes, nInput := e.resolveSeeds(query, context, at)
-	compact := e.Rep.BuildCompact(seeds, e.cfg.Compact)
+	seeds, seedTimes, nInput := resolveSeeds(snap.Rep, query, context, at)
+	compact := snap.Rep.BuildCompact(seeds, e.cfg.Compact)
 	seedLocals := make([]int, 0, len(seeds))
 	var rctx []regularize.ContextEntry
 	inputSeeds := 0
@@ -107,11 +111,11 @@ func (e *Engine) Explain(userID, query string, context []querylog.Entry, at time
 	final := res.Diversified
 	prefScore := map[string]float64{}
 	borda := map[string]int{}
-	if e.Profiles != nil && e.Profiles.Theta(userID) != nil {
+	if snap.Profiles != nil && snap.Profiles.Theta(userID) != nil {
 		for _, name := range res.Diversified {
-			prefScore[name] = e.Profiles.PreferenceScore(userID, name, e.cfg.ScoreMode)
+			prefScore[name] = snap.Profiles.PreferenceScore(userID, name, e.cfg.ScoreMode)
 		}
-		prefRank := e.Profiles.RankByPreference(userID, res.Diversified, e.cfg.ScoreMode)
+		prefRank := snap.Profiles.RankByPreference(userID, res.Diversified, e.cfg.ScoreMode)
 		final = profile.BordaAggregate(res.Diversified, prefRank)
 		n := len(res.Diversified)
 		for pos, name := range res.Diversified {

@@ -3,28 +3,33 @@ package core
 import (
 	"sort"
 
-	"repro/internal/bipartite"
 	"repro/internal/profile"
 	"repro/internal/querylog"
+	"repro/internal/snapshot"
 	"repro/internal/topicmodel"
 )
 
-// Ingest appends fresh query-log entries (e.g. the middleware's
-// recorded traffic) to the engine's log WITHOUT rebuilding anything:
-// suggestions keep using the current representation until Refresh is
-// called. Ingest+Refresh are not safe to run concurrently with Suggest;
-// use Rebuild (clone + refresh + swap) to refresh without blocking the
-// serving path, or serialize externally.
+// Ingest seals fresh query-log entries (e.g. the middleware's recorded
+// traffic) into a new append-only segment WITHOUT rebuilding anything:
+// suggestions keep using the current snapshot until Refresh is called.
+// Ingest+Refresh are not safe to run concurrently with each other; use
+// Rebuild (clone + refresh + swap) to refresh without blocking the
+// serving path, or serialize externally. Suggest traffic is unaffected
+// either way — it reads only the published snapshot.
 func (e *Engine) Ingest(entries []querylog.Entry) {
-	for _, en := range entries {
-		e.Log.Append(en)
-	}
-	e.dirty = e.dirty + len(entries)
+	e.segs.Append(entries)
+	e.dirty += len(entries)
 }
 
 // PendingEntries reports how many ingested entries are not yet
-// reflected in the representation.
+// reflected in the serving snapshot.
 func (e *Engine) PendingEntries() int { return e.dirty }
+
+// DirtyClamps reports how many times Refresh found the pending-entries
+// counter out of sync with the sealed segments and clamped it. Nonzero
+// means some caller corrupted the counter; the refresh still processed
+// the true pending set.
+func (e *Engine) DirtyClamps() int64 { return e.dirtyClamps.Load() }
 
 // RefreshMode selects how Refresh updates the user profiles.
 type RefreshMode int
@@ -42,41 +47,89 @@ const (
 	RetrainProfiles
 )
 
-// Refresh incorporates ingested entries: the representation is rebuilt
-// from the full log, and profiles are updated per mode. It returns an
-// error when mode needs profiles but the engine has none.
+// RefreshStrategy selects how Refresh rebuilds the representation.
+type RefreshStrategy int
+
+const (
+	// FullRebuild re-sessionizes and recounts the entire log.
+	FullRebuild RefreshStrategy = iota
+	// DeltaRebuild re-segments only the affected users' session tails
+	// and merges their count deltas into the previous snapshot's
+	// counting state — bit-identical to FullRebuild, much faster for
+	// small deltas. Falls back to a full rebuild when the previous
+	// snapshot carries no counting state (e.g. loaded from disk).
+	DeltaRebuild
+)
+
+// Refresh incorporates ingested entries using the engine's configured
+// build strategy: a new snapshot is built (fully or incrementally),
+// profiles are updated per mode, and the snapshot is swapped in. It
+// returns an error when mode needs profiles but the engine has none.
 func (e *Engine) Refresh(mode RefreshMode) error {
+	return e.RefreshWith(mode, e.cfg.Strategy)
+}
+
+// RefreshWith is Refresh with an explicit build strategy.
+func (e *Engine) RefreshWith(mode RefreshMode, strategy RefreshStrategy) error {
 	if err := e.CanRefresh(mode); err != nil {
 		return err
 	}
-	// Users with new entries, before the dirty counter resets.
-	changed := map[string]bool{}
-	if mode == FoldInUsers && e.dirty > 0 && e.dirty <= e.Log.Len() {
-		for _, en := range e.Log.Entries[e.Log.Len()-e.dirty:] {
-			changed[en.UserID] = true
-		}
+	prev := e.snap.Load()
+
+	// The pending set comes from the sealed segments past the previous
+	// snapshot's coverage — the segments are the source of truth, not
+	// the dirty counter. A counter that drifted (some caller mutated it,
+	// or state was restored inconsistently) is clamped back and the
+	// event counted, instead of silently shrinking or skipping the
+	// fold-in window as the counter-derived slice used to.
+	fresh := e.segs.EntriesFrom(prev.Stats.Segments)
+	if e.dirty != len(fresh) {
+		e.dirtyClamps.Add(1)
+		e.dirty = len(fresh)
 	}
 
-	e.Sessions = querylog.Sessionize(e.Log, e.cfg.Sessionizer)
-	e.Rep = bipartite.BuildFromSessions(e.Sessions, e.cfg.Weighting)
-	e.dirty = 0
+	var next *snapshot.Snapshot
+	if strategy == DeltaRebuild {
+		n, err := e.builder().Delta(prev, fresh, e.segs.NumSegments())
+		if err == nil {
+			next = n
+		}
+		// On ErrNoState (or any delta failure) fall through to a full
+		// rebuild — correctness never depends on the fast path.
+	}
+	if next == nil {
+		next = e.builder().Full(e.segs.EntriesFrom(0), e.segs.NumSegments())
+	}
 
+	next.Corpus, next.Profiles = prev.Corpus, prev.Profiles
 	switch mode {
 	case RetrainProfiles:
-		e.Corpus = topicmodel.BuildCorpus(e.Sessions, nil)
-		upm := topicmodel.TrainUPM(e.Corpus, e.cfg.UPM)
-		e.Profiles = profile.NewStore(upm, e.Corpus)
+		next.Corpus = topicmodel.BuildCorpus(next.Sessions, nil)
+		upm := topicmodel.TrainUPM(next.Corpus, e.cfg.UPM)
+		next.Profiles = profile.NewStore(upm, next.Corpus)
 	case FoldInUsers:
+		changed := map[string]bool{}
+		for _, en := range fresh {
+			changed[en.UserID] = true
+		}
 		users := make([]string, 0, len(changed))
 		for u := range changed {
 			users = append(users, u)
 		}
 		sort.Strings(users) // deterministic fold-in order
-		byUser := querylog.SessionsByUser(e.Sessions)
+		upm := prev.Profiles.UPM().Clone()
 		for _, u := range users {
-			model := topicmodel.SessionsForFoldIn(e.Corpus, byUser[u], nil)
-			e.Profiles.UPM().FoldIn(u, model, 0, e.cfg.UPM.Seed)
+			model := topicmodel.SessionsForFoldIn(prev.Corpus, next.ByUser[u], nil)
+			upm.FoldIn(u, model, 0, e.cfg.UPM.Seed)
 		}
+		next.Profiles = profile.NewStore(upm, prev.Corpus)
 	}
+
+	// Refresh keeps the generation: the server's swap path goes
+	// Clone → Ingest → Refresh, and Clone already bumped it. Bumping
+	// again here would skip generations without adding invalidation.
+	next.Generation = prev.Generation
+	e.snap.Store(next)
+	e.dirty = 0
 	return nil
 }

@@ -11,7 +11,7 @@ import (
 func TestIngestAndRefreshGraphs(t *testing.T) {
 	w := testWorld(t)
 	e := testEngine(t, w, true)
-	before := e.Rep.NumQueries()
+	before := e.Rep().NumQueries()
 
 	// Ingest a brand-new query from a brand-new user.
 	now := time.Now()
@@ -24,7 +24,7 @@ func TestIngestAndRefreshGraphs(t *testing.T) {
 		t.Fatalf("pending = %d", e.PendingEntries())
 	}
 	// Not visible before refresh.
-	if _, ok := e.Rep.QueryID("completely fresh phrase"); ok {
+	if _, ok := e.Rep().QueryID("completely fresh phrase"); ok {
 		t.Fatal("ingested query visible before Refresh")
 	}
 	if err := e.Refresh(RebuildGraphs); err != nil {
@@ -33,10 +33,10 @@ func TestIngestAndRefreshGraphs(t *testing.T) {
 	if e.PendingEntries() != 0 {
 		t.Fatal("dirty counter not reset")
 	}
-	if e.Rep.NumQueries() <= before {
-		t.Fatalf("representation did not grow: %d -> %d", before, e.Rep.NumQueries())
+	if e.Rep().NumQueries() <= before {
+		t.Fatalf("representation did not grow: %d -> %d", before, e.Rep().NumQueries())
 	}
-	if _, ok := e.Rep.QueryID("completely fresh phrase"); !ok {
+	if _, ok := e.Rep().QueryID("completely fresh phrase"); !ok {
 		t.Fatal("ingested query missing after Refresh")
 	}
 	// And it is servable.
@@ -62,13 +62,13 @@ func TestRefreshFoldInUsers(t *testing.T) {
 		fresh = append(fresh, en)
 	}
 	e.Ingest(fresh)
-	if e.Profiles.Theta("fold-target") != nil {
+	if e.Profiles().Theta("fold-target") != nil {
 		t.Fatal("profile exists before refresh")
 	}
 	if err := e.Refresh(FoldInUsers); err != nil {
 		t.Fatal(err)
 	}
-	if e.Profiles.Theta("fold-target") == nil {
+	if e.Profiles().Theta("fold-target") == nil {
 		t.Fatal("fold-in refresh did not profile the new user")
 	}
 }
@@ -76,7 +76,7 @@ func TestRefreshFoldInUsers(t *testing.T) {
 func TestRefreshRetrainProfiles(t *testing.T) {
 	w := synth.Generate(synth.Config{Seed: 53, NumFacets: 4, NumUsers: 6, SessionsPerUser: 10})
 	e := testEngine(t, w, false)
-	docsBefore := e.Profiles.UPM().NumDocs()
+	docsBefore := e.Profiles().UPM().NumDocs()
 	var fresh []querylog.Entry
 	for _, en := range w.Log.ByUser(w.UserIDs()[0])[:6] {
 		en.UserID = "retrain-user"
@@ -86,10 +86,10 @@ func TestRefreshRetrainProfiles(t *testing.T) {
 	if err := e.Refresh(RetrainProfiles); err != nil {
 		t.Fatal(err)
 	}
-	if got := e.Profiles.UPM().NumDocs(); got != docsBefore+1 {
+	if got := e.Profiles().UPM().NumDocs(); got != docsBefore+1 {
 		t.Fatalf("retrained docs = %d, want %d", got, docsBefore+1)
 	}
-	if e.Profiles.Theta("retrain-user") == nil {
+	if e.Profiles().Theta("retrain-user") == nil {
 		t.Fatal("retrain lost the new user")
 	}
 }

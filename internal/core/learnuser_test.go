@@ -17,7 +17,7 @@ func TestLearnUserPersonalizesNewcomer(t *testing.T) {
 	if err := e.LearnUser("brand-new", entries); err != nil {
 		t.Fatal(err)
 	}
-	theta := e.Profiles.Theta("brand-new")
+	theta := e.Profiles().Theta("brand-new")
 	if theta == nil {
 		t.Fatal("newcomer has no profile after LearnUser")
 	}
@@ -35,8 +35,8 @@ func TestLearnUserPersonalizesNewcomer(t *testing.T) {
 	// queries more often than not.
 	agree := 0
 	for _, s := range res.Diversified {
-		a := e.Profiles.PreferenceScore("brand-new", s, 0)
-		b := e.Profiles.PreferenceScore(src, s, 0)
+		a := e.Profiles().PreferenceScore("brand-new", s, 0)
+		b := e.Profiles().PreferenceScore(src, s, 0)
 		if (a > 0) == (b > 0) {
 			agree++
 		}
@@ -67,7 +67,7 @@ func TestLearnUserOverridesUserID(t *testing.T) {
 	if err := e.LearnUser("the-user", entries); err != nil {
 		t.Fatal(err)
 	}
-	if e.Profiles.Theta("the-user") == nil {
+	if e.Profiles().Theta("the-user") == nil {
 		t.Fatal("profile registered under wrong ID")
 	}
 }

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/profile"
+	"repro/internal/querylog"
+	"repro/internal/snapshot"
 	"repro/internal/topicmodel"
 )
 
@@ -15,9 +17,9 @@ const persistVersion = 1
 
 // engineWire is the serialized engine: the built representation and
 // the trained user profiles — everything online suggestion needs. The
-// raw log and derived sessions are deliberately NOT persisted (they
-// are only inputs to the build; the paper's design point is that the
-// stored profiles are a concise summary of them).
+// raw log, derived sessions and counting state are deliberately NOT
+// persisted (they are only inputs to the build; the paper's design
+// point is that the stored profiles are a concise summary of them).
 type engineWire struct {
 	Version   int
 	Cfg       Config
@@ -28,18 +30,20 @@ type engineWire struct {
 }
 
 // Save serializes the engine to w (gob format). A loaded engine serves
-// Suggest/Personalize identically to the original; Log and Sessions
-// are nil on the loaded copy.
+// Suggest/Personalize identically to the original; the raw log and the
+// delta-build counting state are not persisted, so the loaded copy
+// cannot Refresh.
 func (e *Engine) Save(w io.Writer) error {
+	snap := e.snap.Load()
 	wire := engineWire{
 		Version: persistVersion,
 		Cfg:     e.cfg,
-		Rep:     e.Rep,
+		Rep:     snap.Rep,
 	}
-	if e.Profiles != nil {
+	if snap.Profiles != nil {
 		wire.HasUPM = true
-		wire.UPM = e.Profiles.UPM()
-		wire.WordIndex = e.Corpus.Words
+		wire.UPM = snap.Profiles.UPM()
+		wire.WordIndex = snap.Corpus.Words
 	}
 	return gob.NewEncoder(w).Encode(wire)
 }
@@ -56,13 +60,23 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	if wire.Rep == nil {
 		return nil, fmt.Errorf("core: engine file has no representation")
 	}
-	e := &Engine{cfg: wire.Cfg, Rep: wire.Rep, generation: 1}
+	e := &Engine{cfg: wire.Cfg, segs: &querylog.SegmentList{}}
+	snap := &snapshot.Snapshot{
+		Rep:        wire.Rep,
+		Sessions:   wire.Rep.Sessions,
+		Generation: 1,
+		Stats: snapshot.Stats{
+			Mode:       snapshot.ModeFull,
+			NumQueries: wire.Rep.NumQueries(),
+		},
+	}
 	if wire.HasUPM {
 		if wire.UPM == nil || wire.WordIndex == nil {
 			return nil, fmt.Errorf("core: engine file profile section incomplete")
 		}
-		e.Profiles = profile.NewStoreFromIndex(wire.UPM, wire.WordIndex)
-		e.Corpus = &topicmodel.Corpus{Words: wire.WordIndex, URLs: bipartite.NewIndex()}
+		snap.Profiles = profile.NewStoreFromIndex(wire.UPM, wire.WordIndex)
+		snap.Corpus = &topicmodel.Corpus{Words: wire.WordIndex, URLs: bipartite.NewIndex()}
 	}
+	e.snap.Store(snap)
 	return e, nil
 }

@@ -26,7 +26,7 @@ func TestEngineSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Profiles == nil {
+	if loaded.Profiles() == nil {
 		t.Fatal("profiles lost in round trip")
 	}
 	got, err := loaded.Suggest(user, q, nil, at, 8)
@@ -63,7 +63,7 @@ func TestEngineSaveLoadDiversificationOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Profiles != nil {
+	if loaded.Profiles() != nil {
 		t.Fatal("diversification-only engine grew profiles on reload")
 	}
 	q := pickQuery(t, w)
@@ -93,8 +93,8 @@ func TestLoadEnginePreservesPersonalization(t *testing.T) {
 	}
 	q := pickQuery(t, w)
 	for _, u := range w.UserIDs()[:5] {
-		a := e.Profiles.PreferenceScore(u, q, 0)
-		b := loaded.Profiles.PreferenceScore(u, q, 0)
+		a := e.Profiles().PreferenceScore(u, q, 0)
+		b := loaded.Profiles().PreferenceScore(u, q, 0)
 		if a != b {
 			t.Fatalf("user %s: preference %v != %v after reload", u, a, b)
 		}

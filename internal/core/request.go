@@ -62,18 +62,23 @@ func (e *Engine) Do(ctx context.Context, req SuggestRequest) (Result, error) {
 		at = time.Now()
 	}
 
+	// One snapshot load per request: every stage below — cache keying,
+	// the diversification pipeline, personalization — reads this value,
+	// so a concurrent hot-swap can never mix states mid-request.
+	snap := e.snap.Load()
+
 	var res Result
 	var err error
 	if e.cache != nil && !req.NoCache {
 		key := suggestcache.Key{
-			Generation: e.generation,
+			Generation: snap.Generation,
 			Query:      querylog.NormalizeQuery(req.Query),
 			ContextFP:  ContextFingerprint(req.Context, at, e.cfg.Regularize.Lambda),
 			K:          req.K,
 		}
 		var out suggestcache.Outcome
 		res, out, err = e.cache.Do(ctx, key, func(ctx context.Context) (Result, error) {
-			return e.SuggestDiversifiedContext(ctx, req.Query, req.Context, at, req.K)
+			return e.suggestDiversifiedOn(ctx, snap, req.Query, req.Context, at, req.K)
 		})
 		if out == suggestcache.Hit || out == suggestcache.Coalesced {
 			// The stage timings belong to the request that actually ran
@@ -82,19 +87,19 @@ func (e *Engine) Do(ctx context.Context, req SuggestRequest) (Result, error) {
 			res.CacheHit = true
 		}
 	} else {
-		res, err = e.SuggestDiversifiedContext(ctx, req.Query, req.Context, at, req.K)
+		res, err = e.suggestDiversifiedOn(ctx, snap, req.Query, req.Context, at, req.K)
 	}
-	res.Generation = e.generation
+	res.Generation = snap.Generation
 	if err != nil {
 		return res, err
 	}
-	if !req.SkipPersonalization && e.Profiles != nil {
+	if !req.SkipPersonalization && snap.Profiles != nil {
 		t0 := time.Now()
 		sp := obs.StartSpan(ctx, "personalize")
-		res.Suggestions = e.Personalize(req.User, res.Diversified)
+		res.Suggestions = personalizeOn(snap, e.cfg.ScoreMode, req.User, res.Diversified)
 		res.PersonalizeTime = time.Since(t0)
 		sp.SetAttr("user", req.User)
-		sp.SetAttr("known", e.Profiles.Theta(req.User) != nil)
+		sp.SetAttr("known", snap.Profiles.Theta(req.User) != nil)
 		sp.SetAttr("candidates", len(res.Diversified))
 		sp.End()
 	} else {
@@ -159,11 +164,11 @@ func (e *Engine) EnableCache(size int, ttl time.Duration) *suggestcache.Cache[Re
 // Cache returns the attached suggestion cache, nil when disabled.
 func (e *Engine) Cache() *suggestcache.Cache[Result] { return e.cache }
 
-// Generation identifies the engine snapshot. It is stamped at build
+// Generation identifies the serving snapshot. It is stamped at build
 // time and bumped by every Clone (and therefore by Rebuild and the
 // server's learn path), so each hot-swapped engine carries a fresh
 // value and cache keys of replaced snapshots can never be served again.
-func (e *Engine) Generation() uint64 { return e.generation }
+func (e *Engine) Generation() uint64 { return e.snap.Load().Generation }
 
 // SolveCount reports how many Eq. 15 CG solves this engine instance has
 // run — the cache tests' ground truth that coalesced requests share one

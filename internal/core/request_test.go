@@ -453,7 +453,7 @@ func TestZipfReplay(t *testing.T) {
 	}
 	var freq []qf
 	for q, n := range w.Log.QueryFrequency() {
-		if _, ok := e.Rep.QueryID(q); ok {
+		if _, ok := e.Rep().QueryID(q); ok {
 			freq = append(freq, qf{q, n})
 		}
 	}

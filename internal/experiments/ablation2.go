@@ -60,7 +60,7 @@ func (s *Setup) AblationSessionizer() (Figure, error) {
 		}
 		fig.Series = append(fig.Series, Series{
 			Name:   v.name,
-			Values: []float64{float64(len(engine.Sessions)) / 1000, r[0], r[s.Scale.MaxK-1]},
+			Values: []float64{float64(len(engine.Sessions())) / 1000, r[0], r[s.Scale.MaxK-1]},
 		})
 	}
 	return fig, nil

@@ -40,6 +40,12 @@ const (
 	// × truncation depth l and less when a round's recursion converges
 	// early.
 	MetricHittingWalkSteps = "pqsda_hitting_walk_steps"
+	// MetricSnapshotBuildDuration is the wall time of one serving
+	// snapshot build, labeled by build mode ("full"/"delta").
+	MetricSnapshotBuildDuration = "pqsda_snapshot_build_duration_seconds"
+	// MetricSnapshotDeltaEntries is the fresh-entry count folded in by
+	// one delta build.
+	MetricSnapshotDeltaEntries = "pqsda_snapshot_delta_entries"
 )
 
 // WithTrace attaches a trace to the context.

@@ -1,0 +1,84 @@
+package querylog
+
+import "sort"
+
+// SessionizeDelta re-segments ONE user's history after fresh entries
+// arrive, reusing the unchanged prefix instead of re-scanning the whole
+// history. old is the user's current sessions in chronological order
+// (as produced by Sessionize); fresh is the user's new entries, in
+// ingestion order. It returns how many leading old sessions survive
+// untouched (keep) and the sessions replacing old[keep:] — together,
+// old[:keep] + rebuilt is exactly what a full Sessionize over the
+// user's combined history would produce.
+//
+// Why the prefix is reusable: the boundary scan's decisions look only
+// backward (the gap to the previous entry and the terms accumulated so
+// far), so every session that ends strictly before the merge position
+// of the earliest fresh entry is segmented identically in the combined
+// history. The session ending exactly at that position is NOT safe —
+// the first fresh entry may continue it — so it is re-scanned too.
+//
+// Equal (time, query) keys order old-before-fresh and fresh in
+// ingestion order, matching what the stable full-log sort produces for
+// entries appended after the existing history.
+func SessionizeDelta(old []Session, fresh []Entry, cfg SessionizerConfig) (keep int, rebuilt []Session) {
+	cfg = cfg.withDefaults()
+	if len(fresh) == 0 {
+		return len(old), nil
+	}
+
+	fs := append([]Entry(nil), fresh...)
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		return a.Query < b.Query
+	})
+
+	nOld := 0
+	for _, s := range old {
+		nOld += len(s.Entries)
+	}
+	oldEnt := make([]Entry, 0, nOld)
+	for _, s := range old {
+		oldEnt = append(oldEnt, s.Entries...)
+	}
+
+	// Merge, old entries winning ties; p is the merged position of the
+	// earliest fresh entry.
+	freshBefore := func(f, o Entry) bool {
+		if !f.Time.Equal(o.Time) {
+			return f.Time.Before(o.Time)
+		}
+		return f.Query < o.Query
+	}
+	merged := make([]Entry, 0, len(oldEnt)+len(fs))
+	oi, fi, p := 0, 0, -1
+	for oi < len(oldEnt) || fi < len(fs) {
+		if fi < len(fs) && (oi >= len(oldEnt) || freshBefore(fs[fi], oldEnt[oi])) {
+			if p < 0 {
+				p = len(merged)
+			}
+			merged = append(merged, fs[fi])
+			fi++
+		} else {
+			merged = append(merged, oldEnt[oi])
+			oi++
+		}
+	}
+
+	// Keep old sessions whose end sits strictly before p. A session
+	// ending exactly at p is dropped into the re-scan: the fresh entry
+	// at p might extend it.
+	end := 0
+	for keep < len(old) {
+		e2 := end + len(old[keep].Entries)
+		if e2 >= p {
+			break
+		}
+		end = e2
+		keep++
+	}
+	return keep, scanUserSessions(merged[end:], cfg)
+}

@@ -1,0 +1,146 @@
+package querylog
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// deltaRandomEntries generates one user's entries with gaps straddling
+// every sessionizer regime: sub-soft-timeout, rescue-window, and hard
+// timeout.
+func deltaRandomEntries(rng *rand.Rand, user string, n int, start time.Time) []Entry {
+	words := []string{"sun", "java", "solar", "cell", "oracle", "panel"}
+	out := make([]Entry, n)
+	t := start
+	for i := range out {
+		q := words[rng.Intn(len(words))]
+		if rng.Intn(2) == 0 {
+			q += " " + words[rng.Intn(len(words))]
+		}
+		out[i] = Entry{UserID: user, Query: q, Time: t}
+		// Mix of gaps: mostly short, sometimes in the soft-to-hard
+		// window, sometimes past the hard timeout.
+		switch rng.Intn(4) {
+		case 0:
+			t = t.Add(time.Duration(1+rng.Intn(4)) * time.Minute)
+		case 1:
+			t = t.Add(time.Duration(6+rng.Intn(20)) * time.Minute)
+		case 2:
+			t = t.Add(time.Duration(31+rng.Intn(90)) * time.Minute)
+		default:
+			t = t.Add(time.Duration(rng.Intn(300)) * time.Second)
+		}
+	}
+	return out
+}
+
+// TestSessionizeDeltaMatchesFull is the prefix-reuse property test:
+// old[:keep] + rebuilt must equal a full Sessionize over the combined
+// history, across random histories, burst sizes and time overlaps.
+func TestSessionizeDeltaMatchesFull(t *testing.T) {
+	cfg := SessionizerConfig{}
+	start := time.Date(2013, 1, 7, 9, 0, 0, 0, time.UTC)
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		user := "u1"
+		base := deltaRandomEntries(rng, user, 30+rng.Intn(40), start)
+		// Fresh entries begin somewhere in the base's tail — sometimes
+		// extending the last session, sometimes long after it.
+		lastT := base[len(base)-1].Time
+		freshStart := lastT.Add(time.Duration(rng.Intn(120)-30) * time.Minute)
+		fresh := deltaRandomEntries(rng, user, 1+rng.Intn(15), freshStart)
+
+		bl := &Log{Entries: append([]Entry(nil), base...)}
+		old := Sessionize(bl, cfg)
+
+		keep, rebuilt := SessionizeDelta(old, fresh, cfg)
+		if keep < 0 || keep > len(old) {
+			t.Fatalf("seed %d: keep = %d of %d", seed, keep, len(old))
+		}
+		got := append(append([]Session(nil), old[:keep]...), rebuilt...)
+
+		cl := &Log{Entries: append(append([]Entry(nil), base...), fresh...)}
+		want := Sessionize(cl, cfg)
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d sessions, full %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i].Entries, want[i].Entries) {
+				t.Fatalf("seed %d session %d:\n delta %v\n full  %v", seed, i, got[i].Entries, want[i].Entries)
+			}
+		}
+	}
+}
+
+// TestSessionizeDeltaEmptyFresh: no fresh entries keeps everything.
+func TestSessionizeDeltaEmptyFresh(t *testing.T) {
+	start := time.Date(2013, 1, 7, 9, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(1))
+	bl := &Log{Entries: deltaRandomEntries(rng, "u1", 20, start)}
+	old := Sessionize(bl, SessionizerConfig{})
+	keep, rebuilt := SessionizeDelta(old, nil, SessionizerConfig{})
+	if keep != len(old) || rebuilt != nil {
+		t.Fatalf("keep = %d (want %d), rebuilt = %v (want nil)", keep, len(old), rebuilt)
+	}
+}
+
+// TestSessionizeDeltaFreshOnly: a brand-new user has no old sessions.
+func TestSessionizeDeltaFreshOnly(t *testing.T) {
+	start := time.Date(2013, 1, 7, 9, 0, 0, 0, time.UTC)
+	fresh := []Entry{
+		{UserID: "new", Query: "sun", Time: start},
+		{UserID: "new", Query: "sun java", Time: start.Add(time.Minute)},
+		{UserID: "new", Query: "solar", Time: start.Add(2 * time.Hour)},
+	}
+	keep, rebuilt := SessionizeDelta(nil, fresh, SessionizerConfig{})
+	if keep != 0 {
+		t.Fatalf("keep = %d", keep)
+	}
+	if len(rebuilt) != 2 {
+		t.Fatalf("rebuilt %d sessions, want 2", len(rebuilt))
+	}
+}
+
+// TestSegmentList covers the append-only sealed-segment log: totals,
+// the delta boundary (EntriesFrom), flatten, and clone isolation.
+func TestSegmentList(t *testing.T) {
+	mk := func(n int, tag string) []Entry {
+		out := make([]Entry, n)
+		for i := range out {
+			out[i] = Entry{UserID: "u", Query: fmt.Sprintf("%s-%d", tag, i)}
+		}
+		return out
+	}
+	var sl SegmentList
+	sl.Append(mk(3, "a"))
+	sl.Append(nil) // empty appends do not create segments
+	sl.Append(mk(2, "b"))
+	if sl.NumSegments() != 2 || sl.TotalEntries() != 5 {
+		t.Fatalf("segments %d entries %d", sl.NumSegments(), sl.TotalEntries())
+	}
+	if got := sl.EntriesFrom(1); len(got) != 2 || got[0].Query != "b-0" {
+		t.Fatalf("EntriesFrom(1) = %v", got)
+	}
+	if got := sl.EntriesFrom(2); got != nil {
+		t.Fatalf("EntriesFrom(2) = %v, want nil", got)
+	}
+	if l := sl.Flatten(); l.Len() != 5 || l.Entries[3].Query != "b-0" {
+		t.Fatalf("Flatten = %v", l.Entries)
+	}
+
+	// A clone must not observe appends to the original (and vice
+	// versa) — the server's hot-swap relies on this isolation.
+	cl := sl.Clone()
+	sl.Append(mk(1, "c"))
+	if cl.NumSegments() != 2 || cl.TotalEntries() != 5 {
+		t.Fatalf("clone observed original's append: %d segs %d entries", cl.NumSegments(), cl.TotalEntries())
+	}
+	cl.Append(mk(4, "d"))
+	if sl.NumSegments() != 3 || sl.TotalEntries() != 6 {
+		t.Fatalf("original observed clone's append: %d segs %d entries", sl.NumSegments(), sl.TotalEntries())
+	}
+}

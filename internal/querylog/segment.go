@@ -1,0 +1,69 @@
+package querylog
+
+// Segment is one sealed, immutable batch of ingested entries. The
+// engine's log is an append-only list of segments: ingestion seals a
+// new tail segment and never touches earlier ones, so a snapshot
+// builder can identify "everything after the last build" as a suffix of
+// the segment list without copying or locking the already-built prefix.
+type Segment struct {
+	Entries []Entry
+}
+
+// SegmentList is an append-only sequence of sealed segments. The zero
+// value is an empty list. A SegmentList is NOT safe for concurrent
+// mutation; the engine serializes Append/Clone with its other mutators
+// (the serving path never touches segments).
+type SegmentList struct {
+	segs  []Segment
+	total int
+}
+
+// Append seals entries into a new tail segment (the slice is copied —
+// callers keep ownership of their argument). Empty batches seal no
+// segment.
+func (sl *SegmentList) Append(entries []Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	sl.segs = append(sl.segs, Segment{Entries: append([]Entry(nil), entries...)})
+	sl.total += len(entries)
+}
+
+// NumSegments returns the number of sealed segments.
+func (sl *SegmentList) NumSegments() int { return len(sl.segs) }
+
+// TotalEntries returns the entry count across all segments.
+func (sl *SegmentList) TotalEntries() int { return sl.total }
+
+// EntriesFrom flattens the segments from index seg onward into one
+// fresh slice (nil when seg is past the end).
+func (sl *SegmentList) EntriesFrom(seg int) []Entry {
+	if seg < 0 {
+		seg = 0
+	}
+	n := 0
+	for i := seg; i < len(sl.segs); i++ {
+		n += len(sl.segs[i].Entries)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Entry, 0, n)
+	for i := seg; i < len(sl.segs); i++ {
+		out = append(out, sl.segs[i].Entries...)
+	}
+	return out
+}
+
+// Flatten returns all entries as a fresh Log (segments stay sealed; the
+// returned log is the caller's to sort or mutate).
+func (sl *SegmentList) Flatten() *Log {
+	return &Log{Entries: sl.EntriesFrom(0)}
+}
+
+// Clone returns a list sharing the sealed segments but no mutable
+// state: appending to either list never affects the other (the segment
+// slice is copied with exact capacity, so growth always reallocates).
+func (sl *SegmentList) Clone() *SegmentList {
+	return &SegmentList{segs: append([]Segment(nil), sl.segs...), total: sl.total}
+}

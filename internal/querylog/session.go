@@ -70,34 +70,48 @@ func Sessionize(l *Log, cfg SessionizerConfig) []Session {
 	cfg = cfg.withDefaults()
 	l.Sort()
 	var sessions []Session
+	for i := 0; i < len(l.Entries); {
+		j := i
+		for j < len(l.Entries) && l.Entries[j].UserID == l.Entries[i].UserID {
+			j++
+		}
+		sessions = append(sessions, scanUserSessions(l.Entries[i:j], cfg)...)
+		i = j
+	}
+	return sessions
+}
+
+// scanUserSessions runs the boundary scan over one user's entries,
+// already sorted by (time, query). cfg must carry defaults. This is the
+// single scan both Sessionize and SessionizeDelta use — the delta
+// path's prefix-reuse argument depends on every boundary decision
+// looking only backward (gap to the previous entry, terms of the
+// session so far), which holds here.
+func scanUserSessions(entries []Entry, cfg SessionizerConfig) []Session {
+	var sessions []Session
 	var cur *Session
 	var curTerms map[string]bool
-	flush := func() {
-		if cur != nil && len(cur.Entries) > 0 {
-			sessions = append(sessions, *cur)
-		}
-		cur = nil
-	}
-	for _, e := range l.Entries {
-		if cur == nil || cur.UserID != e.UserID {
-			flush()
-			cur = &Session{UserID: e.UserID}
-			curTerms = make(map[string]bool)
-		} else {
+	for _, e := range entries {
+		if cur != nil {
 			gap := e.Time.Sub(cur.Entries[len(cur.Entries)-1].Time)
 			if gap > cfg.Timeout ||
 				(gap > cfg.SoftTimeout && jaccardWithSet(curTerms, e.Query) < cfg.MinSimilarity) {
-				flush()
-				cur = &Session{UserID: e.UserID}
-				curTerms = make(map[string]bool)
+				sessions = append(sessions, *cur)
+				cur = nil
 			}
+		}
+		if cur == nil {
+			cur = &Session{UserID: e.UserID}
+			curTerms = make(map[string]bool)
 		}
 		cur.Entries = append(cur.Entries, e)
 		for _, t := range Tokenize(e.Query) {
 			curTerms[t] = true
 		}
 	}
-	flush()
+	if cur != nil && len(cur.Entries) > 0 {
+		sessions = append(sessions, *cur)
+	}
 	return sessions
 }
 

@@ -169,10 +169,10 @@ func TestRefreshSwapsEngineAndRecordsStats(t *testing.T) {
 	if srv.Engine() == before {
 		t.Fatal("refresh did not swap the engine pointer")
 	}
-	if _, ok := before.Rep.QueryID("swap visibility probe"); ok {
+	if _, ok := before.Rep().QueryID("swap visibility probe"); ok {
 		t.Fatal("refresh mutated the old serving engine")
 	}
-	if _, ok := srv.Engine().Rep.QueryID("swap visibility probe"); !ok {
+	if _, ok := srv.Engine().Rep().QueryID("swap visibility probe"); !ok {
 		t.Fatal("swapped engine does not serve the ingested query")
 	}
 	var stats map[string]any
@@ -247,10 +247,10 @@ func TestLearnHotSwap(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/api/learn", LearnRequest{User: "visitor"}, nil); code != 200 {
 		t.Fatalf("learn: status %d", code)
 	}
-	if before.Profiles.Theta("visitor") != nil {
+	if before.Profiles().Theta("visitor") != nil {
 		t.Fatal("learn mutated the old serving engine's profiles")
 	}
-	if srv.Engine().Profiles.Theta("visitor") == nil {
+	if srv.Engine().Profiles().Theta("visitor") == nil {
 		t.Fatal("swapped engine has no profile for the learned user")
 	}
 }

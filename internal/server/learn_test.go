@@ -45,7 +45,7 @@ func TestLearnEndpoint(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/api/learn", LearnRequest{User: "visitor"}, &out); code != 200 {
 		t.Fatalf("learn: status %d (%v)", code, out)
 	}
-	if srv.Engine().Profiles.Theta("visitor") == nil {
+	if srv.Engine().Profiles().Theta("visitor") == nil {
 		t.Fatal("visitor has no profile after /api/learn")
 	}
 	// Missing user → 400.

@@ -266,9 +266,13 @@ func decodeBody(r *http.Request, v any) error {
 
 // RefreshRequest is the POST /v1/refresh body: ingest all recorded
 // traffic into the engine and rebuild per mode ("graphs", "foldin" or
-// "retrain"). An empty body (or empty mode) means "graphs".
+// "retrain"). An empty body (or empty mode) means "graphs". Build
+// selects the representation build strategy — "full" (recount the
+// whole log) or "delta" (incremental build over the fresh entries,
+// bit-identical to full); empty uses the engine's configured default.
 type RefreshRequest struct {
-	Mode string `json:"mode"`
+	Mode  string `json:"mode"`
+	Build string `json:"build"`
 }
 
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
@@ -296,6 +300,18 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	defer s.swapMu.Unlock()
 	cur := s.engine.Load()
 
+	strategy := cur.Strategy()
+	switch req.Build {
+	case "":
+	case "full":
+		strategy = core.FullRebuild
+	case "delta":
+		strategy = core.DeltaRebuild
+	default:
+		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadMode, "build must be full or delta"))
+		return
+	}
+
 	// Validate BEFORE ingesting: a mode the engine cannot satisfy must
 	// not consume the recorded entries or touch any engine state.
 	if err := cur.CanRefresh(mode); err != nil {
@@ -313,7 +329,7 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	start := time.Now()
-	next, err := cur.Rebuild(fresh, mode)
+	next, err := cur.RebuildWith(fresh, mode, strategy)
 	if err != nil {
 		// Roll the ingest cursor back: the entries were never applied.
 		s.mu.Lock()
@@ -325,20 +341,26 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	}
 	s.engine.Store(next)
 	d := time.Since(start)
+	build := next.LastBuild()
 	s.stats.observeRefresh(d)
 	s.tel.refreshDuration.Observe(d.Seconds())
+	s.tel.observeSnapshotBuild(build)
 	s.stats.swaps.Add(1)
 	s.Logger().LogAttrs(r.Context(), slog.LevelInfo, "engine refreshed",
 		slog.String("requestId", obs.RequestIDFrom(r.Context())),
 		slog.String("mode", req.Mode),
+		slog.String("build", build.Mode.String()),
 		slog.Int("ingested", len(fresh)),
+		slog.Int("deltaEntries", build.DeltaEntries),
 		slog.Uint64("generation", next.Generation()),
 		slog.Float64("durationMs", ms(d)))
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "refreshed",
-		"ingested":   len(fresh),
-		"generation": next.Generation(),
-		"durationMs": float64(d.Microseconds()) / 1000,
+		"status":       "refreshed",
+		"ingested":     len(fresh),
+		"generation":   next.Generation(),
+		"build":        build.Mode.String(),
+		"deltaEntries": build.DeltaEntries,
+		"durationMs":   float64(d.Microseconds()) / 1000,
 	})
 }
 
@@ -373,7 +395,7 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	cur := s.engine.Load()
-	if cur.Profiles == nil {
+	if cur.Profiles() == nil {
 		writeAPIError(w, r, http.StatusConflict, newAPIError(codeConflict, "core: engine built without personalization"))
 		return
 	}
@@ -758,7 +780,21 @@ func (s *Server) statsPayload() map[string]any {
 	m["http"] = stageStatsPayload(s.tel.httpDuration)
 	m["runtime"] = s.runtimePayload()
 	eng := s.engine.Load()
-	m["engine"] = map[string]any{"generation": eng.Generation()}
+	build := eng.LastBuild()
+	m["engine"] = map[string]any{
+		"generation":     eng.Generation(),
+		"pendingEntries": eng.PendingEntries(),
+		"dirtyClamps":    eng.DirtyClamps(),
+		"lastBuild": map[string]any{
+			"mode":          build.Mode.String(),
+			"deltaEntries":  build.DeltaEntries,
+			"affectedUsers": build.AffectedUsers,
+			"durationMs":    float64(build.Duration.Microseconds()) / 1000,
+			"entries":       build.LogEntries,
+			"sessions":      build.NumSessions,
+			"queries":       build.NumQueries,
+		},
+	}
 	if c := eng.Cache(); c != nil {
 		st := c.Stats()
 		m["cache"] = map[string]any{

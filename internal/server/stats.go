@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/snapshot"
 )
 
 // serverStats is the middleware's counter surface: request and error
@@ -96,6 +97,11 @@ type telemetry struct {
 	httpDuration *obs.Histogram
 	// refreshDuration covers /v1/refresh rebuilds.
 	refreshDuration *obs.Histogram
+	// snapshotBuild* split the rebuild time by build mode and record
+	// how many fresh entries each delta build folded in.
+	snapshotBuildFull  *obs.Histogram
+	snapshotBuildDelta *obs.Histogram
+	snapshotDeltaSize  *obs.Histogram
 }
 
 // stageName constants keep the /v1/stats keys, the Prometheus "stage"
@@ -129,6 +135,12 @@ func newTelemetry(s *Server) *telemetry {
 		"Wall time of one HTTP request through the middleware.", obs.LatencyBuckets, nil)
 	t.refreshDuration = reg.NewHistogram("pqsda_refresh_duration_seconds",
 		"Engine rebuild time per /v1/refresh.", obs.LatencyBuckets, nil)
+	t.snapshotBuildFull = reg.NewHistogram(obs.MetricSnapshotBuildDuration,
+		"Serving-snapshot build time by mode.", obs.LatencyBuckets, obs.Labels{"mode": "full"})
+	t.snapshotBuildDelta = reg.NewHistogram(obs.MetricSnapshotBuildDuration,
+		"Serving-snapshot build time by mode.", obs.LatencyBuckets, obs.Labels{"mode": "delta"})
+	t.snapshotDeltaSize = reg.NewHistogram(obs.MetricSnapshotDeltaEntries,
+		"Fresh entries folded in per delta snapshot build.", obs.CountBuckets, nil)
 
 	counter := func(a *atomic.Int64) func() float64 {
 		return func() float64 { return float64(a.Load()) }
@@ -201,6 +213,17 @@ func (t *telemetry) observeStage(stage string, d time.Duration) {
 	}
 }
 
+// observeSnapshotBuild feeds the build-mode histograms from one
+// refresh's snapshot stats.
+func (t *telemetry) observeSnapshotBuild(b snapshot.Stats) {
+	if b.Mode == snapshot.ModeDelta {
+		t.snapshotBuildDelta.Observe(b.Duration.Seconds())
+		t.snapshotDeltaSize.Observe(float64(b.DeltaEntries))
+	} else {
+		t.snapshotBuildFull.Observe(b.Duration.Seconds())
+	}
+}
+
 // reset re-baselines every latency/depth histogram (counts, sums and
 // the previously forever-monotonic max) without touching the request
 // counters — the counters are rates, the histograms are distributions.
@@ -211,6 +234,7 @@ func (t *telemetry) reset() {
 	for _, h := range []*obs.Histogram{
 		t.cgIterations, t.cgResidual, t.hittingRounds, t.hittingWalkSteps,
 		t.httpDuration, t.refreshDuration,
+		t.snapshotBuildFull, t.snapshotBuildDelta, t.snapshotDeltaSize,
 	} {
 		h.Reset()
 	}

@@ -1,0 +1,144 @@
+package snapshot
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/querylog"
+)
+
+// Builder produces snapshots. It carries only configuration and is
+// safe to copy; the heavy inputs travel per call.
+type Builder struct {
+	Sessionizer querylog.SessionizerConfig
+	Weighting   bipartite.Weighting
+}
+
+// ErrNoState reports that a delta build was requested against a
+// snapshot that has no counting state (deserialized from disk). The
+// caller should fall back to a full build.
+var ErrNoState = errors.New("snapshot: previous snapshot has no counting state; delta build impossible")
+
+// FromSessions builds a snapshot from pre-segmented sessions (the
+// full-build path when the caller already sessionized, e.g. engine
+// construction). entries and segments describe the log coverage for
+// the stats/delta boundary. Corpus, Profiles and Generation are left
+// for the caller to fill before publication.
+func (b Builder) FromSessions(sessions []querylog.Session, entries, segments int) *Snapshot {
+	start := time.Now()
+	state := bipartite.StateFromSessions(sessions)
+	rep := state.Materialize(b.Weighting)
+	rep.Sessions = sessions
+	return &Snapshot{
+		Rep:      rep,
+		State:    state,
+		Sessions: sessions,
+		ByUser:   querylog.SessionsByUser(sessions),
+		Stats: Stats{
+			Mode:        ModeFull,
+			Duration:    time.Since(start),
+			LogEntries:  entries,
+			Segments:    segments,
+			NumSessions: len(sessions),
+			NumQueries:  rep.NumQueries(),
+		},
+	}
+}
+
+// Full rebuilds from the complete entry list: sessionize everything,
+// count everything. entries is copied before sorting.
+func (b Builder) Full(entries []querylog.Entry, segments int) *Snapshot {
+	start := time.Now()
+	l := &querylog.Log{Entries: append([]querylog.Entry(nil), entries...)}
+	sessions := querylog.Sessionize(l, b.Sessionizer)
+	s := b.FromSessions(sessions, len(entries), segments)
+	s.Stats.Duration = time.Since(start)
+	return s
+}
+
+// Delta derives the next snapshot from prev by folding in fresh
+// entries: only the affected users' session tails are re-segmented
+// (querylog.SessionizeDelta) and only their count deltas are merged
+// into the counting state; every iqf column is then recomputed from the
+// merged counts, so the resulting representation is bit-identical —
+// same (query, object) → weight mapping — to a full rebuild over the
+// combined log. segments is the new total segment coverage. Corpus,
+// Profiles and Generation are left for the caller.
+func (b Builder) Delta(prev *Snapshot, fresh []querylog.Entry, segments int) (*Snapshot, error) {
+	if prev == nil || prev.State == nil {
+		return nil, ErrNoState
+	}
+	start := time.Now()
+
+	byUser := make(map[string][]querylog.Entry)
+	for _, e := range fresh {
+		byUser[e.UserID] = append(byUser[e.UserID], e)
+	}
+	affected := make([]string, 0, len(byUser))
+	for u := range byUser {
+		affected = append(affected, u)
+	}
+	sort.Strings(affected)
+
+	d := prev.State.Delta()
+	newByUser := make(map[string][]querylog.Session, len(prev.ByUser)+len(affected))
+	for u, ss := range prev.ByUser {
+		newByUser[u] = ss
+	}
+	for _, u := range affected {
+		old := prev.ByUser[u]
+		keep, rebuilt := querylog.SessionizeDelta(old, byUser[u], b.Sessionizer)
+		for i := keep; i < len(old); i++ {
+			d.RemoveSession(bipartite.SessionObjectName(u, i), old[i])
+		}
+		for i, s := range rebuilt {
+			d.AddSession(bipartite.SessionObjectName(u, keep+i), s)
+		}
+		merged := make([]querylog.Session, 0, keep+len(rebuilt))
+		merged = append(merged, old[:keep]...)
+		merged = append(merged, rebuilt...)
+		newByUser[u] = merged
+	}
+
+	state, err := d.Apply()
+	if err != nil {
+		return nil, err
+	}
+	rep := state.Materialize(b.Weighting)
+
+	// Rebuild the canonical session list (users ascending — the order a
+	// full Sessionize of the sorted log yields).
+	users := make([]string, 0, len(newByUser))
+	for u := range newByUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	var total int
+	for _, u := range users {
+		total += len(newByUser[u])
+	}
+	sessions := make([]querylog.Session, 0, total)
+	for _, u := range users {
+		sessions = append(sessions, newByUser[u]...)
+	}
+	rep.Sessions = sessions
+
+	return &Snapshot{
+		Rep:      rep,
+		State:    state,
+		Sessions: sessions,
+		ByUser:   newByUser,
+		Stats: Stats{
+			Mode:          ModeDelta,
+			DeltaEntries:  len(fresh),
+			AffectedUsers: len(affected),
+			Duration:      time.Since(start),
+			LogEntries:    prev.Stats.LogEntries + len(fresh),
+			Segments:      segments,
+			NumSessions:   len(sessions),
+			NumQueries:    rep.NumQueries(),
+		},
+	}, nil
+}

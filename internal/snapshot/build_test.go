@@ -1,0 +1,155 @@
+package snapshot
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/querylog"
+)
+
+func buildEntries(rng *rand.Rand, n, users int, start time.Time) []querylog.Entry {
+	words := []string{"sun", "java", "solar", "cell", "oracle", "panel"}
+	out := make([]querylog.Entry, n)
+	for i := range out {
+		q := words[rng.Intn(len(words))]
+		if rng.Intn(2) == 0 {
+			q += " " + words[rng.Intn(len(words))]
+		}
+		out[i] = querylog.Entry{
+			UserID: fmt.Sprintf("u%d", rng.Intn(users)),
+			Query:  q,
+			Time:   start.Add(time.Duration(rng.Intn(5000)) * time.Minute),
+		}
+		if rng.Intn(3) == 0 {
+			out[i].ClickedURL = "example.com/" + q
+		}
+	}
+	return out
+}
+
+// edgesByName flattens one view into (query name, object name) → weight.
+func edgesByName(r *bipartite.Representation, view bipartite.View) map[[2]string]float64 {
+	out := make(map[[2]string]float64)
+	v := r.W[view].View()
+	for q := 0; q < r.Queries.Len(); q++ {
+		for p := v.RowPtr[q]; p < v.RowPtr[q+1]; p++ {
+			out[[2]string{r.Queries.Name(q), r.Objects[view].Name(v.ColIdx[p])}] = v.Val[p]
+		}
+	}
+	return out
+}
+
+// TestDeltaMatchesFull: Builder.Delta over (base snapshot, fresh) must
+// equal Builder.Full over the combined entries — same session count,
+// same per-name edge weights — and stamp delta stats.
+func TestDeltaMatchesFull(t *testing.T) {
+	b := Builder{Weighting: bipartite.CFIQF}
+	start := time.Date(2013, 1, 7, 9, 0, 0, 0, time.UTC)
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		base := buildEntries(rng, 200, 10, start)
+		fresh := buildEntries(rng, 20, 10, start.Add(4000*time.Minute))
+
+		prev := b.Full(base, 1)
+		if prev.Stats.Mode != ModeFull || prev.Stats.LogEntries != len(base) {
+			t.Fatalf("full stats: %+v", prev.Stats)
+		}
+
+		got, err := b.Delta(prev, fresh, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		combined := append(append([]querylog.Entry(nil), base...), fresh...)
+		want := b.Full(combined, 2)
+
+		if got.Stats.Mode != ModeDelta || got.Stats.DeltaEntries != len(fresh) {
+			t.Fatalf("delta stats: %+v", got.Stats)
+		}
+		if got.Stats.LogEntries != len(combined) || got.Stats.Segments != 2 {
+			t.Fatalf("delta coverage: %+v", got.Stats)
+		}
+		if len(got.Sessions) != len(want.Sessions) {
+			t.Fatalf("seed %d: %d sessions, full %d", seed, len(got.Sessions), len(want.Sessions))
+		}
+		// Bit-identicality holds per NAMED edge (ids intern in a
+		// different order on the delta path, so compare by name).
+		for view := bipartite.View(0); view < bipartite.NumViews; view++ {
+			fw := edgesByName(want.Rep, view)
+			dw := edgesByName(got.Rep, view)
+			if len(fw) != len(dw) {
+				t.Fatalf("seed %d view %d: full %d edges, delta %d", seed, view, len(fw), len(dw))
+			}
+			for key, v := range fw {
+				if dv, ok := dw[key]; !ok || dv != v {
+					t.Fatalf("seed %d view %d edge %v: full %v delta %v", seed, view, key, v, dw[key])
+				}
+			}
+		}
+		// ByUser index and Sessions must agree.
+		n := 0
+		for _, ss := range got.ByUser {
+			n += len(ss)
+		}
+		if n != len(got.Sessions) {
+			t.Fatalf("ByUser indexes %d sessions, canonical list has %d", n, len(got.Sessions))
+		}
+	}
+}
+
+// TestDeltaRequiresState: a stateless previous snapshot (deserialized)
+// must yield ErrNoState.
+func TestDeltaRequiresState(t *testing.T) {
+	b := Builder{}
+	if _, err := b.Delta(nil, nil, 0); err != ErrNoState {
+		t.Fatalf("nil prev: %v", err)
+	}
+	prev := &Snapshot{} // State nil, as after LoadEngine
+	if _, err := b.Delta(prev, nil, 0); err != ErrNoState {
+		t.Fatalf("stateless prev: %v", err)
+	}
+}
+
+// TestDeltaDoesNotMutatePrev: the previous snapshot's session index and
+// representation must be untouched by a delta build (immutability is
+// the whole point of the snapshot store).
+func TestDeltaDoesNotMutatePrev(t *testing.T) {
+	b := Builder{Weighting: bipartite.CFIQF}
+	start := time.Date(2013, 1, 7, 9, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(5))
+	base := buildEntries(rng, 150, 8, start)
+	prev := b.Full(base, 1)
+
+	beforeSessions := len(prev.Sessions)
+	beforeByUser := make(map[string]int, len(prev.ByUser))
+	for u, ss := range prev.ByUser {
+		beforeByUser[u] = len(ss)
+	}
+	beforeQueries := prev.Rep.NumQueries()
+
+	fresh := buildEntries(rng, 30, 8, start.Add(4000*time.Minute))
+	if _, err := b.Delta(prev, fresh, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(prev.Sessions) != beforeSessions {
+		t.Fatal("delta build mutated prev.Sessions")
+	}
+	for u, n := range beforeByUser {
+		if len(prev.ByUser[u]) != n {
+			t.Fatalf("delta build mutated prev.ByUser[%s]", u)
+		}
+	}
+	if prev.Rep.NumQueries() != beforeQueries {
+		t.Fatal("delta build mutated prev.Rep")
+	}
+}
+
+// TestModeString pins the wire strings used by /v1/stats.
+func TestModeString(t *testing.T) {
+	if ModeFull.String() != "full" || ModeDelta.String() != "delta" {
+		t.Fatalf("mode strings: %q %q", ModeFull, ModeDelta)
+	}
+}

@@ -1,0 +1,98 @@
+// Package snapshot defines the immutable serving state of the PQS-DA
+// engine: everything a suggestion request reads — the multi-bipartite
+// representation, the session index, the trained profiles — frozen into
+// one value that is swapped atomically behind the engine's pointer.
+//
+// A snapshot is never mutated after publication. Mutation happens by
+// building the NEXT snapshot (fully, or incrementally from the previous
+// one via the builder in build.go) and swapping it in; requests that
+// loaded the old snapshot finish on it. This is what makes refresh
+// cheap and concurrent: the builder reads the previous snapshot's
+// counting state without synchronization, and the serving path never
+// observes a half-built representation.
+package snapshot
+
+import (
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/profile"
+	"repro/internal/querylog"
+	"repro/internal/topicmodel"
+)
+
+// Mode records how a snapshot's representation was produced.
+type Mode int
+
+const (
+	// ModeFull is a from-scratch rebuild over the whole log.
+	ModeFull Mode = iota
+	// ModeDelta is an incremental build: only affected users were
+	// re-sessionized and only their count deltas merged.
+	ModeDelta
+)
+
+// String names the build mode ("full"/"delta") as reported by the
+// server's /v1/stats and refresh responses.
+func (m Mode) String() string {
+	if m == ModeDelta {
+		return "delta"
+	}
+	return "full"
+}
+
+// Stats describes how a snapshot was built — surfaced through
+// /v1/stats, the refresh response and the build-duration histograms.
+type Stats struct {
+	// Mode is the build path taken.
+	Mode Mode
+	// DeltaEntries is the number of fresh entries a delta build folded
+	// in (0 for full builds).
+	DeltaEntries int
+	// AffectedUsers is the number of users whose session tails were
+	// re-segmented by a delta build (0 for full builds).
+	AffectedUsers int
+	// Duration is the wall time of the build.
+	Duration time.Duration
+	// LogEntries is the total number of log entries this snapshot
+	// reflects.
+	LogEntries int
+	// Segments is the number of sealed log segments this snapshot
+	// reflects — the engine's delta boundary for the next build.
+	Segments int
+	// NumSessions and NumQueries size the built representation.
+	NumSessions int
+	NumQueries  int
+}
+
+// Snapshot is one immutable serving state. All fields are read-only
+// after the snapshot is published; "mutating" an engine means deriving
+// a new snapshot and storing it.
+type Snapshot struct {
+	// Rep is the weighted multi-bipartite representation (Eqs. 1–6).
+	Rep *bipartite.Representation
+	// State is the raw counting state Rep was materialized from — the
+	// base of the next delta build. Nil for snapshots deserialized from
+	// disk (counts are not persisted), which forces the next refresh to
+	// a full rebuild.
+	State *bipartite.BuilderState
+	// Sessions is the canonical session list (users ascending,
+	// chronological within a user — the order a full Sessionize of the
+	// sorted log produces).
+	Sessions []querylog.Session
+	// ByUser indexes Sessions per user, in chronological order. The
+	// per-user positions double as the session object names in Rep
+	// (bipartite.SessionObjectName), which is what lets a delta build
+	// remove and re-add exactly one user's tail.
+	ByUser map[string][]querylog.Session
+	// Corpus and Profiles are the personalization state (nil when the
+	// engine skips personalization).
+	Corpus   *topicmodel.Corpus
+	Profiles *profile.Store
+	// Generation identifies this snapshot for suggestion-cache keying:
+	// stamped at build, bumped by Engine.Clone, and strictly increasing
+	// along the chain of hot-swapped serving snapshots.
+	Generation uint64
+	// Stats records how this snapshot was built.
+	Stats Stats
+}

@@ -31,6 +31,7 @@ package pqsda
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"os"
 
@@ -98,6 +99,12 @@ type Config struct {
 	// diversified ranking unchanged (the intermediate system of the
 	// paper's Section VI-B).
 	DiversificationOnly bool
+	// RefreshMode selects how Engine.Refresh/Rebuild rebuild the
+	// representation: "full" (default; recount the whole log) or
+	// "delta" (incremental build over the entries ingested since the
+	// last build — bit-identical to full, much faster for small
+	// deltas). Any other value is an error.
+	RefreshMode string
 }
 
 // NewEngine cleans the log, builds the multi-bipartite representation
@@ -121,6 +128,14 @@ func NewEngine(l *Log, cfg Config) (*Engine, error) {
 		cc.Weighting = bipartite.Raw
 	} else {
 		cc.Weighting = bipartite.CFIQF
+	}
+	switch cfg.RefreshMode {
+	case "", "full":
+		cc.Strategy = core.FullRebuild
+	case "delta":
+		cc.Strategy = core.DeltaRebuild
+	default:
+		return nil, fmt.Errorf("pqsda: RefreshMode %q (want \"full\" or \"delta\")", cfg.RefreshMode)
 	}
 	return core.NewEngine(cleaned, cc)
 }

@@ -42,7 +42,7 @@ func TestFacadeDiversificationOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.Profiles != nil {
+	if e.Profiles() != nil {
 		t.Error("DiversificationOnly engine trained profiles")
 	}
 }
