@@ -5,10 +5,10 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench-smoke bench bench-guard ci
+.PHONY: build test race vet fmt-check bench-smoke bench bench-guard chaos ci
 
 # Where `make bench` writes its aggregated measurements.
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr6.json
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'HittingStage|NewWalker|SelectDiverse' -benchmem -count 5 ./internal/hittingtime/ | tee -a .bench.out
 	$(GO) test -run '^$$' -bench 'SuggestDiversified|ServerSuggest' -benchmem -count 5 . | tee -a .bench.out
 	$(GO) test -run '^$$' -bench 'RefreshBuild' -benchmem -count 5 ./internal/core/ | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'ShedPath' -benchmem -count 5 ./internal/server/ | tee -a .bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < .bench.out
 	@rm -f .bench.out
 
@@ -59,5 +60,16 @@ bench-guard:
 		$(GO) run ./cmd/benchjson -guard BenchmarkHittingTimeSteadyState -max-allocs 0
 	$(GO) test -run '^$$' -bench 'DeltaBuildSteadyState' -benchmem ./internal/bipartite/ | \
 		$(GO) run ./cmd/benchjson -guard BenchmarkDeltaBuildSteadyState -max-allocs 80
+	$(GO) test -run '^$$' -bench 'ShedPath' -benchmem ./internal/server/ | \
+		$(GO) run ./cmd/benchjson -guard BenchmarkShedPath -max-allocs 2
 
-ci: vet fmt-check build race bench-smoke bench-guard
+# Chaos / overload suite under the race detector: floods past the
+# concurrency cap, bounded-queue shedding, per-user/per-IP rate limits,
+# breaker trip→half-open→close, degraded cache fallback, body cap,
+# trailing-garbage rejection. Run it whenever the admission layer or
+# server middleware changes.
+chaos:
+	$(GO) test -race -count=1 ./internal/admission/
+	$(GO) test -race -count=1 -run 'Flood|Breaker|RateLimit|StatsAdmission|BodyCap|TrailingGarbage|BatchItemsShed|LearnAndRefreshGated' ./internal/server/
+
+ci: vet fmt-check build race chaos bench-smoke bench-guard

@@ -15,15 +15,19 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/server"
 )
@@ -50,6 +54,16 @@ func main() {
 		savePath  = flag.String("save", "", "persist the trained engine to this file and exit")
 		enginePth = flag.String("engine", "", "load a persisted engine instead of training from a log")
 		refrMode  = flag.String("refresh-mode", "full", "representation build strategy for /v1/refresh: full (recount the whole log) or delta (incremental, bit-identical to full)")
+
+		// Admission control / overload hardening (-serve only).
+		admissionOn = flag.Bool("admission", true, "enable admission control: per-stage concurrency gates with bounded queues (429 on shed) and the degraded-path circuit breaker")
+		suggestLim  = flag.Int("suggest-limit", 0, "max concurrently running suggestion pipelines (0: 4x GOMAXPROCS)")
+		suggestQ    = flag.Int("suggest-queue", -1, "bounded wait-queue depth at the suggest gate (-1: 2x limit)")
+		suggestWait = flag.Duration("suggest-max-wait", 100*time.Millisecond, "max time a suggestion may queue for a gate slot before shedding with 429")
+		rateUser    = flag.Float64("rate-user", 0, "per-user token-bucket rate limit in requests/second (0 disables)")
+		rateIP      = flag.Float64("rate-ip", 0, "per-client-IP token-bucket rate limit in requests/second (0 disables)")
+		maxBody     = flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "max /v1 POST body size in bytes; overflow returns 413 (0 disables the cap)")
+		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM before exiting")
 	)
 	flag.Parse()
 
@@ -133,9 +147,24 @@ func main() {
 		if *pprofFlag {
 			srv.EnablePProf()
 		}
-		fmt.Fprintf(os.Stderr, "serving suggestion API on %s (GET /v1/suggest?user=&q=&k=&debug=trace; stats on /v1/stats, /metrics, /debug/traces, /debug/vars; request timeout %v; slow-query %v; cache %d entries; pprof %v)\n",
-			*serve, *reqTimout, *slowQuery, *cacheSize, *pprofFlag)
-		fatal(http.ListenAndServe(*serve, srv.Handler()))
+		srv.SetMaxBodyBytes(*maxBody)
+		if *admissionOn {
+			acfg := admission.DefaultConfig()
+			if *suggestLim > 0 {
+				acfg.Suggest.Limit = *suggestLim
+			}
+			acfg.Suggest.Queue = *suggestQ
+			acfg.Suggest.MaxWait = *suggestWait
+			acfg.User = admission.RateConfig{Rate: *rateUser}
+			acfg.IP = admission.RateConfig{Rate: *rateIP}
+			srv.SetAdmission(acfg)
+		}
+		fmt.Fprintf(os.Stderr, "serving suggestion API on %s (GET /v1/suggest?user=&q=&k=&debug=trace; stats on /v1/stats, /metrics, /debug/traces, /debug/vars; request timeout %v; slow-query %v; cache %d entries; admission %v; max body %d bytes; pprof %v)\n",
+			*serve, *reqTimout, *slowQuery, *cacheSize, *admissionOn, *maxBody, *pprofFlag)
+		if err := serveHTTP(*serve, srv.Handler(), *drainWait); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	answer := func(q string) {
@@ -169,6 +198,43 @@ func main() {
 			continue
 		}
 		answer(q)
+	}
+}
+
+// serveHTTP runs a hardened http.Server: slow-client timeouts on every
+// phase of the exchange (the bare http.ListenAndServe it replaces had
+// none, so one slowloris peer per connection slot was a full outage)
+// and graceful drain on SIGINT/SIGTERM — in-flight requests get up to
+// drain to finish, new connections are refused immediately.
+func serveHTTP(addr string, h http.Handler, drain time.Duration) error {
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // a second signal during the drain kills immediately
+		fmt.Fprintf(os.Stderr, "pqsda: signal received, draining for up to %v…\n", drain)
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			return fmt.Errorf("drain incomplete after %v: %w", drain, err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "pqsda: drained, bye")
+		return nil
 	}
 }
 

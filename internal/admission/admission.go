@@ -1,0 +1,70 @@
+package admission
+
+import (
+	"runtime"
+	"time"
+)
+
+// Config assembles the whole admission-control surface. The zero value
+// disables everything (every limiter, gate and the breaker is nil);
+// DefaultConfig returns the recommended serving posture.
+type Config struct {
+	// User rate-limits suggestion traffic per user ID (anonymous
+	// requests are exempt — the IP limiter covers them).
+	User RateConfig
+	// IP rate-limits all /v1 traffic per client IP.
+	IP RateConfig
+	// Suggest caps concurrently running suggestion pipelines — the
+	// expensive stage class.
+	Suggest GateConfig
+	// Learn caps concurrent /v1/learn fold-ins.
+	Learn GateConfig
+	// Refresh caps concurrent /v1/refresh rebuilds. The rebuild itself
+	// is serialized by the server; the gate bounds how many requests
+	// may pile up waiting for that serialization.
+	Refresh GateConfig
+	// Breaker trips the personalize/hitting stage onto the cached
+	// degraded path under sustained failure.
+	Breaker BreakerConfig
+}
+
+// DefaultConfig is the recommended serving posture: suggestion
+// concurrency capped at 4×GOMAXPROCS with a 2× wait queue, mutation
+// single-file with a short queue, breaker at 50% failures over 10s.
+// Rate limiters stay disabled — sensible per-key rates depend on the
+// deployment and are opt-in via flags.
+func DefaultConfig() Config {
+	procs := runtime.GOMAXPROCS(0)
+	return Config{
+		Suggest: GateConfig{Limit: 4 * procs, Queue: -1, MaxWait: 100 * time.Millisecond},
+		Learn:   GateConfig{Limit: 1, Queue: 4, MaxWait: time.Second},
+		Refresh: GateConfig{Limit: 1, Queue: 2, MaxWait: time.Second},
+		Breaker: BreakerConfig{FailureRatio: 0.5, Window: 10 * time.Second,
+			MinSamples: 10, Cooldown: 5 * time.Second, Probes: 3},
+	}
+}
+
+// Controller bundles the admission mechanisms for one server. Every
+// field is nil-safe: a disabled mechanism admits everything, so call
+// sites never branch on configuration.
+type Controller struct {
+	Users   *Limiter
+	IPs     *Limiter
+	Suggest *Gate
+	Learn   *Gate
+	Refresh *Gate
+	Breaker *Breaker
+}
+
+// New builds a controller from cfg. Disabled mechanisms (zero
+// rates/limits/ratio) come out nil and admit everything.
+func New(cfg Config) *Controller {
+	return &Controller{
+		Users:   NewLimiter(cfg.User),
+		IPs:     NewLimiter(cfg.IP),
+		Suggest: NewGate(cfg.Suggest),
+		Learn:   NewGate(cfg.Learn),
+		Refresh: NewGate(cfg.Refresh),
+		Breaker: NewBreaker(cfg.Breaker),
+	}
+}

@@ -1,0 +1,275 @@
+package admission
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int32
+
+const (
+	// Closed: the pipeline is healthy; requests run normally.
+	Closed State = iota
+	// Open: the pipeline tripped; requests are served degraded (from
+	// the cache) until the cooldown elapses.
+	Open
+	// HalfOpen: the cooldown elapsed; a few probe requests run the real
+	// pipeline to test recovery while the rest stay degraded.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes the personalize/hitting-stage circuit breaker.
+type BreakerConfig struct {
+	// FailureRatio opens the breaker when failures/total over the
+	// rolling window reaches it. Zero or negative disables the breaker
+	// (NewBreaker returns nil).
+	FailureRatio float64
+	// Window is the rolling observation window (default 10s).
+	Window time.Duration
+	// MinSamples is the minimum observations in the window before the
+	// ratio can trip — a single failed request at boot must not open
+	// the breaker (default 10).
+	MinSamples int
+	// Cooldown is how long the breaker stays open before probing
+	// (default 5s).
+	Cooldown time.Duration
+	// Probes is how many half-open probes must succeed consecutively to
+	// close (default 3); the first probe failure re-opens.
+	Probes int
+	// Now is the clock (tests). Nil means time.Now.
+	Now func() time.Time
+}
+
+// Breaker is a circuit breaker over a rolling failure-rate window.
+// Failure counting uses two window buckets (current + previous), so the
+// observed span is between Window and 2·Window — cheap, allocation-free
+// and accurate enough to detect "the expensive stage has been failing
+// for seconds", which is the granularity that matters.
+//
+// A nil *Breaker is valid: Allow admits everything and Record is a
+// no-op, so callers thread an optional breaker without nil checks.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    State
+	openedAt time.Time
+	// Two-bucket rolling window of pipeline outcomes.
+	curStart            time.Time
+	curTotal, curFail   int
+	prevTotal, prevFail int
+	// Half-open probe accounting.
+	probesInFlight int
+	probeSuccesses int
+
+	opens atomic.Int64
+	// stateAtomic mirrors state for lock-free gauges.
+	stateAtomic atomic.Int32
+}
+
+// NewBreaker builds a breaker; see BreakerConfig for defaulting.
+// Returns nil (always-closed) when FailureRatio ≤ 0.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureRatio <= 0 {
+		return nil
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 10 * time.Second
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 10
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.Probes <= 0 {
+		cfg.Probes = 3
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a request may run the real pipeline. False
+// means the caller must serve the degraded (cached) path. In half-open,
+// at most Probes requests are admitted concurrently as recovery probes;
+// callers that got true MUST call Record with the outcome.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Now()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if now.Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.setState(HalfOpen)
+		b.probesInFlight, b.probeSuccesses = 0, 0
+		fallthrough
+	default: // HalfOpen
+		if b.probesInFlight < b.cfg.Probes {
+			b.probesInFlight++
+			return true
+		}
+		return false
+	}
+}
+
+// Record feeds one real-pipeline outcome back. In the closed state it
+// advances the rolling window and trips the breaker when the failure
+// ratio crosses the threshold; in half-open it scores the probe.
+func (b *Breaker) Record(success bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Now()
+	switch b.state {
+	case Closed:
+		b.rotate(now)
+		b.curTotal++
+		if !success {
+			b.curFail++
+		}
+		total := b.curTotal + b.prevTotal
+		fail := b.curFail + b.prevFail
+		if total >= b.cfg.MinSamples && float64(fail) >= b.cfg.FailureRatio*float64(total) {
+			b.trip(now)
+		}
+	case HalfOpen:
+		if b.probesInFlight > 0 {
+			b.probesInFlight--
+		}
+		if !success {
+			b.trip(now)
+			return
+		}
+		b.probeSuccesses++
+		if b.probeSuccesses >= b.cfg.Probes {
+			b.setState(Closed)
+			b.curStart, b.curTotal, b.curFail = now, 0, 0
+			b.prevTotal, b.prevFail = 0, 0
+		}
+	case Open:
+		// A request admitted before the trip finishing late — its
+		// outcome belongs to the pre-open era; ignore it.
+	}
+}
+
+// Forfeit releases a probe slot claimed by Allow without scoring it,
+// for requests whose outcome says nothing about pipeline health (cache
+// hits, client cancellations). Without it such a request would leak
+// its half-open probe slot and recovery could wedge: probesInFlight
+// never drains, so no further probes are admitted and the breaker
+// stays half-open forever. No-op outside half-open.
+func (b *Breaker) Forfeit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen && b.probesInFlight > 0 {
+		b.probesInFlight--
+	}
+}
+
+// trip opens the breaker.
+func (b *Breaker) trip(now time.Time) {
+	b.setState(Open)
+	b.openedAt = now
+	b.opens.Add(1)
+}
+
+// rotate slides the two-bucket window forward.
+func (b *Breaker) rotate(now time.Time) {
+	if b.curStart.IsZero() {
+		b.curStart = now
+		return
+	}
+	age := now.Sub(b.curStart)
+	if age < b.cfg.Window {
+		return
+	}
+	if age < 2*b.cfg.Window {
+		b.prevTotal, b.prevFail = b.curTotal, b.curFail
+	} else {
+		b.prevTotal, b.prevFail = 0, 0
+	}
+	b.curTotal, b.curFail = 0, 0
+	b.curStart = now
+}
+
+func (b *Breaker) setState(s State) {
+	b.state = s
+	b.stateAtomic.Store(int32(s))
+}
+
+// State reports the breaker's position, surfacing the lazy
+// open→half-open transition without waiting for the next Allow.
+func (b *Breaker) State() State {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// StateValue is the lock-free gauge read (0 closed, 1 open, 2
+// half-open), safe on the metrics path. It reports the last committed
+// state and does not surface the lazy open→half-open flip.
+func (b *Breaker) StateValue() int32 {
+	if b == nil {
+		return int32(Closed)
+	}
+	return b.stateAtomic.Load()
+}
+
+// Opens counts how many times the breaker tripped.
+func (b *Breaker) Opens() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.opens.Load()
+}
+
+// RetryAfter is the backoff hint while open: the remaining cooldown
+// (at least a millisecond so clients never get zero while shed).
+func (b *Breaker) RetryAfter() time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Open {
+		return 0
+	}
+	rem := b.cfg.Cooldown - b.cfg.Now().Sub(b.openedAt)
+	if rem < time.Millisecond {
+		rem = time.Millisecond
+	}
+	return rem
+}

@@ -1,0 +1,215 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+func testBreaker(clk *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		FailureRatio: 0.5,
+		Window:       10 * time.Second,
+		MinSamples:   4,
+		Cooldown:     5 * time.Second,
+		Probes:       2,
+		Now:          clk.Now,
+	})
+}
+
+func TestBreakerOpensOnFailureRatio(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	if b.State() != Closed {
+		t.Fatal("fresh breaker not closed")
+	}
+	// 3 failures in a row: below MinSamples, must stay closed.
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	if b.State() != Closed {
+		t.Fatal("tripped below MinSamples")
+	}
+	// 4th sample pushes total to MinSamples with 100% failures → open.
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state = %v, want Open", b.State())
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", b.Opens())
+	}
+	if !b.Allow() {
+		// Allowed? No: open means degraded.
+	} else {
+		t.Fatal("open breaker admitted a request")
+	}
+	if ra := b.RetryAfter(); ra <= 0 || ra > 5*time.Second {
+		t.Fatalf("RetryAfter = %v, want (0, 5s]", ra)
+	}
+}
+
+func TestBreakerSuccessMajorityStaysClosed(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	// 40% failures: below the 50% threshold at any sample count.
+	for i := 0; i < 50; i++ {
+		b.Record(i%5 < 2)
+		b.Record(true)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want Closed at sub-threshold failure rate", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovery(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	if b.State() != Open {
+		t.Fatal("not open")
+	}
+	// Cooldown not yet elapsed: still shedding.
+	clk.Advance(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("admitted during cooldown")
+	}
+	// Cooldown elapsed: at most Probes=2 probes admitted.
+	clk.Advance(2 * time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want HalfOpen after cooldown", b.State())
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open refused probes")
+	}
+	if b.Allow() {
+		t.Fatal("admitted a third concurrent probe (Probes = 2)")
+	}
+	// Both probes succeed → closed, window reset.
+	b.Record(true)
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want Closed after successful probes", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+	// The pre-open failures must not re-trip the fresh window.
+	b.Record(true)
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatal("window not reset on close")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	clk.Advance(6 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state = %v, want Open after failed probe", b.State())
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("opens = %d, want 2", b.Opens())
+	}
+	// The cooldown restarts from the failed probe.
+	if b.Allow() {
+		t.Fatal("admitted right after re-open")
+	}
+}
+
+func TestBreakerWindowSlidesFailuresOut(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	// 3 failures now (sub-MinSamples)…
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	// …then the window slides twice; old failures expire.
+	clk.Advance(25 * time.Second)
+	for i := 0; i < 10; i++ {
+		b.Record(true)
+	}
+	// One fresh failure: 1/11 in the live window, far below 50%.
+	b.Record(false)
+	if b.State() != Closed {
+		t.Fatalf("state = %v: expired failures still counted", b.State())
+	}
+}
+
+// A probe whose outcome is uninformative (cache hit, client cancel)
+// must return its slot via Forfeit, or the half-open state wedges with
+// all probe slots leaked.
+func TestBreakerForfeitReleasesProbeSlot(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	clk.Advance(6 * time.Second)
+	// Claim both probe slots (Probes = 2), forfeit both.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("probes refused")
+	}
+	if b.Allow() {
+		t.Fatal("third probe admitted")
+	}
+	b.Forfeit()
+	b.Forfeit()
+	// The slots are reusable: recovery still possible.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("forfeited slots not reusable")
+	}
+	b.Record(true)
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want Closed", b.State())
+	}
+	// Forfeit outside half-open is a no-op (and nil-safe).
+	b.Forfeit()
+	var nilB *Breaker
+	nilB.Forfeit()
+}
+
+func TestBreakerDisabledAndNil(t *testing.T) {
+	if NewBreaker(BreakerConfig{FailureRatio: 0}) != nil {
+		t.Fatal("FailureRatio 0 should disable the breaker")
+	}
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker must admit")
+	}
+	b.Record(false) // must not panic
+	if b.State() != Closed || b.Opens() != 0 || b.StateValue() != 0 || b.RetryAfter() != 0 {
+		t.Fatal("nil breaker reports state")
+	}
+}
+
+// TestBreakerConcurrent exercises Allow/Record under -race.
+func TestBreakerConcurrent(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 500; i++ {
+				if b.Allow() {
+					b.Record(i%3 != 0)
+				}
+				_ = b.State()
+				_ = b.StateValue()
+			}
+			done <- struct{}{}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

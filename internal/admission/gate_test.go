@@ -1,0 +1,205 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateLimitAndImmediateShed(t *testing.T) {
+	g := NewGate(GateConfig{Limit: 2, Queue: 0, MaxWait: time.Second})
+	ctx := context.Background()
+	if _, err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if g.InFlight() != 2 {
+		t.Fatalf("inFlight = %d, want 2", g.InFlight())
+	}
+	// Queue 0: the third acquire sheds without waiting.
+	start := time.Now()
+	_, err := g.Acquire(ctx)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("queue-full shed waited instead of returning immediately")
+	}
+	g.Release()
+	if _, err := g.Acquire(ctx); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+func TestGateBoundedQueueAdmitsOnRelease(t *testing.T) {
+	g := NewGate(GateConfig{Limit: 1, Queue: 2, MaxWait: 5 * time.Second})
+	ctx := context.Background()
+	if _, err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	results := make(chan error, 4)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := g.Acquire(ctx)
+			if err == nil {
+				defer g.Release()
+			}
+			results <- err
+		}()
+	}
+	// Wait for both waiters to be queued.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Waiting() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiting = %d, want 2", g.Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Third waiter overflows the queue.
+	if _, err := g.Acquire(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow err = %v, want ErrQueueFull", err)
+	}
+	// Releasing the slot drains the queue one by one.
+	g.Release()
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("queued acquire %d: %v", i, err)
+		}
+	}
+	if g.Waiting() != 0 {
+		t.Fatalf("waiting = %d after drain", g.Waiting())
+	}
+	admitted, shedFull, shedTimeout := g.Stats()
+	if admitted != 3 || shedFull != 1 || shedTimeout != 0 {
+		t.Fatalf("stats = (%d, %d, %d), want (3, 1, 0)", admitted, shedFull, shedTimeout)
+	}
+}
+
+func TestGateWaitTimeout(t *testing.T) {
+	g := NewGate(GateConfig{Limit: 1, Queue: 1, MaxWait: 20 * time.Millisecond})
+	ctx := context.Background()
+	if _, err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := g.Acquire(ctx)
+	if !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("err = %v, want ErrWaitTimeout", err)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Fatalf("timed out after %v, before MaxWait", waited)
+	}
+	if g.Waiting() != 0 {
+		t.Fatal("timed-out waiter still counted")
+	}
+}
+
+func TestGateContextCancel(t *testing.T) {
+	g := NewGate(GateConfig{Limit: 1, Queue: 1, MaxWait: 5 * time.Second})
+	if _, err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx)
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Waiting() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestGateNilAdmitsEverything(t *testing.T) {
+	var g *Gate
+	if NewGate(GateConfig{Limit: 0}) != nil {
+		t.Fatal("Limit 0 should disable the gate")
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := g.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Release() // must not panic
+	if g.Limit() != 0 || g.Waiting() != 0 || g.InFlight() != 0 {
+		t.Fatal("nil gate reports occupancy")
+	}
+}
+
+// TestGateConcurrentNeverExceedsBounds hammers the gate from many
+// goroutines and asserts the two invariants that make shedding safe:
+// in-flight never exceeds Limit, queue depth never exceeds Queue.
+func TestGateConcurrentNeverExceedsBounds(t *testing.T) {
+	const limit, queue = 3, 4
+	g := NewGate(GateConfig{Limit: limit, Queue: queue, MaxWait: 10 * time.Millisecond})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	running, maxRunning, maxWaiting := 0, 0, 0
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if w := g.Waiting(); w > queue {
+					t.Errorf("waiting = %d > queue %d", w, queue)
+				}
+				_, err := g.Acquire(context.Background())
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				running++
+				if running > maxRunning {
+					maxRunning = running
+				}
+				if w := g.Waiting(); w > maxWaiting {
+					maxWaiting = w
+				}
+				mu.Unlock()
+				time.Sleep(100 * time.Microsecond)
+				mu.Lock()
+				running--
+				mu.Unlock()
+				g.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxRunning > limit {
+		t.Fatalf("observed %d concurrent holders, limit %d", maxRunning, limit)
+	}
+	if maxWaiting > queue {
+		t.Fatalf("observed queue depth %d, bound %d", maxWaiting, queue)
+	}
+	if g.InFlight() != 0 || g.Waiting() != 0 {
+		t.Fatalf("gate not drained: inFlight=%d waiting=%d", g.InFlight(), g.Waiting())
+	}
+}
+
+func BenchmarkGateShedQueueFull(b *testing.B) {
+	g := NewGate(GateConfig{Limit: 1, Queue: 0})
+	if _, err := g.Acquire(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Acquire(ctx); !errors.Is(err, ErrQueueFull) {
+			b.Fatal("expected shed")
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package admission is the server's overload-protection layer: who
+// gets in, how many run at once, and what happens when the expensive
+// pipeline stops being affordable.
+//
+// A node serving real traffic fails in three distinct ways, and the
+// package has one mechanism per failure mode:
+//
+//   - One client (or one NAT'd crowd) sends too fast → token-bucket
+//     rate [Limiter]s keyed per user and per IP answer 429 with a
+//     Retry-After hint instead of letting a single key starve everyone.
+//   - Aggregate demand exceeds capacity → a bounded concurrency [Gate]
+//     per stage class (suggest vs. learn vs. refresh) admits a fixed
+//     number of pipelines, queues a short bounded tail, and sheds the
+//     rest immediately — p99 stays near the unloaded latency because
+//     work waits in the client's retry loop, not in our goroutines.
+//   - The expensive personalize/hitting stage itself degrades (error
+//     rate or sustained deadline overruns) → a circuit [Breaker] trips
+//     and the server falls back to the generation-keyed cached
+//     diversified list, marked degraded:true, until probes prove the
+//     pipeline healthy again.
+//
+// Everything is stdlib-only, lock-free or sharded on the hot path, and
+// deterministic under an injected clock so the chaos suite can drive
+// state transitions without sleeping.
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// RateConfig tunes one token-bucket limiter.
+type RateConfig struct {
+	// Rate is the sustained refill in tokens (requests) per second.
+	// Zero or negative disables the limiter: Allow always admits.
+	Rate float64
+	// Burst is the bucket capacity — how many requests a key may send
+	// back-to-back after an idle period. Values < 1 default to
+	// max(1, 2·Rate).
+	Burst float64
+	// TTL evicts buckets idle longer than this, bounding memory on an
+	// unbounded key space (every IP on the internet). Zero defaults to
+	// 10 minutes.
+	TTL time.Duration
+	// Now is the clock (tests). Nil means time.Now.
+	Now func() time.Time
+}
+
+const defaultBucketTTL = 10 * time.Minute
+
+// limiterShards spreads the key space over independently locked maps so
+// concurrent requests for different keys do not serialize. Power of two
+// for cheap masking.
+const limiterShards = 16
+
+// Limiter is a keyed token-bucket rate limiter with lazy refill: a
+// bucket holds up to Burst tokens, gains Rate tokens/second, and each
+// admitted request takes one. Buckets are created on first use and
+// evicted after TTL idle, so memory tracks the active key set, not the
+// historical one.
+type Limiter struct {
+	cfg    RateConfig
+	shards [limiterShards]limiterShard
+}
+
+type limiterShard struct {
+	mu sync.Mutex
+	m  map[string]*bucket
+	// lastSweep is when this shard last evicted idle buckets.
+	lastSweep time.Time
+}
+
+type bucket struct {
+	tokens float64
+	// last is when tokens was computed.
+	last time.Time
+}
+
+// NewLimiter builds a limiter; see RateConfig for defaulting. A nil
+// receiver is valid and admits everything, so callers can thread an
+// optional limiter without nil checks.
+func NewLimiter(cfg RateConfig) *Limiter {
+	if cfg.Rate <= 0 {
+		return nil
+	}
+	if cfg.Burst < 1 {
+		cfg.Burst = 2 * cfg.Rate
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = defaultBucketTTL
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	l := &Limiter{cfg: cfg}
+	for i := range l.shards {
+		l.shards[i].m = make(map[string]*bucket)
+	}
+	return l
+}
+
+// Allow takes one token from key's bucket. It reports whether the
+// request is admitted and, when shed, how long the client should wait
+// before the next token is available (the Retry-After hint).
+func (l *Limiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	now := l.cfg.Now()
+	sh := &l.shards[fnv32a(key)&(limiterShards-1)]
+	sh.mu.Lock()
+	if sh.lastSweep.IsZero() {
+		sh.lastSweep = now
+	} else if now.Sub(sh.lastSweep) > l.cfg.TTL {
+		// Amortized eviction: at most one map sweep per TTL per shard,
+		// paid by whichever request happens to land here first.
+		for k, b := range sh.m {
+			if now.Sub(b.last) > l.cfg.TTL {
+				delete(sh.m, k)
+			}
+		}
+		sh.lastSweep = now
+	}
+	b := sh.m[key]
+	if b == nil {
+		b = &bucket{tokens: l.cfg.Burst, last: now}
+		sh.m[key] = b
+	} else {
+		// Lazy refill: tokens accrue only when the key is touched.
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * l.cfg.Rate
+			if b.tokens > l.cfg.Burst {
+				b.tokens = l.cfg.Burst
+			}
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		sh.mu.Unlock()
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	sh.mu.Unlock()
+	return false, time.Duration(deficit / l.cfg.Rate * float64(time.Second))
+}
+
+// Keys reports how many buckets are resident across all shards.
+func (l *Limiter) Keys() int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// fnv32a is FNV-1a over the key bytes — allocation-free shard
+// selection (hash/fnv would force a []byte conversion).
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

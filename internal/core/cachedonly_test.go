@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// CachedOnly is the circuit breaker's degraded path: it must serve
+// exactly what a regular cached request would serve, and must never
+// run the pipeline on a miss.
+
+func TestCachedOnlyHitServesStoredList(t *testing.T) {
+	w := testWorld(t)
+	e := testEngine(t, w, false)
+	e.EnableCache(64, 0)
+	q := pickQuery(t, w)
+	user := w.UserIDs()[0]
+	at := time.Now()
+
+	warm, err := e.Do(context.Background(), SuggestRequest{User: user, Query: q, At: at, K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solvesAfterWarm := e.SolveCount()
+
+	deg, err := e.Do(context.Background(), SuggestRequest{User: user, Query: q, At: at, K: 6, CachedOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deg.CacheHit {
+		t.Fatal("CachedOnly hit not marked CacheHit")
+	}
+	if !reflect.DeepEqual(deg.Diversified, warm.Diversified) {
+		t.Fatalf("degraded list diverged from cached list:\n%v\n%v", deg.Diversified, warm.Diversified)
+	}
+	// Personalization still runs fresh on the cached list.
+	if !reflect.DeepEqual(deg.Suggestions, warm.Suggestions) {
+		t.Fatalf("degraded personalized order diverged:\n%v\n%v", deg.Suggestions, warm.Suggestions)
+	}
+	if e.SolveCount() != solvesAfterWarm {
+		t.Fatal("CachedOnly ran a CG solve")
+	}
+	if deg.CompactTime != 0 || deg.SolveTime != 0 || deg.HittingTime != 0 {
+		t.Fatal("CachedOnly reported pipeline stage timings")
+	}
+}
+
+func TestCachedOnlyMissReturnsErrNotCached(t *testing.T) {
+	w := testWorld(t)
+	e := testEngine(t, w, true)
+	e.EnableCache(64, 0)
+	q := pickQuery(t, w)
+
+	solves := e.SolveCount()
+	res, err := e.Do(context.Background(), SuggestRequest{Query: q, K: 6, CachedOnly: true})
+	if !errors.Is(err, ErrNotCached) {
+		t.Fatalf("err = %v, want ErrNotCached", err)
+	}
+	if e.SolveCount() != solves {
+		t.Fatal("CachedOnly miss ran the pipeline")
+	}
+	if res.Generation != e.Generation() {
+		t.Fatalf("miss result generation = %d, want %d", res.Generation, e.Generation())
+	}
+
+	// Different k misses too: the cache key includes K.
+	if _, err := e.Do(context.Background(), SuggestRequest{Query: q, K: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Do(context.Background(), SuggestRequest{Query: q, K: 7, CachedOnly: true}); !errors.Is(err, ErrNotCached) {
+		t.Fatalf("k=7 err = %v, want ErrNotCached (cache holds k=6)", err)
+	}
+}
+
+func TestCachedOnlyWithoutCache(t *testing.T) {
+	w := testWorld(t)
+	e := testEngine(t, w, true)
+	q := pickQuery(t, w)
+	if _, err := e.Do(context.Background(), SuggestRequest{Query: q, K: 6, CachedOnly: true}); !errors.Is(err, ErrNotCached) {
+		t.Fatalf("err = %v, want ErrNotCached on a cacheless engine", err)
+	}
+}
+
+// A hot-swap bumps the generation, which must make CachedOnly miss —
+// serving a stale snapshot's list as "degraded" would silently undo
+// the cache-invalidation-by-construction guarantee.
+func TestCachedOnlyMissesAcrossGenerations(t *testing.T) {
+	w := testWorld(t)
+	e := testEngine(t, w, true)
+	e.EnableCache(64, 0)
+	q := pickQuery(t, w)
+	if _, err := e.Do(context.Background(), SuggestRequest{Query: q, K: 6}); err != nil {
+		t.Fatal(err)
+	}
+	next := e.Clone() // clones share the cache but bump the generation
+	if _, err := next.Do(context.Background(), SuggestRequest{Query: q, K: 6, CachedOnly: true}); !errors.Is(err, ErrNotCached) {
+		t.Fatalf("err = %v, want ErrNotCached after generation bump", err)
+	}
+}

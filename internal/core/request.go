@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -36,7 +37,19 @@ type SuggestRequest struct {
 	// NoCache bypasses the suggestion cache for this request (the
 	// computation still runs; its result is not stored or shared).
 	NoCache bool
+	// CachedOnly answers exclusively from the suggestion cache: a hit
+	// serves the stored diversified list (personalization still runs
+	// fresh), a miss returns ErrNotCached WITHOUT running the pipeline.
+	// This is the circuit-breaker degraded path — when the expensive
+	// personalize/hitting stage is tripped, the server keeps answering
+	// head queries from cache instead of queueing doomed work.
+	// CachedOnly takes precedence over NoCache.
+	CachedOnly bool
 }
+
+// ErrNotCached is returned by Do for CachedOnly requests whose key has
+// no fresh cache entry (or when the engine has no cache at all).
+var ErrNotCached = errors.New("core: no cached diversified list for this request")
 
 // Do runs the suggestion pipeline for one request. It is the primary
 // entry point; the positional Suggest/SuggestContext signatures are
@@ -69,7 +82,29 @@ func (e *Engine) Do(ctx context.Context, req SuggestRequest) (Result, error) {
 
 	var res Result
 	var err error
-	if e.cache != nil && !req.NoCache {
+	if req.CachedOnly {
+		// Degraded path: cache lookup or nothing. No compute, no
+		// coalescing — the point is a hard bound on per-request cost.
+		if e.cache == nil {
+			return Result{Generation: snap.Generation}, ErrNotCached
+		}
+		key := suggestcache.Key{
+			Generation: snap.Generation,
+			Query:      querylog.NormalizeQuery(req.Query),
+			ContextFP:  ContextFingerprint(req.Context, at, e.cfg.Regularize.Lambda),
+			K:          req.K,
+		}
+		var ok bool
+		res, ok = e.cache.Get(key)
+		if !ok {
+			return Result{Generation: snap.Generation}, ErrNotCached
+		}
+		// Same contract as a regular hit: the stored stage timings
+		// belong to the leader that computed the entry, not to this
+		// request.
+		res.CompactTime, res.SolveTime, res.HittingTime = 0, 0, 0
+		res.CacheHit = true
+	} else if e.cache != nil && !req.NoCache {
 		key := suggestcache.Key{
 			Generation: snap.Generation,
 			Query:      querylog.NormalizeQuery(req.Query),

@@ -109,6 +109,25 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		if guardedPath(r.URL.Path) {
+			// Per-IP token bucket, before any body is read: a single
+			// flooding client is turned away at the door while /healthz
+			// and /metrics stay reachable for operators.
+			if ctrl := s.admission.Load(); ctrl != nil && ctrl.IPs != nil {
+				if ok, retry := ctrl.IPs.Allow(clientIP(r.RemoteAddr)); !ok {
+					s.stats.shedRateIP.Add(1)
+					sw.status = http.StatusTooManyRequests
+					writeShedFast(sw.ResponseWriter, shedBodyRateLimited, retry)
+					s.tel.httpDuration.Observe(time.Since(start).Seconds())
+					return
+				}
+			}
+			// Cap the body BEFORE the handler decodes it: one oversized
+			// /v1/learn payload must be a 413, not an OOM.
+			if max := s.maxBodyBytes.Load(); max > 0 && r.Body != nil && r.ContentLength != 0 {
+				r.Body = http.MaxBytesReader(sw, r.Body, max)
+			}
+		}
 		next.ServeHTTP(sw, r.WithContext(ctx))
 		elapsed := time.Since(start)
 

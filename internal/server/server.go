@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/querylog"
@@ -66,6 +67,14 @@ type Server struct {
 	timeoutNs atomic.Int64
 	// slowQueryNs is the slow-query trace-log threshold (0 = off).
 	slowQueryNs atomic.Int64
+	// admission is the overload-protection layer (rate limiters,
+	// concurrency gates, circuit breaker); nil means everything is
+	// admitted. Installed via SetAdmission, read lock-free on the
+	// serving path.
+	admission atomic.Pointer[admission.Controller]
+	// maxBodyBytes caps /v1 and /api POST bodies via http.MaxBytesReader
+	// (0 = uncapped). Defaults to DefaultMaxBodyBytes.
+	maxBodyBytes atomic.Int64
 
 	stats serverStats
 	// tel holds the per-instance metric registry and histograms backing
@@ -116,6 +125,7 @@ type Feedback struct {
 func New(engine *core.Engine, sink io.Writer) *Server {
 	s := &Server{sink: sink, start: time.Now()}
 	s.engine.Store(engine)
+	s.maxBodyBytes.Store(DefaultMaxBodyBytes)
 	s.tel = newTelemetry(s)
 	s.traces = obs.NewTraceRing(defaultTraceRingSize)
 	s.logger.Store(discardLogger())
@@ -189,6 +199,9 @@ type apiError struct {
 	Code    string         `json:"code"`
 	Message string         `json:"message"`
 	Details map[string]any `json:"details,omitempty"`
+	// retryAfter, when positive, becomes the Retry-After response header
+	// (shed and degraded responses tell clients when to come back).
+	retryAfter time.Duration
 }
 
 // errorEnvelope is the wire shape of every non-2xx response:
@@ -214,6 +227,12 @@ const (
 	codeConflict         = "conflict"          // 409: engine cannot satisfy the mutation
 	codeDeadlineExceeded = "deadline_exceeded" // 504: per-request deadline overrun
 	codeInternal         = "internal"          // 500: unexpected pipeline failure
+
+	// Admission-control codes (see internal/admission and admission.go).
+	codePayloadTooLarge = "payload_too_large"    // 413: body exceeds the -max-body-bytes cap
+	codeRateLimited     = "rate_limited"         // 429: per-user/per-IP token bucket empty
+	codeOverloaded      = "overloaded"           // 429: concurrency gate shed the request
+	codeDegraded        = "degraded_unavailable" // 503: breaker open, no cached list to serve
 )
 
 func newAPIError(code, message string) *apiError {
@@ -229,6 +248,9 @@ func writeAPIError(w http.ResponseWriter, r *http.Request, status int, e *apiErr
 		}
 		e.Details["requestId"] = id
 	}
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", retryAfterValue(e.retryAfter))
+	}
 	writeJSON(w, status, errorEnvelope{Error: e})
 }
 
@@ -243,8 +265,12 @@ func statusOf(code string) int {
 		return http.StatusGatewayTimeout
 	case codeInternal:
 		return http.StatusInternalServerError
-	case codeBatchTooLarge:
+	case codeBatchTooLarge, codePayloadTooLarge:
 		return http.StatusRequestEntityTooLarge
+	case codeRateLimited, codeOverloaded:
+		return http.StatusTooManyRequests
+	case codeDegraded:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
@@ -254,12 +280,31 @@ func statusOf(code string) int {
 // body is valid and leaves v at its zero value, so handlers whose
 // request fields all have documented defaults (e.g. /v1/refresh's
 // mode) accept a bare POST.
-func decodeBody(r *http.Request, v any) error {
-	err := json.NewDecoder(r.Body).Decode(v)
-	if err == nil || errors.Is(err, io.EOF) {
+//
+// Two rejections harden the intake: a body over the configured cap
+// (http.MaxBytesReader, installed by the middleware) is a 413, and a
+// body with trailing garbage after the JSON value ({"k":5}garbage) is
+// a 400 — json.Decoder reads a stream, so without the second Decode
+// check it would silently accept anything appended to a valid value.
+func (s *Server) decodeBody(r *http.Request, v any) *apiError {
+	dec := json.NewDecoder(r.Body)
+	err := dec.Decode(v)
+	if errors.Is(err, io.EOF) {
+		return nil // empty body: documented defaults apply
+	}
+	if err == nil {
+		if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+			return newAPIError(codeBadJSON, "bad JSON: trailing data after body")
+		}
 		return nil
 	}
-	return err
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		s.stats.bodyTooLarge.Add(1)
+		return newAPIError(codePayloadTooLarge,
+			fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit))
+	}
+	return newAPIError(codeBadJSON, "bad JSON: "+err.Error())
 }
 
 // --- Refresh / learn -------------------------------------------------
@@ -276,9 +321,18 @@ type RefreshRequest struct {
 }
 
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	// Rebuilds are expensive and serialized anyway (swapMu); the gate
+	// turns a refresh pile-up into fast 429s instead of a lock convoy.
+	if ctrl := s.admission.Load(); ctrl != nil {
+		if aerr := s.acquireGate(r.Context(), ctrl.Refresh); aerr != nil {
+			writeAPIError(w, r, statusOf(aerr.Code), aerr)
+			return
+		}
+		defer ctrl.Refresh.Release()
+	}
 	var req RefreshRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
+	if aerr := s.decodeBody(r, &req); aerr != nil {
+		writeAPIError(w, r, statusOf(aerr.Code), aerr)
 		return
 	}
 	var mode core.RefreshMode
@@ -372,14 +426,29 @@ type LearnRequest struct {
 }
 
 func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	ctrl := s.admission.Load()
+	if ctrl != nil {
+		if aerr := s.acquireGate(r.Context(), ctrl.Learn); aerr != nil {
+			writeAPIError(w, r, statusOf(aerr.Code), aerr)
+			return
+		}
+		defer ctrl.Learn.Release()
+	}
 	var req LearnRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
+	if aerr := s.decodeBody(r, &req); aerr != nil {
+		writeAPIError(w, r, statusOf(aerr.Code), aerr)
 		return
 	}
 	if req.User == "" {
 		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeMissingUser, "missing user"))
 		return
+	}
+	if ctrl != nil {
+		if ok, retry := ctrl.Users.Allow(req.User); !ok {
+			s.stats.shedRateUser.Add(1)
+			writeAPIError(w, r, http.StatusTooManyRequests, rateLimitedError(retry))
+			return
+		}
 	}
 	s.stats.learnRequests.Add(1)
 	s.mu.Lock()
@@ -456,6 +525,10 @@ type SuggestResponse struct {
 	// Cached reports the diversified list came from the suggestion
 	// cache (personalization still ran fresh for this user).
 	Cached bool `json:"cached"`
+	// Degraded reports the circuit breaker was open and this response
+	// was served from the generation-keyed cache without running the
+	// personalize/hitting pipeline.
+	Degraded bool `json:"degraded,omitempty"`
 	// RequestID echoes the request's ID (also on the X-Request-Id
 	// response header) for cross-referencing logs and traces.
 	RequestID string `json:"requestId,omitempty"`
@@ -468,7 +541,7 @@ type SuggestResponse struct {
 // reads the JSON body. K validation is shared: absent means the default
 // (10), an explicitly supplied k must be a positive integer, and values
 // above 100 are clamped by validateSuggestRequest.
-func decodeSuggestRequest(r *http.Request) (SuggestRequest, *apiError) {
+func (s *Server) decodeSuggestRequest(r *http.Request) (SuggestRequest, *apiError) {
 	var req SuggestRequest
 	if r.Method == http.MethodGet {
 		q := r.URL.Query()
@@ -489,8 +562,8 @@ func decodeSuggestRequest(r *http.Request) (SuggestRequest, *apiError) {
 		}
 		return req, nil
 	}
-	if err := decodeBody(r, &req); err != nil {
-		return req, newAPIError(codeBadJSON, "bad JSON: "+err.Error())
+	if aerr := s.decodeBody(r, &req); aerr != nil {
+		return req, aerr
 	}
 	if req.K < 0 {
 		return req, newAPIError(codeBadK, "k must be a positive integer")
@@ -548,7 +621,14 @@ func validateSuggestRequest(req SuggestRequest) (core.SuggestRequest, *apiError)
 }
 
 func (s *Server) handleSuggestGet(w http.ResponseWriter, r *http.Request) {
-	req, aerr := decodeSuggestRequest(r)
+	// Gate BEFORE decoding: during a flood the shed path must not pay
+	// for parsing work it is about to throw away.
+	gate, ok := s.admitSuggest(r.Context(), w)
+	if !ok {
+		return
+	}
+	defer gate.Release()
+	req, aerr := s.decodeSuggestRequest(r)
 	if aerr != nil {
 		s.stats.suggestRequests.Add(1)
 		s.stats.suggestErrors.Add(1)
@@ -559,7 +639,12 @@ func (s *Server) handleSuggestGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSuggestPost(w http.ResponseWriter, r *http.Request) {
-	req, aerr := decodeSuggestRequest(r)
+	gate, ok := s.admitSuggest(r.Context(), w)
+	if !ok {
+		return
+	}
+	defer gate.Release()
+	req, aerr := s.decodeSuggestRequest(r)
 	if aerr != nil {
 		s.stats.suggestRequests.Add(1)
 		s.stats.suggestErrors.Add(1)
@@ -588,6 +673,15 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 		s.stats.suggestErrors.Add(1)
 		return nil, aerr
 	}
+	// Per-user token bucket. Anonymous requests are exempt here — the
+	// middleware's per-IP bucket already covers them, and an empty key
+	// would pool every anonymous client into one bucket.
+	if ctrl := s.admission.Load(); ctrl != nil && creq.User != "" {
+		if ok, retry := ctrl.Users.Allow(creq.User); !ok {
+			s.stats.shedRateUser.Add(1)
+			return nil, rateLimitedError(retry)
+		}
+	}
 
 	// Request-scoped trace: every pipeline stage down to the CG solver
 	// appends spans; the completed trace lands in the /debug/traces
@@ -612,11 +706,20 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 	root.SetAttr("k", creq.K)
 	// Lock-free engine access: a refresh swapping the pointer mid-call
 	// does not affect this request, which finishes on its snapshot.
-	res, err := s.engine.Load().Do(ctx, creq)
+	res, degraded, err, aerr := s.suggestPipeline(ctx, s.engine.Load(), creq)
 	elapsed := time.Since(start)
 	root.SetAttr("generation", res.Generation)
 	root.SetAttr("cacheHit", res.CacheHit)
+	if degraded {
+		root.SetAttr("degraded", true)
+	}
 	root.End()
+	if aerr != nil {
+		// Breaker open and nothing cached: shed with 503.
+		s.finishTrace(tr, elapsed)
+		s.stats.suggestErrors.Add(1)
+		return nil, aerr
+	}
 	s.observeStages(res, elapsed)
 	snap := s.finishTrace(tr, elapsed)
 	if res.CacheHit {
@@ -665,6 +768,7 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 		ElapsedMS:   ms(elapsed),
 		Generation:  res.Generation,
 		Cached:      res.CacheHit,
+		Degraded:    degraded,
 		RequestID:   reqID,
 	}
 	if req.Debug == "trace" {
@@ -705,8 +809,8 @@ type BatchSuggestResponse struct {
 // single-request traffic).
 func (s *Server) handleSuggestBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchSuggestRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
+	if aerr := s.decodeBody(r, &req); aerr != nil {
+		writeAPIError(w, r, statusOf(aerr.Code), aerr)
 		return
 	}
 	if len(req.Requests) == 0 {
@@ -727,6 +831,17 @@ func (s *Server) handleSuggestBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// Batch items compete for the same suggest gate as single
+			// requests: one 256-item batch cannot starve interactive
+			// traffic, and over-cap items shed individually with 429.
+			if ctrl := s.admission.Load(); ctrl != nil {
+				if aerr := s.acquireGate(r.Context(), ctrl.Suggest); aerr != nil {
+					s.stats.suggestRequests.Add(1)
+					results[i] = BatchItemResult{Status: statusOf(aerr.Code), Error: aerr}
+					return
+				}
+				defer ctrl.Suggest.Release()
+			}
 			resp, aerr := s.suggestOnce(r.Context(), req.Requests[i])
 			if aerr != nil {
 				results[i] = BatchItemResult{Status: statusOf(aerr.Code), Error: aerr}
@@ -779,6 +894,28 @@ func (s *Server) statsPayload() map[string]any {
 	}
 	m["http"] = stageStatsPayload(s.tel.httpDuration)
 	m["runtime"] = s.runtimePayload()
+	// Extend the counter-only admission section from snapshot() with the
+	// live controller state: breaker, gate occupancy, limiter key counts
+	// and the queue-depth distribution.
+	adm := m["admission"].(map[string]any)
+	adm["queueDepth"] = depthStatsPayload(s.tel.queueDepth)
+	ctrl := s.admission.Load()
+	adm["enabled"] = ctrl != nil
+	if ctrl != nil {
+		adm["breaker"] = map[string]any{
+			"state": ctrl.Breaker.State().String(),
+			"opens": ctrl.Breaker.Opens(),
+		}
+		adm["suggestGate"] = map[string]any{
+			"limit":    ctrl.Suggest.Limit(),
+			"inFlight": ctrl.Suggest.InFlight(),
+			"waiting":  ctrl.Suggest.Waiting(),
+		}
+		adm["rateKeys"] = map[string]any{
+			"users": ctrl.Users.Keys(),
+			"ips":   ctrl.IPs.Keys(),
+		}
+	}
 	eng := s.engine.Load()
 	build := eng.LastBuild()
 	m["engine"] = map[string]any{
@@ -836,8 +973,8 @@ func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var fb Feedback
-	if err := decodeBody(r, &fb); err != nil {
-		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
+	if aerr := s.decodeBody(r, &fb); aerr != nil {
+		writeAPIError(w, r, statusOf(aerr.Code), aerr)
 		return
 	}
 	if fb.User == "" || fb.Suggestion == "" {
@@ -870,8 +1007,8 @@ type LogRequest struct {
 
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 	var req LogRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadJSON, "bad JSON: "+err.Error()))
+	if aerr := s.decodeBody(r, &req); aerr != nil {
+		writeAPIError(w, r, statusOf(aerr.Code), aerr)
 		return
 	}
 	if req.User == "" || req.Query == "" {

@@ -41,6 +41,15 @@ type serverStats struct {
 	swaps         atomic.Int64
 	refreshSumNs  atomic.Int64
 	lastRefreshNs atomic.Int64
+
+	// Admission-control accounting (see admission.go).
+	admitted         atomic.Int64 // requests admitted through a concurrency gate
+	shedRateIP       atomic.Int64 // 429s from the per-IP token bucket
+	shedRateUser     atomic.Int64 // 429s from the per-user token bucket
+	shedOverloaded   atomic.Int64 // 429s from a full/timed-out gate queue
+	degradedRequests atomic.Int64 // breaker-open requests routed to the cache-only path
+	degradedMisses   atomic.Int64 // degraded requests with no cached list (503)
+	bodyTooLarge     atomic.Int64 // 413s from the request-body cap
 }
 
 func (ss *serverStats) observeRefresh(d time.Duration) {
@@ -70,6 +79,15 @@ func (ss *serverStats) snapshot() map[string]any {
 			"totalMs":       float64(ss.refreshSumNs.Load()) / 1e6,
 			"lastRefreshMs": float64(ss.lastRefreshNs.Load()) / 1e6,
 		},
+		"admission": map[string]any{
+			"admitted":            ss.admitted.Load(),
+			"shedRateLimitedIP":   ss.shedRateIP.Load(),
+			"shedRateLimitedUser": ss.shedRateUser.Load(),
+			"shedOverloaded":      ss.shedOverloaded.Load(),
+			"degraded":            ss.degradedRequests.Load(),
+			"degradedMisses":      ss.degradedMisses.Load(),
+			"bodyTooLarge":        ss.bodyTooLarge.Load(),
+		},
 	}
 }
 
@@ -95,6 +113,9 @@ type telemetry struct {
 
 	// httpDuration covers every HTTP request through the middleware.
 	httpDuration *obs.Histogram
+	// queueDepth records the gate wait-queue depth observed by each
+	// admission attempt — the histogram that proves the queue is bounded.
+	queueDepth *obs.Histogram
 	// refreshDuration covers /v1/refresh rebuilds.
 	refreshDuration *obs.Histogram
 	// snapshotBuild* split the rebuild time by build mode and record
@@ -133,6 +154,8 @@ func newTelemetry(s *Server) *telemetry {
 		"Executed hitting-time sweeps per selection (at most rounds x truncation depth; less when the early convergence exit fires).", obs.CountBuckets, nil)
 	t.httpDuration = reg.NewHistogram("pqsda_http_request_duration_seconds",
 		"Wall time of one HTTP request through the middleware.", obs.LatencyBuckets, nil)
+	t.queueDepth = reg.NewHistogram("pqsda_admission_queue_depth",
+		"Gate wait-queue depth seen by each admission attempt.", obs.CountBuckets, nil)
 	t.refreshDuration = reg.NewHistogram("pqsda_refresh_duration_seconds",
 		"Engine rebuild time per /v1/refresh.", obs.LatencyBuckets, nil)
 	t.snapshotBuildFull = reg.NewHistogram(obs.MetricSnapshotBuildDuration,
@@ -163,9 +186,52 @@ func newTelemetry(s *Server) *telemetry {
 		{"pqsda_refreshes_total", "Successful /v1/refresh rebuilds.", counter(&st.refreshes)},
 		{"pqsda_refresh_errors_total", "Failed /v1/refresh attempts.", counter(&st.refreshErrors)},
 		{"pqsda_engine_swaps_total", "Engine hot-swaps (refresh + learn).", counter(&st.swaps)},
+		{"pqsda_admission_admitted_total", "Requests admitted through a concurrency gate.", counter(&st.admitted)},
+		{"pqsda_degraded_total", "Breaker-open requests routed to the cache-only degraded path.", counter(&st.degradedRequests)},
+		{"pqsda_degraded_miss_total", "Degraded requests with no cached list (503).", counter(&st.degradedMisses)},
+		{"pqsda_body_too_large_total", "Requests rejected by the body-size cap (413).", counter(&st.bodyTooLarge)},
 	} {
 		reg.CounterFunc(c.name, c.help, nil, c.read)
 	}
+	// Shed counters share one series split by reason, mirroring how an
+	// operator asks the question ("who is turning my traffic away?").
+	reg.CounterFunc("pqsda_shed_total", "Requests shed by admission control.",
+		obs.Labels{"reason": "rate_limited_ip"}, counter(&st.shedRateIP))
+	reg.CounterFunc("pqsda_shed_total", "Requests shed by admission control.",
+		obs.Labels{"reason": "rate_limited_user"}, counter(&st.shedRateUser))
+	reg.CounterFunc("pqsda_shed_total", "Requests shed by admission control.",
+		obs.Labels{"reason": "overloaded"}, counter(&st.shedOverloaded))
+
+	// Breaker and gate occupancy gauges read the live controller (0 /
+	// closed when admission is disabled).
+	reg.GaugeFunc("pqsda_breaker_state", "Circuit breaker state (0 closed, 1 open, 2 half-open).", nil,
+		func() float64 {
+			if ctrl := s.admission.Load(); ctrl != nil {
+				return float64(ctrl.Breaker.StateValue())
+			}
+			return 0
+		})
+	reg.CounterFunc("pqsda_breaker_opens_total", "Times the circuit breaker tripped open.", nil,
+		func() float64 {
+			if ctrl := s.admission.Load(); ctrl != nil {
+				return float64(ctrl.Breaker.Opens())
+			}
+			return 0
+		})
+	reg.GaugeFunc("pqsda_suggest_inflight", "Requests currently holding a suggest-gate slot.", nil,
+		func() float64 {
+			if ctrl := s.admission.Load(); ctrl != nil {
+				return float64(ctrl.Suggest.InFlight())
+			}
+			return 0
+		})
+	reg.GaugeFunc("pqsda_suggest_waiting", "Requests currently queued at the suggest gate.", nil,
+		func() float64 {
+			if ctrl := s.admission.Load(); ctrl != nil {
+				return float64(ctrl.Suggest.Waiting())
+			}
+			return 0
+		})
 
 	reg.GaugeFunc("pqsda_engine_generation", "Generation of the serving engine snapshot.", nil,
 		func() float64 { return float64(s.engine.Load().Generation()) })
@@ -233,7 +299,7 @@ func (t *telemetry) reset() {
 	}
 	for _, h := range []*obs.Histogram{
 		t.cgIterations, t.cgResidual, t.hittingRounds, t.hittingWalkSteps,
-		t.httpDuration, t.refreshDuration,
+		t.httpDuration, t.queueDepth, t.refreshDuration,
 		t.snapshotBuildFull, t.snapshotBuildDelta, t.snapshotDeltaSize,
 	} {
 		h.Reset()

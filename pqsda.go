@@ -35,6 +35,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/admission"
 	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/querylog"
@@ -143,6 +144,31 @@ func NewEngine(l *Log, cfg Config) (*Engine, error) {
 // AdvancedConfig exposes every stage's tunables for research use; see
 // the internal packages' documentation for the semantics.
 type AdvancedConfig = core.Config
+
+// AdmissionConfig assembles the serving-time overload protections
+// (internal/admission): per-user/per-IP token-bucket rate limits,
+// bounded concurrency gates per stage class, and the circuit breaker
+// that degrades to cached suggestion lists under sustained pressure.
+// Install on a server with server.Server.SetAdmission. The zero value
+// disables everything; DefaultAdmissionConfig is the recommended
+// serving posture.
+type AdmissionConfig = admission.Config
+
+// RateLimitConfig tunes one token-bucket rate limiter of an
+// AdmissionConfig.
+type RateLimitConfig = admission.RateConfig
+
+// GateConfig tunes one bounded concurrency gate of an AdmissionConfig.
+type GateConfig = admission.GateConfig
+
+// BreakerConfig tunes the AdmissionConfig circuit breaker.
+type BreakerConfig = admission.BreakerConfig
+
+// DefaultAdmissionConfig returns the recommended serving posture:
+// suggestion concurrency capped at 4×GOMAXPROCS with a bounded wait
+// queue, mutating endpoints single-file, breaker at 50% failures over
+// 10s, rate limiters off (per-key rates are deployment-specific).
+func DefaultAdmissionConfig() AdmissionConfig { return admission.DefaultConfig() }
 
 // NewEngineAdvanced builds an engine from a fully explicit
 // configuration without cleaning the log first.
