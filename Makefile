@@ -5,10 +5,13 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench-smoke bench bench-guard chaos ci
+.PHONY: build test race vet fmt-check bench-smoke bench bench-guard chaos eval eval-smoke ci
 
 # Where `make bench` writes its aggregated measurements.
 BENCH_OUT ?= BENCH_pr6.json
+
+# Where `make eval` writes the strategy A/B report.
+EVAL_OUT ?= EVAL_pr7.json
 
 build:
 	$(GO) build ./...
@@ -72,4 +75,17 @@ chaos:
 	$(GO) test -race -count=1 ./internal/admission/
 	$(GO) test -race -count=1 -run 'Flood|Breaker|RateLimit|StatsAdmission|BodyCap|TrailingGarbage|BatchItemsShed|LearnAndRefreshGated' ./internal/server/
 
-ci: vet fmt-check build race chaos bench-smoke bench-guard
+# Offline strategy A/B report (cmd/evalab): every registered
+# diversification strategy plus the paper's click-graph baselines,
+# scored per scenario class (ambiguous / navigational / cold-start)
+# with alpha-nDCG, subtopic recall and intra-list distance.
+eval:
+	$(GO) run ./cmd/evalab -scale paper -baselines -out $(EVAL_OUT)
+
+# Small-scale eval run: proves the harness end to end (world build,
+# strategy fan-out, pooled ideal, JSON emission) without paying for the
+# paper-scale world. Part of `make ci`.
+eval-smoke:
+	$(GO) run ./cmd/evalab -scale small -baselines -max-queries 3 -out /tmp/EVAL_smoke.json
+
+ci: vet fmt-check build race chaos bench-smoke bench-guard eval-smoke

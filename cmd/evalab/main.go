@@ -1,0 +1,105 @@
+// Command evalab runs the offline diversification-strategy A/B harness:
+// it replays synthetic-world queries through one engine under every
+// registered strategy (optionally plus the paper's click-graph
+// baselines) and scores each strategy's suggestion lists against the
+// world's ground-truth facets — α-nDCG against a pooled greedy ideal,
+// subtopic recall and intra-list distance — split by scenario class
+// (ambiguous / navigational / cold-start). Results go to stdout as a
+// summary table and to -out as JSON.
+//
+// Usage:
+//
+//	evalab -scale small -out EVAL.json
+//	evalab -scale paper -baselines -strategies hitting,mmr,pfar,relevance
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		scale      = flag.String("scale", "small", "world size: small (test-suite scale) or paper (benchmark scale)")
+		seed       = flag.Int64("seed", 1, "synthetic-world seed (the run is deterministic in it)")
+		k          = flag.Int("k", 10, "suggestion list length")
+		alpha      = flag.Float64("alpha", 0.5, "alpha-nDCG redundancy penalty")
+		out        = flag.String("out", "", "write the JSON report to this file (empty: stdout only)")
+		strategies = flag.String("strategies", "", "comma-separated registry strategies to score (empty: all registered)")
+		baselines  = flag.Bool("baselines", false, "also score the paper's FRW/BRW/HT/DQS baselines via the Diversifier adapter")
+		maxQueries = flag.Int("max-queries", 0, "cap replayed queries per scenario class (0: all sampled)")
+	)
+	flag.Parse()
+
+	cfg := experiments.EvalConfig{
+		K:                *k,
+		Alpha:            *alpha,
+		IncludeBaselines: *baselines,
+		MaxQueries:       *maxQueries,
+	}
+	switch *scale {
+	case "small":
+		cfg.Scale = experiments.SmallScale(*seed)
+	case "paper":
+		cfg.Scale = experiments.PaperScale(*seed)
+	default:
+		fatal(fmt.Errorf("unknown -scale %q (want small or paper)", *scale))
+	}
+	if *strategies != "" {
+		for _, s := range strings.Split(*strategies, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				cfg.Strategies = append(cfg.Strategies, s)
+			}
+		}
+	}
+
+	report, err := experiments.RunEvalAB(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	printSummary(report)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "evalab: report written to %s\n", *out)
+	}
+}
+
+func printSummary(r *experiments.EvalReport) {
+	names := make([]string, 0, len(r.Scenarios))
+	for name := range r.Scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("evalab: seed=%d k=%d alpha=%.2f strategies=%s\n",
+		r.Seed, r.K, r.Alpha, strings.Join(r.Strategies, ","))
+	for _, name := range names {
+		fmt.Printf("\n[%s]\n", name)
+		fmt.Printf("%-12s %8s %8s %10s %10s %8s %10s\n",
+			"strategy", "queries", "listLen", "a-nDCG", "s-recall", "ILD", "selectMs")
+		for _, sc := range r.Scenarios[name] {
+			fmt.Printf("%-12s %8d %8.2f %10.4f %10.4f %8.4f %10.3f\n",
+				sc.Strategy, sc.Queries, sc.MeanListLen, sc.AlphaNDCG,
+				sc.SubtopicRecall, sc.IntraListDistance, sc.MeanSelectMs)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "evalab:", err)
+	os.Exit(1)
+}

@@ -54,6 +54,8 @@ func main() {
 		savePath  = flag.String("save", "", "persist the trained engine to this file and exit")
 		enginePth = flag.String("engine", "", "load a persisted engine instead of training from a log")
 		refrMode  = flag.String("refresh-mode", "full", "representation build strategy for /v1/refresh: full (recount the whole log) or delta (incremental, bit-identical to full)")
+		strategy  = flag.String("strategy", "", "default diversification strategy: hitting (the paper's Algorithm 1), mmr, pfar or relevance (empty: hitting); per-request override via the strategy field of /v1/suggest")
+		brownout  = flag.String("brownout-strategy", "relevance", "cheap strategy serving breaker-open cache misses under -serve instead of 503 (empty disables the brownout fallback)")
 
 		// Admission control / overload hardening (-serve only).
 		admissionOn = flag.Bool("admission", true, "enable admission control: per-stage concurrency gates with bounded queues (429 on shed) and the degraded-path circuit breaker")
@@ -114,6 +116,7 @@ func main() {
 			Workers:             *workers,
 			DiversificationOnly: *user == "" && *serve == "" && *savePath == "",
 			RefreshMode:         *refrMode,
+			Strategy:            *strategy,
 		})
 		if err != nil {
 			fatal(err)
@@ -148,6 +151,9 @@ func main() {
 			srv.EnablePProf()
 		}
 		srv.SetMaxBodyBytes(*maxBody)
+		if err := srv.SetBrownoutStrategy(*brownout); err != nil {
+			fatal(err)
+		}
 		if *admissionOn {
 			acfg := admission.DefaultConfig()
 			if *suggestLim > 0 {

@@ -1,0 +1,87 @@
+package baselines
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/diversify"
+)
+
+// AsDiversifier adapts a click-graph Suggester (FRW, BRW, HT, DQS) to
+// the diversify.Diversifier stage boundary, so the offline evaluation
+// harness can score the paper's baselines through the exact pipeline
+// the engine serves (compact build, relevance solve, personalization):
+// register the adapter with core.Engine.AddDiversifier and request its
+// name as the strategy.
+//
+// The adapter runs the wrapped suggester on the RAW input query over
+// its own click graph and maps the returned queries into the request's
+// compact representation. Suggestions the compact does not contain are
+// dropped (the compact is built around the same seeds, so in practice
+// the overlap is near-total); excluded seeds and duplicates are
+// skipped. The wrapped method keeps its own ranking — including its
+// own first pick — because the baseline IS the system under test; the
+// relevance gate is deliberately not applied to it.
+func AsDiversifier(s Suggester) diversify.Diversifier {
+	return &suggesterDiversifier{name: strings.ToLower(s.Name()), suggest: s.Suggest}
+}
+
+// AsPersonalizedDiversifier adapts a PersonalizedSuggester (PHT, CM)
+// for one fixed user. Because the suggestion cache stores lists across
+// users, evaluation runs using these adapters must bypass the cache
+// (SuggestRequest.NoCache) or use one adapter name per user.
+func AsPersonalizedDiversifier(ps PersonalizedSuggester, userID string) diversify.Diversifier {
+	return &suggesterDiversifier{
+		name: strings.ToLower(ps.Name()),
+		suggest: func(query string, k int) []Suggestion {
+			return ps.SuggestFor(userID, query, k)
+		},
+	}
+}
+
+type suggesterDiversifier struct {
+	name    string
+	suggest func(query string, k int) []Suggestion
+}
+
+func (d *suggesterDiversifier) Name() string { return d.name }
+
+func (d *suggesterDiversifier) Params() map[string]any {
+	return map[string]any{"adapter": "baselines"}
+}
+
+func (d *suggesterDiversifier) Select(ctx context.Context, req Request) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	excluded := make(map[int]bool, len(req.Excluded))
+	for _, e := range req.Excluded {
+		excluded[e] = true
+	}
+	// Over-fetch: some of the suggester's picks will be unknown to the
+	// compact or excluded as seeds.
+	sugs := d.suggest(req.Query, req.K+len(req.Excluded)+req.K)
+	rep := req.Compact.Full
+	selected := make([]int, 0, req.K)
+	seen := make(map[int]bool, req.K)
+	for _, sug := range sugs {
+		if len(selected) >= req.K {
+			break
+		}
+		id, ok := rep.QueryID(sug.Query)
+		if !ok {
+			continue
+		}
+		local, ok := req.Compact.LocalOf[id]
+		if !ok || excluded[local] || seen[local] {
+			continue
+		}
+		seen[local] = true
+		selected = append(selected, local)
+	}
+	return selected, nil
+}
+
+// Request aliases the stage-boundary request type so adapter call
+// sites read naturally inside this package.
+type Request = diversify.Request

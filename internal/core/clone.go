@@ -31,6 +31,10 @@ func (e *Engine) Clone() *Engine {
 		hasLog: e.hasLog,
 		cache:  e.cache,
 		dirty:  e.dirty,
+		// The strategy table is read-only while serving, so clones
+		// share it (including AddDiversifier extras).
+		strategies:      e.strategies,
+		defaultStrategy: e.defaultStrategy,
 	}
 	out.dirtyClamps.Store(e.dirtyClamps.Load())
 	prev := e.snap.Load()

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/bipartite"
+	"repro/internal/diversify"
 	"repro/internal/hittingtime"
 	"repro/internal/obs"
 	"repro/internal/profile"
@@ -45,6 +46,10 @@ type Config struct {
 	Regularize regularize.Config
 	// Hitting controls the cross-bipartite hitting time.
 	Hitting hittingtime.Config
+	// Diversify selects the default diversification strategy and tunes
+	// the non-default selectors (see internal/diversify). The zero
+	// value serves the paper's hitting-time selector.
+	Diversify diversify.Config
 	// UPM controls offline user profiling. Ignored when
 	// SkipPersonalization is set.
 	UPM topicmodel.UPMConfig
@@ -90,6 +95,15 @@ type Engine struct {
 	// effectiveness ground truth; see SolveCount).
 	cgSolves atomic.Int64
 
+	// strategies is the servable diversification-strategy table: one
+	// instance per registered strategy (plus AddDiversifier extras),
+	// built once at construction and read-only while serving. Shared
+	// by clones.
+	strategies map[string]diversify.Diversifier
+	// defaultStrategy is the canonical name requests with an empty
+	// Strategy resolve to.
+	defaultStrategy string
+
 	// dirty counts entries ingested since the last build/Refresh. The
 	// sealed segments are the source of truth; Refresh clamps a
 	// drifted counter back to them and counts the event (DirtyClamps)
@@ -125,6 +139,9 @@ type Result struct {
 	CompactTime, SolveTime, HittingTime, PersonalizeTime time.Duration
 	// Generation is the engine snapshot that produced this result.
 	Generation uint64
+	// Strategy is the canonical name of the diversification strategy
+	// that produced (or would address the cache entry of) Diversified.
+	Strategy string
 	// CacheHit reports that the diversified list came from the
 	// suggestion cache (directly or by coalescing onto a concurrent
 	// identical request) instead of a fresh pipeline run.
@@ -145,6 +162,9 @@ func NewEngine(l *querylog.Log, cfg Config) (*Engine, error) {
 	}
 	sessions := querylog.Sessionize(l, cfg.Sessionizer)
 	e := &Engine{cfg: cfg, segs: &querylog.SegmentList{}, hasLog: true}
+	if err := e.initStrategies(); err != nil {
+		return nil, err
+	}
 	e.segs.Append(l.Entries)
 	snap := e.builder().FromSessions(sessions, l.Len(), e.segs.NumSegments())
 	snap.Generation = 1
@@ -211,13 +231,19 @@ func (e *Engine) SuggestDiversified(query string, sctx []querylog.Entry, at time
 // and the Result keeps the stage timings completed so far, so callers
 // can report partial progress.
 func (e *Engine) SuggestDiversifiedContext(ctx context.Context, query string, sctx []querylog.Entry, at time.Time, k int) (Result, error) {
-	return e.suggestDiversifiedOn(ctx, e.snap.Load(), query, sctx, at, k)
+	name, div, err := e.resolveStrategy("")
+	if err != nil {
+		return Result{}, err
+	}
+	return e.suggestDiversifiedOn(ctx, e.snap.Load(), div, name, query, sctx, at, k)
 }
 
 // suggestDiversifiedOn is the pipeline body, pinned to one snapshot so
-// a request never mixes state across a concurrent hot-swap.
-func (e *Engine) suggestDiversifiedOn(ctx context.Context, snap *snapshot.Snapshot, query string, sctx []querylog.Entry, at time.Time, k int) (Result, error) {
-	var res Result
+// a request never mixes state across a concurrent hot-swap. div is the
+// resolved diversification strategy (selection stage); name its
+// canonical registry name.
+func (e *Engine) suggestDiversifiedOn(ctx context.Context, snap *snapshot.Snapshot, div diversify.Diversifier, name string, query string, sctx []querylog.Entry, at time.Time, k int) (Result, error) {
+	res := Result{Strategy: name}
 	if k <= 0 {
 		return res, fmt.Errorf("core: k = %d", k)
 	}
@@ -308,10 +334,26 @@ func (e *Engine) suggestDiversifiedOn(ctx context.Context, snap *snapshot.Snapsh
 	}
 	pool := ranked[:poolSize]
 
+	// Selection stage: the strategy picks k diverse suggestions from
+	// the relevance-gated pool. The stage keeps its historical span and
+	// histogram name ("hitting" — the paper's selector) for dashboard
+	// continuity; the strategy attr and the per-strategy server metrics
+	// tell the selectors apart.
 	t0 = time.Now()
 	sp = obs.StartSpan(ctx, "hitting")
-	walker := hittingtime.NewWalker(compact, e.cfg.Hitting)
-	selected, herr := walker.SelectDiverseCtx(ctx, reg.First, k, seedLocals, pool)
+	sp.SetAttr("strategy", name)
+	topicsOf, topicWeights := topicsOn(snap, compact)
+	selected, herr := div.Select(ctx, diversify.Request{
+		Compact:      compact,
+		Query:        query,
+		First:        reg.First,
+		K:            k,
+		Excluded:     seedLocals,
+		Pool:         pool,
+		Relevance:    reg.F,
+		TopicsOf:     topicsOf,
+		TopicWeights: topicWeights,
+	})
 	res.HittingTime = time.Since(t0)
 	if n := len(selected); n > 0 {
 		res.HittingRounds = n - 1

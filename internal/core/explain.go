@@ -45,9 +45,15 @@ func (e *Engine) Explain(userID, query string, context []querylog.Entry, at time
 	var ex Explanation
 	ex.Query = query
 	// Pin one snapshot for the whole explanation so the re-run and the
-	// diagnostics below cannot straddle a concurrent hot-swap.
+	// diagnostics below cannot straddle a concurrent hot-swap. Explain
+	// always narrates the engine's default strategy — its diagnostics
+	// (hitting time at pick) are the paper's Algorithm-1 story.
+	name, div, err := e.resolveStrategy("")
+	if err != nil {
+		return ex, err
+	}
 	snap := e.snap.Load()
-	res, err := e.suggestDiversifiedOn(stdcontext.Background(), snap, query, context, at, k)
+	res, err := e.suggestDiversifiedOn(stdcontext.Background(), snap, div, name, query, context, at, k)
 	if err != nil {
 		return ex, err
 	}

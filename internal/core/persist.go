@@ -61,6 +61,9 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		return nil, fmt.Errorf("core: engine file has no representation")
 	}
 	e := &Engine{cfg: wire.Cfg, segs: &querylog.SegmentList{}}
+	if err := e.initStrategies(); err != nil {
+		return nil, err
+	}
 	snap := &snapshot.Snapshot{
 		Rep:        wire.Rep,
 		Sessions:   wire.Rep.Sessions,

@@ -31,6 +31,14 @@ type SuggestRequest struct {
 	At time.Time
 	// K is the number of suggestions (must be positive).
 	K int
+	// Strategy selects the diversification strategy by registry name
+	// ("hitting", "mmr", "pfar", "relevance", or any engine-local
+	// addition — see internal/diversify). Empty resolves to the
+	// engine's configured default; unknown names return
+	// ErrUnknownStrategy. The resolved canonical name is part of the
+	// suggestion-cache key, so strategies never serve each other's
+	// lists.
+	Strategy string
 	// SkipPersonalization returns the diversified ranking even when the
 	// engine has profiles for User.
 	SkipPersonalization bool
@@ -80,24 +88,33 @@ func (e *Engine) Do(ctx context.Context, req SuggestRequest) (Result, error) {
 	// so a concurrent hot-swap can never mix states mid-request.
 	snap := e.snap.Load()
 
+	// Resolve the strategy BEFORE any cache access: the canonical name
+	// (never "") is what enters the key, so an empty Strategy and the
+	// default's explicit name address the same entries.
+	strategy, div, serr := e.resolveStrategy(req.Strategy)
+	if serr != nil {
+		return Result{Generation: snap.Generation}, serr
+	}
+
 	var res Result
 	var err error
 	if req.CachedOnly {
 		// Degraded path: cache lookup or nothing. No compute, no
 		// coalescing — the point is a hard bound on per-request cost.
 		if e.cache == nil {
-			return Result{Generation: snap.Generation}, ErrNotCached
+			return Result{Generation: snap.Generation, Strategy: strategy}, ErrNotCached
 		}
 		key := suggestcache.Key{
 			Generation: snap.Generation,
 			Query:      querylog.NormalizeQuery(req.Query),
 			ContextFP:  ContextFingerprint(req.Context, at, e.cfg.Regularize.Lambda),
 			K:          req.K,
+			Strategy:   strategy,
 		}
 		var ok bool
 		res, ok = e.cache.Get(key)
 		if !ok {
-			return Result{Generation: snap.Generation}, ErrNotCached
+			return Result{Generation: snap.Generation, Strategy: strategy}, ErrNotCached
 		}
 		// Same contract as a regular hit: the stored stage timings
 		// belong to the leader that computed the entry, not to this
@@ -110,10 +127,11 @@ func (e *Engine) Do(ctx context.Context, req SuggestRequest) (Result, error) {
 			Query:      querylog.NormalizeQuery(req.Query),
 			ContextFP:  ContextFingerprint(req.Context, at, e.cfg.Regularize.Lambda),
 			K:          req.K,
+			Strategy:   strategy,
 		}
 		var out suggestcache.Outcome
 		res, out, err = e.cache.Do(ctx, key, func(ctx context.Context) (Result, error) {
-			return e.suggestDiversifiedOn(ctx, snap, req.Query, req.Context, at, req.K)
+			return e.suggestDiversifiedOn(ctx, snap, div, strategy, req.Query, req.Context, at, req.K)
 		})
 		if out == suggestcache.Hit || out == suggestcache.Coalesced {
 			// The stage timings belong to the request that actually ran
@@ -122,9 +140,10 @@ func (e *Engine) Do(ctx context.Context, req SuggestRequest) (Result, error) {
 			res.CacheHit = true
 		}
 	} else {
-		res, err = e.suggestDiversifiedOn(ctx, snap, req.Query, req.Context, at, req.K)
+		res, err = e.suggestDiversifiedOn(ctx, snap, div, strategy, req.Query, req.Context, at, req.K)
 	}
 	res.Generation = snap.Generation
+	res.Strategy = strategy
 	if err != nil {
 		return res, err
 	}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bipartite"
+	"repro/internal/diversify"
+	"repro/internal/querylog"
+	"repro/internal/snapshot"
+)
+
+// ErrUnknownStrategy is returned by Do (and NewEngine, for a bad
+// configured default) when the requested diversification strategy is
+// not registered with this engine.
+var ErrUnknownStrategy = diversify.ErrUnknown
+
+// initStrategies builds the engine's strategy table from the global
+// diversify registry and validates the configured default. Called once
+// at construction (NewEngine/LoadEngine); clones share the table.
+func (e *Engine) initStrategies() error {
+	e.strategies = diversify.All(diversify.Options{
+		Config:  e.cfg.Diversify,
+		Hitting: e.cfg.Hitting,
+	})
+	name := e.cfg.Diversify.Strategy
+	if name == "" {
+		name = diversify.Default
+	}
+	if _, ok := e.strategies[name]; !ok {
+		return fmt.Errorf("%w: default %q (known: %s)",
+			ErrUnknownStrategy, name, strings.Join(diversify.Names(), ", "))
+	}
+	e.defaultStrategy = name
+	return nil
+}
+
+// resolveStrategy maps a per-request strategy name (empty = the
+// engine's default) to its canonical name and instance. The canonical
+// name is what enters the suggestion-cache key, so "" and the default's
+// explicit name address the same entries.
+func (e *Engine) resolveStrategy(name string) (string, diversify.Diversifier, error) {
+	if name == "" {
+		name = e.defaultStrategy
+	}
+	d, ok := e.strategies[name]
+	if !ok {
+		return name, nil, fmt.Errorf("%w: %q", ErrUnknownStrategy, name)
+	}
+	return name, d, nil
+}
+
+// AddDiversifier registers an engine-local strategy instance under its
+// Name — the hook the offline evaluation harness uses to score baseline
+// suggesters (see baselines.AsDiversifier) through the same pipeline.
+// Not synchronized against serving: call before the engine starts
+// answering requests. Clones made afterwards share the extended table.
+func (e *Engine) AddDiversifier(d diversify.Diversifier) error {
+	if d == nil || d.Name() == "" {
+		return errors.New("core: AddDiversifier with nil strategy or empty name")
+	}
+	if _, dup := e.strategies[d.Name()]; dup {
+		return fmt.Errorf("core: strategy %q already registered", d.Name())
+	}
+	e.strategies[d.Name()] = d
+	return nil
+}
+
+// DiversifyDefault returns the canonical name of the engine's default
+// diversification strategy.
+func (e *Engine) DiversifyDefault() string { return e.defaultStrategy }
+
+// StrategyNames returns the names of every strategy this engine can
+// serve, sorted.
+func (e *Engine) StrategyNames() []string {
+	out := make([]string, 0, len(e.strategies))
+	for name := range e.strategies {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StrategyInfo describes one servable strategy for discovery surfaces
+// (GET /v1/strategies).
+type StrategyInfo struct {
+	Name    string         `json:"name"`
+	Default bool           `json:"default"`
+	Params  map[string]any `json:"params"`
+}
+
+// Diversifiers lists every servable strategy with its resolved
+// configuration, sorted by name.
+func (e *Engine) Diversifiers() []StrategyInfo {
+	out := make([]StrategyInfo, 0, len(e.strategies))
+	for _, name := range e.StrategyNames() {
+		out = append(out, StrategyInfo{
+			Name:    name,
+			Default: name == e.defaultStrategy,
+			Params:  e.strategies[name].Params(),
+		})
+	}
+	return out
+}
+
+// topicThreshold keeps the topics scoring at least this fraction of a
+// query's best topic: queries genuinely straddling facets get multi-
+// topic sets, single-intent queries stay single-topic.
+const topicThreshold = 0.5
+
+// topicsOn builds the topic oracle for topic-aware strategies (PFAR)
+// on one compact representation: UPM topic inference over the query's
+// tokens when the snapshot has trained profiles, clicked-URL objects
+// otherwise. The returned weights are the GLOBAL topic proportions
+// (normalized Dirichlet prior) — deliberately user-independent, because
+// the suggestion cache shares the diversified list across users.
+func topicsOn(snap *snapshot.Snapshot, compact *bipartite.Compact) (func(int) []int, []float64) {
+	p := snap.Profiles
+	if p == nil {
+		return func(local int) []int { return diversify.URLTopics(compact, local) }, nil
+	}
+	upm := p.UPM()
+	alpha := upm.Alpha()
+	sum := 0.0
+	for _, a := range alpha {
+		sum += a
+	}
+	weights := make([]float64, len(alpha))
+	if sum > 0 {
+		for k, a := range alpha {
+			weights[k] = a / sum
+		}
+	}
+	topicsOf := func(local int) []int {
+		scores := make([]float64, upm.K())
+		known := false
+		for _, tok := range querylog.Tokenize(compact.QueryName(local)) {
+			w, ok := p.WordID(tok)
+			if !ok {
+				continue
+			}
+			known = true
+			for k := range scores {
+				scores[k] += upm.PriorWordProb(k, w)
+			}
+		}
+		if !known {
+			return nil
+		}
+		max := 0.0
+		for _, s := range scores {
+			if s > max {
+				max = s
+			}
+		}
+		if max == 0 {
+			return nil
+		}
+		var out []int
+		for k, s := range scores {
+			if s >= topicThreshold*max {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	return topicsOf, weights
+}

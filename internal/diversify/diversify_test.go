@@ -1,0 +1,235 @@
+package diversify
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/querylog"
+	"repro/internal/synth"
+)
+
+func testRequest(t *testing.T, k int) Request {
+	t.Helper()
+	w := synth.Generate(synth.Config{Seed: 17, NumFacets: 5, NumUsers: 10, SessionsPerUser: 12})
+	rep := bipartite.Build(w.Log, querylog.SessionizerConfig{}, bipartite.CFIQF)
+	c := rep.BuildCompact([]int{0}, bipartite.CompactConfig{Budget: 40})
+	if c.Size() < k+3 {
+		t.Fatalf("compact too small for the test: %d", c.Size())
+	}
+	pool := make([]int, 0, c.Size())
+	rel := make([]float64, c.Size())
+	for i := 0; i < c.Size(); i++ {
+		if i == 0 {
+			continue // the seed is excluded, like the engine's seedLocals
+		}
+		pool = append(pool, i)
+		rel[i] = 1 / float64(i+1) // descending, like a solved F*
+	}
+	return Request{
+		Compact:   c,
+		Query:     c.QueryName(0),
+		First:     pool[0],
+		K:         k,
+		Excluded:  []int{0},
+		Pool:      pool,
+		Relevance: rel,
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{Default, Fallback, "mmr", "pfar"} {
+		if !Known(name) {
+			t.Errorf("built-in strategy %q not registered", name)
+		}
+		d, err := New(name, Options{})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if d.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, d.Name())
+		}
+	}
+	if Known("nope") {
+		t.Error("unknown name reported as known")
+	}
+	if _, err := New("nope", Options{}); err == nil {
+		t.Error("New accepted an unknown name")
+	}
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	all := All(Options{})
+	if len(all) != len(names) {
+		t.Errorf("All() has %d entries, Names() %d", len(all), len(names))
+	}
+}
+
+// Every registered strategy must honor the Select contract: the list
+// leads with a ranking head, respects K, and never contains seeds or
+// duplicates. (The baselines adapter documents its own head exception;
+// it is not registered here.)
+func TestSelectContract(t *testing.T) {
+	req := testRequest(t, 6)
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			d, err := New(name, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel, err := d.Select(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sel) == 0 || len(sel) > req.K {
+				t.Fatalf("selected %d items, want 1..%d", len(sel), req.K)
+			}
+			if sel[0] != req.First {
+				t.Errorf("first selection %d, want the Eq. 15 head %d", sel[0], req.First)
+			}
+			seen := map[int]bool{0: true} // excluded seed
+			for _, v := range sel {
+				if seen[v] {
+					t.Fatalf("duplicate or excluded selection %d in %v", v, sel)
+				}
+				seen[v] = true
+			}
+			// Determinism: same request, same answer — the cache shares
+			// lists across requests, so this is a correctness property.
+			again, err := d.Select(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sel, again) {
+				t.Errorf("non-deterministic selection: %v then %v", sel, again)
+			}
+		})
+	}
+}
+
+// The relevance strategy is pool order by definition: the cheapest
+// possible list, designated as the brownout fallback.
+func TestRelevanceIsPoolOrder(t *testing.T) {
+	req := testRequest(t, 5)
+	d, err := New(Fallback, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := d.Select(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{req.First}
+	for _, v := range req.Pool {
+		if len(want) >= req.K {
+			break
+		}
+		if v != req.First {
+			want = append(want, v)
+		}
+	}
+	if !reflect.DeepEqual(sel, want) {
+		t.Errorf("relevance selection %v, want pool order %v", sel, want)
+	}
+}
+
+// MMR with λ=1 ignores similarity entirely and must equal the
+// relevance order; λ<1 may deviate but still honors the contract.
+func TestMMRLambdaOneIsRelevance(t *testing.T) {
+	req := testRequest(t, 5)
+	mmr, err := New("mmr", Options{Config: Config{MMRLambda: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := New(Fallback, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mmr.Select(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rel.Select(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relevance in testRequest is strictly descending over the pool, so
+	// pool order and pure-relevance MMR coincide.
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MMR(λ=1) = %v, want relevance order %v", got, want)
+	}
+}
+
+// PFAR without topic information degrades to relevance order instead
+// of failing: the strategy stays servable on engines without profiles.
+func TestPFARWithoutTopicsDegrades(t *testing.T) {
+	req := testRequest(t, 5) // TopicsOf nil
+	pfar, err := New("pfar", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := New(Fallback, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pfar.Select(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rel.Select(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PFAR without topics = %v, want relevance order %v", got, want)
+	}
+}
+
+// PFAR with topic ground truth must cover a second topic earlier than
+// the pure relevance order when the head of the pool is monotopical.
+func TestPFARCoversTopics(t *testing.T) {
+	req := testRequest(t, 4)
+	// Synthetic topics: the three most relevant candidates share topic
+	// 0; one later candidate is the only carrier of topic 1.
+	topicOf := map[int][]int{}
+	for i, v := range req.Pool {
+		switch {
+		case i < 3:
+			topicOf[v] = []int{0}
+		case i == 3:
+			topicOf[v] = []int{1}
+		default:
+			topicOf[v] = []int{0}
+		}
+	}
+	req.TopicsOf = func(local int) []int { return topicOf[local] }
+	pfar, err := New("pfar", Options{Config: Config{PFARLambda: 5, PFARTau: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := pfar.Select(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[1] != req.Pool[3] {
+		t.Errorf("PFAR second pick %d, want the topic-1 carrier %d (sel %v)", sel[1], req.Pool[3], sel)
+	}
+}
+
+func TestSelectHonorsContextCancel(t *testing.T) {
+	req := testRequest(t, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range []string{Default} {
+		d, err := New(name, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Select(ctx, req); err == nil {
+			t.Errorf("%s: cancelled context accepted", name)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package diversify
+
+import (
+	"context"
+
+	"repro/internal/hittingtime"
+)
+
+// hittingStrategy is the paper's Algorithm 1: greedy selection by
+// largest truncated cross-bipartite hitting time to the already-
+// selected set. It delegates to internal/hittingtime with exactly the
+// arguments the pre-registry pipeline used, so the registry-backed
+// default is bit-identical to the hard-wired stage it replaced (the
+// parity test in internal/core pins this).
+type hittingStrategy struct {
+	cfg hittingtime.Config
+}
+
+func (h *hittingStrategy) Name() string { return Default }
+
+func (h *hittingStrategy) Params() map[string]any {
+	return map[string]any{
+		"iterations": h.cfg.Iterations,
+		"tolerance":  h.cfg.Tolerance,
+		"crossView":  h.cfg.CrossView,
+		"workers":    h.cfg.Workers,
+	}
+}
+
+func (h *hittingStrategy) Select(ctx context.Context, req Request) ([]int, error) {
+	walker := hittingtime.NewWalker(req.Compact, h.cfg)
+	return walker.SelectDiverseCtx(ctx, req.First, req.K, req.Excluded, req.Pool)
+}

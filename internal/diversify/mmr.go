@@ -1,0 +1,178 @@
+package diversify
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/bipartite"
+)
+
+// mmrStrategy is Maximal Marginal Relevance (Carbonell & Goldstein)
+// over the compact representation's cf·iqf query vectors: each greedy
+// round picks the candidate maximizing
+//
+//	λ·rel(c) − (1−λ)·max_{s ∈ selected} sim(c, s)
+//
+// where rel is the Eq. 15 regularization score normalized to [0,1]
+// over the pool and sim is the cosine similarity of the candidates'
+// rows across all three bipartite views (URL, session, term). High λ
+// favors relevance, low λ novelty.
+type mmrStrategy struct {
+	lambda float64
+}
+
+// defaultMMRLambda balances toward relevance, matching the common
+// literature setting.
+const defaultMMRLambda = 0.7
+
+func newMMR(o Options) Diversifier {
+	l := o.MMRLambda
+	if l <= 0 || l > 1 {
+		l = defaultMMRLambda
+	}
+	return &mmrStrategy{lambda: l}
+}
+
+func (m *mmrStrategy) Name() string { return "mmr" }
+
+func (m *mmrStrategy) Params() map[string]any {
+	return map[string]any{"lambda": m.lambda}
+}
+
+func (m *mmrStrategy) Select(ctx context.Context, req Request) ([]int, error) {
+	cands := candidateList(req)
+	selected := []int{req.First}
+	if len(cands) == 0 || req.K <= 1 {
+		return selected, nil
+	}
+	vecs := newRowVectors(req.Compact)
+	relMax := 0.0
+	for _, c := range cands {
+		if r := req.Relevance[c]; r > relMax {
+			relMax = r
+		}
+	}
+	if r := req.Relevance[req.First]; r > relMax {
+		relMax = r
+	}
+	if relMax == 0 {
+		relMax = 1
+	}
+
+	// maxSim tracks each candidate's similarity to the selected set so
+	// far; each round only compares against the newest pick.
+	maxSim := make(map[int]float64, len(cands))
+	for _, c := range cands {
+		maxSim[c] = vecs.cosine(c, req.First)
+	}
+	picked := map[int]bool{req.First: true}
+	for len(selected) < req.K && len(picked)-1 < len(cands) {
+		if err := ctx.Err(); err != nil {
+			return selected, err
+		}
+		best, bestScore := -1, math.Inf(-1)
+		for _, c := range cands {
+			if picked[c] {
+				continue
+			}
+			score := m.lambda*(req.Relevance[c]/relMax) - (1-m.lambda)*maxSim[c]
+			// Strict > keeps ties on the earlier (higher-relevance)
+			// pool entry, so selections are deterministic.
+			if score > bestScore {
+				best, bestScore = c, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		picked[best] = true
+		selected = append(selected, best)
+		for _, c := range cands {
+			if picked[c] {
+				continue
+			}
+			if s := vecs.cosine(c, best); s > maxSim[c] {
+				maxSim[c] = s
+			}
+		}
+	}
+	return selected, nil
+}
+
+// candidateList filters the pool down to pickable candidates: not the
+// first pick and not an excluded seed, preserving pool (relevance)
+// order.
+func candidateList(req Request) []int {
+	excl := make(map[int]bool, len(req.Excluded)+1)
+	for _, e := range req.Excluded {
+		excl[e] = true
+	}
+	excl[req.First] = true
+	out := make([]int, 0, len(req.Pool))
+	seen := make(map[int]bool, len(req.Pool))
+	for _, c := range req.Pool {
+		if excl[c] || seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// rowVectors lazily materializes compact-local query vectors (one map
+// per view per query, concatenated conceptually) with their joint norm,
+// so pairwise cosines cost one sparse-map intersection per view.
+type rowVectors struct {
+	c    *bipartite.Compact
+	rows map[int][bipartite.NumViews]map[int]float64
+	norm map[int]float64
+}
+
+func newRowVectors(c *bipartite.Compact) *rowVectors {
+	return &rowVectors{
+		c:    c,
+		rows: make(map[int][bipartite.NumViews]map[int]float64),
+		norm: make(map[int]float64),
+	}
+}
+
+func (rv *rowVectors) get(q int) ([bipartite.NumViews]map[int]float64, float64) {
+	if r, ok := rv.rows[q]; ok {
+		return r, rv.norm[q]
+	}
+	var r [bipartite.NumViews]map[int]float64
+	sq := 0.0
+	for v := 0; v < bipartite.NumViews; v++ {
+		m := make(map[int]float64, rv.c.W[v].RowNNZ(q))
+		rv.c.W[v].Row(q, func(o int, val float64) {
+			m[o] = val
+			sq += val * val
+		})
+		r[v] = m
+	}
+	rv.rows[q] = r
+	rv.norm[q] = math.Sqrt(sq)
+	return r, rv.norm[q]
+}
+
+// cosine is the similarity of two compact-local queries over the
+// concatenation of their three view rows.
+func (rv *rowVectors) cosine(a, b int) float64 {
+	ra, na := rv.get(a)
+	rb, nb := rv.get(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	dot := 0.0
+	for v := 0; v < bipartite.NumViews; v++ {
+		x, y := ra[v], rb[v]
+		if len(y) < len(x) {
+			x, y = y, x
+		}
+		for o, val := range x {
+			dot += val * y[o]
+		}
+	}
+	return dot / (na * nb)
+}

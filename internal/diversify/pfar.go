@@ -1,0 +1,138 @@
+package diversify
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/bipartite"
+)
+
+// pfarStrategy is a PFAR-style topic-coverage selector (Vargas et al.'s
+// personalized-facet formulation, de-personalized for the shared
+// cache): each greedy round scores a candidate as
+//
+//	rel(c) + λ·τ · Σ_{t ∈ topics(c)} w_t · I{topics(c) ∩ covered = ∅}
+//
+// — relevance plus a weighted bonus for candidates whose topic set is
+// disjoint from everything selected so far (the indicator zeroes the
+// bonus on any overlap, exactly the product term of the reference
+// formulation). Topics come from Request.TopicsOf: UPM topics when the
+// engine has trained profiles, clicked-URL objects otherwise. The
+// weights are the GLOBAL topic proportions, never a user's — the
+// suggestion cache shares diversified lists across users, so the
+// selection must stay user-independent.
+type pfarStrategy struct {
+	lambda, tau float64
+}
+
+func newPFAR(o Options) Diversifier {
+	l, t := o.PFARLambda, o.PFARTau
+	if l <= 0 {
+		l = 1
+	}
+	if t <= 0 {
+		t = 1
+	}
+	return &pfarStrategy{lambda: l, tau: t}
+}
+
+func (p *pfarStrategy) Name() string { return "pfar" }
+
+func (p *pfarStrategy) Params() map[string]any {
+	return map[string]any{"lambda": p.lambda, "tau": p.tau}
+}
+
+func (p *pfarStrategy) Select(ctx context.Context, req Request) ([]int, error) {
+	cands := candidateList(req)
+	selected := []int{req.First}
+	if len(cands) == 0 || req.K <= 1 {
+		return selected, nil
+	}
+	if req.TopicsOf == nil {
+		// No topic source: degrade to the relevance-gate order.
+		for _, c := range cands {
+			if len(selected) >= req.K {
+				break
+			}
+			selected = append(selected, c)
+		}
+		return selected, nil
+	}
+
+	topics := make(map[int][]int, len(cands)+1)
+	topics[req.First] = req.TopicsOf(req.First)
+	for _, c := range cands {
+		topics[c] = req.TopicsOf(c)
+	}
+	relMax := 0.0
+	for _, c := range cands {
+		if r := req.Relevance[c]; r > relMax {
+			relMax = r
+		}
+	}
+	if relMax == 0 {
+		relMax = 1
+	}
+	weight := func(t int) float64 {
+		if t >= 0 && t < len(req.TopicWeights) {
+			return req.TopicWeights[t]
+		}
+		if len(req.TopicWeights) > 0 {
+			return 0
+		}
+		return 1
+	}
+
+	covered := make(map[int]bool)
+	for _, t := range topics[req.First] {
+		covered[t] = true
+	}
+	picked := map[int]bool{req.First: true}
+	for len(selected) < req.K && len(picked)-1 < len(cands) {
+		if err := ctx.Err(); err != nil {
+			return selected, err
+		}
+		best, bestScore := -1, math.Inf(-1)
+		for _, c := range cands {
+			if picked[c] {
+				continue
+			}
+			bonus := 0.0
+			novel := true
+			for _, t := range topics[c] {
+				if covered[t] {
+					novel = false
+					break
+				}
+				bonus += weight(t)
+			}
+			score := req.Relevance[c] / relMax
+			if novel {
+				score += p.lambda * p.tau * bonus
+			}
+			if score > bestScore {
+				best, bestScore = c, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		picked[best] = true
+		selected = append(selected, best)
+		for _, t := range topics[best] {
+			covered[t] = true
+		}
+	}
+	return selected, nil
+}
+
+// URLTopics is the profile-free topic fallback: a query's "topics" are
+// the clicked-URL objects of its compact row — two queries sharing a
+// clicked page share an intent facet in the click-graph sense.
+func URLTopics(c *bipartite.Compact, local int) []int {
+	var out []int
+	c.W[bipartite.ViewURL].Row(local, func(o int, _ float64) {
+		out = append(out, o)
+	})
+	return out
+}

@@ -1,0 +1,28 @@
+package diversify
+
+import "context"
+
+// relevanceStrategy is the relevance-gate order itself: First, then the
+// pool in descending Eq. 15 score, no diversification. It runs zero
+// hitting-time sweeps and zero pairwise similarity work, which makes it
+// the cheapest registered selector — the admission-control brownout
+// fallback (Fallback) when the breaker is open and the cache is cold.
+type relevanceStrategy struct{}
+
+func (relevanceStrategy) Name() string { return Fallback }
+
+func (relevanceStrategy) Params() map[string]any { return map[string]any{} }
+
+func (relevanceStrategy) Select(ctx context.Context, req Request) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	selected := []int{req.First}
+	for _, c := range candidateList(req) {
+		if len(selected) >= req.K {
+			break
+		}
+		selected = append(selected, c)
+	}
+	return selected, nil
+}

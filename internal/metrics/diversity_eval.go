@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// This file adds the standard diversity-evaluation measures the offline
+// strategy-comparison harness (internal/experiments, cmd/evalab) scores
+// suggestion lists with, complementing the paper's own Eqs. 32–34:
+// α-nDCG (Clarke et al., SIGIR 2008), subtopic recall (Zhai et al.,
+// SIGIR 2003) and intra-list distance. Subtopics are abstract int IDs —
+// the synthetic world supplies its ground-truth facets.
+
+// SubtopicsOf returns the subtopic (facet) IDs a suggestion covers.
+type SubtopicsOf func(query string) []int
+
+// AlphaDCG computes the α-discounted cumulative gain of a ranked list:
+// position r (0-based) contributes Σ_t (1−α)^seen(t) / log2(r+2) over
+// the subtopics t it covers, where seen(t) counts how many earlier
+// items already covered t. α is the redundancy penalty (0 reduces to
+// plain per-subtopic DCG; the conventional value is 0.5).
+func AlphaDCG(list []string, subtopics SubtopicsOf, alpha float64) float64 {
+	seen := map[int]int{}
+	dcg := 0.0
+	for r, q := range list {
+		gain := 0.0
+		for _, t := range subtopics(q) {
+			gain += math.Pow(1-alpha, float64(seen[t]))
+			seen[t]++
+		}
+		dcg += gain / math.Log2(float64(r)+2)
+	}
+	return dcg
+}
+
+// IdealAlphaDCG greedily reorders pool to maximize AlphaDCG over the
+// first k positions and returns that value — the standard (greedy,
+// since the exact ideal is NP-hard) normalizer of α-nDCG. The pool
+// should be the union of every compared system's returned items
+// (TREC-style pooling), so all systems are normalized against the same
+// ideal.
+func IdealAlphaDCG(pool []string, subtopics SubtopicsOf, alpha float64, k int) float64 {
+	if k > len(pool) {
+		k = len(pool)
+	}
+	remaining := append([]string(nil), pool...)
+	seen := map[int]int{}
+	dcg := 0.0
+	for r := 0; r < k && len(remaining) > 0; r++ {
+		bestIdx, bestGain := 0, -1.0
+		for i, q := range remaining {
+			gain := 0.0
+			for _, t := range subtopics(q) {
+				gain += math.Pow(1-alpha, float64(seen[t]))
+			}
+			if gain > bestGain {
+				bestIdx, bestGain = i, gain
+			}
+		}
+		for _, t := range subtopics(remaining[bestIdx]) {
+			seen[t]++
+		}
+		dcg += bestGain / math.Log2(float64(r)+2)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return dcg
+}
+
+// AlphaNDCG normalizes AlphaDCG(list) by the greedy ideal over pool
+// (which must contain the list's items for the ratio to be ≤ 1 in
+// general). Returns 0 when the ideal is 0 — no item in the pool covers
+// any subtopic, so every ranking is equally (un)diverse.
+func AlphaNDCG(list, pool []string, subtopics SubtopicsOf, alpha float64) float64 {
+	ideal := IdealAlphaDCG(pool, subtopics, alpha, len(list))
+	if ideal == 0 {
+		return 0
+	}
+	return AlphaDCG(list, subtopics, alpha) / ideal
+}
+
+// SubtopicRecall is the fraction of the relevant subtopics (the input
+// query's generating facets) that at least one list item covers — the
+// S-recall@k of Zhai et al. Returns 0 for an empty relevant set (a
+// query with no known facets cannot have them covered).
+func SubtopicRecall(list []string, subtopics SubtopicsOf, relevant []int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	want := make(map[int]bool, len(relevant))
+	for _, t := range relevant {
+		want[t] = true
+	}
+	covered := map[int]bool{}
+	for _, q := range list {
+		for _, t := range subtopics(q) {
+			if want[t] {
+				covered[t] = true
+			}
+		}
+	}
+	return float64(len(covered)) / float64(len(want))
+}
+
+// Vectorizer returns an item's representation vector (for ILD, the
+// facet distribution of a suggestion).
+type Vectorizer func(query string) []float64
+
+// IntraListDistance is the mean pairwise cosine distance (1 − cos)
+// over all unordered pairs of the list — higher means a more spread-out
+// list. Items with nil/zero vectors count as maximally distant from
+// everything (no evidence of overlap, mirroring PairDiversity's
+// convention). Lists with fewer than two items score 0.
+func IntraListDistance(list []string, vec Vectorizer) float64 {
+	n := len(list)
+	if n < 2 {
+		return 0
+	}
+	vecs := make([][]float64, n)
+	for i, q := range list {
+		vecs[i] = vec(q)
+	}
+	total := 0.0
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sim := 0.0
+			if len(vecs[i]) > 0 && len(vecs[j]) > 0 {
+				sim = numeric.Cosine(vecs[i], vecs[j])
+			}
+			total += 1 - sim
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// Fixture: three items over two subtopics. "a" covers {0}, "b" covers
+// {0} again (redundant), "c" covers {1}.
+func evalSubtopics() SubtopicsOf {
+	m := map[string][]int{
+		"a": {0},
+		"b": {0},
+		"c": {1},
+		"x": nil, // no ground truth
+	}
+	return func(q string) []int { return m[q] }
+}
+
+func almost(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("%s = %.12f, want %.12f", name, got, want)
+	}
+}
+
+func TestAlphaDCGHandComputed(t *testing.T) {
+	st := evalSubtopics()
+	// [a b c] at α=0.5:
+	//  r=0 "a": gain (1-α)^0 = 1,    discount log2(2)=1    → 1
+	//  r=1 "b": gain (1-α)^1 = 0.5,  discount log2(3)      → 0.5/log2(3)
+	//  r=2 "c": gain (1-α)^0 = 1,    discount log2(4)=2    → 0.5
+	want := 1 + 0.5/math.Log2(3) + 0.5
+	almost(t, "AlphaDCG([a b c])", AlphaDCG([]string{"a", "b", "c"}, st, 0.5), want)
+
+	// [a c b] covers topic 1 earlier, so it must score strictly higher.
+	better := AlphaDCG([]string{"a", "c", "b"}, st, 0.5)
+	if better <= AlphaDCG([]string{"a", "b", "c"}, st, 0.5) {
+		t.Errorf("diverse order %.6f not better than redundant order", better)
+	}
+
+	// α=0 removes the redundancy penalty entirely: per-subtopic DCG.
+	want0 := 1 + 1/math.Log2(3) + 0.5
+	almost(t, "AlphaDCG α=0", AlphaDCG([]string{"a", "b", "c"}, st, 0), want0)
+
+	if got := AlphaDCG(nil, st, 0.5); got != 0 {
+		t.Errorf("AlphaDCG(nil) = %v", got)
+	}
+}
+
+func TestIdealAlphaDCGGreedy(t *testing.T) {
+	st := evalSubtopics()
+	// Greedy over pool {a b c}: picks a (or b) for gain 1, then c for
+	// gain 1 (fresh topic), then the redundant one for gain 0.5.
+	want := 1 + 1/math.Log2(3) + 0.25
+	almost(t, "IdealAlphaDCG k=3", IdealAlphaDCG([]string{"a", "b", "c"}, st, 0.5, 3), want)
+
+	// k truncates: only the two best picks count.
+	want2 := 1 + 1/math.Log2(3)
+	almost(t, "IdealAlphaDCG k=2", IdealAlphaDCG([]string{"a", "b", "c"}, st, 0.5, 2), want2)
+
+	// k beyond the pool is clamped, not an error.
+	almost(t, "IdealAlphaDCG k=99", IdealAlphaDCG([]string{"a", "b", "c"}, st, 0.5, 99), want)
+}
+
+func TestAlphaNDCG(t *testing.T) {
+	st := evalSubtopics()
+	pool := []string{"a", "b", "c"}
+	// The greedy-ideal order normalizes to exactly 1.
+	almost(t, "AlphaNDCG(ideal)", AlphaNDCG([]string{"a", "c", "b"}, pool, st, 0.5), 1)
+	// A worse order lands strictly below 1, above 0.
+	got := AlphaNDCG([]string{"a", "b", "c"}, pool, st, 0.5)
+	if got <= 0 || got >= 1 {
+		t.Errorf("AlphaNDCG(redundant order) = %v, want in (0,1)", got)
+	}
+	// No covered subtopics anywhere: defined as 0, not NaN.
+	if got := AlphaNDCG([]string{"x"}, []string{"x"}, st, 0.5); got != 0 {
+		t.Errorf("AlphaNDCG(no subtopics) = %v", got)
+	}
+}
+
+func TestSubtopicRecall(t *testing.T) {
+	st := evalSubtopics()
+	almost(t, "full coverage", SubtopicRecall([]string{"a", "c"}, st, []int{0, 1}), 1)
+	almost(t, "half coverage", SubtopicRecall([]string{"a", "b"}, st, []int{0, 1}), 0.5)
+	// Covering irrelevant subtopics earns nothing.
+	almost(t, "irrelevant only", SubtopicRecall([]string{"c"}, st, []int{7}), 0)
+	// Empty relevant set: defined as 0, not NaN.
+	almost(t, "empty relevant", SubtopicRecall([]string{"a"}, st, nil), 0)
+}
+
+func TestIntraListDistance(t *testing.T) {
+	vecs := map[string][]float64{
+		"e1":   {1, 0},
+		"e2":   {0, 1},
+		"same": {1, 0},
+		"zero": {0, 0},
+	}
+	vec := func(q string) []float64 { return vecs[q] }
+
+	// Orthogonal vectors: cosine 0, distance 1.
+	almost(t, "orthogonal pair", IntraListDistance([]string{"e1", "e2"}, vec), 1)
+	// Identical vectors: cosine 1, distance 0.
+	almost(t, "identical pair", IntraListDistance([]string{"e1", "same"}, vec), 0)
+	// Three items, one orthogonal: pairs (e1,same)=0, (e1,e2)=1,
+	// (same,e2)=1 → mean 2/3.
+	almost(t, "mixed triple", IntraListDistance([]string{"e1", "same", "e2"}, vec), 2.0/3.0)
+	// Unknown/zero vectors count as maximally distant, never NaN.
+	almost(t, "zero vector", IntraListDistance([]string{"e1", "zero"}, vec), 1)
+	almost(t, "unknown item", IntraListDistance([]string{"e1", "nope"}, vec), 1)
+	// Degenerate lists score 0.
+	almost(t, "single item", IntraListDistance([]string{"e1"}, vec), 0)
+	almost(t, "empty list", IntraListDistance(nil, vec), 0)
+}

@@ -39,6 +39,11 @@ func NewStoreFromIndex(upm *topicmodel.UPM, words *bipartite.Index) *Store {
 // UPM exposes the underlying model.
 func (s *Store) UPM() *topicmodel.UPM { return s.upm }
 
+// WordID resolves a token against the UPM's training vocabulary,
+// reporting whether it is known — the hook topic-aware diversification
+// uses to infer a query's topics from the trained model.
+func (s *Store) WordID(word string) (int, bool) { return s.words.Lookup(word) }
+
 // Theta returns the topic profile of a user, or nil for unknown users.
 func (s *Store) Theta(userID string) []float64 {
 	d, ok := s.upm.DocOf(userID)

@@ -187,6 +187,13 @@ func (s *Server) suggestPipeline(ctx context.Context, eng *core.Engine, creq cor
 		dreq.CachedOnly = true
 		res, err = eng.Do(ctx, dreq)
 		if errors.Is(err, core.ErrNotCached) {
+			// Brownout: before shedding with 503, a designated cheap
+			// strategy (SetBrownoutStrategy, typically "relevance") may
+			// answer the miss by running the pipeline without the
+			// expensive stage the breaker protects.
+			if bres, berr, ok := s.serveBrownout(ctx, eng, creq); ok {
+				return bres, true, berr, nil
+			}
 			s.stats.degradedMisses.Add(1)
 			return res, true, nil, degradedUnavailableError(breaker.RetryAfter())
 		}

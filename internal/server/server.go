@@ -75,6 +75,10 @@ type Server struct {
 	// maxBodyBytes caps /v1 and /api POST bodies via http.MaxBytesReader
 	// (0 = uncapped). Defaults to DefaultMaxBodyBytes.
 	maxBodyBytes atomic.Int64
+	// brownout designates the cheap diversification strategy that answers
+	// breaker-open cache misses (see strategies.go); unset means those
+	// requests shed with 503 as before.
+	brownout brownoutState
 
 	stats serverStats
 	// tel holds the per-instance metric registry and histograms backing
@@ -172,19 +176,28 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
 		mux.HandleFunc(rt.method+" /api"+rt.path, deprecatedAlias("/v1"+rt.path, rt.h))
 	}
-	// Batch is v1-only: it postdates the /api surface.
+	// Batch and strategy discovery are v1-only: they postdate the /api
+	// surface.
 	mux.HandleFunc("POST /v1/suggest/batch", s.handleSuggestBatch)
+	mux.HandleFunc("GET /v1/strategies", s.handleStrategies)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mountDebug(mux)
 	return s.withObs(mux)
 }
 
+// legacySunset is the announced removal date of the /api aliases,
+// served verbatim as the Sunset header (RFC 8594) on every legacy
+// response so clients can alert on it mechanically.
+const legacySunset = "Mon, 01 Feb 2027 00:00:00 GMT"
+
 // deprecatedAlias wraps a handler for the legacy /api mount: identical
 // behavior, plus the standard deprecation headers pointing clients at
-// the /v1 successor.
+// the /v1 successor and the Sunset date after which the alias may be
+// removed.
 func deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", legacySunset)
 		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
 		h(w, r)
 	}
@@ -222,6 +235,7 @@ const (
 	codeBadRating        = "bad_rating"        // 400: rating off the 6-point scale
 	codeBadBatch         = "bad_batch"         // 400: batch payload empty/malformed
 	codeBadDebug         = "bad_debug"         // 400: unknown debug mode (only "trace")
+	codeUnknownStrategy  = "unknown_strategy"  // 400: strategy not in the registry
 	codeBatchTooLarge    = "batch_too_large"   // 413: batch exceeds MaxBatchSize
 	codeNotFound         = "not_found"         // 404: no recorded history
 	codeConflict         = "conflict"          // 409: engine cannot satisfy the mutation
@@ -501,6 +515,10 @@ type SuggestRequest struct {
 	At string `json:"at,omitempty"`
 	// NoCache bypasses the suggestion cache for this request.
 	NoCache bool `json:"noCache,omitempty"`
+	// Strategy selects the diversification strategy ("hitting", "mmr",
+	// "pfar", "relevance", …; GET /v1/strategies lists them). Empty means
+	// the engine default. Unknown names are a 400 unknown_strategy.
+	Strategy string `json:"strategy,omitempty"`
 	// Debug, when set to "trace", returns the request's span tree
 	// (pipeline stages with CG iterations, residual, hitting rounds …)
 	// inline in the response.
@@ -525,6 +543,9 @@ type SuggestResponse struct {
 	// Cached reports the diversified list came from the suggestion
 	// cache (personalization still ran fresh for this user).
 	Cached bool `json:"cached"`
+	// Strategy echoes the canonical name of the diversification strategy
+	// that produced (or would have produced, on a cache hit) the list.
+	Strategy string `json:"strategy,omitempty"`
 	// Degraded reports the circuit breaker was open and this response
 	// was served from the generation-keyed cache without running the
 	// personalize/hitting pipeline.
@@ -550,6 +571,7 @@ func (s *Server) decodeSuggestRequest(r *http.Request) (SuggestRequest, *apiErro
 		req.At = q.Get("at")
 		req.NoCache = q.Get("nocache") == "1" || q.Get("nocache") == "true"
 		req.Debug = q.Get("debug")
+		req.Strategy = q.Get("strategy")
 		if ks := q.Get("k"); ks != "" {
 			// strconv.Atoi rejects trailing garbage ("5x") that Sscanf
 			// silently accepted; non-positive k is an error, not a
@@ -611,12 +633,13 @@ func validateSuggestRequest(req SuggestRequest) (core.SuggestRequest, *apiError)
 		sctx = append(sctx, querylog.Entry{UserID: req.User, Query: c.Query, Time: t})
 	}
 	return core.SuggestRequest{
-		User:    req.User,
-		Query:   req.Query,
-		Context: sctx,
-		At:      at,
-		K:       k,
-		NoCache: req.NoCache,
+		User:     req.User,
+		Query:    req.Query,
+		Context:  sctx,
+		At:       at,
+		K:        k,
+		NoCache:  req.NoCache,
+		Strategy: req.Strategy,
 	}, nil
 }
 
@@ -706,7 +729,8 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 	root.SetAttr("k", creq.K)
 	// Lock-free engine access: a refresh swapping the pointer mid-call
 	// does not affect this request, which finishes on its snapshot.
-	res, degraded, err, aerr := s.suggestPipeline(ctx, s.engine.Load(), creq)
+	eng := s.engine.Load()
+	res, degraded, err, aerr := s.suggestPipeline(ctx, eng, creq)
 	elapsed := time.Since(start)
 	root.SetAttr("generation", res.Generation)
 	root.SetAttr("cacheHit", res.CacheHit)
@@ -726,6 +750,15 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 		s.stats.suggestCacheHits.Add(1)
 	}
 	if err != nil {
+		if errors.Is(err, core.ErrUnknownStrategy) {
+			s.stats.suggestErrors.Add(1)
+			e := newAPIError(codeUnknownStrategy, err.Error())
+			e.Details = map[string]any{
+				"strategy": req.Strategy,
+				"known":    eng.StrategyNames(),
+			}
+			return nil, e
+		}
 		if ctx.Err() != nil {
 			// Deadline overrun (or client gone): report how far the
 			// pipeline got instead of running the solver to completion.
@@ -747,7 +780,7 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 			s.stats.suggestUnknown.Add(1)
 			resp := &SuggestResponse{
 				Suggestions: []string{}, Diversified: []string{},
-				Generation: res.Generation, RequestID: reqID,
+				Generation: res.Generation, Strategy: res.Strategy, RequestID: reqID,
 			}
 			if req.Debug == "trace" {
 				resp.Trace = &snap
@@ -768,6 +801,7 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 		ElapsedMS:   ms(elapsed),
 		Generation:  res.Generation,
 		Cached:      res.CacheHit,
+		Strategy:    res.Strategy,
 		Degraded:    degraded,
 		RequestID:   reqID,
 	}
@@ -917,6 +951,18 @@ func (s *Server) statsPayload() map[string]any {
 		}
 	}
 	eng := s.engine.Load()
+	byStrategy := make(map[string]any, len(s.tel.strategyNames))
+	for _, name := range s.tel.strategyNames {
+		byStrategy[name] = map[string]any{
+			"requests": s.tel.strategyRequests[name].Load(),
+			"select":   stageStatsPayload(s.tel.selectDuration[name]),
+		}
+	}
+	m["strategies"] = map[string]any{
+		"default":    eng.DiversifyDefault(),
+		"brownout":   s.BrownoutStrategy(),
+		"byStrategy": byStrategy,
+	}
 	build := eng.LastBuild()
 	m["engine"] = map[string]any{
 		"generation":     eng.Generation(),
@@ -965,6 +1011,10 @@ func (s *Server) observeStages(res core.Result, total time.Duration) {
 	if res.PersonalizeTime > 0 {
 		s.tel.observeStage("personalize", res.PersonalizeTime)
 	}
+	// HittingTime is the Select-stage wall time whatever the strategy
+	// (the field name predates the pluggable boundary); cache hits report
+	// zero and are counted without a latency observation.
+	s.tel.observeStrategy(res.Strategy, res.HittingTime)
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -49,6 +49,7 @@ type serverStats struct {
 	shedOverloaded   atomic.Int64 // 429s from a full/timed-out gate queue
 	degradedRequests atomic.Int64 // breaker-open requests routed to the cache-only path
 	degradedMisses   atomic.Int64 // degraded requests with no cached list (503)
+	brownoutServed   atomic.Int64 // degraded cache misses answered by the brownout strategy
 	bodyTooLarge     atomic.Int64 // 413s from the request-body cap
 }
 
@@ -86,6 +87,7 @@ func (ss *serverStats) snapshot() map[string]any {
 			"shedOverloaded":      ss.shedOverloaded.Load(),
 			"degraded":            ss.degradedRequests.Load(),
 			"degradedMisses":      ss.degradedMisses.Load(),
+			"brownoutServed":      ss.brownoutServed.Load(),
 			"bodyTooLarge":        ss.bodyTooLarge.Load(),
 		},
 	}
@@ -110,6 +112,17 @@ type telemetry struct {
 	cgResidual       *obs.Histogram
 	hittingRounds    *obs.Histogram
 	hittingWalkSteps *obs.Histogram
+
+	// Per-strategy serving counters and diversifier-Select latency,
+	// pre-registered from the engine's strategy table at construction
+	// time: the table is immutable while serving and clones share it, so
+	// the name set is stable across hot-swaps, and pre-registration keeps
+	// the serving path free of registry mutation. Strategies added via
+	// core.Engine.AddDiversifier after the server was built are served
+	// but not counted here.
+	strategyNames    []string
+	strategyRequests map[string]*atomic.Int64
+	selectDuration   map[string]*obs.Histogram
 
 	// httpDuration covers every HTTP request through the middleware.
 	httpDuration *obs.Histogram
@@ -152,6 +165,22 @@ func newTelemetry(s *Server) *telemetry {
 		"Greedy rounds per Algorithm-1 hitting-time selection.", obs.CountBuckets, nil)
 	t.hittingWalkSteps = reg.NewHistogram(obs.MetricHittingWalkSteps,
 		"Executed hitting-time sweeps per selection (at most rounds x truncation depth; less when the early convergence exit fires).", obs.CountBuckets, nil)
+	if eng := s.engine.Load(); eng != nil {
+		t.strategyNames = eng.StrategyNames()
+	}
+	t.strategyRequests = make(map[string]*atomic.Int64, len(t.strategyNames))
+	t.selectDuration = make(map[string]*obs.Histogram, len(t.strategyNames))
+	for _, name := range t.strategyNames {
+		c := &atomic.Int64{}
+		t.strategyRequests[name] = c
+		reg.CounterFunc("pqsda_strategy_requests_total",
+			"Suggestion requests served per diversification strategy.",
+			obs.Labels{"strategy": name},
+			func() float64 { return float64(c.Load()) })
+		t.selectDuration[name] = reg.NewHistogram("pqsda_select_duration_seconds",
+			"Latency of the diversifier Select stage, per strategy.",
+			obs.LatencyBuckets, obs.Labels{"strategy": name})
+	}
 	t.httpDuration = reg.NewHistogram("pqsda_http_request_duration_seconds",
 		"Wall time of one HTTP request through the middleware.", obs.LatencyBuckets, nil)
 	t.queueDepth = reg.NewHistogram("pqsda_admission_queue_depth",
@@ -189,6 +218,7 @@ func newTelemetry(s *Server) *telemetry {
 		{"pqsda_admission_admitted_total", "Requests admitted through a concurrency gate.", counter(&st.admitted)},
 		{"pqsda_degraded_total", "Breaker-open requests routed to the cache-only degraded path.", counter(&st.degradedRequests)},
 		{"pqsda_degraded_miss_total", "Degraded requests with no cached list (503).", counter(&st.degradedMisses)},
+		{"pqsda_brownout_total", "Degraded cache misses answered by the brownout strategy.", counter(&st.brownoutServed)},
 		{"pqsda_body_too_large_total", "Requests rejected by the body-size cap (413).", counter(&st.bodyTooLarge)},
 	} {
 		reg.CounterFunc(c.name, c.help, nil, c.read)
@@ -279,6 +309,23 @@ func (t *telemetry) observeStage(stage string, d time.Duration) {
 	}
 }
 
+// observeStrategy counts one completed suggestion against its strategy
+// and, when the Select stage actually ran (cache hits report zero),
+// feeds its duration into the per-strategy latency histogram.
+func (t *telemetry) observeStrategy(name string, selectTime time.Duration) {
+	if name == "" {
+		return
+	}
+	if c := t.strategyRequests[name]; c != nil {
+		c.Add(1)
+	}
+	if selectTime > 0 {
+		if h := t.selectDuration[name]; h != nil {
+			h.Observe(selectTime.Seconds())
+		}
+	}
+}
+
 // observeSnapshotBuild feeds the build-mode histograms from one
 // refresh's snapshot stats.
 func (t *telemetry) observeSnapshotBuild(b snapshot.Stats) {
@@ -295,6 +342,9 @@ func (t *telemetry) observeSnapshotBuild(b snapshot.Stats) {
 // counters — the counters are rates, the histograms are distributions.
 func (t *telemetry) reset() {
 	for _, h := range t.stages {
+		h.Reset()
+	}
+	for _, h := range t.selectDuration {
 		h.Reset()
 	}
 	for _, h := range []*obs.Histogram{

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// This file is the server surface of the pluggable diversification
+// boundary (internal/diversify): strategy discovery (GET /v1/strategies)
+// and the brownout fallback — when the circuit breaker is open and a
+// request's diversified list is not cached, the server can re-run the
+// pipeline under a designated cheap strategy instead of shedding with
+// 503.
+
+// brownout holds the fallback strategy name behind an atomic pointer so
+// SetBrownoutStrategy is safe while serving. nil (the default) disables
+// the fallback, preserving the strict cache-or-503 degraded behavior.
+type brownoutState struct {
+	strategy atomic.Pointer[string]
+}
+
+// SetBrownoutStrategy designates the diversification strategy that
+// answers breaker-open cache misses ("" disables the fallback). The
+// name is validated against the serving engine's registry — designating
+// a strategy the engine cannot run would turn every brownout into a
+// 503 with extra steps. "relevance" is the intended choice: it skips
+// the hitting-time solve entirely and bounds the degraded cost to the
+// compact build + CG solve.
+func (s *Server) SetBrownoutStrategy(name string) error {
+	if name == "" {
+		s.brownout.strategy.Store(nil)
+		return nil
+	}
+	known := s.engine.Load().StrategyNames()
+	found := false
+	for _, k := range known {
+		if k == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("server: unknown brownout strategy %q (known: %v)", name, known)
+	}
+	s.brownout.strategy.Store(&name)
+	return nil
+}
+
+// BrownoutStrategy reports the designated fallback strategy, "" when
+// the brownout path is disabled.
+func (s *Server) BrownoutStrategy() string {
+	if p := s.brownout.strategy.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// serveBrownout attempts the brownout fallback for one breaker-open
+// cache miss: re-run the pipeline under the designated cheap strategy.
+// ok reports whether the fallback produced a servable result (including
+// the healthy "unknown query" outcome); on !ok the caller sheds with
+// the degraded 503 as before.
+func (s *Server) serveBrownout(ctx context.Context, eng *core.Engine, creq core.SuggestRequest) (core.Result, error, bool) {
+	fallback := s.BrownoutStrategy()
+	if fallback == "" {
+		return core.Result{}, nil, false
+	}
+	breq := creq
+	breq.CachedOnly = false
+	breq.Strategy = fallback
+	res, err := eng.Do(ctx, breq)
+	if err != nil && !errors.Is(err, core.ErrUnknownQuery) {
+		// The cheap strategy failed too (deadline, solver error): the
+		// original 503 is the honest answer.
+		return core.Result{}, nil, false
+	}
+	s.stats.brownoutServed.Add(1)
+	return res, err, true
+}
+
+// handleStrategies answers GET /v1/strategies: the registered
+// diversification strategies with their parameters, which one is the
+// default, and the designated brownout fallback (empty when disabled).
+func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	eng := s.engine.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"default":    eng.DiversifyDefault(),
+		"brownout":   s.BrownoutStrategy(),
+		"strategies": eng.Diversifiers(),
+	})
+}

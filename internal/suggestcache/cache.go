@@ -53,6 +53,12 @@ type Key struct {
 	ContextFP string
 	// K is the requested suggestion count.
 	K int
+	// Strategy is the resolved diversification strategy name. Part of
+	// the key so lists produced by different selectors (hitting, mmr,
+	// pfar, relevance, …) are isolated from each other: an MMR list can
+	// never be served for a hitting-time request, across generations
+	// and hot-swaps alike.
+	Strategy string
 	// Scope partitions the cache when the cached value is NOT
 	// user-independent. The suggestion path caches the diversified
 	// (pre-personalization) list and leaves Scope empty — "anonymous" —

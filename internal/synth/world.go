@@ -119,6 +119,58 @@ func (w *World) QueryFacet(normQuery string) int {
 	return numeric.ArgMax(intsToFloats(counts))
 }
 
+// QueryFacets returns every facet that ever generated the normalized
+// query, ascending; nil when the query never occurred. A result with
+// two or more facets marks the query as ambiguous (the "sun" case the
+// diversification stage exists for); exactly one marks it
+// navigational.
+func (w *World) QueryFacets(normQuery string) []int {
+	counts, ok := w.queryFacetCounts[normQuery]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for f, c := range counts {
+		if c > 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FacetDistribution returns the normalized query's distribution over
+// generating facets (counts normalized to sum 1, length = facet
+// count); nil when the query never occurred.
+func (w *World) FacetDistribution(normQuery string) []float64 {
+	counts, ok := w.queryFacetCounts[normQuery]
+	if !ok {
+		return nil
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for f, c := range counts {
+		out[f] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// Queries returns every distinct normalized query the world generated,
+// sorted — the evaluation harness's replay universe.
+func (w *World) Queries() []string {
+	out := make([]string, 0, len(w.queryFacetCounts))
+	for q := range w.queryFacetCounts {
+		out = append(out, q)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // QueryCategory returns the ODP category of a normalized query (that of
 // its dominant facet), or nil when unknown.
 func (w *World) QueryCategory(normQuery string) odp.Category {

@@ -106,6 +106,11 @@ type Config struct {
 	// last build — bit-identical to full, much faster for small
 	// deltas). Any other value is an error.
 	RefreshMode string
+	// Strategy selects the default diversification strategy: "hitting"
+	// (default; the paper's Algorithm 1), "mmr", "pfar" or "relevance".
+	// Per-request overrides go through SuggestRequest.Strategy; unknown
+	// names are rejected by NewEngine.
+	Strategy string
 }
 
 // NewEngine cleans the log, builds the multi-bipartite representation
@@ -138,6 +143,8 @@ func NewEngine(l *Log, cfg Config) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("pqsda: RefreshMode %q (want \"full\" or \"delta\")", cfg.RefreshMode)
 	}
+	// core.NewEngine validates the name against the diversify registry.
+	cc.Diversify.Strategy = cfg.Strategy
 	return core.NewEngine(cleaned, cc)
 }
 
