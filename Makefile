@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench-smoke bench bench-guard chaos eval eval-smoke ci
+.PHONY: build test race vet fmt-check bench-smoke bench bench-guard metrics-lint chaos eval eval-smoke ci
 
 # Where `make bench` writes its aggregated measurements.
 BENCH_OUT ?= BENCH_pr6.json
@@ -65,6 +65,15 @@ bench-guard:
 		$(GO) run ./cmd/benchjson -guard BenchmarkDeltaBuildSteadyState -max-allocs 80
 	$(GO) test -run '^$$' -bench 'ShedPath' -benchmem ./internal/server/ | \
 		$(GO) run ./cmd/benchjson -guard BenchmarkShedPath -max-allocs 2
+	$(GO) test -run '^$$' -bench 'FlightRecorderEmit' -benchmem ./internal/slo/ | \
+		$(GO) run ./cmd/benchjson -guard BenchmarkFlightRecorderEmit -max-allocs 0
+
+# Metric-name drift guard: every registered Prometheus family must be
+# listed in metrics.txt and vice versa, plus both exposition formats
+# must pass the strict in-repo linter. Regenerate the manifest with
+#   UPDATE_METRICS_MANIFEST=1 $(GO) test ./internal/server -run TestMetricsManifest
+metrics-lint:
+	$(GO) test -count=1 -run 'TestMetricsManifest|TestMetricsExpositionConformance|TestLint' ./internal/server/ ./internal/obs/
 
 # Chaos / overload suite under the race detector: floods past the
 # concurrency cap, bounded-queue shedding, per-user/per-IP rate limits,
@@ -88,4 +97,4 @@ eval:
 eval-smoke:
 	$(GO) run ./cmd/evalab -scale small -baselines -max-queries 3 -out /tmp/EVAL_smoke.json
 
-ci: vet fmt-check build race chaos bench-smoke bench-guard eval-smoke
+ci: vet fmt-check build race chaos bench-smoke bench-guard metrics-lint eval-smoke

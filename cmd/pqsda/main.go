@@ -66,6 +66,14 @@ func main() {
 		rateIP      = flag.Float64("rate-ip", 0, "per-client-IP token-bucket rate limit in requests/second (0 disables)")
 		maxBody     = flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "max /v1 POST body size in bytes; overflow returns 413 (0 disables the cap)")
 		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM before exiting")
+
+		// Structured logging and SLOs (-serve only).
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
+		sloOn     = flag.Bool("slo", true, "enable the SLO subsystem: burn-rate evaluation over the declared objectives, the /v1/health component scoreboard, and the wide-event flight recorder")
+		sloP99    = flag.Duration("slo-latency-p99", 250*time.Millisecond, "end-to-end suggestion latency budget of the latency SLO (99% of requests must finish within it)")
+		sloAvail  = flag.Float64("slo-availability", 0.999, "availability SLO goal over guarded API requests (good = no 5xx)")
+		frSize    = flag.Int("flightrecorder-size", 4096, "wide-event flight-recorder ring capacity in requests")
+		frDumpDir = flag.String("flightrecorder-dump-dir", "", "directory receiving an automatic flight-recorder JSONL dump when an SLO enters fast burn (empty disables auto-dump)")
 	)
 	flag.Parse()
 
@@ -146,7 +154,15 @@ func main() {
 		srv := server.New(engine, os.Stderr)
 		srv.SetRequestTimeout(*reqTimout)
 		srv.SetSlowQueryThreshold(*slowQuery)
-		srv.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo})))
+		opts := &slog.HandlerOptions{Level: slog.LevelInfo}
+		switch *logFormat {
+		case "text":
+			srv.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, opts)))
+		case "json":
+			srv.SetLogger(slog.New(slog.NewJSONHandler(os.Stderr, opts)))
+		default:
+			fatal(fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat))
+		}
 		if *pprofFlag {
 			srv.EnablePProf()
 		}
@@ -165,8 +181,17 @@ func main() {
 			acfg.IP = admission.RateConfig{Rate: *rateIP}
 			srv.SetAdmission(acfg)
 		}
-		fmt.Fprintf(os.Stderr, "serving suggestion API on %s (GET /v1/suggest?user=&q=&k=&debug=trace; stats on /v1/stats, /metrics, /debug/traces, /debug/vars; request timeout %v; slow-query %v; cache %d entries; admission %v; max body %d bytes; pprof %v)\n",
-			*serve, *reqTimout, *slowQuery, *cacheSize, *admissionOn, *maxBody, *pprofFlag)
+		if *sloOn {
+			scfg := pqsda.DefaultSLOConfig()
+			scfg.LatencyP99 = *sloP99
+			scfg.Availability = *sloAvail
+			scfg.FlightRecorderSize = *frSize
+			scfg.DumpDir = *frDumpDir
+			srv.EnableSLO(scfg)
+			defer srv.Close()
+		}
+		fmt.Fprintf(os.Stderr, "serving suggestion API on %s (GET /v1/suggest?user=&q=&k=&debug=trace; health on /v1/health; stats on /v1/stats, /metrics, /debug/traces, /debug/exemplars, /debug/flightrecorder, /debug/vars; request timeout %v; slow-query %v; cache %d entries; admission %v; slo %v (p99 %v, availability %g); max body %d bytes; pprof %v)\n",
+			*serve, *reqTimout, *slowQuery, *cacheSize, *admissionOn, *sloOn, *sloP99, *sloAvail, *maxBody, *pprofFlag)
 		if err := serveHTTP(*serve, srv.Handler(), *drainWait); err != nil {
 			fatal(err)
 		}

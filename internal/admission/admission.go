@@ -2,8 +2,38 @@ package admission
 
 import (
 	"runtime"
+	"sync/atomic"
 	"time"
 )
+
+// Advisory is a coarse load-shedding hint an external policy layer (the
+// server's SLO burn-rate engine) feeds into admission. It does not
+// admit or reject by itself — the mechanisms here stay mechanism — but
+// call sites consult it to bias toward cheaper serving before hard
+// shedding becomes necessary.
+type Advisory int32
+
+const (
+	// AdvisoryNone: no pressure; serve normally.
+	AdvisoryNone Advisory = iota
+	// AdvisoryConserve: error budget is burning slowly — prefer cheap
+	// paths (cache, degraded fallbacks) where quality allows.
+	AdvisoryConserve
+	// AdvisoryShed: fast burn — the budget will be gone in hours;
+	// aggressively prefer degraded responses over full pipelines.
+	AdvisoryShed
+)
+
+func (a Advisory) String() string {
+	switch a {
+	case AdvisoryConserve:
+		return "conserve"
+	case AdvisoryShed:
+		return "shed"
+	default:
+		return "none"
+	}
+}
 
 // Config assembles the whole admission-control surface. The zero value
 // disables everything (every limiter, gate and the breaker is nil);
@@ -54,6 +84,25 @@ type Controller struct {
 	Learn   *Gate
 	Refresh *Gate
 	Breaker *Breaker
+
+	advisory atomic.Int32
+}
+
+// SetAdvisory installs the current advisory level (called by the SLO
+// evaluator on every evaluation). Nil-safe.
+func (c *Controller) SetAdvisory(a Advisory) {
+	if c == nil {
+		return
+	}
+	c.advisory.Store(int32(a))
+}
+
+// Advisory returns the current advisory level. Nil-safe; lock-free.
+func (c *Controller) Advisory() Advisory {
+	if c == nil {
+		return AdvisoryNone
+	}
+	return Advisory(c.advisory.Load())
 }
 
 // New builds a controller from cfg. Disabled mechanisms (zero

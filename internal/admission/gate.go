@@ -145,6 +145,17 @@ func (g *Gate) Limit() int {
 	return cap(g.sem)
 }
 
+// Saturation reports how full the gate is as a 0..1+ ratio of occupied
+// slots plus waiters to the concurrency limit. 1.0 means every slot is
+// busy; above 1.0 the wait queue is absorbing a burst. A nil gate
+// (unlimited) is never saturated.
+func (g *Gate) Saturation() float64 {
+	if g == nil {
+		return 0
+	}
+	return float64(len(g.sem)+int(g.waiting.Load())) / float64(cap(g.sem))
+}
+
 // RetryAfter is the backoff hint for shed requests: one MaxWait is the
 // horizon after which a freed slot is plausible.
 func (g *Gate) RetryAfter() time.Duration {

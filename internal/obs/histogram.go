@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram is a fixed-boundary histogram safe for concurrent use. All
@@ -30,6 +31,46 @@ type Histogram struct {
 	count   atomic.Uint64
 	sumBits atomic.Uint64 // math.Float64bits of the running sum
 	maxBits atomic.Uint64 // math.Float64bits of the running max
+
+	// exemplars, when EnableExemplars was called, holds one recent
+	// occupant per bucket (len(bounds)+1, aligned with buckets). A slot
+	// is replaced at most once per exemplarMinAge, so the retention cost
+	// on a hot bucket is bounded regardless of traffic; high buckets see
+	// rare observations and therefore keep them — which is the point:
+	// "p99 is 40ms" links to an actual 40ms request.
+	exemplars      []atomic.Pointer[Exemplar]
+	exemplarMinAge time.Duration
+}
+
+// Exemplar pins one concrete observation to a histogram bucket: the
+// request and trace that produced the value, so a bucket count on
+// /metrics can be followed to the span tree of a real request.
+// Exemplars are immutable once stored.
+type Exemplar struct {
+	// Value is the observed value (same unit as the histogram).
+	Value float64
+	// TraceID and RequestID identify the occupant request.
+	TraceID   string
+	RequestID string
+	// Time is when the observation was recorded.
+	Time time.Time
+}
+
+// defaultExemplarMinAge rate-limits exemplar rotation per bucket.
+const defaultExemplarMinAge = time.Second
+
+// EnableExemplars allocates the per-bucket exemplar slots. minAge
+// bounds how often one bucket's exemplar may rotate: 0 applies the
+// 1-second default, negative rotates on every observation (useful in
+// tests). Call before serving; it is not synchronized against
+// concurrent Observe.
+func (h *Histogram) EnableExemplars(minAge time.Duration) *Histogram {
+	if minAge == 0 {
+		minAge = defaultExemplarMinAge
+	}
+	h.exemplars = make([]atomic.Pointer[Exemplar], len(h.buckets))
+	h.exemplarMinAge = minAge
+	return h
 }
 
 // NewHistogram builds a histogram over the given upper bounds. The
@@ -41,7 +82,11 @@ func NewHistogram(bounds []float64) *Histogram {
 
 // Observe records one value. Negative values clamp to zero (durations
 // and counts are the intended domain).
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.observe(v) }
+
+// observe is the shared update path; it returns the bucket index so
+// ObserveExemplar can attach the exemplar without a second search.
+func (h *Histogram) observe(v float64) int {
 	if v < 0 || math.IsNaN(v) {
 		v = 0
 	}
@@ -60,6 +105,28 @@ func (h *Histogram) Observe(v float64) {
 			break
 		}
 	}
+	return i
+}
+
+// ObserveExemplar records one value and, when exemplar retention is
+// enabled and the bucket's current exemplar is older than the rotation
+// age, pins this observation's request/trace IDs to the bucket. Without
+// EnableExemplars (or with an empty trace ID) it is exactly Observe —
+// the hot path pays one nil check. The replacement itself is a single
+// allocation, rate-limited per bucket.
+func (h *Histogram) ObserveExemplar(v float64, requestID, traceID string) {
+	i := h.observe(v)
+	if h.exemplars == nil || traceID == "" {
+		return
+	}
+	cur := h.exemplars[i].Load()
+	now := time.Now()
+	if cur != nil && now.Sub(cur.Time) < h.exemplarMinAge {
+		return
+	}
+	// A racing replacement loses; either exemplar is a real recent
+	// occupant of the bucket, which is all the contract promises.
+	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, RequestID: requestID, Time: now})
 }
 
 // Reset zeroes every bucket and the count/sum/max. It is not atomic
@@ -73,6 +140,9 @@ func (h *Histogram) Reset() {
 	h.count.Store(0)
 	h.sumBits.Store(0)
 	h.maxBits.Store(0)
+	for i := range h.exemplars {
+		h.exemplars[i].Store(nil)
+	}
 }
 
 // Snapshot is a point-in-time copy of a histogram's state.
@@ -85,6 +155,10 @@ type Snapshot struct {
 	Count  uint64
 	Sum    float64
 	Max    float64
+	// Exemplars are the per-bucket pinned observations, aligned with
+	// Counts; nil when exemplar retention is disabled. Entries may be
+	// nil (bucket never occupied since the last reset).
+	Exemplars []*Exemplar
 }
 
 // Snapshot copies the current state. Buckets are read individually, so
@@ -100,6 +174,12 @@ func (h *Histogram) Snapshot() Snapshot {
 	}
 	for i := range h.buckets {
 		s.Counts[i] = h.buckets[i].Load()
+	}
+	if h.exemplars != nil {
+		s.Exemplars = make([]*Exemplar, len(h.exemplars))
+		for i := range h.exemplars {
+			s.Exemplars[i] = h.exemplars[i].Load()
+		}
 	}
 	return s
 }

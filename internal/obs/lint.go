@@ -1,0 +1,461 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a strict exposition-format checker for the registry's
+// own output. It exists because "renders something Prometheus-shaped"
+// rots silently: a histogram missing its +Inf bucket, a _count that
+// disagrees with the cumulative buckets, or a malformed exemplar all
+// scrape fine until the one day an operator needs them. LintText and
+// LintOpenMetrics are run by the conformance tests on every CI run, so
+// the exposition endpoints cannot drift from the format contract.
+
+// LintText validates a classic Prometheus text-format (0.0.4)
+// exposition. It returns the first violation found, nil when clean.
+func LintText(data string) error { return lintExposition(data, false) }
+
+// LintOpenMetrics validates an OpenMetrics text exposition: everything
+// LintText checks, plus the mandatory `# EOF` terminator, the
+// counter-family naming rule (the TYPE line declares the family without
+// the _total suffix its samples carry), and exemplar syntax on
+// histogram bucket lines.
+func LintOpenMetrics(data string) error { return lintExposition(data, true) }
+
+// histKey identifies one histogram series (family + its labels minus
+// le) while accumulating bucket invariants.
+type histState struct {
+	lastLe    float64
+	lastCum   uint64
+	hasInf    bool
+	infCum    uint64
+	count     uint64
+	hasCount  bool
+	hasSum    bool
+	bucketSeq int
+}
+
+// famInfo is the declared type of one metric family.
+type famInfo struct{ typ string }
+
+func lintExposition(data string, openMetrics bool) error {
+	families := map[string]famInfo{}
+	hists := map[string]*histState{}
+	lines := strings.Split(data, "\n")
+	sawEOF := false
+	for n, line := range lines {
+		lineNo := n + 1
+		if line == "" {
+			continue
+		}
+		if sawEOF {
+			return fmt.Errorf("line %d: content after # EOF", lineNo)
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			switch kind {
+			case "EOF":
+				sawEOF = true
+			case "HELP":
+				if !validMetricName(name) {
+					return fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+				}
+			case "TYPE":
+				if !validMetricName(name) {
+					return fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, rest)
+				}
+				if _, dup := families[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				families[name] = famInfo{typ: rest}
+			}
+			continue
+		}
+		s, err := parseSample(line, openMetrics)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam, suffix, ok := resolveFamily(s.name, families, openMetrics)
+		if !ok {
+			return fmt.Errorf("line %d: sample %q belongs to no declared family", lineNo, s.name)
+		}
+		typ := families[fam].typ
+		if openMetrics && typ == "counter" && suffix != "_total" {
+			return fmt.Errorf("line %d: counter sample %q must carry the _total suffix", lineNo, s.name)
+		}
+		if s.exemplar != nil && !(typ == "histogram" && suffix == "_bucket") {
+			return fmt.Errorf("line %d: exemplar on non-bucket sample %q", lineNo, s.name)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		key := fam + "\x00" + labelsKey(s.labels, "le")
+		st := hists[key]
+		if st == nil {
+			st = &histState{lastLe: math.Inf(-1)}
+			hists[key] = st
+		}
+		switch suffix {
+		case "_bucket":
+			leStr, ok := s.labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			le, err := parseLe(leStr)
+			if err != nil {
+				return fmt.Errorf("line %d: bad le %q", lineNo, leStr)
+			}
+			if le <= st.lastLe {
+				return fmt.Errorf("line %d: le %q not ascending for %s", lineNo, leStr, fam)
+			}
+			cum := uint64(s.value)
+			if float64(cum) != s.value || s.value < 0 {
+				return fmt.Errorf("line %d: bucket value %v not a non-negative integer", lineNo, s.value)
+			}
+			if st.bucketSeq > 0 && cum < st.lastCum {
+				return fmt.Errorf("line %d: cumulative bucket count decreased for %s", lineNo, fam)
+			}
+			st.lastLe, st.lastCum = le, cum
+			st.bucketSeq++
+			if math.IsInf(le, 1) {
+				st.hasInf, st.infCum = true, cum
+			}
+		case "_sum":
+			st.hasSum = true
+		case "_count":
+			st.hasCount = true
+			st.count = uint64(s.value)
+		default:
+			return fmt.Errorf("line %d: histogram sample %q has no histogram suffix", lineNo, s.name)
+		}
+	}
+	if openMetrics && !sawEOF {
+		return fmt.Errorf("missing # EOF terminator")
+	}
+	for key, st := range hists {
+		fam := key[:strings.IndexByte(key, 0)]
+		if !st.hasInf {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", fam)
+		}
+		if !st.hasSum || !st.hasCount {
+			return fmt.Errorf("histogram %s: missing _sum or _count", fam)
+		}
+		if st.count != st.infCum {
+			return fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", fam, st.count, st.infCum)
+		}
+	}
+	return nil
+}
+
+// parseComment splits a # line into its kind ("HELP"/"TYPE"/"EOF",
+// anything else is an ignorable comment), metric name and remainder.
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimPrefix(body, " ")
+	switch {
+	case body == "EOF":
+		return "EOF", "", "", nil
+	case strings.HasPrefix(body, "HELP "), strings.HasPrefix(body, "TYPE "):
+		kind = body[:4]
+		fields := strings.SplitN(body[5:], " ", 2)
+		if len(fields) == 0 || fields[0] == "" {
+			return "", "", "", fmt.Errorf("%s without metric name", kind)
+		}
+		name = fields[0]
+		if len(fields) == 2 {
+			rest = fields[1]
+		}
+		if kind == "TYPE" && rest == "" {
+			return "", "", "", fmt.Errorf("TYPE without type")
+		}
+		return kind, name, rest, nil
+	default:
+		return "comment", "", "", nil
+	}
+}
+
+// sample is one parsed exposition line.
+type sample struct {
+	name     string
+	labels   map[string]string
+	value    float64
+	exemplar *sampleExemplar
+}
+
+type sampleExemplar struct {
+	labels map[string]string
+	value  float64
+	hasTs  bool
+	ts     float64
+}
+
+func parseSample(line string, openMetrics bool) (sample, error) {
+	var s sample
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("no value on sample line")
+	}
+	s.name = rest[:i]
+	if !validMetricName(s.name) {
+		return s, fmt.Errorf("bad metric name %q", s.name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		var err error
+		s.labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// Value runs to the next space (or end of line).
+	valStr := rest
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		valStr, rest = rest[:j], rest[j+1:]
+	} else {
+		rest = ""
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", valStr)
+	}
+	s.value = v
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, nil
+	}
+	if strings.HasPrefix(rest, "#") {
+		if !openMetrics {
+			return s, fmt.Errorf("exemplar in non-OpenMetrics exposition")
+		}
+		ex, err := parseExemplar(rest)
+		if err != nil {
+			return s, err
+		}
+		s.exemplar = ex
+		return s, nil
+	}
+	// Classic format allows a trailing integer timestamp.
+	if _, err := strconv.ParseInt(rest, 10, 64); err != nil {
+		return s, fmt.Errorf("trailing garbage %q", rest)
+	}
+	return s, nil
+}
+
+// parseExemplar parses `# {k="v",…} value [timestamp]`.
+func parseExemplar(rest string) (*sampleExemplar, error) {
+	rest = strings.TrimPrefix(rest, "#")
+	rest = strings.TrimPrefix(rest, " ")
+	if !strings.HasPrefix(rest, "{") {
+		return nil, fmt.Errorf("exemplar without label set")
+	}
+	labels, rest, err := parseLabels(rest)
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar labels: %v", err)
+	}
+	// The OpenMetrics exemplar label set is capped at 128 runes of
+	// combined names and values.
+	runes := 0
+	for k, v := range labels {
+		runes += len([]rune(k)) + len([]rune(v))
+	}
+	if runes > 128 {
+		return nil, fmt.Errorf("exemplar label set over 128 runes")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("exemplar needs value [timestamp], got %q", rest)
+	}
+	ex := &sampleExemplar{labels: labels}
+	if ex.value, err = parseValue(fields[0]); err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		ex.hasTs = true
+		if ex.ts, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("bad exemplar timestamp %q", fields[1])
+		}
+	}
+	return ex, nil
+}
+
+// parseLabels parses a `{k="v",…}` block, returning the remainder after
+// the closing brace.
+func parseLabels(rest string) (map[string]string, string, error) {
+	if !strings.HasPrefix(rest, "{") {
+		return nil, rest, fmt.Errorf("no label block")
+	}
+	rest = rest[1:]
+	labels := map[string]string{}
+	for {
+		rest = strings.TrimPrefix(rest, ",")
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, rest, fmt.Errorf("label without =")
+		}
+		name := rest[:eq]
+		if !validLabelName(name) {
+			return nil, rest, fmt.Errorf("bad label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, rest, fmt.Errorf("unquoted label value")
+		}
+		val, n, err := unquoteLabelValue(rest)
+		if err != nil {
+			return nil, rest, err
+		}
+		if _, dup := labels[name]; dup {
+			return nil, rest, fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val
+		rest = rest[n:]
+	}
+}
+
+// unquoteLabelValue consumes a quoted label value with \\, \" and \n
+// escapes, returning the decoded value and bytes consumed.
+func unquoteLabelValue(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf(`bad escape \%c in label value`, s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// parseValue accepts the exposition float syntax including +Inf/-Inf
+// and NaN.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// resolveFamily maps a sample name to its declared family: the name
+// itself, or — for histogram samples — the name minus the
+// _bucket/_sum/_count suffix, or — for OpenMetrics counters — the name
+// minus _total.
+func resolveFamily(name string, families map[string]famInfo, openMetrics bool) (fam, suffix string, ok bool) {
+	if f, ok := families[name]; ok && f.typ != "histogram" {
+		return name, "", true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if f, ok := families[base]; ok && f.typ == "histogram" {
+				return base, suf, true
+			}
+		}
+	}
+	if openMetrics {
+		base := strings.TrimSuffix(name, "_total")
+		if base != name {
+			if f, ok := families[base]; ok && f.typ == "counter" {
+				return base, "_total", true
+			}
+		}
+	}
+	// Classic format declares counters under their full name.
+	if f, ok := families[name]; ok {
+		_ = f
+		return name, "", true
+	}
+	return "", "", false
+}
+
+// labelsKey canonicalizes a label set (minus one excluded key) so all
+// samples of one histogram series aggregate under one state.
+func labelsKey(labels map[string]string, exclude string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != exclude {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q;", k, labels[k])
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

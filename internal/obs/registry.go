@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Labels are the constant label pairs of one metric series (e.g.
@@ -100,6 +101,22 @@ func (r *Registry) Observe(name string, v float64) {
 // registration order), histogram families as cumulative _bucket series
 // plus _sum and _count.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	r.write(w, false)
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics text format:
+// counter families are declared under their name minus the mandatory
+// _total suffix, histogram bucket lines carry the bucket's pinned
+// exemplar (`# {trace_id="…",request_id="…"} value timestamp`), and the
+// output is terminated by the required `# EOF` marker. This is the
+// format a scraper opts into via Accept: application/openmetrics-text —
+// and the jump-off point from "p99 is high" to an actual slow request.
+func (r *Registry) WriteOpenMetrics(w io.Writer) {
+	r.write(w, true)
+	io.WriteString(w, "# EOF\n")
+}
+
+func (r *Registry) write(w io.Writer, openMetrics bool) {
 	r.mu.Lock()
 	all := append([]series(nil), r.series...)
 	r.mu.Unlock()
@@ -108,21 +125,25 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for _, s := range all {
 		if !seen[s.name] {
 			seen[s.name] = true
-			if s.help != "" {
-				fmt.Fprintf(w, "# HELP %s %s\n", s.name, escapeHelp(s.help))
+			family := s.name
+			if openMetrics && s.typ == "counter" {
+				family = strings.TrimSuffix(family, "_total")
 			}
-			fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.typ)
+			if s.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", family, escapeHelp(s.help))
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", family, s.typ)
 		}
 		switch s.typ {
 		case "histogram":
-			writeHistogram(w, s)
+			writeHistogram(w, s, openMetrics)
 		default:
 			fmt.Fprintf(w, "%s%s %s\n", s.name, renderLabels(s.labels, "", ""), formatFloat(s.fn()))
 		}
 	}
 }
 
-func writeHistogram(w io.Writer, s series) {
+func writeHistogram(w io.Writer, s series, openMetrics bool) {
 	snap := s.hist.Snapshot()
 	cum := uint64(0)
 	for i, c := range snap.Counts {
@@ -131,10 +152,24 @@ func writeHistogram(w io.Writer, s series) {
 		if i < len(snap.Bounds) {
 			le = formatFloat(snap.Bounds[i])
 		}
-		fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, renderLabels(s.labels, "le", le), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d", s.name, renderLabels(s.labels, "le", le), cum)
+		if openMetrics && snap.Exemplars != nil {
+			if ex := snap.Exemplars[i]; ex != nil {
+				fmt.Fprintf(w, " # {trace_id=%q,request_id=%q} %s %s",
+					ex.TraceID, ex.RequestID, formatFloat(ex.Value),
+					formatTimestamp(ex.Time))
+			}
+		}
+		io.WriteString(w, "\n")
 	}
 	fmt.Fprintf(w, "%s_sum%s %s\n", s.name, renderLabels(s.labels, "", ""), formatFloat(snap.Sum))
 	fmt.Fprintf(w, "%s_count%s %d\n", s.name, renderLabels(s.labels, "", ""), snap.Count)
+}
+
+// formatTimestamp renders an exemplar timestamp as Unix seconds with
+// millisecond precision, the OpenMetrics convention.
+func formatTimestamp(t time.Time) string {
+	return strconv.FormatFloat(float64(t.UnixMilli())/1e3, 'f', 3, 64)
 }
 
 // renderLabels renders {k="v",...} with keys sorted, appending the
@@ -175,9 +210,55 @@ func escapeHelp(v string) string {
 	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(v)
 }
 
-// Handler serves the registry in the Prometheus text format.
+// Names returns every distinct metric family name in registration
+// order — the surface the metrics-lint manifest check pins.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool, len(r.series))
+	out := make([]string, 0, len(r.series))
+	for _, s := range r.series {
+		if !seen[s.name] {
+			seen[s.name] = true
+			out = append(out, s.name)
+		}
+	}
+	return out
+}
+
+// HistogramSeries is one registered histogram with its identity, as
+// returned by Histograms — what /debug/exemplars walks.
+type HistogramSeries struct {
+	Name   string
+	Labels Labels
+	Hist   *Histogram
+}
+
+// Histograms returns every registered histogram series in registration
+// order.
+func (r *Registry) Histograms() []HistogramSeries {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]HistogramSeries, 0, len(r.series))
+	for _, s := range r.series {
+		if s.typ == "histogram" {
+			out = append(out, HistogramSeries{Name: s.name, Labels: s.labels, Hist: s.hist})
+		}
+	}
+	return out
+}
+
+// Handler serves the registry: the classic Prometheus text format
+// (0.0.4) by default, or the OpenMetrics format — with exemplars and
+// the # EOF terminator — when the scraper asks for it via Accept:
+// application/openmetrics-text.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})

@@ -19,8 +19,14 @@ type Attr struct {
 // without knowing who is listening.
 type Trace struct {
 	// ID is the request ID the trace belongs to.
-	ID    string
-	Start time.Time
+	ID string
+	// TraceID is the trace's own identifier — distinct from the request
+	// ID because the request ID may be client-supplied (and reused),
+	// while exemplars and the flight recorder need a key that uniquely
+	// names one recorded span tree. Empty when the creator did not
+	// assign one.
+	TraceID string
+	Start   time.Time
 
 	mu    sync.Mutex
 	spans []*Span
@@ -86,6 +92,7 @@ type SpanSnapshot struct {
 // on debug=trace requests and from the /debug/traces ring.
 type TraceSnapshot struct {
 	ID         string         `json:"requestId"`
+	TraceID    string         `json:"traceId,omitempty"`
 	Start      time.Time      `json:"start"`
 	DurationMS float64        `json:"durationMs"`
 	Spans      []SpanSnapshot `json:"spans"`
@@ -102,7 +109,7 @@ func (t *Trace) Snapshot() TraceSnapshot {
 	t.mu.Lock()
 	spans := append([]*Span(nil), t.spans...)
 	t.mu.Unlock()
-	out := TraceSnapshot{ID: t.ID, Start: t.Start, DurationMS: msFloat(time.Since(t.Start))}
+	out := TraceSnapshot{ID: t.ID, TraceID: t.TraceID, Start: t.Start, DurationMS: msFloat(time.Since(t.Start))}
 	for _, s := range spans {
 		d := s.dur
 		if !s.ended {
@@ -152,6 +159,24 @@ func (r *TraceRing) Add(ts TraceSnapshot) {
 		r.n++
 	}
 	r.mu.Unlock()
+}
+
+// Find returns the most recent stored trace whose trace ID or request
+// ID equals id. This is what resolves a /metrics exemplar ("p99 is
+// 40ms, trace deadbeef…") to the span tree of the actual request.
+func (r *TraceRing) Find(id string) (TraceSnapshot, bool) {
+	if id == "" {
+		return TraceSnapshot{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < r.n; i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		if t := r.buf[idx]; t.TraceID == id || t.ID == id {
+			return t, true
+		}
+	}
+	return TraceSnapshot{}, false
 }
 
 // Snapshots returns the stored traces, most recent first.

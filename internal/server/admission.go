@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -10,6 +11,8 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/slo"
 )
 
 // This file is the server half of the admission-control layer
@@ -49,9 +52,14 @@ func (s *Server) SetMaxBodyBytes(n int64) { s.maxBodyBytes.Store(n) }
 func (s *Server) MaxBodyBytes() int64 { return s.maxBodyBytes.Load() }
 
 // guardedPath reports whether admission control and the body cap apply
-// to this route. Only the API surface is guarded: health checks and the
-// observability endpoints must stay reachable while the server sheds.
+// to this route. Only the API surface is guarded: health checks
+// (/healthz AND /v1/health — a readiness probe must answer while the
+// server sheds, and must not burn the availability budget it reports
+// on) and the observability endpoints stay reachable.
 func guardedPath(path string) bool {
+	if path == "/v1/health" {
+		return false
+	}
 	return strings.HasPrefix(path, "/v1/") || strings.HasPrefix(path, "/api/")
 }
 
@@ -121,6 +129,17 @@ func (s *Server) admitSuggest(ctx context.Context, w http.ResponseWriter) (*admi
 	}
 	s.stats.shedOverloaded.Add(1)
 	writeShedFast(w, shedBodyOverloaded, ctrl.Suggest.RetryAfter())
+	// Wide event + structured line for the shed. Both stay inside the
+	// flood budget (BenchmarkShedPath): the event is stack-built and
+	// Record is allocation-free; the log attrs are only materialized
+	// when the level is enabled (the benchmark's logger discards).
+	s.flightShed(obs.RequestIDFrom(ctx), slo.OutcomeShedGate)
+	if lg := s.Logger(); lg.Enabled(ctx, slog.LevelWarn) {
+		lg.LogAttrs(ctx, slog.LevelWarn, "request shed",
+			slog.String("requestId", obs.RequestIDFrom(ctx)),
+			slog.String("reason", "overloaded"),
+			slog.Int("queueDepth", depth))
+	}
 	return nil, false
 }
 

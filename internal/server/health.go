@@ -1,0 +1,139 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/slo"
+)
+
+// This file is the component-scoreboard health endpoint, GET /v1/health.
+// The legacy GET /healthz stays a liveness probe ("is the process up
+// and answering"); /v1/health is the readiness/quality verdict: each
+// serving component reports its own status, and the worst one decides
+// the HTTP code, so a load balancer can stop sending traffic to an
+// instance whose error budget is burning fast while operators read the
+// same payload to see exactly which component turned the light yellow.
+//
+//	ready     → 200: every component ok
+//	degraded  → 200: serving, but impaired (slow burn, breaker open,
+//	            gate near saturation, stale snapshot) — keep routing,
+//	            start looking
+//	unhealthy → 503: an SLO is in fast burn; route away
+//
+// The endpoint is deliberately NOT guarded by admission control
+// (guardedPath excludes it): it must stay answerable while the server
+// sheds, and a health probe must never burn the availability budget it
+// reports on.
+
+// gateSaturationDegraded is the suggest-gate occupancy (slots + queue
+// over slots) at which the gate component reports degraded.
+const gateSaturationDegraded = 0.9
+
+type healthComponent struct {
+	Status string         `json:"status"` // "ok" | "degraded" | "unhealthy"
+	Detail map[string]any `json:"detail,omitempty"`
+}
+
+// worseHealth returns the more severe of two component statuses.
+func worseHealth(a, b string) string {
+	rank := func(s string) int {
+		switch s {
+		case "unhealthy":
+			return 2
+		case "degraded":
+			return 1
+		default:
+			return 0
+		}
+	}
+	if rank(b) > rank(a) {
+		return b
+	}
+	return a
+}
+
+func (s *Server) handleHealthV1(w http.ResponseWriter, r *http.Request) {
+	overall := "ok"
+	components := map[string]healthComponent{}
+
+	// Engine / snapshot staleness.
+	eng := s.engine.Load()
+	build := eng.LastBuild()
+	engDetail := map[string]any{
+		"generation": eng.Generation(),
+		"buildMode":  build.Mode.String(),
+	}
+	engStatus := "ok"
+	if !build.BuiltAt.IsZero() {
+		age := time.Since(build.BuiltAt)
+		engDetail["snapshotAgeSeconds"] = age.Seconds()
+		if rt := s.sloState.Load(); rt != nil && rt.cfg.SnapshotMaxAge > 0 && age > rt.cfg.SnapshotMaxAge {
+			engStatus = "degraded"
+			engDetail["snapshotMaxAgeSeconds"] = rt.cfg.SnapshotMaxAge.Seconds()
+		}
+	}
+	components["engine"] = healthComponent{Status: engStatus, Detail: engDetail}
+	overall = worseHealth(overall, engStatus)
+
+	// Admission: breaker state and gate saturation.
+	if ctrl := s.admission.Load(); ctrl != nil {
+		bStatus := "ok"
+		if st := ctrl.Breaker.State(); st != admission.Closed {
+			bStatus = "degraded"
+		}
+		components["breaker"] = healthComponent{Status: bStatus, Detail: map[string]any{
+			"state": ctrl.Breaker.State().String(),
+			"opens": ctrl.Breaker.Opens(),
+		}}
+		overall = worseHealth(overall, bStatus)
+
+		gStatus := "ok"
+		sat := ctrl.Suggest.Saturation()
+		if sat >= gateSaturationDegraded && ctrl.Suggest.Limit() > 0 {
+			gStatus = "degraded"
+		}
+		components["suggestGate"] = healthComponent{Status: gStatus, Detail: map[string]any{
+			"saturation": sat,
+			"limit":      ctrl.Suggest.Limit(),
+			"inFlight":   ctrl.Suggest.InFlight(),
+			"waiting":    ctrl.Suggest.Waiting(),
+		}}
+		overall = worseHealth(overall, gStatus)
+		components["advisory"] = healthComponent{Status: "ok", Detail: map[string]any{
+			"level": ctrl.Advisory().String(),
+		}}
+	}
+
+	// SLO burn state: the only component that can flip the whole
+	// endpoint to 503.
+	if rt := s.sloState.Load(); rt != nil {
+		sloStatus := "ok"
+		switch rt.engine.State() {
+		case slo.FastBurn:
+			sloStatus = "unhealthy"
+		case slo.SlowBurn:
+			sloStatus = "degraded"
+		}
+		components["slo"] = healthComponent{Status: sloStatus, Detail: map[string]any{
+			"state":      rt.engine.State().String(),
+			"objectives": rt.engine.Statuses(),
+		}}
+		overall = worseHealth(overall, sloStatus)
+	} else {
+		components["slo"] = healthComponent{Status: "ok", Detail: map[string]any{"enabled": false}}
+	}
+
+	status, code := "ready", http.StatusOK
+	switch overall {
+	case "unhealthy":
+		status, code = "unhealthy", http.StatusServiceUnavailable
+	case "degraded":
+		status = "degraded"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":     status,
+		"components": components,
+	})
+}

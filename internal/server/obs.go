@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/slo"
 )
 
 // This file is the server half of the observability layer: the request
@@ -109,7 +110,8 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		if guardedPath(r.URL.Path) {
+		guarded := guardedPath(r.URL.Path)
+		if guarded {
 			// Per-IP token bucket, before any body is read: a single
 			// flooding client is turned away at the door while /healthz
 			// and /metrics stay reachable for operators.
@@ -119,6 +121,14 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 					sw.status = http.StatusTooManyRequests
 					writeShedFast(sw.ResponseWriter, shedBodyRateLimited, retry)
 					s.tel.httpDuration.Observe(time.Since(start).Seconds())
+					s.recordAvailability(sw.status)
+					s.flightShed(id, slo.OutcomeShedRate)
+					if lg := s.Logger(); lg.Enabled(ctx, slog.LevelWarn) {
+						lg.LogAttrs(ctx, slog.LevelWarn, "request shed",
+							slog.String("requestId", id),
+							slog.String("reason", "rate_limited_ip"),
+							slog.String("path", r.URL.Path))
+					}
 					return
 				}
 			}
@@ -131,7 +141,16 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 		next.ServeHTTP(sw, r.WithContext(ctx))
 		elapsed := time.Since(start)
 
-		s.tel.httpDuration.Observe(elapsed.Seconds())
+		// The request ID doubles as the exemplar trace key here (the
+		// middleware never sees the suggestion trace ID); TraceRing.Find
+		// resolves either.
+		s.tel.httpDuration.ObserveExemplar(elapsed.Seconds(), id, id)
+		if guarded {
+			// The availability objective watches exactly the guarded API
+			// surface: shed 429s are the server answering as designed,
+			// only 5xx burns budget (recordAvailability classifies).
+			s.recordAvailability(sw.status)
+		}
 		s.Logger().LogAttrs(ctx, slog.LevelInfo, "request",
 			slog.String("requestId", id),
 			slog.String("method", r.Method),
@@ -143,14 +162,20 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 }
 
 // finishTrace closes out one suggestion trace: ring-buffer it, and when
-// the request overran the slow-query threshold, log it in full.
-func (s *Server) finishTrace(tr *obs.Trace, elapsed time.Duration) obs.TraceSnapshot {
+// the request overran the slow-query threshold, log it in full. The
+// strategy and generation ride along so a slow-query line is
+// join-free: requestId, traceId, strategy and generation are all
+// first-class structured fields.
+func (s *Server) finishTrace(tr *obs.Trace, elapsed time.Duration, strategy string, generation uint64) obs.TraceSnapshot {
 	snap := tr.Snapshot()
 	s.traces.Add(snap)
 	if thr := s.SlowQueryThreshold(); thr > 0 && elapsed > thr {
 		s.stats.slowQueries.Add(1)
 		attrs := []slog.Attr{
 			slog.String("requestId", snap.ID),
+			slog.String("traceId", snap.TraceID),
+			slog.String("strategy", strategy),
+			slog.Uint64("generation", generation),
 			slog.Float64("elapsedMs", ms(elapsed)),
 			slog.Float64("thresholdMs", ms(thr)),
 		}
@@ -187,6 +212,8 @@ func (s *Server) handleStatsReset(w http.ResponseWriter, r *http.Request) {
 func (s *Server) mountDebug(mux *http.ServeMux) {
 	mux.Handle("GET /metrics", s.tel.registry.Handler())
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/exemplars", s.handleExemplars)
+	mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
 	mux.HandleFunc("POST /debug/stats/reset", s.handleStatsReset)
 	if s.pprofEnabled {
 		mux.HandleFunc("GET /debug/pprof/", netpprof.Index)

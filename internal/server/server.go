@@ -47,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/querylog"
+	"repro/internal/slo"
 )
 
 // Server is the suggestion middleware. Create with New and mount via
@@ -79,6 +80,10 @@ type Server struct {
 	// breaker-open cache misses (see strategies.go); unset means those
 	// requests shed with 503 as before.
 	brownout brownoutState
+	// sloState is the SLO subsystem installed by EnableSLO (nil when
+	// disabled): burn-rate trackers, the wide-event flight recorder and
+	// the evaluation loop (see slo.go).
+	sloState atomic.Pointer[sloRuntime]
 
 	stats serverStats
 	// tel holds the per-instance metric registry and histograms backing
@@ -159,6 +164,9 @@ func (s *Server) Handler() http.Handler {
 	s.publishExpvar()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// /v1/health is the component-scoreboard readiness probe (see
+	// health.go); deliberately outside admission control.
+	mux.HandleFunc("GET /v1/health", s.handleHealthV1)
 	// Routes shared by /v1 (canonical) and /api (deprecated alias).
 	routes := []struct {
 		method, path string
@@ -691,9 +699,12 @@ func (s *Server) serveSuggestion(w http.ResponseWriter, r *http.Request, req Sug
 // recording. Shared by the single and batch endpoints.
 func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*SuggestResponse, *apiError) {
 	s.stats.suggestRequests.Add(1)
+	reqID := obs.RequestIDFrom(rctx)
 	creq, aerr := validateSuggestRequest(req)
 	if aerr != nil {
 		s.stats.suggestErrors.Add(1)
+		s.flightEvent(reqID, "", core.SuggestRequest{}, core.Result{}, 0,
+			slo.OutcomeBadRequest, statusOf(aerr.Code), false, false)
 		return nil, aerr
 	}
 	// Per-user token bucket. Anonymous requests are exempt here — the
@@ -702,6 +713,8 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 	if ctrl := s.admission.Load(); ctrl != nil && creq.User != "" {
 		if ok, retry := ctrl.Users.Allow(creq.User); !ok {
 			s.stats.shedRateUser.Add(1)
+			s.flightEvent(reqID, "", creq, core.Result{}, 0,
+				slo.OutcomeShedRate, http.StatusTooManyRequests, false, false)
 			return nil, rateLimitedError(retry)
 		}
 	}
@@ -709,9 +722,12 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 	// Request-scoped trace: every pipeline stage down to the CG solver
 	// appends spans; the completed trace lands in the /debug/traces
 	// ring, is logged when over the slow-query budget, and is returned
-	// inline for debug=trace. Batch items trace individually.
-	reqID := obs.RequestIDFrom(rctx)
+	// inline for debug=trace. Batch items trace individually. The trace
+	// gets its own server-assigned ID (distinct from the possibly
+	// client-supplied request ID) — the key exemplars and wide events
+	// carry, resolvable via /debug/exemplars?trace=.
 	tr := obs.NewTrace(reqID)
+	tr.TraceID = newRequestID()
 	ctx := obs.WithTrace(rctx, tr)
 
 	// Request-scoped deadline: client disconnects cancel via the
@@ -738,14 +754,23 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 		root.SetAttr("degraded", true)
 	}
 	root.End()
+
+	// Classify the disposition once for the flight recorder and the
+	// latency/fidelity SLOs — every path out of this function leaves one
+	// wide event behind.
+	outcome, status := classifySuggest(ctx, degraded, err, aerr)
+	brownoutServed := degraded && aerr == nil && err == nil && !res.CacheHit
+	s.flightEvent(reqID, tr.TraceID, creq, res, elapsed, outcome, status, degraded, brownoutServed)
+	s.recordSuggestSLO(res, elapsed, degraded)
+
 	if aerr != nil {
 		// Breaker open and nothing cached: shed with 503.
-		s.finishTrace(tr, elapsed)
+		s.finishTrace(tr, elapsed, res.Strategy, res.Generation)
 		s.stats.suggestErrors.Add(1)
 		return nil, aerr
 	}
-	s.observeStages(res, elapsed)
-	snap := s.finishTrace(tr, elapsed)
+	s.observeStages(res, elapsed, reqID, tr.TraceID)
+	snap := s.finishTrace(tr, elapsed, res.Strategy, res.Generation)
 	if res.CacheHit {
 		s.stats.suggestCacheHits.Add(1)
 	}
@@ -928,6 +953,7 @@ func (s *Server) statsPayload() map[string]any {
 	}
 	m["http"] = stageStatsPayload(s.tel.httpDuration)
 	m["runtime"] = s.runtimePayload()
+	m["slo"] = s.sloStatsPayload()
 	// Extend the counter-only admission section from snapshot() with the
 	// live controller state: breaker, gate occupancy, limiter key counts
 	// and the queue-depth distribution.
@@ -936,14 +962,16 @@ func (s *Server) statsPayload() map[string]any {
 	ctrl := s.admission.Load()
 	adm["enabled"] = ctrl != nil
 	if ctrl != nil {
+		adm["advisory"] = ctrl.Advisory().String()
 		adm["breaker"] = map[string]any{
 			"state": ctrl.Breaker.State().String(),
 			"opens": ctrl.Breaker.Opens(),
 		}
 		adm["suggestGate"] = map[string]any{
-			"limit":    ctrl.Suggest.Limit(),
-			"inFlight": ctrl.Suggest.InFlight(),
-			"waiting":  ctrl.Suggest.Waiting(),
+			"limit":      ctrl.Suggest.Limit(),
+			"inFlight":   ctrl.Suggest.InFlight(),
+			"waiting":    ctrl.Suggest.Waiting(),
+			"saturation": ctrl.Suggest.Saturation(),
 		}
 		adm["rateKeys"] = map[string]any{
 			"users": ctrl.Users.Keys(),
@@ -996,25 +1024,28 @@ func (s *Server) statsPayload() map[string]any {
 // observeStages feeds the core.Result timing breakdown into the
 // per-stage latency histograms (partial results from cancelled requests
 // count too — their completed stages are real work; cache hits report
-// zero for the stages they skipped and are not observed there).
-func (s *Server) observeStages(res core.Result, total time.Duration) {
-	s.tel.observeStage("total", total)
+// zero for the stages they skipped and are not observed there). The
+// request/trace IDs ride along as bucket exemplars when exemplar
+// retention is enabled, so a high bucket on /metrics names a real
+// request.
+func (s *Server) observeStages(res core.Result, total time.Duration, reqID, traceID string) {
+	s.tel.observeStage("total", total, reqID, traceID)
 	if res.CompactTime > 0 {
-		s.tel.observeStage("compact", res.CompactTime)
+		s.tel.observeStage("compact", res.CompactTime, reqID, traceID)
 	}
 	if res.SolveTime > 0 {
-		s.tel.observeStage("solve", res.SolveTime)
+		s.tel.observeStage("solve", res.SolveTime, reqID, traceID)
 	}
 	if res.HittingTime > 0 {
-		s.tel.observeStage("hitting", res.HittingTime)
+		s.tel.observeStage("hitting", res.HittingTime, reqID, traceID)
 	}
 	if res.PersonalizeTime > 0 {
-		s.tel.observeStage("personalize", res.PersonalizeTime)
+		s.tel.observeStage("personalize", res.PersonalizeTime, reqID, traceID)
 	}
 	// HittingTime is the Select-stage wall time whatever the strategy
 	// (the field name predates the pluggable boundary); cache hits report
 	// zero and are counted without a latency observation.
-	s.tel.observeStrategy(res.Strategy, res.HittingTime)
+	s.tel.observeStrategy(res.Strategy, res.HittingTime, reqID, traceID)
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -283,6 +283,7 @@ func newTelemetry(s *Server) *telemetry {
 	reg.CounterFunc("pqsda_cache_misses_total", "Suggestion-cache misses.", nil, cacheStat(func(c cacheCounters) float64 { return float64(c.misses) }))
 	reg.CounterFunc("pqsda_cache_coalesced_total", "Requests coalesced onto a concurrent identical computation.", nil, cacheStat(func(c cacheCounters) float64 { return float64(c.coalesced) }))
 	reg.CounterFunc("pqsda_cache_evictions_total", "Suggestion-cache LRU evictions.", nil, cacheStat(func(c cacheCounters) float64 { return float64(c.evictions) }))
+	reg.CounterFunc("pqsda_cache_expirations_total", "Suggestion-cache TTL expirations.", nil, cacheStat(func(c cacheCounters) float64 { return float64(c.expirations) }))
 	reg.GaugeFunc("pqsda_cache_entries", "Suggestion-cache resident entries.", nil, cacheStat(func(c cacheCounters) float64 { return float64(c.entries) }))
 
 	reg.GaugeFunc("pqsda_uptime_seconds", "Seconds since the server was created.", nil,
@@ -302,17 +303,19 @@ type cacheCounters struct {
 	hits, misses, coalesced, evictions, expirations, entries int64
 }
 
-// observe feeds one stage duration.
-func (t *telemetry) observeStage(stage string, d time.Duration) {
+// observe feeds one stage duration, pinning the request as the bucket
+// exemplar when retention is enabled (ObserveExemplar degrades to a
+// plain Observe otherwise).
+func (t *telemetry) observeStage(stage string, d time.Duration, reqID, traceID string) {
 	if h := t.stages[stage]; h != nil {
-		h.Observe(d.Seconds())
+		h.ObserveExemplar(d.Seconds(), reqID, traceID)
 	}
 }
 
 // observeStrategy counts one completed suggestion against its strategy
 // and, when the Select stage actually ran (cache hits report zero),
 // feeds its duration into the per-strategy latency histogram.
-func (t *telemetry) observeStrategy(name string, selectTime time.Duration) {
+func (t *telemetry) observeStrategy(name string, selectTime time.Duration, reqID, traceID string) {
 	if name == "" {
 		return
 	}
@@ -321,7 +324,7 @@ func (t *telemetry) observeStrategy(name string, selectTime time.Duration) {
 	}
 	if selectTime > 0 {
 		if h := t.selectDuration[name]; h != nil {
-			h.Observe(selectTime.Seconds())
+			h.ObserveExemplar(selectTime.Seconds(), reqID, traceID)
 		}
 	}
 }

@@ -1,0 +1,370 @@
+// Package slo turns the repo's telemetry (internal/obs) into
+// *judgment*: whether the suggestion service is meeting its objectives,
+// how fast it is burning its error budget, and — via the flight
+// recorder in flightrecorder.go — what every request looked like in the
+// seconds before an incident.
+//
+// The model is the SRE-workbook multi-window burn rate. An objective is
+// a good-ratio target ("99.9% of requests succeed", "99% of requests
+// finish under 40ms" — a latency percentile objective is just an
+// availability objective whose good-event predicate is "latency ≤
+// budget"). The error budget is 1−goal; the burn rate over a window is
+// (bad/total)/(1−goal): burn 1 means the budget is being consumed
+// exactly at the sustainable rate, burn 14.4 means a 30-day budget is
+// gone in 2 days. Alerting pairs a long window (is the burn real?) with
+// a short window (is it still happening?) so alerts both fire fast on a
+// cliff and clear fast on recovery:
+//
+//	fast burn:  burn(1h) ≥ 14.4  AND  burn(5m)  ≥ 14.4   → page now
+//	slow burn:  burn(6h) ≥ 6     AND  burn(30m) ≥ 6      → ticket
+//
+// Counters are per-bucket atomic rings on an injectable clock, so the
+// record path is lock-free and the whole lifecycle is testable with a
+// fake clock.
+package slo
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is one objective's alert state, ordered by severity.
+type State int32
+
+const (
+	// Healthy: both burn conditions clear.
+	Healthy State = iota
+	// SlowBurn: the slow pair fired — the budget is eroding at a rate
+	// that exhausts it well before the period ends; worth a ticket, not
+	// a page.
+	SlowBurn
+	// FastBurn: the fast pair fired — at this rate the whole budget is
+	// gone within hours; /v1/health reports unhealthy and the flight
+	// recorder dumps the lead-up.
+	FastBurn
+)
+
+func (s State) String() string {
+	switch s {
+	case FastBurn:
+		return "fast_burn"
+	case SlowBurn:
+		return "slow_burn"
+	default:
+		return "healthy"
+	}
+}
+
+// BurnWindow is one window pair of the multi-window alert rule.
+type BurnWindow struct {
+	// Long is the window that establishes the burn is real.
+	Long time.Duration
+	// Short is the window that establishes it is still happening.
+	Short time.Duration
+	// Factor is the burn-rate threshold both windows must exceed.
+	Factor float64
+}
+
+// Config tunes an Engine. The zero value applies the SRE-workbook
+// defaults below.
+type Config struct {
+	// Fast and Slow are the two alert pairs.
+	Fast BurnWindow
+	Slow BurnWindow
+	// Resolution is the counter bucket width; windows shorter than one
+	// bucket are rounded up to it.
+	Resolution time.Duration
+	// Now is the clock (nil: time.Now). Injected by tests so the whole
+	// fast-burn → recovery lifecycle runs in microseconds.
+	Now func() time.Time
+}
+
+// Defaults (documented in DESIGN.md).
+var (
+	DefaultFast       = BurnWindow{Long: time.Hour, Short: 5 * time.Minute, Factor: 14.4}
+	DefaultSlow       = BurnWindow{Long: 6 * time.Hour, Short: 30 * time.Minute, Factor: 6}
+	DefaultResolution = 10 * time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.Fast == (BurnWindow{}) {
+		c.Fast = DefaultFast
+	}
+	if c.Slow == (BurnWindow{}) {
+		c.Slow = DefaultSlow
+	}
+	if c.Resolution <= 0 {
+		c.Resolution = DefaultResolution
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Objective is one declarative service-level objective.
+type Objective struct {
+	// Name identifies the objective ("availability",
+	// "latency_p99_total", …) in /v1/health and /v1/stats.
+	Name string
+	// Help is the operator-facing description.
+	Help string
+	// Goal is the target good-ratio in (0, 1): 0.999 availability, 0.99
+	// for a p99 latency objective.
+	Goal float64
+	// LatencyBudget, when positive, makes this a latency objective:
+	// ObserveLatency classifies an observation good iff it is ≤ the
+	// budget. Pure good/bad objectives leave it zero and call Record.
+	LatencyBudget time.Duration
+}
+
+// Status is one objective's evaluated state.
+type Status struct {
+	Name string  `json:"name"`
+	Goal float64 `json:"goal"`
+	// BudgetMs echoes LatencyBudget in milliseconds (0 for non-latency
+	// objectives).
+	BudgetMs float64 `json:"budgetMs,omitempty"`
+	// State is the alert state at the last Evaluate.
+	State string `json:"state"`
+	// FastLong/FastShort/SlowLong/SlowShort are the measured burn rates
+	// per window at the last Evaluate.
+	FastLong  float64 `json:"fastBurnLong"`
+	FastShort float64 `json:"fastBurnShort"`
+	SlowLong  float64 `json:"slowBurnLong"`
+	SlowShort float64 `json:"slowBurnShort"`
+	// Good/Bad are the event totals over the slow long window.
+	Good uint64 `json:"good"`
+	Bad  uint64 `json:"bad"`
+	// BudgetRemaining is the fraction of the error budget left over the
+	// slow long window: 1 − badRatio/(1−goal), floored at 0.
+	BudgetRemaining float64 `json:"budgetRemaining"`
+}
+
+// bucket is one time slice of an objective's counters. epoch is the
+// absolute bucket number the counts belong to; a writer landing on a
+// recycled slot CASes the epoch forward and zeroes the counts.
+type bucket struct {
+	epoch atomic.Int64
+	good  atomic.Uint64
+	bad   atomic.Uint64
+}
+
+// Tracker accumulates good/bad events for one objective.
+type Tracker struct {
+	obj     Objective
+	cfg     Config
+	buckets []bucket
+	state   atomic.Int32
+}
+
+// Objective returns the tracked objective.
+func (t *Tracker) Objective() Objective { return t.obj }
+
+// State returns the tracker's state as of the last Engine.Evaluate.
+func (t *Tracker) State() State { return State(t.state.Load()) }
+
+// Record counts one event. Lock-free: an epoch CAS plus two atomic
+// adds.
+func (t *Tracker) Record(good bool) {
+	e := t.cfg.Now().UnixNano() / int64(t.cfg.Resolution)
+	b := &t.buckets[int(e%int64(len(t.buckets)))]
+	for {
+		cur := b.epoch.Load()
+		if cur == e {
+			break
+		}
+		if cur > e {
+			// Clock skew between concurrent writers: drop into the
+			// newer bucket rather than resurrecting an old one.
+			break
+		}
+		if b.epoch.CompareAndSwap(cur, e) {
+			// The CAS winner zeroes the recycled slot. A concurrent
+			// add racing the zeroing can lose one event — bounded,
+			// monitoring-grade accuracy.
+			b.good.Store(0)
+			b.bad.Store(0)
+			break
+		}
+	}
+	if good {
+		b.good.Add(1)
+	} else {
+		b.bad.Add(1)
+	}
+}
+
+// ObserveLatency records one latency observation against the
+// objective's budget (good iff d ≤ LatencyBudget).
+func (t *Tracker) ObserveLatency(d time.Duration) {
+	t.Record(d <= t.obj.LatencyBudget)
+}
+
+// window sums the counters of the last w of wall time ending at now.
+func (t *Tracker) window(now time.Time, w time.Duration) (good, bad uint64) {
+	nowE := now.UnixNano() / int64(t.cfg.Resolution)
+	n := int64(w / t.cfg.Resolution)
+	if n < 1 {
+		n = 1
+	}
+	minE := nowE - n + 1
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		e := b.epoch.Load()
+		if e >= minE && e <= nowE {
+			good += b.good.Load()
+			bad += b.bad.Load()
+		}
+	}
+	return good, bad
+}
+
+// burn computes the burn rate over one window: the bad ratio divided by
+// the error budget. Empty windows burn nothing.
+func (t *Tracker) burn(now time.Time, w time.Duration) float64 {
+	good, bad := t.window(now, w)
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - t.obj.Goal
+	if budget <= 0 {
+		budget = 1e-9 // a 100% goal burns at the bad count itself
+	}
+	return (float64(bad) / float64(total)) / budget
+}
+
+// evaluate computes the tracker's status at now.
+func (t *Tracker) evaluate(now time.Time) Status {
+	st := Status{
+		Name:      t.obj.Name,
+		Goal:      t.obj.Goal,
+		BudgetMs:  float64(t.obj.LatencyBudget.Microseconds()) / 1000,
+		FastLong:  t.burn(now, t.cfg.Fast.Long),
+		FastShort: t.burn(now, t.cfg.Fast.Short),
+		SlowLong:  t.burn(now, t.cfg.Slow.Long),
+		SlowShort: t.burn(now, t.cfg.Slow.Short),
+	}
+	st.Good, st.Bad = t.window(now, t.cfg.Slow.Long)
+	state := Healthy
+	switch {
+	case st.FastLong >= t.cfg.Fast.Factor && st.FastShort >= t.cfg.Fast.Factor:
+		state = FastBurn
+	case st.SlowLong >= t.cfg.Slow.Factor && st.SlowShort >= t.cfg.Slow.Factor:
+		state = SlowBurn
+	}
+	st.State = state.String()
+	if total := st.Good + st.Bad; total > 0 {
+		budget := 1 - t.obj.Goal
+		if budget > 0 {
+			used := (float64(st.Bad) / float64(total)) / budget
+			st.BudgetRemaining = 1 - used
+			if st.BudgetRemaining < 0 {
+				st.BudgetRemaining = 0
+			}
+		}
+	} else {
+		st.BudgetRemaining = 1
+	}
+	t.state.Store(int32(state))
+	return st
+}
+
+// Engine evaluates a set of objectives. Register objectives up front,
+// Record/ObserveLatency from the serving path, and call Evaluate
+// periodically (the server runs it on a ticker; tests call it directly
+// after advancing their fake clock).
+type Engine struct {
+	cfg      Config
+	mu       sync.Mutex
+	trackers []*Tracker
+	onFast   []func(Status)
+	// last holds the most recent Evaluate result for cheap reads by
+	// /v1/health and /v1/stats.
+	last atomic.Pointer[[]Status]
+}
+
+// NewEngine builds an engine over cfg (zero value: workbook defaults).
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{cfg: cfg.withDefaults()}
+	empty := []Status{}
+	e.last.Store(&empty)
+	return e
+}
+
+// Register adds an objective and returns its tracker. Registration is
+// not synchronized against Evaluate; register before serving.
+func (e *Engine) Register(obj Objective) *Tracker {
+	cfg := e.cfg
+	n := int(cfg.Slow.Long/cfg.Resolution) + 2
+	if n < 4 {
+		n = 4
+	}
+	t := &Tracker{obj: obj, cfg: cfg, buckets: make([]bucket, n)}
+	e.mu.Lock()
+	e.trackers = append(e.trackers, t)
+	e.mu.Unlock()
+	return t
+}
+
+// Trackers returns the registered trackers in registration order.
+func (e *Engine) Trackers() []*Tracker {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Tracker(nil), e.trackers...)
+}
+
+// OnFastBurn registers a callback fired (from within Evaluate) each
+// time an objective TRANSITIONS into FastBurn — the hook the server
+// uses to dump the flight recorder while the lead-up is still in the
+// ring.
+func (e *Engine) OnFastBurn(fn func(Status)) {
+	e.mu.Lock()
+	e.onFast = append(e.onFast, fn)
+	e.mu.Unlock()
+}
+
+// Evaluate computes every objective's status at the engine's current
+// clock, fires fast-burn transition callbacks, and caches the result
+// for Statuses.
+func (e *Engine) Evaluate() []Status {
+	now := e.cfg.Now()
+	e.mu.Lock()
+	trackers := append([]*Tracker(nil), e.trackers...)
+	callbacks := append([]func(Status){}, e.onFast...)
+	e.mu.Unlock()
+	out := make([]Status, 0, len(trackers))
+	for _, t := range trackers {
+		prev := t.State()
+		st := t.evaluate(now)
+		out = append(out, st)
+		if t.State() == FastBurn && prev != FastBurn {
+			for _, fn := range callbacks {
+				fn(st)
+			}
+		}
+	}
+	e.last.Store(&out)
+	return out
+}
+
+// Statuses returns the objectives' statuses as of the last Evaluate
+// (empty before the first evaluation). Lock-free.
+func (e *Engine) Statuses() []Status { return *e.last.Load() }
+
+// State returns the worst state across all objectives as of the last
+// Evaluate.
+func (e *Engine) State() State {
+	worst := Healthy
+	e.mu.Lock()
+	trackers := e.trackers
+	e.mu.Unlock()
+	for _, t := range trackers {
+		if s := t.State(); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}

@@ -1,0 +1,228 @@
+package slo
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for driving the burn-rate lifecycle
+// without real time.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// testConfig compresses the workbook windows so the full lifecycle runs
+// in fake-clock seconds: fast pair {60s, 5s, ×10}, slow pair
+// {300s, 30s, ×2}, 1s resolution.
+func testConfig(c *fakeClock) Config {
+	return Config{
+		Fast:       BurnWindow{Long: 60 * time.Second, Short: 5 * time.Second, Factor: 10},
+		Slow:       BurnWindow{Long: 300 * time.Second, Short: 30 * time.Second, Factor: 2},
+		Resolution: time.Second,
+		Now:        c.Now,
+	}
+}
+
+// feed records good/bad events spread over a span of fake time, one
+// batch per resolution tick.
+func feed(c *fakeClock, t *Tracker, span time.Duration, goodPerSec, badPerSec int) {
+	ticks := int(span / time.Second)
+	for i := 0; i < ticks; i++ {
+		for g := 0; g < goodPerSec; g++ {
+			t.Record(true)
+		}
+		for b := 0; b < badPerSec; b++ {
+			t.Record(false)
+		}
+		c.Advance(time.Second)
+	}
+}
+
+func TestBurnRateLifecycle(t *testing.T) {
+	// One objective at 99% goal → error budget 1%. The table drives the
+	// canonical lifecycle: healthy baseline → total failure (fast burn
+	// fires) → partial recovery (fast clears, slow holds) → full
+	// recovery (all clear once the short windows flush).
+	clock := newFakeClock()
+	eng := NewEngine(testConfig(clock))
+	tr := eng.Register(Objective{Name: "avail", Goal: 0.99})
+
+	steps := []struct {
+		name      string
+		span      time.Duration
+		good, bad int // events per second
+		want      State
+	}{
+		// 1% bad = burn 1: sustainable, healthy.
+		{"baseline", 60 * time.Second, 99, 1, Healthy},
+		// 100% bad = burn 100 ≥ 10 on both fast windows: page.
+		{"cliff", 10 * time.Second, 0, 100, FastBurn},
+		// 3% bad = burn 3: below the fast factor; the long fast window
+		// still holds cliff damage but the 5s short window recovers →
+		// fast clears. Burn 3 ≥ 2 on both slow windows → slow burn.
+		{"simmer", 40 * time.Second, 97, 3, SlowBurn},
+		// Back to 1% bad: the 30s slow short window flushes → healthy,
+		// even though the 300s long window still remembers the cliff.
+		{"recovered", 40 * time.Second, 99, 1, Healthy},
+	}
+	for _, step := range steps {
+		feed(clock, tr, step.span, step.good, step.bad)
+		eng.Evaluate()
+		if got := tr.State(); got != step.want {
+			st := eng.Statuses()[0]
+			t.Fatalf("%s: state = %v, want %v (fast %.1f/%.1f slow %.1f/%.1f)",
+				step.name, got, step.want, st.FastLong, st.FastShort, st.SlowLong, st.SlowShort)
+		}
+	}
+}
+
+func TestLatencyObjective(t *testing.T) {
+	clock := newFakeClock()
+	eng := NewEngine(testConfig(clock))
+	tr := eng.Register(Objective{Name: "lat", Goal: 0.99, LatencyBudget: 40 * time.Millisecond})
+
+	// All within budget: healthy.
+	for i := 0; i < 30; i++ {
+		tr.ObserveLatency(10 * time.Millisecond)
+		clock.Advance(time.Second)
+	}
+	eng.Evaluate()
+	if got := tr.State(); got != Healthy {
+		t.Fatalf("within budget: state = %v, want Healthy", got)
+	}
+	// Latency regression: everything over budget → fast burn.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			tr.ObserveLatency(400 * time.Millisecond)
+		}
+		clock.Advance(time.Second)
+	}
+	eng.Evaluate()
+	if got := tr.State(); got != FastBurn {
+		t.Fatalf("regression: state = %v, want FastBurn", got)
+	}
+}
+
+func TestOnFastBurnFiresOnTransitionOnly(t *testing.T) {
+	clock := newFakeClock()
+	eng := NewEngine(testConfig(clock))
+	tr := eng.Register(Objective{Name: "avail", Goal: 0.99})
+	fired := 0
+	eng.OnFastBurn(func(st Status) { fired++ })
+
+	feed(clock, tr, 10*time.Second, 0, 100)
+	eng.Evaluate()
+	eng.Evaluate() // still burning: no second callback
+	if fired != 1 {
+		t.Fatalf("callback fired %d times while burning, want exactly 1", fired)
+	}
+	// Recover, then burn again: a NEW transition fires again.
+	feed(clock, tr, 120*time.Second, 100, 0)
+	eng.Evaluate()
+	if got := tr.State(); got != Healthy {
+		t.Fatalf("after recovery: state = %v, want Healthy", got)
+	}
+	feed(clock, tr, 10*time.Second, 0, 100)
+	eng.Evaluate()
+	if fired != 2 {
+		t.Fatalf("callback fired %d times after second cliff, want 2", fired)
+	}
+}
+
+func TestBudgetRemaining(t *testing.T) {
+	clock := newFakeClock()
+	eng := NewEngine(testConfig(clock))
+	tr := eng.Register(Objective{Name: "avail", Goal: 0.99})
+	// Empty tracker: full budget.
+	st := eng.Evaluate()[0]
+	if st.BudgetRemaining != 1 {
+		t.Fatalf("empty budgetRemaining = %v, want 1", st.BudgetRemaining)
+	}
+	// 0.5% bad over the window = half the 1% budget burning rate.
+	feed(clock, tr, 200*time.Second, 199, 1)
+	st = eng.Evaluate()[0]
+	if st.BudgetRemaining < 0.4 || st.BudgetRemaining > 0.6 {
+		t.Fatalf("budgetRemaining = %v, want ≈0.5", st.BudgetRemaining)
+	}
+	if st.Good == 0 || st.Bad == 0 {
+		t.Fatalf("window totals good=%d bad=%d, want both > 0", st.Good, st.Bad)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	// Events older than a window must stop counting toward it.
+	clock := newFakeClock()
+	eng := NewEngine(testConfig(clock))
+	tr := eng.Register(Objective{Name: "avail", Goal: 0.99})
+	feed(clock, tr, 10*time.Second, 0, 10) // all bad
+	clock.Advance(400 * time.Second)       // past even the slow long window
+	st := eng.Evaluate()[0]
+	if st.Good != 0 || st.Bad != 0 {
+		t.Fatalf("after expiry: good=%d bad=%d, want 0/0", st.Good, st.Bad)
+	}
+	if got := tr.State(); got != Healthy {
+		t.Fatalf("after expiry: state = %v, want Healthy", got)
+	}
+}
+
+func TestEngineStateWorstAcrossObjectives(t *testing.T) {
+	clock := newFakeClock()
+	eng := NewEngine(testConfig(clock))
+	ok := eng.Register(Objective{Name: "a", Goal: 0.99})
+	bad := eng.Register(Objective{Name: "b", Goal: 0.99})
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			ok.Record(true)
+			bad.Record(false)
+		}
+		clock.Advance(time.Second)
+	}
+	eng.Evaluate()
+	if got := eng.State(); got != FastBurn {
+		t.Fatalf("worst state = %v, want FastBurn", got)
+	}
+}
+
+func TestTrackerConcurrentRecord(t *testing.T) {
+	// Race-detector coverage for the epoch-CAS ring: concurrent
+	// recorders racing the clock's bucket rotation.
+	clock := newFakeClock()
+	eng := NewEngine(testConfig(clock))
+	tr := eng.Register(Objective{Name: "avail", Goal: 0.99})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				tr.Record(i%10 != 0)
+				if w == 0 && i%100 == 0 {
+					clock.Advance(time.Second)
+				}
+				if i%500 == 0 {
+					eng.Evaluate()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	eng.Evaluate()
+}

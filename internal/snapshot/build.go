@@ -39,6 +39,7 @@ func (b Builder) FromSessions(sessions []querylog.Session, entries, segments int
 		Stats: Stats{
 			Mode:        ModeFull,
 			Duration:    time.Since(start),
+			BuiltAt:     time.Now(),
 			LogEntries:  entries,
 			Segments:    segments,
 			NumSessions: len(sessions),
@@ -135,6 +136,7 @@ func (b Builder) Delta(prev *Snapshot, fresh []querylog.Entry, segments int) (*S
 			DeltaEntries:  len(fresh),
 			AffectedUsers: len(affected),
 			Duration:      time.Since(start),
+			BuiltAt:       time.Now(),
 			LogEntries:    prev.Stats.LogEntries + len(fresh),
 			Segments:      segments,
 			NumSessions:   len(sessions),

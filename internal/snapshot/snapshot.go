@@ -54,6 +54,9 @@ type Stats struct {
 	AffectedUsers int
 	// Duration is the wall time of the build.
 	Duration time.Duration
+	// BuiltAt is when the build completed — the health scoreboard's
+	// staleness reference.
+	BuiltAt time.Time
 	// LogEntries is the total number of log entries this snapshot
 	// reflects.
 	LogEntries int

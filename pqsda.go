@@ -39,6 +39,7 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/querylog"
+	"repro/internal/server"
 	"repro/internal/synth"
 	"repro/internal/topicmodel"
 )
@@ -176,6 +177,19 @@ type BreakerConfig = admission.BreakerConfig
 // queue, mutating endpoints single-file, breaker at 50% failures over
 // 10s, rate limiters off (per-key rates are deployment-specific).
 func DefaultAdmissionConfig() AdmissionConfig { return admission.DefaultConfig() }
+
+// SLOConfig declares the serving service-level objectives
+// (internal/server, internal/slo): the end-to-end latency budget, the
+// availability and full-fidelity goals, the flight-recorder sizing and
+// the burn-rate evaluation cadence. Install on a server with
+// server.Server.EnableSLO; the burn state drives /v1/health, the
+// admission advisory, and automatic flight-recorder dumps.
+type SLOConfig = server.SLOConfig
+
+// DefaultSLOConfig returns the recommended SLO posture: 250ms
+// end-to-end p99, 99.9% availability, 99% full-fidelity responses, a
+// 4096-event flight recorder, evaluation every 10s.
+func DefaultSLOConfig() SLOConfig { return server.DefaultSLOConfig() }
 
 // NewEngineAdvanced builds an engine from a fully explicit
 // configuration without cleaning the log first.
