@@ -8,7 +8,7 @@ GO ?= go
 .PHONY: build test race vet fmt-check bench-smoke bench bench-guard metrics-lint chaos eval eval-smoke ci
 
 # Where `make bench` writes its aggregated measurements.
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr9.json
 
 # Where `make eval` writes the strategy A/B report.
 EVAL_OUT ?= EVAL_pr7.json
@@ -67,6 +67,12 @@ bench-guard:
 		$(GO) run ./cmd/benchjson -guard BenchmarkShedPath -max-allocs 2
 	$(GO) test -run '^$$' -bench 'FlightRecorderEmit' -benchmem ./internal/slo/ | \
 		$(GO) run ./cmd/benchjson -guard BenchmarkFlightRecorderEmit -max-allocs 0
+	$(GO) test -run '^$$' -bench 'HittingStageSeed' -benchmem ./internal/hittingtime/ | \
+		$(GO) run ./cmd/benchjson -guard BenchmarkHittingStageSeed -max-allocs 64
+	$(GO) test -run '^$$' -bench 'SolveCGMulti4$$|SolveCGMulti64$$' -benchmem ./internal/sparse/ | tee .bench.guard.out | \
+		$(GO) run ./cmd/benchjson -guard BenchmarkSolveCGMulti4 -max-allocs 4
+	$(GO) run ./cmd/benchjson -guard BenchmarkSolveCGMulti64 -max-allocs 4 < .bench.guard.out
+	@rm -f .bench.guard.out
 
 # Metric-name drift guard: every registered Prometheus family must be
 # listed in metrics.txt and vice versa, plus both exposition formats

@@ -45,17 +45,20 @@ func main() {
 		topics    = flag.Int("topics", 10, "UPM topic count")
 		verbose   = flag.Bool("v", false, "print stage diagnostics")
 		workers   = flag.Int("workers", 1, "parallel workers for every compute stage: UPM training, the Eq. 15 CG solve, and hitting-time sweeps (results are identical at any count)")
+		precision = flag.String("precision", "float64", "floating-point width of the CG-solve and hitting-sweep kernels: float64 (bit-exact reference) or float32 (~half the kernel memory traffic; the CG solve self-verifies and falls back to float64 on ill-conditioned systems)")
 		serve     = flag.String("serve", "", "serve the HTTP suggestion API on this address instead of the CLI")
 		reqTimout = flag.Duration("request-timeout", 5*time.Second, "per-request suggestion deadline for -serve (0 disables; overruns return 504)")
 		slowQuery = flag.Duration("slow-query", 250*time.Millisecond, "log the full trace of any suggestion slower than this (0 disables)")
 		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the serving mux")
 		cacheSize = flag.Int("cache-size", 4096, "suggestion cache capacity in entries (0 disables caching)")
+		compCache = flag.Int("compact-cache", 128, "compact-representation cache capacity in entries — a hit skips the per-request graph carving and its derived matrices, results are bit-identical (0 disables)")
 		cacheTTL  = flag.Duration("cache-ttl", 0, "suggestion cache entry lifetime (0: entries live until evicted or the engine is swapped)")
 		savePath  = flag.String("save", "", "persist the trained engine to this file and exit")
 		enginePth = flag.String("engine", "", "load a persisted engine instead of training from a log")
 		refrMode  = flag.String("refresh-mode", "full", "representation build strategy for /v1/refresh: full (recount the whole log) or delta (incremental, bit-identical to full)")
 		strategy  = flag.String("strategy", "", "default diversification strategy: hitting (the paper's Algorithm 1), mmr, pfar or relevance (empty: hitting); per-request override via the strategy field of /v1/suggest")
 		brownout  = flag.String("brownout-strategy", "relevance", "cheap strategy serving breaker-open cache misses under -serve instead of 503 (empty disables the brownout fallback)")
+		batchSlv  = flag.Bool("batch-solve", true, "group /v1/suggest/batch items by solve signature and answer each group with one blocked multi-RHS CG solve (false: legacy independent items)")
 
 		// Admission control / overload hardening (-serve only).
 		admissionOn = flag.Bool("admission", true, "enable admission control: per-stage concurrency gates with bounded queues (429 on shed) and the degraded-path circuit breaker")
@@ -125,6 +128,8 @@ func main() {
 			DiversificationOnly: *user == "" && *serve == "" && *savePath == "",
 			RefreshMode:         *refrMode,
 			Strategy:            *strategy,
+			Precision:           *precision,
+			CompactCache:        compactCacheSize(*compCache),
 		})
 		if err != nil {
 			fatal(err)
@@ -153,6 +158,7 @@ func main() {
 	if *serve != "" {
 		srv := server.New(engine, os.Stderr)
 		srv.SetRequestTimeout(*reqTimout)
+		srv.SetBatchSolve(*batchSlv)
 		srv.SetSlowQueryThreshold(*slowQuery)
 		opts := &slog.HandlerOptions{Level: slog.LevelInfo}
 		switch *logFormat {
@@ -267,6 +273,15 @@ func serveHTTP(addr string, h http.Handler, drain time.Duration) error {
 		fmt.Fprintln(os.Stderr, "pqsda: drained, bye")
 		return nil
 	}
+}
+
+// compactCacheSize maps the flag's "0 disables" convention onto the
+// engine config's "0 = default, negative disables".
+func compactCacheSize(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
 }
 
 func fatal(err error) {

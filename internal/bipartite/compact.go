@@ -3,6 +3,7 @@ package bipartite
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/sparse"
 )
@@ -22,6 +23,24 @@ type Compact struct {
 	// W are the induced queries × objects matrices (objects restricted
 	// to those touching a selected query).
 	W [NumViews]*sparse.Matrix
+
+	// Derived per-view matrices are memoized: a Compact is immutable
+	// once built, so the two-step transition and normalized affinity
+	// are pure functions of it, and every consumer that touches the
+	// same compact more than once (multi-strategy requests, the batched
+	// solve path, the seed-stage benchmark's per-round rebuilds) would
+	// otherwise redo the full SpGEMM chain — the dominant allocator of
+	// the hitting stage before memoization.
+	derived [NumViews]struct {
+		transOnce, affOnce sync.Once
+		trans, aff         *sparse.Matrix
+	}
+
+	// extra memoizes derived values whose keys the compact cannot
+	// enumerate up front (the Eq. 15 system matrix per α vector, the
+	// hitting-time walker per selector config). See Derived.
+	extraMu sync.Mutex
+	extra   map[any]any
 }
 
 // CompactConfig tunes compact-representation construction.
@@ -155,17 +174,53 @@ func (c *Compact) QueryName(i int) string {
 }
 
 // NormalizedAffinity returns L^X of the compact view v (see
-// Representation.NormalizedAffinity).
+// Representation.NormalizedAffinity). The result is computed on first
+// use and memoized — callers share the returned matrix and must treat
+// it as immutable (which every sparse.Matrix already is).
 func (c *Compact) NormalizedAffinity(v View) *sparse.Matrix {
-	return normalizedAffinityOf(c.W[v])
+	d := &c.derived[v]
+	d.affOnce.Do(func() {
+		d.aff = normalizedAffinityOf(c.W[v])
+	})
+	return d.aff
+}
+
+// Derived returns the memoized derived value for key, calling build on
+// first use. It generalizes the per-view memos above to derived state
+// whose key space the compact cannot know (a system matrix per α
+// vector, a walker per selector config): anything that is a pure
+// function of the immutable compact plus a comparable key qualifies.
+// Once compacts are reused across requests (the engine's compact
+// cache), every such derivation runs once per compact instead of once
+// per request.
+//
+// build runs under the memo lock, so concurrent requests for the same
+// key share a single construction; the built value must be immutable
+// (or internally synchronized) because callers share it.
+func (c *Compact) Derived(key any, build func() any) any {
+	c.extraMu.Lock()
+	defer c.extraMu.Unlock()
+	if v, ok := c.extra[key]; ok {
+		return v
+	}
+	v := build()
+	if c.extra == nil {
+		c.extra = make(map[any]any)
+	}
+	c.extra[key] = v
+	return v
 }
 
 // QueryTransition returns the row-normalized two-step query→query
-// transition of the compact view v.
+// transition of the compact view v, memoized like NormalizedAffinity.
 func (c *Compact) QueryTransition(v View) *sparse.Matrix {
-	w := c.W[v].RowNormalized()
-	wt := c.W[v].Transpose().RowNormalized()
-	return sparse.MulMat(w, wt)
+	d := &c.derived[v]
+	d.transOnce.Do(func() {
+		w := c.W[v].RowNormalized()
+		wt := c.W[v].Transpose().RowNormalized()
+		d.trans = sparse.MulMat(w, wt)
+	})
+	return d.trans
 }
 
 // normalizedAffinityOf computes D^{-1/2} W Wᵀ D^{-1/2} for any bipartite

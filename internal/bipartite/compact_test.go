@@ -2,6 +2,7 @@ package bipartite
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/querylog"
@@ -135,5 +136,50 @@ func TestCompactEmptySeeds(t *testing.T) {
 	c := r.BuildCompact(nil, CompactConfig{Budget: 10})
 	if c.Size() != 0 {
 		t.Fatalf("empty seeds produced %d queries", c.Size())
+	}
+}
+
+// TestCompactDerivedMemo pins the derived-value memo contract: one
+// build per key, shared result, distinct keys distinct builds, safe
+// under concurrent first use.
+func TestCompactDerivedMemo(t *testing.T) {
+	r := synthRep(t, CFIQF)
+	c := r.BuildCompact([]int{0}, CompactConfig{Budget: 20})
+
+	type keyA struct{ x int }
+	builds := 0
+	build := func() any { builds++; return &struct{ n int }{builds} }
+	v1 := c.Derived(keyA{1}, build)
+	v2 := c.Derived(keyA{1}, build)
+	if v1 != v2 {
+		t.Fatal("same key returned distinct values")
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times for one key", builds)
+	}
+	if v3 := c.Derived(keyA{2}, build); v3 == v1 {
+		t.Fatal("distinct keys shared a value")
+	}
+	if builds != 2 {
+		t.Fatalf("build ran %d times for two keys", builds)
+	}
+
+	// Concurrent first use of a fresh key: exactly one build wins and
+	// every goroutine sees it.
+	c2 := r.BuildCompact([]int{1}, CompactConfig{Budget: 20})
+	var wg sync.WaitGroup
+	got := make([]any, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = c2.Derived(keyA{7}, func() any { return new(int) })
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent Derived returned distinct values")
+		}
 	}
 }

@@ -30,7 +30,11 @@ func (e *Engine) Clone() *Engine {
 		segs:   e.segs.Clone(),
 		hasLog: e.hasLog,
 		cache:  e.cache,
-		dirty:  e.dirty,
+		// Compacts are shared like the suggestion cache: keys embed
+		// the generation, so the clone's bumped generation invalidates
+		// without a flush.
+		compacts: e.compacts,
+		dirty:    e.dirty,
 		// The strategy table is read-only while serving, so clones
 		// share it (including AddDiversifier extras).
 		strategies:      e.strategies,

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bipartite"
+	"repro/internal/snapshot"
+)
+
+// defaultCompactCacheSize bounds the compact LRU when Config leaves it
+// zero. Compacts are heavyweight values (induced bipartites plus every
+// memoized derivation: normalized affinities, the Eq. 15 system, the
+// walker transition — a few hundred KB each at the default budget), so
+// the default stays far below the suggestion cache's entry count.
+const defaultCompactCacheSize = 128
+
+// compactCache is a generation-aware LRU of built compact
+// representations keyed by their seed ID set.
+//
+// BuildCompact plus the SpGEMM chain it feeds (normalized affinities →
+// Eq. 15 system, fused walker transition) dominates the uncached
+// suggestion path, yet the compact is a pure function of (snapshot,
+// seed IDs, budget config): two requests for the same query with the
+// same resolvable context rebuild identical state. Real traffic is
+// Zipf-skewed, so the same few thousand seed sets recur constantly.
+// Caching the compact — NOT the suggestion — keeps every
+// query-dependent stage live (F⁰ decay weights, the CG solve, greedy
+// selection, personalization) while amortizing the representation
+// carving. It is therefore a second, coarser cache layer under the
+// suggestion cache: a suggestion-cache miss (new k, new strategy, new
+// context timing, cache disabled) can still be a compact hit.
+//
+// Invalidation mirrors the suggestion cache: keys embed the snapshot
+// generation, so entries built against a replaced snapshot stop being
+// addressable after a hot swap and age out of the LRU.
+type compactCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+type compactEntry struct {
+	key     string
+	compact *bipartite.Compact
+}
+
+func newCompactCache(capacity int) *compactCache {
+	if capacity == 0 {
+		capacity = defaultCompactCacheSize
+	}
+	if capacity < 0 {
+		return nil
+	}
+	return &compactCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// key encodes (generation, seed IDs) compactly. Seed order matters —
+// BuildCompact admits seeds in order, so permutations are distinct
+// compacts — which keeps the encoding a plain concatenation.
+func (cc *compactCache) key(generation uint64, seeds []int) string {
+	buf := make([]byte, 0, binary.MaxVarintLen64*(len(seeds)+1))
+	buf = binary.AppendUvarint(buf, generation)
+	for _, s := range seeds {
+		buf = binary.AppendVarint(buf, int64(s))
+	}
+	return string(buf)
+}
+
+func (cc *compactCache) get(key string) (*bipartite.Compact, bool) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	el, ok := cc.entries[key]
+	if !ok {
+		cc.misses.Add(1)
+		return nil, false
+	}
+	cc.ll.MoveToFront(el)
+	cc.hits.Add(1)
+	return el.Value.(*compactEntry).compact, true
+}
+
+func (cc *compactCache) put(key string, c *bipartite.Compact) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if el, ok := cc.entries[key]; ok {
+		// A concurrent request built the same compact; keep the stored
+		// one so later requests converge on a single instance (and its
+		// memoized derivations).
+		cc.ll.MoveToFront(el)
+		return
+	}
+	cc.entries[key] = cc.ll.PushFront(&compactEntry{key: key, compact: c})
+	for cc.ll.Len() > cc.cap {
+		last := cc.ll.Back()
+		cc.ll.Remove(last)
+		delete(cc.entries, last.Value.(*compactEntry).key)
+	}
+}
+
+// CompactCacheStats is a point-in-time view of the compact LRU.
+type CompactCacheStats struct {
+	// Hits and Misses count lookups since engine construction. Shared
+	// by clones (like the suggestion cache), so they survive hot swaps.
+	Hits, Misses int64
+	// Entries is the current number of cached compacts.
+	Entries int
+	// Capacity is the configured bound (0 when the cache is disabled).
+	Capacity int
+}
+
+// CompactCacheStats reports compact-cache effectiveness; zero value
+// when the cache is disabled (Config.CompactCache < 0).
+func (e *Engine) CompactCacheStats() CompactCacheStats {
+	cc := e.compacts
+	if cc == nil {
+		return CompactCacheStats{}
+	}
+	cc.mu.Lock()
+	n := cc.ll.Len()
+	cc.mu.Unlock()
+	return CompactCacheStats{
+		Hits:     cc.hits.Load(),
+		Misses:   cc.misses.Load(),
+		Entries:  n,
+		Capacity: cc.cap,
+	}
+}
+
+// compactFor returns the compact representation for the seed set on
+// snap, from the cache when possible; cached reports which. On a miss
+// the compact is built OUTSIDE the cache lock — BuildCompact is the
+// expensive part, and serializing all misses behind one mutex would
+// turn the cache into a choke point under concurrent distinct-query
+// load; the rare duplicate concurrent build is resolved in put (first
+// stored wins). Degenerate compacts (size < 2 — the pipeline rejects
+// them as ErrUnknownQuery) are not cached, so junk queries cannot
+// evict useful entries.
+func (e *Engine) compactFor(snap *snapshot.Snapshot, seeds []int) (c *bipartite.Compact, cached bool) {
+	cc := e.compacts
+	if cc == nil {
+		return snap.Rep.BuildCompact(seeds, e.cfg.Compact), false
+	}
+	key := cc.key(snap.Generation, seeds)
+	if c, ok := cc.get(key); ok {
+		return c, true
+	}
+	c = snap.Rep.BuildCompact(seeds, e.cfg.Compact)
+	if c.Size() >= 2 {
+		cc.put(key, c)
+	}
+	return c, false
+}

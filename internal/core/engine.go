@@ -69,6 +69,15 @@ type Config struct {
 	// produce bit-identical representations; delta is much faster for
 	// small deltas.
 	Strategy RefreshStrategy
+	// CompactCache bounds the engine's LRU of built compact
+	// representations, keyed by (generation, seed IDs). Compacts are
+	// pure functions of the snapshot and seed set, so reuse is
+	// bit-identical; a hit skips the representation carving AND every
+	// memoized derivation on it (normalized affinities, the Eq. 15
+	// system, the walker transition) — the bulk of an uncached
+	// request. 0 selects the default (128 entries); negative disables
+	// the cache.
+	CompactCache int
 }
 
 // Engine is a ready-to-serve PQS-DA instance.
@@ -91,6 +100,11 @@ type Engine struct {
 	// keyed by (generation, query, context fingerprint, k). Shared by
 	// clones — generation keying handles invalidation across swaps.
 	cache *suggestcache.Cache[Result]
+	// compacts is the generation-keyed LRU of built compact
+	// representations (see compactcache.go). Always attached unless
+	// Config.CompactCache is negative; shared by clones like the
+	// suggestion cache.
+	compacts *compactCache
 	// cgSolves counts Eq. 15 CG solves run by this instance (cache
 	// effectiveness ground truth; see SolveCount).
 	cgSolves atomic.Int64
@@ -122,6 +136,12 @@ type Result struct {
 	// Diversified is the diversification-stage ranking (Algorithm 1
 	// output) before personalization.
 	Diversified []string
+	// DiversifiedIDs are the snapshot symbol-table ids of Diversified
+	// (parallel slice; nil when the snapshot carries no symbol table).
+	// Cached alongside the list, so personalization — on fresh runs and
+	// cache hits alike — re-ranks in index space with the snapshot's
+	// precomputed tokens instead of re-tokenizing every candidate.
+	DiversifiedIDs []uint32
 	// CompactSize is the number of queries in the compact
 	// representation used.
 	CompactSize int
@@ -130,6 +150,16 @@ type Result struct {
 	// SolveResidual is the final relative residual of the Eq. 15 solve
 	// (zero on cache hits — this request ran no solve).
 	SolveResidual float64
+	// SolveBatchSize is how many right-hand sides the Eq. 15 solve that
+	// produced this list was blocked with: 1 on the single-request path,
+	// the solve-group size under DoBatch, 0 on cache hits.
+	SolveBatchSize int
+	// SolveRefinements counts float32 inner solves when the engine runs
+	// the solver in reduced precision (see sparse.SolveOptions.Precision).
+	SolveRefinements int
+	// SolveFellBack reports that the reduced-precision solve stalled and
+	// finished in float64 via the iterative-refinement fallback.
+	SolveFellBack bool
 	// HittingRounds is the number of Algorithm-1 greedy rounds run
 	// (zero on cache hits).
 	HittingRounds int
@@ -161,7 +191,7 @@ func NewEngine(l *querylog.Log, cfg Config) (*Engine, error) {
 		return nil, querylog.ErrEmptyLog
 	}
 	sessions := querylog.Sessionize(l, cfg.Sessionizer)
-	e := &Engine{cfg: cfg, segs: &querylog.SegmentList{}, hasLog: true}
+	e := &Engine{cfg: cfg, segs: &querylog.SegmentList{}, hasLog: true, compacts: newCompactCache(cfg.CompactCache)}
 	if err := e.initStrategies(); err != nil {
 		return nil, err
 	}
@@ -257,47 +287,21 @@ func (e *Engine) suggestDiversifiedOn(ctx context.Context, snap *snapshot.Snapsh
 
 	t0 := time.Now()
 	sp := obs.StartSpan(ctx, "compact")
-	compact := snap.Rep.BuildCompact(seeds, e.cfg.Compact)
+	compact, compactCached := e.compactFor(snap, seeds)
 	res.CompactTime = time.Since(t0)
 	res.CompactSize = compact.Size()
 	sp.SetAttr("seeds", len(seeds))
 	sp.SetAttr("inputSeeds", nInput)
 	sp.SetAttr("size", compact.Size())
+	sp.SetAttr("cached", compactCached)
 	sp.End()
 	if compact.Size() < 2 {
 		return res, ErrUnknownQuery
 	}
 
-	// Seed locals: the input-derived seeds first, then the search
-	// context. Term-fallback seeds stand in for the input query itself,
-	// so they must NOT enter the Eq. 7 context vector with a decay
-	// weight — only true context entries (i ≥ nInput) do.
-	seedLocals := make([]int, 0, len(seeds))
-	var rctx []regularize.ContextEntry
-	inputSeeds := 0
-	for i := range seeds {
-		local, ok := compact.LocalOf[seeds[i]]
-		if !ok {
-			continue
-		}
-		seedLocals = append(seedLocals, local)
-		if i < nInput {
-			inputSeeds++
-		} else {
-			rctx = append(rctx, regularize.ContextEntry{Local: local, Before: seedTimes[i]})
-		}
-	}
-	// Every seed may miss the compact representation (e.g. a degenerate
-	// budget); indexing seedLocals[0] would panic, and without an
-	// input-derived seed F⁰ has no anchor — the query is unservable.
-	if len(seedLocals) == 0 || inputSeeds == 0 {
+	seedLocals, f0, ok := seedVector(compact, seeds, seedTimes, nInput, e.cfg.Regularize.Lambda)
+	if !ok {
 		return res, ErrUnknownQuery
-	}
-	f0 := regularize.ContextVector(compact.Size(), seedLocals[0], rctx, e.cfg.Regularize.Lambda)
-	// Additional fallback seeds share the anchor weight 1 (they are
-	// alternates for the input query, not decayed context).
-	for i := 1; i < inputSeeds; i++ {
-		f0[seedLocals[i]] = 1
 	}
 
 	t0 = time.Now()
@@ -307,6 +311,9 @@ func (e *Engine) suggestDiversifiedOn(ctx context.Context, snap *snapshot.Snapsh
 	res.SolveTime = time.Since(t0)
 	res.SolveIterations = reg.Iterations
 	res.SolveResidual = reg.Residual
+	res.SolveBatchSize = 1
+	res.SolveRefinements = reg.Refinements
+	res.SolveFellBack = reg.FellBack
 	sp.SetAttr("cgIterations", reg.Iterations)
 	sp.SetAttr("residual", reg.Residual)
 	sp.End()
@@ -316,7 +323,52 @@ func (e *Engine) suggestDiversifiedOn(ctx context.Context, snap *snapshot.Snapsh
 	if reg.First < 0 {
 		return res, ErrUnknownQuery
 	}
+	herr := e.runSelection(ctx, snap, compact, div, name, query, k, seedLocals, reg, &res)
+	return res, herr
+}
 
+// seedVector maps the resolved seeds onto a built compact and assembles
+// the Eq. 7 context vector F⁰. Seed locals are the input-derived seeds
+// first, then the search context. Term-fallback seeds stand in for the
+// input query itself, so they must NOT enter F⁰ with a decay weight —
+// only true context entries (i ≥ nInput) do; additional fallback seeds
+// share the anchor weight 1 (alternates for the input, not context).
+//
+// ok is false when no input-derived seed landed in the compact (every
+// seed may miss it under a degenerate budget) — without an anchor F⁰
+// the query is unservable.
+func seedVector(compact *bipartite.Compact, seeds []int, seedTimes []time.Duration, nInput int, lambda float64) (seedLocals []int, f0 []float64, ok bool) {
+	seedLocals = make([]int, 0, len(seeds))
+	var rctx []regularize.ContextEntry
+	inputSeeds := 0
+	for i := range seeds {
+		local, in := compact.LocalOf[seeds[i]]
+		if !in {
+			continue
+		}
+		seedLocals = append(seedLocals, local)
+		if i < nInput {
+			inputSeeds++
+		} else {
+			rctx = append(rctx, regularize.ContextEntry{Local: local, Before: seedTimes[i]})
+		}
+	}
+	if len(seedLocals) == 0 || inputSeeds == 0 {
+		return nil, nil, false
+	}
+	f0 = regularize.ContextVector(compact.Size(), seedLocals[0], rctx, lambda)
+	for i := 1; i < inputSeeds; i++ {
+		f0[seedLocals[i]] = 1
+	}
+	return seedLocals, f0, true
+}
+
+// runSelection is the pipeline tail shared by the single-request path
+// and DoBatch: the relevance gate over the solved F*, the
+// diversification strategy's selection, and the naming of the selected
+// compact locals (strings + symbol ids). It fills the selection fields
+// of res and returns the strategy's error, if any.
+func (e *Engine) runSelection(ctx context.Context, snap *snapshot.Snapshot, compact *bipartite.Compact, div diversify.Diversifier, name, query string, k int, seedLocals []int, reg regularize.Result, res *Result) error {
 	// Relevance gate: diversification picks only from the queries the
 	// regularization stage scored highest, so coverage of other facets
 	// never costs unrelated suggestions.
@@ -339,8 +391,8 @@ func (e *Engine) suggestDiversifiedOn(ctx context.Context, snap *snapshot.Snapsh
 	// histogram name ("hitting" — the paper's selector) for dashboard
 	// continuity; the strategy attr and the per-strategy server metrics
 	// tell the selectors apart.
-	t0 = time.Now()
-	sp = obs.StartSpan(ctx, "hitting")
+	t0 := time.Now()
+	sp := obs.StartSpan(ctx, "hitting")
 	sp.SetAttr("strategy", name)
 	topicsOf, topicWeights := topicsOn(snap, compact)
 	selected, herr := div.Select(ctx, diversify.Request{
@@ -367,8 +419,14 @@ func (e *Engine) suggestDiversifiedOn(ctx context.Context, snap *snapshot.Snapsh
 	for i, s := range selected {
 		res.Diversified[i] = compact.QueryName(s)
 	}
+	if snap.Symbols != nil {
+		res.DiversifiedIDs = make([]uint32, len(selected))
+		for i, s := range selected {
+			res.DiversifiedIDs[i] = uint32(compact.QueryIDs[s])
+		}
+	}
 	res.Suggestions = res.Diversified
-	return res, herr
+	return herr
 }
 
 // Suggest runs the full pipeline: diversification followed by
@@ -435,6 +493,32 @@ func personalizeOn(snap *snapshot.Snapshot, mode profile.ScoreMode, userID strin
 	}
 	prefRank := snap.Profiles.RankByPreference(userID, candidates, mode)
 	return profile.BordaAggregate(candidates, prefRank)
+}
+
+// personalizeResultOn is personalizeOn for a pipeline Result: when the
+// result carries symbol ids (fresh runs and cache hits alike), the
+// preference ranking and Borda merge run in index space against the
+// snapshot's precomputed token lists — no per-candidate tokenization and
+// no string-keyed maps. Results without ids (hand-assembled snapshots)
+// take the string path.
+func personalizeResultOn(snap *snapshot.Snapshot, mode profile.ScoreMode, userID string, res *Result) []string {
+	if snap.Symbols == nil || len(res.DiversifiedIDs) != len(res.Diversified) || len(res.Diversified) == 0 {
+		return personalizeOn(snap, mode, userID, res.Diversified)
+	}
+	if snap.Profiles == nil || snap.Profiles.Theta(userID) == nil {
+		return res.Diversified
+	}
+	toks := make([][]string, len(res.DiversifiedIDs))
+	for i, id := range res.DiversifiedIDs {
+		toks[i] = snap.Symbols.Tokens(id)
+	}
+	perm := snap.Profiles.PreferencePerm(userID, toks, mode)
+	merged := profile.BordaMergePerm(perm)
+	out := make([]string, len(merged))
+	for i, j := range merged {
+		out[i] = res.Diversified[j]
+	}
+	return out
 }
 
 // resolveSeeds maps the input query and its context to representation

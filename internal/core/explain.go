@@ -64,7 +64,7 @@ func (e *Engine) Explain(userID, query string, context []querylog.Entry, at time
 	// seeds (including term-fallback stand-ins) anchor F⁰ at weight 1,
 	// only true search context decays per Eq. 7.
 	seeds, seedTimes, nInput := resolveSeeds(snap.Rep, query, context, at)
-	compact := snap.Rep.BuildCompact(seeds, e.cfg.Compact)
+	compact, _ := e.compactFor(snap, seeds)
 	seedLocals := make([]int, 0, len(seeds))
 	var rctx []regularize.ContextEntry
 	inputSeeds := 0
@@ -91,7 +91,7 @@ func (e *Engine) Explain(userID, query string, context []querylog.Entry, at time
 	if err != nil {
 		return ex, err
 	}
-	walker := hittingtime.NewWalker(compact, e.cfg.Hitting)
+	walker := hittingtime.WalkerFor(compact, e.cfg.Hitting)
 
 	// Hitting time of each candidate to the set selected before it.
 	localOf := make(map[string]int, compact.Size())

@@ -60,11 +60,11 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	if wire.Rep == nil {
 		return nil, fmt.Errorf("core: engine file has no representation")
 	}
-	e := &Engine{cfg: wire.Cfg, segs: &querylog.SegmentList{}}
+	e := &Engine{cfg: wire.Cfg, segs: &querylog.SegmentList{}, compacts: newCompactCache(wire.Cfg.CompactCache)}
 	if err := e.initStrategies(); err != nil {
 		return nil, err
 	}
-	snap := &snapshot.Snapshot{
+	snap := (&snapshot.Snapshot{
 		Rep:        wire.Rep,
 		Sessions:   wire.Rep.Sessions,
 		Generation: 1,
@@ -72,7 +72,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 			Mode:       snapshot.ModeFull,
 			NumQueries: wire.Rep.NumQueries(),
 		},
-	}
+	}).Finish()
 	if wire.HasUPM {
 		if wire.UPM == nil || wire.WordIndex == nil {
 			return nil, fmt.Errorf("core: engine file profile section incomplete")

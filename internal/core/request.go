@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/querylog"
+	"repro/internal/snapshot"
 	"repro/internal/suggestcache"
 )
 
@@ -104,13 +105,7 @@ func (e *Engine) Do(ctx context.Context, req SuggestRequest) (Result, error) {
 		if e.cache == nil {
 			return Result{Generation: snap.Generation, Strategy: strategy}, ErrNotCached
 		}
-		key := suggestcache.Key{
-			Generation: snap.Generation,
-			Query:      querylog.NormalizeQuery(req.Query),
-			ContextFP:  ContextFingerprint(req.Context, at, e.cfg.Regularize.Lambda),
-			K:          req.K,
-			Strategy:   strategy,
-		}
+		key := e.cacheKey(snap, strategy, req, at)
 		var ok bool
 		res, ok = e.cache.Get(key)
 		if !ok {
@@ -122,13 +117,7 @@ func (e *Engine) Do(ctx context.Context, req SuggestRequest) (Result, error) {
 		res.CompactTime, res.SolveTime, res.HittingTime = 0, 0, 0
 		res.CacheHit = true
 	} else if e.cache != nil && !req.NoCache {
-		key := suggestcache.Key{
-			Generation: snap.Generation,
-			Query:      querylog.NormalizeQuery(req.Query),
-			ContextFP:  ContextFingerprint(req.Context, at, e.cfg.Regularize.Lambda),
-			K:          req.K,
-			Strategy:   strategy,
-		}
+		key := e.cacheKey(snap, strategy, req, at)
 		var out suggestcache.Outcome
 		res, out, err = e.cache.Do(ctx, key, func(ctx context.Context) (Result, error) {
 			return e.suggestDiversifiedOn(ctx, snap, div, strategy, req.Query, req.Context, at, req.K)
@@ -150,7 +139,7 @@ func (e *Engine) Do(ctx context.Context, req SuggestRequest) (Result, error) {
 	if !req.SkipPersonalization && snap.Profiles != nil {
 		t0 := time.Now()
 		sp := obs.StartSpan(ctx, "personalize")
-		res.Suggestions = personalizeOn(snap, e.cfg.ScoreMode, req.User, res.Diversified)
+		res.Suggestions = personalizeResultOn(snap, e.cfg.ScoreMode, req.User, &res)
 		res.PersonalizeTime = time.Since(t0)
 		sp.SetAttr("user", req.User)
 		sp.SetAttr("known", snap.Profiles.Theta(req.User) != nil)
@@ -161,6 +150,29 @@ func (e *Engine) Do(ctx context.Context, req SuggestRequest) (Result, error) {
 		res.PersonalizeTime = 0
 	}
 	return res, nil
+}
+
+// cacheKey canonicalizes a request into its suggestion-cache key. Known
+// queries address the cache by their snapshot symbol id (an integer,
+// fixed-width to hash) instead of the normalized query string; unknown
+// queries keep the string form. Generation is part of the key, so ids
+// from different snapshots can never collide.
+func (e *Engine) cacheKey(snap *snapshot.Snapshot, strategy string, req SuggestRequest, at time.Time) suggestcache.Key {
+	key := suggestcache.Key{
+		Generation: snap.Generation,
+		ContextFP:  ContextFingerprint(req.Context, at, e.cfg.Regularize.Lambda),
+		K:          req.K,
+		Strategy:   strategy,
+	}
+	norm := querylog.NormalizeQuery(req.Query)
+	if snap.Symbols != nil {
+		if id, ok := snap.Symbols.Lookup(norm); ok {
+			key.QueryID = id + 1
+			return key
+		}
+	}
+	key.Query = norm
+	return key
 }
 
 // contextBucketsPerHalfLife is the fingerprint resolution: Eq. 7 decay

@@ -133,10 +133,19 @@ func topicsOn(snap *snapshot.Snapshot, compact *bipartite.Compact) (func(int) []
 			weights[k] = a / sum
 		}
 	}
+	// Token lookup rides the snapshot symbol table when present, so
+	// topic inference over pool candidates reuses the build-time token
+	// lists instead of re-tokenizing per candidate per request.
+	tokensOf := func(local int) []string {
+		if snap.Symbols != nil {
+			return snap.Symbols.Tokens(uint32(compact.QueryIDs[local]))
+		}
+		return querylog.Tokenize(compact.QueryName(local))
+	}
 	topicsOf := func(local int) []int {
 		scores := make([]float64, upm.K())
 		known := false
-		for _, tok := range querylog.Tokenize(compact.QueryName(local)) {
+		for _, tok := range tokensOf(local) {
 			w, ok := p.WordID(tok)
 			if !ok {
 				continue

@@ -28,6 +28,6 @@ func (h *hittingStrategy) Params() map[string]any {
 }
 
 func (h *hittingStrategy) Select(ctx context.Context, req Request) ([]int, error) {
-	walker := hittingtime.NewWalker(req.Compact, h.cfg)
+	walker := hittingtime.WalkerFor(req.Compact, h.cfg)
 	return walker.SelectDiverseCtx(ctx, req.First, req.K, req.Excluded, req.Pool)
 }

@@ -40,6 +40,12 @@ type Config struct {
 	// goroutines (≤ 1 sequential). Selections are bit-identical for any
 	// worker count — see randomwalk.TruncatedHittingTimeFlat.
 	Workers int
+	// Precision selects the sweep kernel's arithmetic width. Float32
+	// halves the memory traffic of each sweep (the kernel is bandwidth
+	// bound); hitting times drive a greedy argmax, so ~1e-7 relative
+	// error is far below the gaps the selection discriminates on.
+	// Defaults to float64.
+	Precision sparse.Precision
 }
 
 // defaultTolerance is the Config.Tolerance zero-value default: far
@@ -218,6 +224,26 @@ func NewWalker(c *bipartite.Compact, cfg Config) *Walker {
 	return &Walker{cfg: cfg, trans: trans, rowSum: rowSum, dangling: dangling}
 }
 
+// walkerKey identifies one prepared walker in a compact's derived-value
+// memo: the walker is a pure function of the compact and the (defaulted)
+// selector config.
+type walkerKey struct {
+	cfg Config
+}
+
+// WalkerFor returns the compact's memoized walker for cfg, building it
+// on first use. A Walker is immutable after construction (per-selection
+// scratch lives in a package pool, not on the walker), so concurrent
+// requests on a cached compact share one instance — and the fused
+// Eq. 16 construction in NewWalker runs once per compact instead of
+// once per request.
+func WalkerFor(c *bipartite.Compact, cfg Config) *Walker {
+	cfg = cfg.withDefaults()
+	return c.Derived(walkerKey{cfg: cfg}, func() any {
+		return NewWalker(c, cfg)
+	}).(*Walker)
+}
+
 // Transition exposes the effective transition matrix (row-stochastic on
 // non-isolated queries).
 func (w *Walker) Transition() *sparse.Matrix { return w.trans }
@@ -289,11 +315,12 @@ func (w *Walker) effectiveWorkers() int {
 // returning the (scratch-aliased) hitting times and the sweeps run.
 func (w *Walker) hit(sc *selectScratch) ([]float64, int) {
 	return randomwalk.TruncatedHittingTimeFlat(w.trans, sc.inS, randomwalk.HittingTimeOpts{
-		Steps:    w.cfg.Iterations,
-		Tol:      w.cfg.Tolerance,
-		Workers:  w.effectiveWorkers(),
-		Dangling: w.dangling,
-		Scratch:  &sc.sweep,
+		Steps:     w.cfg.Iterations,
+		Tol:       w.cfg.Tolerance,
+		Workers:   w.effectiveWorkers(),
+		Dangling:  w.dangling,
+		Scratch:   &sc.sweep,
+		Precision: w.cfg.Precision,
 	})
 }
 

@@ -160,3 +160,34 @@ func TestConfigDefaults(t *testing.T) {
 		t.Errorf("normalized CrossView = %v", c2.CrossView)
 	}
 }
+
+// TestWalkerForMemoized pins the walker memo: repeated WalkerFor calls
+// on one compact share an instance, a different config builds its own,
+// and the memoized walker selects exactly what a fresh NewWalker does.
+func TestWalkerForMemoized(t *testing.T) {
+	_, _, c := compactFixture(t)
+	cfg := Config{Iterations: 8}
+	w1 := WalkerFor(c, cfg)
+	if w2 := WalkerFor(c, cfg); w2 != w1 {
+		t.Fatal("same config rebuilt the walker")
+	}
+	if w3 := WalkerFor(c, Config{Iterations: 3}); w3 == w1 {
+		t.Fatal("different config shared a walker")
+	}
+
+	fresh := NewWalker(c, cfg)
+	pool := make([]int, c.Size())
+	for i := range pool {
+		pool[i] = i
+	}
+	got := w1.SelectDiverse(0, 5, nil, pool)
+	want := fresh.SelectDiverse(0, 5, nil, pool)
+	if len(got) != len(want) {
+		t.Fatalf("selected %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("selected %v, want %v", got, want)
+		}
+	}
+}

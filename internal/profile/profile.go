@@ -7,6 +7,7 @@ package profile
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/bipartite"
 	"repro/internal/querylog"
@@ -71,20 +72,38 @@ const (
 	PriorMean
 )
 
+// pkPool recycles the per-word topic-posterior buffer of the Posterior
+// score: before pooling, scoring k candidates of w words each allocated
+// k·w K-float slices on the serving path.
+var pkPool = sync.Pool{New: func() any { return new([]float64) }}
+
 // PreferenceScore computes the user's preference for a candidate query
 // (the paper's Eq. 31): the average over the query's words of the
 // per-mode word score. Unknown users and out-of-vocabulary words
 // contribute nothing; a query with no known words scores 0.
 func (s *Store) PreferenceScore(userID, query string, mode ScoreMode) float64 {
+	return s.PreferenceScoreTokens(userID, querylog.Tokenize(query), mode)
+}
+
+// PreferenceScoreTokens is PreferenceScore for a pre-tokenized query —
+// the symbol-table serving path, where the snapshot already holds every
+// known query's token list and re-tokenizing per candidate per request
+// would be pure waste. The token slice is read-only.
+func (s *Store) PreferenceScoreTokens(userID string, words []string, mode ScoreMode) float64 {
 	d, ok := s.upm.DocOf(userID)
 	if !ok {
 		return 0
 	}
 	theta := s.upm.Theta(d)
-	words := querylog.Tokenize(query)
 	if len(words) == 0 {
 		return 0
 	}
+	pkp := pkPool.Get().(*[]float64)
+	if cap(*pkp) < len(theta) {
+		*pkp = make([]float64, len(theta))
+	}
+	pk := (*pkp)[:len(theta)]
+	defer pkPool.Put(pkp)
 	total := 0.0
 	for _, word := range words {
 		w, ok := s.words.Lookup(word)
@@ -98,7 +117,6 @@ func (s *Store) PreferenceScore(userID, query string, mode ScoreMode) float64 {
 			}
 		default: // Posterior: topic-alignment score
 			sum := 0.0
-			pk := make([]float64, len(theta))
 			for k := range theta {
 				pk[k] = s.upm.WordProb(d, k, w)
 				sum += pk[k]
@@ -137,6 +155,57 @@ func (s *Store) RankByPreference(userID string, candidates []string, mode ScoreM
 	for i, sc := range list {
 		out[i] = sc.q
 	}
+	return out
+}
+
+// PreferencePerm returns the preference-order permutation over
+// pre-tokenized candidates: out[r] is the candidate index ranked r-th by
+// descending preference score, ties broken by original position. It is
+// RankByPreference in index space — no candidate strings are hashed,
+// copied or re-tokenized.
+func (s *Store) PreferencePerm(userID string, tokens [][]string, mode ScoreMode) []int {
+	scores := make([]float64, len(tokens))
+	for i, toks := range tokens {
+		scores[i] = s.PreferenceScoreTokens(userID, toks, mode)
+	}
+	perm := make([]int, len(tokens))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		if scores[perm[a]] != scores[perm[b]] {
+			return scores[perm[a]] > scores[perm[b]]
+		}
+		return perm[a] < perm[b]
+	})
+	return perm
+}
+
+// BordaMergePerm merges the identity ranking 0..n-1 (for PQS-DA, the
+// diversification order) with a preference permutation by Borda's
+// method, entirely in index space. For two rankings over the same n
+// items, an item at positions p₀ and p₁ scores (n−p₀)+(n−p₁) points, so
+// descending points with ties to the first ranking is exactly ascending
+// (p₀+p₁) with ties to p₀ — what this computes without the maps and
+// string keys of the general BordaAggregate.
+func BordaMergePerm(pref []int) []int {
+	n := len(pref)
+	prefPos := make([]int, n)
+	for r, i := range pref {
+		prefPos[i] = r
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ka := out[a] + prefPos[out[a]]
+		kb := out[b] + prefPos[out[b]]
+		if ka != kb {
+			return ka < kb
+		}
+		return out[a] < out[b]
+	})
 	return out
 }
 

@@ -54,6 +54,24 @@ func BenchmarkHittingTimeFlat(b *testing.B)         { benchmarkFlat(b, 1) }
 func BenchmarkHittingTimeFlatWorkers4(b *testing.B) { benchmarkFlat(b, 4) }
 func BenchmarkHittingTimeFlatWorkers8(b *testing.B) { benchmarkFlat(b, 8) }
 
+// BenchmarkHittingTimeFlatFloat32 is the same kernel on the float32
+// value mirror — the precision split of the bench suite. The win is
+// memory-bandwidth-bound: it grows with the transition matrix, so on
+// this L2-resident fixture it reads as a lower bound.
+func BenchmarkHittingTimeFlatFloat32(b *testing.B) {
+	trans, inS, dangling := benchFixture()
+	trans.Prewarm32()
+	scratch := &SweepScratch{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TruncatedHittingTimeFlat(trans, inS, HittingTimeOpts{
+			Steps: benchL, Dangling: dangling, Scratch: scratch,
+			Precision: sparse.PrecisionFloat32,
+		})
+	}
+}
+
 // BenchmarkHittingTimeSteadyState is the allocation guard (`make
 // bench-guard` fails the build if this ever allocates): the flat
 // kernel on the sequential path with caller scratch and precomputed

@@ -1,0 +1,98 @@
+package randomwalk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// The float32 sweep must track the float64 recursion to within the
+// accumulated rounding of l sweeps over [0, l]-bounded values —
+// comfortably below the gaps that the greedy argmax of the hitting
+// stage discriminates on. Tol is left at 0 so both paths run exactly
+// Steps sweeps and the iteration counts are comparable.
+func TestFlatFloat32Parity(t *testing.T) {
+	cases := []struct {
+		name               string
+		n, deg, isolate, l int
+	}{
+		{"small", 30, 4, 0, 10},
+		{"medium", 200, 8, 0, 10},
+		{"dangling-heavy", 120, 3, 0, 25},
+		{"unreachable-block", 150, 6, 30, 10},
+		{"deep", 80, 5, 10, 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(61))
+			trans := randTransition(rng, tc.n, tc.deg, tc.isolate)
+			inS := make([]bool, tc.n)
+			for i := 0; i < tc.n/10+1; i++ {
+				inS[rng.Intn(tc.n)] = true
+			}
+
+			h64, it64 := TruncatedHittingTimeFlat(trans, inS, HittingTimeOpts{Steps: tc.l})
+			h32, it32 := TruncatedHittingTimeFlat(trans, inS, HittingTimeOpts{
+				Steps: tc.l, Precision: sparse.PrecisionFloat32,
+			})
+			if it32 != it64 {
+				t.Fatalf("float32 ran %d sweeps, float64 %d", it32, it64)
+			}
+			// Per-sweep float32 rounding is ~u32 · |h| with |h| ≤ l; over l
+			// sweeps the worst case grows linearly, so budget l·l·u32 with
+			// headroom.
+			tol := float64(tc.l) * float64(tc.l) * 1e-6
+			for i := range h64 {
+				if d := math.Abs(h32[i] - h64[i]); d > tol {
+					t.Fatalf("h[%d]: float32 %v vs float64 %v (diff %v > %v)", i, h32[i], h64[i], d, tol)
+				}
+			}
+		})
+	}
+}
+
+// Worker-count determinism must hold for the float32 kernel too: the
+// parallel sweep partitions rows but never reorders a row's
+// accumulation.
+func TestFlatFloat32WorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	n := 400
+	trans := randTransition(rng, n, 12, 0)
+	inS := make([]bool, n)
+	for i := 0; i < 30; i++ {
+		inS[rng.Intn(n)] = true
+	}
+	seq, _ := TruncatedHittingTimeFlat(trans, inS, HittingTimeOpts{
+		Steps: 12, Precision: sparse.PrecisionFloat32, Workers: 1,
+	})
+	par, _ := TruncatedHittingTimeFlat(trans, inS, HittingTimeOpts{
+		Steps: 12, Precision: sparse.PrecisionFloat32, Workers: 4,
+	})
+	for i := range seq {
+		if math.Float64bits(seq[i]) != math.Float64bits(par[i]) {
+			t.Fatalf("h[%d]: workers=4 diverged from workers=1", i)
+		}
+	}
+}
+
+// The early-convergence exit must behave identically in float32: on
+// the stabilize-in-one-step graph of TestFlatEarlyExit the sweep stops
+// after the confirmation pass, well before the truncation depth.
+func TestFlatFloat32EarlyExit(t *testing.T) {
+	const n, l = 50, 200
+	b := sparse.NewBuilder(n, n)
+	for i := 1; i < n; i++ {
+		b.Add(i, 0, 1.0) // every node moves to node 0 in one step
+	}
+	trans := b.Build()
+	inS := make([]bool, n)
+	inS[0] = true
+	_, iters := TruncatedHittingTimeFlat(trans, inS, HittingTimeOpts{
+		Steps: l, Tol: 1e-6, Precision: sparse.PrecisionFloat32,
+	})
+	if iters != 2 {
+		t.Fatalf("float32 early exit: %d sweeps, want 2 (stabilize + confirm)", iters)
+	}
+}

@@ -123,6 +123,12 @@ type Result struct {
 	// Residual is the solve's final relative residual ‖Ax−b‖₂/‖b‖₂ —
 	// solver-convergence telemetry surfaced per request.
 	Residual float64
+	// Refinements counts float32 inner solves when the solver ran in
+	// reduced precision (0 for plain float64 solves).
+	Refinements int
+	// FellBack reports that a float32 solve stalled and finished in
+	// float64 via iterative-refinement fallback.
+	FellBack bool
 }
 
 // FirstCandidate solves Eq. 15 on the compact representation and picks
@@ -153,42 +159,123 @@ func FirstCandidateCtx(ctx context.Context, c *bipartite.Compact, f0 []float64, 
 	solver.Stats = &st
 	f, iters, err := sparse.SolveCGCtx(ctx, a, f0, nil, solver)
 	if err != nil {
-		return Result{Iterations: iters, Residual: st.Residual}, fmt.Errorf("regularize: solving Eq. 15: %w", err)
+		return Result{Iterations: iters, Residual: st.Residual, Refinements: st.Refinements, FellBack: st.FellBack}, fmt.Errorf("regularize: solving Eq. 15: %w", err)
 	}
-	excluded := make(map[int]bool, len(seeds))
-	for _, s := range seeds {
-		excluded[s] = true
+	return Result{
+		F:           f,
+		First:       argmaxExcluding(f, seeds),
+		Iterations:  iters,
+		Residual:    st.Residual,
+		Refinements: st.Refinements,
+		FellBack:    st.FellBack,
+	}, nil
+}
+
+// FirstCandidatesCtx is the batched form of FirstCandidateCtx: it solves
+// Eq. 15 once per F⁰ column against ONE shared system matrix using the
+// blocked multi-RHS CG kernel, so a batch of b requests on the same
+// compact costs a single sweep of shared SpMM iterations instead of b
+// independent SpMV-driven solves. seeds[i] are the compact-local indices
+// excluded from candidacy for item i.
+//
+// On a solver error the per-item results still carry their iteration
+// counts and residuals; items whose lane converged get their candidate
+// filled so partial batches stay reportable.
+func FirstCandidatesCtx(ctx context.Context, c *bipartite.Compact, f0s [][]float64, seeds [][]int, cfg Config) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
+	if len(seeds) != len(f0s) {
+		return nil, fmt.Errorf("regularize: %d seed sets for %d F0 vectors", len(seeds), len(f0s))
+	}
+	n := c.Size()
+	for i, f0 := range f0s {
+		if len(f0) != n {
+			return nil, fmt.Errorf("regularize: F0[%d] length %d != compact size %d", i, len(f0), n)
+		}
+	}
+	out := make([]Result, len(f0s))
+	if len(f0s) == 0 {
+		return out, nil
+	}
+	a := System(c, cfg)
+	fs, stats, err := sparse.SolveCGMultiCtx(ctx, a, f0s, nil, cfg.Solver)
+	for i := range out {
+		out[i] = Result{
+			F:           fs[i],
+			First:       -1,
+			Iterations:  stats[i].Iterations,
+			Residual:    stats[i].Residual,
+			Refinements: stats[i].Refinements,
+			FellBack:    stats[i].FellBack,
+		}
+		if stats[i].Converged {
+			out[i].First = argmaxExcluding(fs[i], seeds[i])
+		}
+	}
+	if err != nil {
+		return out, fmt.Errorf("regularize: solving Eq. 15 (batched, %d rhs): %w", len(f0s), err)
+	}
+	return out, nil
+}
+
+// argmaxExcluding finds the index of the largest entry of f outside the
+// seed set. Seed sets are tiny (input query + context, a handful at
+// most), so a linear scan per entry beats materializing a map — the
+// old map-based exclusion was one of the per-request allocators this
+// path sheds.
+func argmaxExcluding(f []float64, seeds []int) int {
 	best := -1
-	for i := 0; i < n; i++ {
-		if excluded[i] {
+	for i, fi := range f {
+		if best >= 0 && fi <= f[best] {
 			continue
 		}
-		if best < 0 || f[i] > f[best] {
+		skip := false
+		for _, s := range seeds {
+			if s == i {
+				skip = true
+				break
+			}
+		}
+		if !skip {
 			best = i
 		}
 	}
-	return Result{F: f, First: best, Iterations: iters, Residual: st.Residual}, nil
+	return best
+}
+
+// systemKey identifies one Eq. 15 coefficient matrix in a compact's
+// derived-value memo: the system depends on the compact and the α
+// vector only.
+type systemKey struct {
+	alpha [bipartite.NumViews]float64
 }
 
 // System materializes the Eq. 15 coefficient matrix
-// (1+Σα)I − Σ α^X L^X on the compact representation.
+// (1+Σα)I − Σ α^X L^X on the compact representation. The matrix is a
+// pure function of (compact, α), so it is memoized on the compact:
+// repeated solves on a cached compact — the common case once the
+// engine reuses compacts across requests — pay for the SpGEMM chain
+// exactly once.
 func System(c *bipartite.Compact, cfg Config) *sparse.Matrix {
 	cfg = cfg.withDefaults()
-	n := c.Size()
-	sumAlpha := 0.0
-	for _, a := range cfg.Alpha {
-		sumAlpha += a
-	}
-	acc := sparse.Identity(n).Scale(1 + sumAlpha)
-	for v := 0; v < bipartite.NumViews; v++ {
-		if cfg.Alpha[v] == 0 {
-			continue
+	return c.Derived(systemKey{alpha: cfg.Alpha}, func() any {
+		n := c.Size()
+		sumAlpha := 0.0
+		for _, a := range cfg.Alpha {
+			sumAlpha += a
 		}
-		l := c.NormalizedAffinity(bipartite.View(v))
-		acc = sparse.Add(acc, l, -cfg.Alpha[v])
-	}
-	return acc
+		acc := sparse.ScaledIdentity(n, 1+sumAlpha)
+		for v := 0; v < bipartite.NumViews; v++ {
+			if cfg.Alpha[v] == 0 {
+				continue
+			}
+			l := c.NormalizedAffinity(bipartite.View(v))
+			acc = sparse.Add(acc, l, -cfg.Alpha[v])
+		}
+		return acc
+	}).(*sparse.Matrix)
 }
 
 // Rank returns all non-seed compact-local indices ordered by descending

@@ -169,3 +169,41 @@ func TestRank(t *testing.T) {
 		}
 	}
 }
+
+// TestSystemMemoized pins that the Eq. 15 system is built once per
+// (compact, α): repeated calls share the matrix, a different α builds a
+// different one, and the memoized matrix matches a from-scratch build
+// on an identical compact bit for bit.
+func TestSystemMemoized(t *testing.T) {
+	c := compactAround(t, 1)
+	cfg := Config{}
+	a1 := System(c, cfg)
+	a2 := System(c, cfg)
+	if a1 != a2 {
+		t.Fatal("same config rebuilt the system matrix")
+	}
+	other := Config{Mu: 2, Alpha: [bipartite.NumViews]float64{0.2, 0.1, 0.1}}
+	if System(c, other) == a1 {
+		t.Fatal("different alpha shared a system matrix")
+	}
+
+	// Fresh identical compact → bit-identical system.
+	want := System(compactAround(t, 1), cfg)
+	n := c.Size()
+	if want.Rows() != n || a1.Rows() != n {
+		t.Fatalf("system sizes %d/%d != compact size %d", a1.Rows(), want.Rows(), n)
+	}
+	for i := 0; i < n; i++ {
+		gr, wr := map[int]float64{}, map[int]float64{}
+		a1.Row(i, func(j int, v float64) { gr[j] = v })
+		want.Row(i, func(j int, v float64) { wr[j] = v })
+		if len(gr) != len(wr) {
+			t.Fatalf("row %d nnz %d != %d", i, len(gr), len(wr))
+		}
+		for j, v := range wr {
+			if gr[j] != v {
+				t.Fatalf("system[%d,%d] = %v, want %v", i, j, gr[j], v)
+			}
+		}
+	}
+}

@@ -195,44 +195,64 @@ func retryableError(code, msg string, retry time.Duration) *apiError {
 // generation-keyed suggestion cache only (degraded), or shed with 503
 // when no cached list exists. degraded reports which path answered.
 func (s *Server) suggestPipeline(ctx context.Context, eng *core.Engine, creq core.SuggestRequest) (res core.Result, degraded bool, err error, aerr *apiError) {
-	ctrl := s.admission.Load()
-	var breaker *admission.Breaker
-	if ctrl != nil {
-		breaker = ctrl.Breaker
-	}
+	breaker := s.suggestBreaker()
 	if !breaker.Allow() {
-		s.stats.degradedRequests.Add(1)
-		dreq := creq
-		dreq.CachedOnly = true
-		res, err = eng.Do(ctx, dreq)
-		if errors.Is(err, core.ErrNotCached) {
-			// Brownout: before shedding with 503, a designated cheap
-			// strategy (SetBrownoutStrategy, typically "relevance") may
-			// answer the miss by running the pipeline without the
-			// expensive stage the breaker protects.
-			if bres, berr, ok := s.serveBrownout(ctx, eng, creq); ok {
-				return bres, true, berr, nil
-			}
-			s.stats.degradedMisses.Add(1)
-			return res, true, nil, degradedUnavailableError(breaker.RetryAfter())
-		}
-		return res, true, err, nil
+		return s.suggestDegraded(ctx, eng, creq, breaker)
 	}
 	res, err = eng.Do(ctx, creq)
-	// Only real pipeline runs inform the breaker: counting cache hits
-	// would dilute the failure rate of the stage the breaker protects,
-	// and a client that disconnected mid-request says nothing about
-	// pipeline health. Those requests Forfeit instead — if Allow had
-	// admitted them as a half-open probe, the slot must be returned or
-	// recovery wedges.
-	if breaker != nil {
-		if success, record := breakerOutcome(ctx, err); record && !res.CacheHit {
-			breaker.Record(success)
-		} else {
-			breaker.Forfeit()
-		}
-	}
+	s.recordSolve(res)
+	s.recordBreaker(ctx, breaker, err, res.CacheHit)
 	return res, false, err, nil
+}
+
+// suggestBreaker returns the installed circuit breaker, nil (which
+// admits everything — Allow is nil-receiver safe) when admission
+// control is off.
+func (s *Server) suggestBreaker() *admission.Breaker {
+	if ctrl := s.admission.Load(); ctrl != nil {
+		return ctrl.Breaker
+	}
+	return nil
+}
+
+// suggestDegraded answers one request while the breaker is open: from
+// the generation-keyed suggestion cache when possible, then via the
+// brownout strategy, else the 503 degraded envelope. Shared by the
+// single-request pipeline and the batch group runner.
+func (s *Server) suggestDegraded(ctx context.Context, eng *core.Engine, creq core.SuggestRequest, breaker *admission.Breaker) (res core.Result, degraded bool, err error, aerr *apiError) {
+	s.stats.degradedRequests.Add(1)
+	dreq := creq
+	dreq.CachedOnly = true
+	res, err = eng.Do(ctx, dreq)
+	if errors.Is(err, core.ErrNotCached) {
+		// Brownout: before shedding with 503, a designated cheap
+		// strategy (SetBrownoutStrategy, typically "relevance") may
+		// answer the miss by running the pipeline without the
+		// expensive stage the breaker protects.
+		if bres, berr, ok := s.serveBrownout(ctx, eng, creq); ok {
+			return bres, true, berr, nil
+		}
+		s.stats.degradedMisses.Add(1)
+		return res, true, nil, degradedUnavailableError(breaker.RetryAfter())
+	}
+	return res, true, err, nil
+}
+
+// recordBreaker reports one pipeline run to the breaker. Only real
+// pipeline runs inform it: counting cache hits would dilute the failure
+// rate of the stage the breaker protects, and a client that
+// disconnected mid-request says nothing about pipeline health. Those
+// requests Forfeit instead — if Allow had admitted them as a half-open
+// probe, the slot must be returned or recovery wedges.
+func (s *Server) recordBreaker(ctx context.Context, breaker *admission.Breaker, err error, cacheHit bool) {
+	if breaker == nil {
+		return
+	}
+	if success, record := breakerOutcome(ctx, err); record && !cacheHit {
+		breaker.Record(success)
+	} else {
+		breaker.Forfeit()
+	}
 }
 
 // breakerOutcome classifies one pipeline result for the breaker.

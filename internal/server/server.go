@@ -80,6 +80,10 @@ type Server struct {
 	// breaker-open cache misses (see strategies.go); unset means those
 	// requests shed with 503 as before.
 	brownout brownoutState
+	// batchSolve selects the /v1/suggest/batch execution model: grouped
+	// multi-RHS solving via Engine.DoBatch (default) versus the legacy
+	// independent-item path. See batch.go and SetBatchSolve.
+	batchSolve atomic.Bool
 	// sloState is the SLO subsystem installed by EnableSLO (nil when
 	// disabled): burn-rate trackers, the wide-event flight recorder and
 	// the evaluation loop (see slo.go).
@@ -135,6 +139,7 @@ func New(engine *core.Engine, sink io.Writer) *Server {
 	s := &Server{sink: sink, start: time.Now()}
 	s.engine.Store(engine)
 	s.maxBodyBytes.Store(DefaultMaxBodyBytes)
+	s.batchSolve.Store(true)
 	s.tel = newTelemetry(s)
 	s.traces = obs.NewTraceRing(defaultTraceRingSize)
 	s.logger.Store(discardLogger())
@@ -694,10 +699,28 @@ func (s *Server) serveSuggestion(w http.ResponseWriter, r *http.Request, req Sug
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// suggestOnce runs one validated suggestion end to end: stats, trace,
-// deadline, engine snapshot, pipeline (through the cache when enabled),
-// recording. Shared by the single and batch endpoints.
+// pipelineFn is the engine stage of one suggestion: it produces the
+// result (possibly degraded) for an admitted, validated request. The
+// single-request path uses Server.suggestPipeline; the batch endpoint
+// substitutes a group runner that answers items of one solve group from
+// a shared multi-RHS DoBatch call (see batch.go).
+type pipelineFn func(ctx context.Context, eng *core.Engine, creq core.SuggestRequest) (core.Result, bool, error, *apiError)
+
+// suggestOnce runs one validated suggestion end to end through the
+// standard pipeline. Shared by the single endpoint and ungrouped batch
+// items.
 func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*SuggestResponse, *apiError) {
+	return s.suggestRun(rctx, req, nil)
+}
+
+// suggestRun runs one suggestion end to end: stats, trace, deadline,
+// engine snapshot, the pipeline stage (runner; nil means
+// s.suggestPipeline), recording. Everything around the engine call —
+// validation accounting, per-user rate limiting, wide events, SLO
+// recording, error envelopes — is identical for every caller, so batch
+// items get exactly single-request semantics with only the engine stage
+// swapped out.
+func (s *Server) suggestRun(rctx context.Context, req SuggestRequest, runner pipelineFn) (*SuggestResponse, *apiError) {
 	s.stats.suggestRequests.Add(1)
 	reqID := obs.RequestIDFrom(rctx)
 	creq, aerr := validateSuggestRequest(req)
@@ -746,7 +769,10 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 	// Lock-free engine access: a refresh swapping the pointer mid-call
 	// does not affect this request, which finishes on its snapshot.
 	eng := s.engine.Load()
-	res, degraded, err, aerr := s.suggestPipeline(ctx, eng, creq)
+	if runner == nil {
+		runner = s.suggestPipeline
+	}
+	res, degraded, err, aerr := runner(ctx, eng, creq)
 	elapsed := time.Since(start)
 	root.SetAttr("generation", res.Generation)
 	root.SetAttr("cacheHit", res.CacheHit)
@@ -836,86 +862,6 @@ func (s *Server) suggestOnce(rctx context.Context, req SuggestRequest) (*Suggest
 	return resp, nil
 }
 
-// --- Batch suggest ---------------------------------------------------
-
-// MaxBatchSize bounds one /v1/suggest/batch payload.
-const MaxBatchSize = 256
-
-// BatchSuggestRequest is the POST /v1/suggest/batch body.
-type BatchSuggestRequest struct {
-	Requests []SuggestRequest `json:"requests"`
-}
-
-// BatchItemResult is one element of the batch response, positionally
-// matching the request payload: either a response or an error envelope
-// entry, never both.
-type BatchItemResult struct {
-	Status   int              `json:"status"`
-	Response *SuggestResponse `json:"response,omitempty"`
-	Error    *apiError        `json:"error,omitempty"`
-}
-
-// BatchSuggestResponse is the batch payload.
-type BatchSuggestResponse struct {
-	Results   []BatchItemResult `json:"results"`
-	ElapsedMS float64           `json:"elapsedMs"`
-}
-
-// handleSuggestBatch answers many suggestion requests in one round
-// trip. Items run concurrently and flow through the same cache as
-// single requests, so duplicate items in one payload coalesce to a
-// single pipeline run (and popular items are shared with concurrent
-// single-request traffic).
-func (s *Server) handleSuggestBatch(w http.ResponseWriter, r *http.Request) {
-	var req BatchSuggestRequest
-	if aerr := s.decodeBody(r, &req); aerr != nil {
-		writeAPIError(w, r, statusOf(aerr.Code), aerr)
-		return
-	}
-	if len(req.Requests) == 0 {
-		writeAPIError(w, r, http.StatusBadRequest, newAPIError(codeBadBatch, "requests must be a non-empty array"))
-		return
-	}
-	if len(req.Requests) > MaxBatchSize {
-		writeAPIError(w, r, http.StatusRequestEntityTooLarge, newAPIError(codeBatchTooLarge,
-			fmt.Sprintf("batch of %d exceeds the limit of %d", len(req.Requests), MaxBatchSize)))
-		return
-	}
-	s.stats.batchRequests.Add(1)
-
-	start := time.Now()
-	results := make([]BatchItemResult, len(req.Requests))
-	var wg sync.WaitGroup
-	for i := range req.Requests {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			// Batch items compete for the same suggest gate as single
-			// requests: one 256-item batch cannot starve interactive
-			// traffic, and over-cap items shed individually with 429.
-			if ctrl := s.admission.Load(); ctrl != nil {
-				if aerr := s.acquireGate(r.Context(), ctrl.Suggest); aerr != nil {
-					s.stats.suggestRequests.Add(1)
-					results[i] = BatchItemResult{Status: statusOf(aerr.Code), Error: aerr}
-					return
-				}
-				defer ctrl.Suggest.Release()
-			}
-			resp, aerr := s.suggestOnce(r.Context(), req.Requests[i])
-			if aerr != nil {
-				results[i] = BatchItemResult{Status: statusOf(aerr.Code), Error: aerr}
-				return
-			}
-			results[i] = BatchItemResult{Status: http.StatusOK, Response: resp}
-		}(i)
-	}
-	wg.Wait()
-	writeJSON(w, http.StatusOK, BatchSuggestResponse{
-		Results:   results,
-		ElapsedMS: ms(time.Since(start)),
-	})
-}
-
 // --- Observability ---------------------------------------------------
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -950,6 +896,7 @@ func (s *Server) statsPayload() map[string]any {
 		"cgResidual":       depthStatsPayload(s.tel.cgResidual),
 		"hittingRounds":    depthStatsPayload(s.tel.hittingRounds),
 		"hittingWalkSteps": depthStatsPayload(s.tel.hittingWalkSteps),
+		"batchSize":        depthStatsPayload(s.tel.solveBatchSize),
 	}
 	m["http"] = stageStatsPayload(s.tel.httpDuration)
 	m["runtime"] = s.runtimePayload()

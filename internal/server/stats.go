@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/snapshot"
 )
@@ -30,6 +31,12 @@ type serverStats struct {
 	batchRequests atomic.Int64
 	// slowQueries counts suggestions over the slow-query threshold.
 	slowQueries atomic.Int64
+	// precisionFallbacks counts Eq. 15 solves (lanes, for blocked
+	// multi-RHS solves) whose reduced-precision float32 run stalled and
+	// finished in float64 via iterative refinement. A rising rate means
+	// the serving systems are too ill-conditioned for float32 and the
+	// -precision knob is costing rather than saving time.
+	precisionFallbacks atomic.Int64
 
 	logRequests      atomic.Int64
 	feedbackRequests atomic.Int64
@@ -62,13 +69,14 @@ func (ss *serverStats) observeRefresh(d time.Duration) {
 func (ss *serverStats) snapshot() map[string]any {
 	return map[string]any{
 		"suggest": map[string]any{
-			"requests":  ss.suggestRequests.Load(),
-			"errors":    ss.suggestErrors.Load(),
-			"unknown":   ss.suggestUnknown.Load(),
-			"timeouts":  ss.suggestTimeouts.Load(),
-			"cacheHits": ss.suggestCacheHits.Load(),
-			"batches":   ss.batchRequests.Load(),
-			"slow":      ss.slowQueries.Load(),
+			"requests":           ss.suggestRequests.Load(),
+			"errors":             ss.suggestErrors.Load(),
+			"unknown":            ss.suggestUnknown.Load(),
+			"timeouts":           ss.suggestTimeouts.Load(),
+			"cacheHits":          ss.suggestCacheHits.Load(),
+			"batches":            ss.batchRequests.Load(),
+			"slow":               ss.slowQueries.Load(),
+			"precisionFallbacks": ss.precisionFallbacks.Load(),
 		},
 		"log":      map[string]any{"requests": ss.logRequests.Load()},
 		"feedback": map[string]any{"requests": ss.feedbackRequests.Load()},
@@ -112,6 +120,11 @@ type telemetry struct {
 	cgResidual       *obs.Histogram
 	hittingRounds    *obs.Histogram
 	hittingWalkSteps *obs.Histogram
+	// solveBatchSize records the right-hand-side count of each fresh
+	// Eq. 15 solve: 1 on the single-request path, the solve-group size
+	// for blocked multi-RHS solves under /v1/suggest/batch. One sample
+	// per blocked solve, not per lane.
+	solveBatchSize *obs.Histogram
 
 	// Per-strategy serving counters and diversifier-Select latency,
 	// pre-registered from the engine's strategy table at construction
@@ -165,6 +178,8 @@ func newTelemetry(s *Server) *telemetry {
 		"Greedy rounds per Algorithm-1 hitting-time selection.", obs.CountBuckets, nil)
 	t.hittingWalkSteps = reg.NewHistogram(obs.MetricHittingWalkSteps,
 		"Executed hitting-time sweeps per selection (at most rounds x truncation depth; less when the early convergence exit fires).", obs.CountBuckets, nil)
+	t.solveBatchSize = reg.NewHistogram("pqsda_solve_batch_size",
+		"Right-hand sides per fresh Eq. 15 solve (1 = single request, >1 = blocked multi-RHS batch solve).", obs.CountBuckets, nil)
 	if eng := s.engine.Load(); eng != nil {
 		t.strategyNames = eng.StrategyNames()
 	}
@@ -209,6 +224,7 @@ func newTelemetry(s *Server) *telemetry {
 		{"pqsda_suggest_cache_hits_total", "Suggestion requests served from the snapshot-keyed cache.", counter(&st.suggestCacheHits)},
 		{"pqsda_suggest_slow_total", "Suggestions over the slow-query threshold.", counter(&st.slowQueries)},
 		{"pqsda_batch_requests_total", "POST /v1/suggest/batch payloads.", counter(&st.batchRequests)},
+		{"pqsda_solve_precision_fallback_total", "Reduced-precision Eq. 15 solves (lanes) that fell back to float64 iterative refinement.", counter(&st.precisionFallbacks)},
 		{"pqsda_log_requests_total", "POST /v1/log events recorded.", counter(&st.logRequests)},
 		{"pqsda_feedback_requests_total", "POST /v1/feedback ratings recorded.", counter(&st.feedbackRequests)},
 		{"pqsda_learn_requests_total", "POST /v1/learn fold-ins requested.", counter(&st.learnRequests)},
@@ -286,6 +302,13 @@ func newTelemetry(s *Server) *telemetry {
 	reg.CounterFunc("pqsda_cache_expirations_total", "Suggestion-cache TTL expirations.", nil, cacheStat(func(c cacheCounters) float64 { return float64(c.expirations) }))
 	reg.GaugeFunc("pqsda_cache_entries", "Suggestion-cache resident entries.", nil, cacheStat(func(c cacheCounters) float64 { return float64(c.entries) }))
 
+	compactStat := func(read func(cs core.CompactCacheStats) float64) func() float64 {
+		return func() float64 { return read(s.engine.Load().CompactCacheStats()) }
+	}
+	reg.CounterFunc("pqsda_compact_cache_hits_total", "Compact-representation cache hits (requests that skipped the graph carving).", nil, compactStat(func(cs core.CompactCacheStats) float64 { return float64(cs.Hits) }))
+	reg.CounterFunc("pqsda_compact_cache_misses_total", "Compact-representation cache misses (full BuildCompact runs).", nil, compactStat(func(cs core.CompactCacheStats) float64 { return float64(cs.Misses) }))
+	reg.GaugeFunc("pqsda_compact_cache_entries", "Compact-representation cache resident entries.", nil, compactStat(func(cs core.CompactCacheStats) float64 { return float64(cs.Entries) }))
+
 	reg.GaugeFunc("pqsda_uptime_seconds", "Seconds since the server was created.", nil,
 		func() float64 { return time.Since(s.start).Seconds() })
 	reg.GaugeFunc("pqsda_goroutines", "Live goroutines in the process.", nil,
@@ -329,6 +352,40 @@ func (t *telemetry) observeStrategy(name string, selectTime time.Duration, reqID
 	}
 }
 
+// recordSolve feeds the solve-shape metrics from one single-path
+// pipeline run: the RHS count of every fresh Eq. 15 solve (1 on this
+// path) and the float32→float64 refinement-fallback counter. Cache
+// hits and degraded answers carry no fresh solve and are skipped.
+func (s *Server) recordSolve(res core.Result) {
+	if res.CacheHit || res.SolveBatchSize < 1 {
+		return
+	}
+	s.tel.solveBatchSize.Observe(float64(res.SolveBatchSize))
+	if res.SolveFellBack {
+		s.stats.precisionFallbacks.Add(1)
+	}
+}
+
+// recordBatchSolve feeds the same metrics from one DoBatch group run.
+// All computing lanes of a group share ONE blocked solve, so the batch
+// size is observed once (first fresh lane); the fallback counter counts
+// per lane, since refinement retries individual right-hand sides.
+func (s *Server) recordBatchSolve(results []core.Result) {
+	recorded := false
+	for _, res := range results {
+		if res.CacheHit || res.SolveBatchSize < 1 {
+			continue
+		}
+		if !recorded {
+			s.tel.solveBatchSize.Observe(float64(res.SolveBatchSize))
+			recorded = true
+		}
+		if res.SolveFellBack {
+			s.stats.precisionFallbacks.Add(1)
+		}
+	}
+}
+
 // observeSnapshotBuild feeds the build-mode histograms from one
 // refresh's snapshot stats.
 func (t *telemetry) observeSnapshotBuild(b snapshot.Stats) {
@@ -352,7 +409,7 @@ func (t *telemetry) reset() {
 	}
 	for _, h := range []*obs.Histogram{
 		t.cgIterations, t.cgResidual, t.hittingRounds, t.hittingWalkSteps,
-		t.httpDuration, t.queueDepth, t.refreshDuration,
+		t.solveBatchSize, t.httpDuration, t.queueDepth, t.refreshDuration,
 		t.snapshotBuildFull, t.snapshotBuildDelta, t.snapshotDeltaSize,
 	} {
 		h.Reset()

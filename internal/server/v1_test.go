@@ -228,14 +228,19 @@ func TestBatchSuggest(t *testing.T) {
 		t.Fatalf("invalid item = %+v", bad)
 	}
 
-	// The payload deduped through the cache: the three identical items
-	// ran ONE pipeline (k=3 and k=5 are distinct keys).
-	st := srv.Engine().Cache().Stats()
-	if st.Misses != 2 {
-		t.Errorf("cache misses = %d for 2 unique valid keys (stats %+v)", st.Misses, st)
+	// Solve sharing: all four valid items carry the same solve signature
+	// (same query, no context), so the whole payload ran ONE blocked
+	// multi-RHS solve — the three identical items coalesced onto the
+	// k=5 leader's lane, and k=3 rode along as a second right-hand side.
+	if solves := srv.Engine().SolveCount(); solves != 1 {
+		t.Errorf("batch ran %d CG solves, want 1", solves)
 	}
-	if st.Hits+st.Coalesced != 2 {
-		t.Errorf("hits+coalesced = %d, want 2 (stats %+v)", st.Hits+st.Coalesced, st)
+	st := srv.Engine().Cache().Stats()
+	if st.Entries != 2 {
+		t.Errorf("cache entries = %d for 2 unique valid keys (stats %+v)", st.Entries, st)
+	}
+	if st.Misses != 4 {
+		t.Errorf("cache misses = %d for 4 valid lookups on a cold cache (stats %+v)", st.Misses, st)
 	}
 	// All four successes were recorded for future training.
 	if n := srv.Recorded().Len(); n != 4 {

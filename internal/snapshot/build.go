@@ -31,7 +31,7 @@ func (b Builder) FromSessions(sessions []querylog.Session, entries, segments int
 	state := bipartite.StateFromSessions(sessions)
 	rep := state.Materialize(b.Weighting)
 	rep.Sessions = sessions
-	return &Snapshot{
+	return (&Snapshot{
 		Rep:      rep,
 		State:    state,
 		Sessions: sessions,
@@ -45,7 +45,7 @@ func (b Builder) FromSessions(sessions []querylog.Session, entries, segments int
 			NumSessions: len(sessions),
 			NumQueries:  rep.NumQueries(),
 		},
-	}
+	}).Finish()
 }
 
 // Full rebuilds from the complete entry list: sessionize everything,
@@ -126,7 +126,7 @@ func (b Builder) Delta(prev *Snapshot, fresh []querylog.Entry, segments int) (*S
 	}
 	rep.Sessions = sessions
 
-	return &Snapshot{
+	return (&Snapshot{
 		Rep:      rep,
 		State:    state,
 		Sessions: sessions,
@@ -142,5 +142,5 @@ func (b Builder) Delta(prev *Snapshot, fresh []querylog.Entry, segments int) (*S
 			NumSessions:   len(sessions),
 			NumQueries:    rep.NumQueries(),
 		},
-	}, nil
+	}).Finish(), nil
 }

@@ -92,6 +92,12 @@ type Snapshot struct {
 	// engine skips personalization).
 	Corpus   *topicmodel.Corpus
 	Profiles *profile.Store
+	// Symbols is the interned query symbol table (see symbols.go):
+	// dense uint32 id → canonical string + precomputed tokens, built
+	// once at snapshot build and shared by Clone. Nil only for
+	// hand-assembled snapshots in tests; production constructors always
+	// fill it via Finish.
+	Symbols *SymbolTable
 	// Generation identifies this snapshot for suggestion-cache keying:
 	// stamped at build, bumped by Engine.Clone, and strictly increasing
 	// along the chain of hot-swapped serving snapshots.

@@ -1,0 +1,79 @@
+package snapshot
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/querylog"
+)
+
+// SymbolTable is the snapshot's interned query-symbol table: a dense
+// uint32 id per known query (the id equals the representation's query
+// node id), the canonical normalized string, and the precomputed token
+// list. It is built once per snapshot build and shared by every clone
+// of the snapshot, so hot paths — the suggestion cache key, candidate
+// personalization, term-fallback seeding — resolve a query to an id
+// once and then work in index space instead of re-normalizing,
+// re-tokenizing and re-hashing raw query strings per hit.
+//
+// Like everything else in a snapshot it is immutable after build.
+type SymbolTable struct {
+	names  []string   // id → canonical query string (aliases Rep's interned names)
+	tokens [][]string // id → querylog.Tokenize(name), precomputed
+	byName map[string]uint32
+}
+
+// BuildSymbols derives the symbol table from a built representation.
+// Cost is one Tokenize per distinct query — O(corpus), paid at build
+// time, never on the serving path.
+func BuildSymbols(rep *bipartite.Representation) *SymbolTable {
+	n := rep.NumQueries()
+	t := &SymbolTable{
+		names:  make([]string, n),
+		tokens: make([][]string, n),
+		byName: make(map[string]uint32, n),
+	}
+	for i := 0; i < n; i++ {
+		name := rep.Queries.Name(i)
+		t.names[i] = name
+		t.tokens[i] = querylog.Tokenize(name)
+		t.byName[name] = uint32(i)
+	}
+	return t
+}
+
+// Len returns the number of interned queries.
+func (t *SymbolTable) Len() int { return len(t.names) }
+
+// Lookup resolves a normalized query string to its dense id.
+func (t *SymbolTable) Lookup(normalized string) (uint32, bool) {
+	id, ok := t.byName[normalized]
+	return id, ok
+}
+
+// Name returns the canonical string for an id.
+func (t *SymbolTable) Name(id uint32) string { return t.names[id] }
+
+// Tokens returns the precomputed token list for an id. Callers must
+// not modify the returned slice.
+func (t *SymbolTable) Tokens(id uint32) []string { return t.tokens[id] }
+
+// prewarm readies the per-view float32 value mirrors of the
+// representation so reduced-precision kernels never pay the O(nnz)
+// conversion on the serving path — "mirrored once per snapshot".
+func prewarm(rep *bipartite.Representation) {
+	for v := 0; v < bipartite.NumViews; v++ {
+		if rep.W[v] != nil {
+			rep.W[v].Prewarm32()
+		}
+	}
+}
+
+// Finish derives the build-once serving accelerators (symbol table,
+// float32 mirrors) for a freshly constructed snapshot. Every snapshot
+// constructor calls it before publication.
+func (s *Snapshot) Finish() *Snapshot {
+	if s.Rep != nil {
+		s.Symbols = BuildSymbols(s.Rep)
+		prewarm(s.Rep)
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+package snapshot
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/querylog"
+)
+
+func builtSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	b := Builder{Weighting: bipartite.CFIQF}
+	return b.Full(buildEntries(rng, 400, 8, time.Unix(1700000000, 0)), 1)
+}
+
+// The symbol table must cover exactly the representation's query nodes,
+// with id == query node id, canonical name, and tokens matching a fresh
+// Tokenize of the name. That identity is what lets the cache key, the
+// personalization stage and the term-fallback seeder all share one
+// resolution.
+func TestSymbolTableMatchesRepresentation(t *testing.T) {
+	snap := builtSnapshot(t)
+	if snap.Symbols == nil {
+		t.Fatal("built snapshot has no symbol table — constructor missed Finish")
+	}
+	st := snap.Symbols
+	if st.Len() != snap.Rep.NumQueries() {
+		t.Fatalf("symbols holds %d queries, representation %d", st.Len(), snap.Rep.NumQueries())
+	}
+	for i := 0; i < st.Len(); i++ {
+		id := uint32(i)
+		name := snap.Rep.Queries.Name(i)
+		if st.Name(id) != name {
+			t.Fatalf("id %d: name %q != representation %q", id, st.Name(id), name)
+		}
+		got, ok := st.Lookup(name)
+		if !ok || got != id {
+			t.Fatalf("Lookup(%q) = %d,%v — want %d (id must equal query node id)", name, got, ok, id)
+		}
+		want := querylog.Tokenize(name)
+		toks := st.Tokens(id)
+		if fmt.Sprint(toks) != fmt.Sprint(want) {
+			t.Fatalf("id %d tokens %v, want %v", id, toks, want)
+		}
+	}
+	if _, ok := st.Lookup("zz never interned zz"); ok {
+		t.Fatal("Lookup invented an id for an unknown query")
+	}
+}
+
+// Finish on a bare snapshot (nil Rep — the hand-assembled test shape)
+// must be a no-op, and clones of a finished snapshot share the same
+// table rather than rebuilding it.
+func TestFinishEdgeCases(t *testing.T) {
+	bare := (&Snapshot{}).Finish()
+	if bare.Symbols != nil {
+		t.Fatal("Finish invented a symbol table for a snapshot with no representation")
+	}
+
+	snap := builtSnapshot(t)
+	clone := *snap
+	if clone.Symbols != snap.Symbols {
+		t.Fatal("clone does not share the build-once symbol table")
+	}
+}

@@ -1,0 +1,259 @@
+package sparse
+
+import (
+	"context"
+	"math"
+	"sync"
+)
+
+// This file holds the float32 solver path. The inner CG loop — the
+// memory-bandwidth-bound part — runs on the float32 value mirror
+// (View32) with float64 dot accumulation for stability. The answer is
+// then corrected in float64 by iterative refinement: solve A·d = r in
+// float32, apply x += d, recompute the true float64 residual, repeat.
+// Refinement converges as long as the float32 inner solve makes
+// progress; when the relative residual stalls above SolveOptions.Tol
+// (or the refinement budget is exhausted) the solve falls back to a
+// warm-started float64 CG, so the caller's residual contract holds at
+// either precision.
+
+// maxRefinements bounds the float32 correction rounds before the
+// float64 fallback kicks in. Each round costs one float32 CG solve;
+// well-conditioned Eq. 15 systems converge in one round, so two is
+// already generous.
+const maxRefinements = 2
+
+// innerTol32 floors the inner float32 solve's tolerance: float32
+// arithmetic cannot meaningfully resolve relative residuals much below
+// 1e-6, and refinement only needs each round to reduce the error, not
+// to hit the final target.
+const innerTol32 = 1e-6
+
+// scratch32 holds one float32 solve's work vectors (pooled, like
+// cgScratch).
+type scratch32 struct {
+	minv, r, z, p, ap, rhs, d []float32
+	ax, r64                   []float64
+}
+
+var pool32 = sync.Pool{New: func() any { return new(scratch32) }}
+
+func (s *scratch32) resize(n int) {
+	if cap(s.minv) < n {
+		s.minv = make([]float32, n)
+		s.r = make([]float32, n)
+		s.z = make([]float32, n)
+		s.p = make([]float32, n)
+		s.ap = make([]float32, n)
+		s.rhs = make([]float32, n)
+		s.d = make([]float32, n)
+		s.ax = make([]float64, n)
+		s.r64 = make([]float64, n)
+		return
+	}
+	s.minv = s.minv[:n]
+	s.r = s.r[:n]
+	s.z = s.z[:n]
+	s.p = s.p[:n]
+	s.ap = s.ap[:n]
+	s.rhs = s.rhs[:n]
+	s.d = s.d[:n]
+	s.ax = s.ax[:n]
+	s.r64 = s.r64[:n]
+}
+
+// solveRefined32 is the float32 counterpart of solveCG: float32 CG
+// rounds corrected by float64 iterative refinement, with a float64
+// fallback on stall. Reported iterations include every inner float32
+// iteration plus any fallback float64 iterations.
+func solveRefined32(ctx context.Context, a *Matrix, b, x0 []float64, opts SolveOptions) ([]float64, int, float64, refineStats, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		panic("sparse: SolveCG needs a square matrix")
+	}
+	if len(b) != n {
+		panic("sparse: SolveCG rhs length mismatch")
+	}
+	opts = opts.withDefaults(n)
+	var rs refineStats
+
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	nb := norm2(b)
+	if nb == 0 {
+		return x, 0, 0, rs, nil
+	}
+
+	view := a.View32()
+	sc := pool32.Get().(*scratch32)
+	defer pool32.Put(sc)
+	sc.resize(n)
+
+	// Jacobi preconditioner, shared by every inner round.
+	for i := 0; i < n; i++ {
+		d := a.At(i, i)
+		if d == 0 {
+			d = 1
+		}
+		sc.minv[i] = float32(1 / d)
+	}
+	innerTol := opts.Tol
+	if innerTol < innerTol32 {
+		innerTol = innerTol32
+	}
+
+	totalIters := 0
+	innerSolves := 0
+	prevRel := math.Inf(1)
+	rel := math.Inf(1)
+	for {
+		// True residual in float64 decides convergence and stall.
+		a.MulVec(x, sc.ax)
+		for i := range sc.r64 {
+			sc.r64[i] = b[i] - sc.ax[i]
+		}
+		rel = norm2(sc.r64) / nb
+		rs.innerSolves = innerSolves
+		if innerSolves > 1 {
+			rs.refinements = innerSolves - 1
+		}
+		if rel <= opts.Tol {
+			return x, totalIters, rel, rs, nil
+		}
+		stalled := innerSolves > 0 && rel > 0.5*prevRel
+		if stalled || innerSolves > maxRefinements {
+			rs.fellBack = true
+			fx, fit, frel, ferr := solveCG(ctx, a, b, x, opts)
+			return fx, totalIters + fit, frel, rs, ferr
+		}
+		prevRel = rel
+
+		// Inner float32 solve of A·d = r/‖r‖ (normalized so the float32
+		// dynamic range is used fully), then x += ‖r‖·d.
+		rnorm := norm2(sc.r64)
+		for i := range sc.rhs {
+			sc.rhs[i] = float32(sc.r64[i] / rnorm)
+		}
+		it, err := cg32(ctx, view, sc.rhs, sc.d, sc, innerTol, opts.MaxIter, opts.Workers)
+		totalIters += it
+		innerSolves++
+		if err != nil && err != ErrNoConvergence {
+			// Context cancellation: report the iterate reached so far.
+			rs.innerSolves = innerSolves
+			if innerSolves > 1 {
+				rs.refinements = innerSolves - 1
+			}
+			return x, totalIters, rel, rs, err
+		}
+		// ErrNoConvergence from the inner solve is not fatal — the
+		// stall detector above judges whether the round helped.
+		for i := range x {
+			x[i] += rnorm * float64(sc.d[i])
+		}
+	}
+}
+
+// cg32 runs Jacobi-preconditioned CG entirely in float32 (dots
+// accumulated in float64), writing the solution into x (overwritten,
+// started from zero). It uses the preconditioner and work vectors from
+// sc and returns the iteration count.
+func cg32(ctx context.Context, a CSRView32, b, x []float32, sc *scratch32, tol float64, maxIter, workers int) (int, error) {
+	for i := range x {
+		x[i] = 0
+	}
+	r, z, p, ap := sc.r, sc.z, sc.p, sc.ap
+	copy(r, b) // x = 0 → r = b
+	for i := range z {
+		z[i] = sc.minv[i] * r[i]
+	}
+	copy(p, z)
+
+	nb := norm232(b)
+	if nb == 0 {
+		return 0, nil
+	}
+	rz := dot32(r, z)
+	for it := 1; it <= maxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return it - 1, err
+		}
+		mulVec32(a, p, ap, workers)
+		pap := dot32(p, ap)
+		if pap == 0 {
+			return it, ErrNoConvergence
+		}
+		alpha := float32(rz / pap)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		if norm232(r)/nb <= tol {
+			return it, nil
+		}
+		for i := range z {
+			z[i] = sc.minv[i] * r[i]
+		}
+		rzNew := dot32(r, z)
+		beta := float32(rzNew / rz)
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return maxIter, ErrNoConvergence
+}
+
+// mulVec32 computes dst = A·x on the float32 mirror, partitioning rows
+// across workers exactly like MulVecParallel.
+func mulVec32(a CSRView32, x, dst []float32, workers int) {
+	rows := len(a.RowPtr) - 1
+	if workers <= 1 || rows < 4*workers || len(a.Val) < 4096 {
+		mulVec32Range(a, x, dst, 0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulVec32Range(a, x, dst, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func mulVec32Range(a CSRView32, x, dst []float32, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		var s float32
+		for i := a.RowPtr[r]; i < a.RowPtr[r+1]; i++ {
+			s += a.Val[i] * x[a.ColIdx[i]]
+		}
+		dst[r] = s
+	}
+}
+
+// dot32 accumulates a float32 dot product in float64 — the extra
+// mantissa costs nothing on modern FPUs and keeps the CG scalars
+// (alpha, beta) from drifting on long vectors.
+func dot32(a, b []float32) float64 {
+	s := 0.0
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+func norm232(a []float32) float64 {
+	return math.Sqrt(dot32(a, a))
+}

@@ -1,0 +1,238 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// rhsFor builds k right-hand sides for an n-dim system, including a
+// zero vector and a duplicate so the lane-retirement and shared-SpMM
+// paths see degenerate lanes.
+func rhsFor(rng *rand.Rand, n, k int) [][]float64 {
+	b := make([][]float64, k)
+	for j := range b {
+		b[j] = make([]float64, n)
+		for i := range b[j] {
+			b[j][i] = rng.NormFloat64()
+		}
+	}
+	if k >= 3 {
+		for i := range b[1] {
+			b[1][i] = 0 // zero RHS: retired before the first iteration
+		}
+		copy(b[2], b[0]) // duplicate lane
+	}
+	return b
+}
+
+// The float64 blocked solver must be BIT-identical to per-column
+// SolveCG: same preconditioner, same update order, dots accumulated in
+// the same order. This is the contract that lets the batch path replace
+// the single path without any behavioral drift.
+func TestSolveCGMultiBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{1, 3, 8} {
+		for trial := 0; trial < 5; trial++ {
+			n := 5 + rng.Intn(40)
+			a := spdMatrix(rng, n)
+			b := rhsFor(rng, n, k)
+			opts := SolveOptions{Tol: 1e-10}
+
+			xs, stats, err := SolveCGMulti(a, b, nil, opts)
+			if err != nil {
+				t.Fatalf("k=%d n=%d: %v", k, n, err)
+			}
+			for j := range b {
+				var st SolveStats
+				sopts := opts
+				sopts.Stats = &st
+				ref, iters, serr := SolveCG(a, b[j], nil, sopts)
+				if serr != nil {
+					t.Fatalf("reference solve %d failed: %v", j, serr)
+				}
+				if stats[j].Iterations != iters {
+					t.Errorf("k=%d lane %d: %d iterations, SolveCG took %d", k, j, stats[j].Iterations, iters)
+				}
+				for i := range ref {
+					if math.Float64bits(xs[j][i]) != math.Float64bits(ref[i]) {
+						t.Fatalf("k=%d lane %d x[%d]: %x (%v) != SolveCG %x (%v)",
+							k, j, i, math.Float64bits(xs[j][i]), xs[j][i], math.Float64bits(ref[i]), ref[i])
+					}
+				}
+				if stats[j].Residual != st.Residual {
+					t.Errorf("k=%d lane %d residual %v != %v", k, j, stats[j].Residual, st.Residual)
+				}
+			}
+		}
+	}
+}
+
+// Caller-provided dst of the right shape must be reused, not replaced —
+// the steady-state allocation contract of the batch serving path.
+func TestSolveCGMultiReusesDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 24
+	a := spdMatrix(rng, n)
+	b := rhsFor(rng, n, 4)
+	dst := make([][]float64, len(b))
+	for j := range dst {
+		dst[j] = make([]float64, n)
+	}
+	heads := make([]*float64, len(dst))
+	for j := range dst {
+		heads[j] = &dst[j][0]
+	}
+	out, _, err := SolveCGMulti(a, b, dst, SolveOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range dst {
+		if &out[j][0] != heads[j] {
+			t.Fatalf("lane %d: dst was reallocated", j)
+		}
+	}
+}
+
+// Both float32 paths (blocked multi-RHS and single-RHS) must satisfy
+// the same residual contract as float64 — Converged means the TRUE
+// float64 relative residual is within Tol — and land within a few
+// condition-number-amplified ulps of the float64 solution.
+func TestSolveCGFloat32Parity(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	opts64 := SolveOptions{Tol: 1e-10}
+	opts32 := SolveOptions{Tol: 1e-10, Precision: PrecisionFloat32}
+	for trial := 0; trial < 8; trial++ {
+		n := 5 + rng.Intn(60)
+		a := spdMatrix(rng, n)
+		b := rhsFor(rng, n, 5)
+
+		ref, _, err := SolveCGMulti(a, b, nil, opts64)
+		if err != nil {
+			t.Fatalf("trial %d: float64 reference failed: %v", trial, err)
+		}
+		x32, stats, err := SolveCGMulti(a, b, nil, opts32)
+		if err != nil {
+			t.Fatalf("trial %d: float32 multi failed: %v", trial, err)
+		}
+		check := func(path string, j int, x []float64, st SolveStats) {
+			t.Helper()
+			if !st.Converged {
+				t.Fatalf("trial %d %s lane %d did not converge (rel %v)", trial, path, j, st.Residual)
+			}
+			nb := norm2(b[j])
+			if nb == 0 {
+				return
+			}
+			if rel := residual(a, x, b[j]) / nb; rel > opts32.Tol*1.01 {
+				t.Fatalf("trial %d %s lane %d: true residual %v over Tol", trial, path, j, rel)
+			}
+			num, den := 0.0, 0.0
+			for i := range x {
+				d := x[i] - ref[j][i]
+				num += d * d
+				den += ref[j][i] * ref[j][i]
+			}
+			if den > 0 && math.Sqrt(num/den) > 1e-6 {
+				t.Fatalf("trial %d %s lane %d: relative error %v vs float64", trial, path, j, math.Sqrt(num/den))
+			}
+		}
+		for j := range b {
+			check("multi", j, x32[j], stats[j])
+
+			var st SolveStats
+			sopts := opts32
+			sopts.Stats = &st
+			x, _, serr := SolveCG(a, b[j], nil, sopts)
+			if serr != nil {
+				t.Fatalf("trial %d single lane %d: %v", trial, j, serr)
+			}
+			check("single", j, x, st)
+		}
+	}
+}
+
+// illConditioned builds the 2x2 system [[1,a],[a,1]] with a → 1: its
+// condition number (1+a)/(1-a) is set high enough that float32
+// refinement cannot reach Tol within its budget, while float64 CG still
+// can — exactly the case the fallback exists for.
+func illConditioned() *Matrix {
+	const a = 1 - 1e-5 // κ ≈ 2e5
+	bld := NewBuilder(2, 2)
+	bld.Add(0, 0, 1)
+	bld.Add(0, 1, a)
+	bld.Add(1, 0, a)
+	bld.Add(1, 1, 1)
+	return bld.Build()
+}
+
+// When float32 refinement stalls above Tol, the solver must fall back
+// to float64 and still satisfy the caller's tolerance — and say so in
+// the stats. Covers the single path and every lane of the blocked path.
+func TestSolveCGFloat32FallsBackWhenStalled(t *testing.T) {
+	a := illConditioned()
+	b := []float64{1, -0.5}
+	opts := SolveOptions{Tol: 1e-12, Precision: PrecisionFloat32}
+
+	var st SolveStats
+	sopts := opts
+	sopts.Stats = &st
+	x, _, err := SolveCG(a, b, nil, sopts)
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	if !st.FellBack {
+		t.Fatal("single: float32 path did not fall back on an ill-conditioned system")
+	}
+	if !st.Converged {
+		t.Fatal("single: fallback did not converge")
+	}
+	// The fallback's contract is SolveCG's: its recurrence residual meets
+	// Tol; the TRUE residual drifts by O(κ·u64) ≈ 2e-11 here. Asserting
+	// float64-class accuracy still proves the fallback ran — float32
+	// alone bottoms out around κ·u32 ≈ 1e-2 on this system.
+	if rel := residual(a, x, b) / norm2(b); rel > 1e-9 {
+		t.Fatalf("single: residual %v not float64-class after fallback", rel)
+	}
+
+	bs := [][]float64{b, {0.25, 1}}
+	xs, stats, err := SolveCGMulti(a, bs, nil, opts)
+	if err != nil {
+		t.Fatalf("multi: %v", err)
+	}
+	for j := range bs {
+		if !stats[j].FellBack {
+			t.Errorf("multi lane %d: did not fall back", j)
+		}
+		if !stats[j].Converged {
+			t.Errorf("multi lane %d: not converged", j)
+		}
+		if rel := residual(a, xs[j], bs[j]) / norm2(bs[j]); rel > 1e-9 {
+			t.Errorf("multi lane %d: residual %v not float64-class", j, rel)
+		}
+	}
+}
+
+// The blocked kernel must be deterministic in the worker count, like
+// MulVecParallel: row partitioning never reorders per-row accumulation.
+func TestSolveCGMultiWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 120
+	a := spdMatrix(rng, n)
+	b := rhsFor(rng, n, 6)
+	seq, _, err := SolveCGMulti(a, b, nil, SolveOptions{Tol: 1e-10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := SolveCGMulti(a, b, nil, SolveOptions{Tol: 1e-10, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range b {
+		for i := range seq[j] {
+			if math.Float64bits(seq[j][i]) != math.Float64bits(par[j][i]) {
+				t.Fatalf("lane %d x[%d]: workers=4 diverged from workers=1", j, i)
+			}
+		}
+	}
+}

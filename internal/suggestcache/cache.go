@@ -45,7 +45,13 @@ type Key struct {
 	// Bumped on every hot-swap, it makes stale entries unaddressable.
 	Generation uint64
 	// Query is the normalized input query (querylog.NormalizeQuery).
+	// Left empty when QueryID addresses the query instead.
 	Query string
+	// QueryID addresses a snapshot-interned query by its symbol id PLUS
+	// ONE (0 means "not interned" — Query carries the string). Keys for
+	// known queries hash a fixed-width integer instead of the raw query
+	// string; Generation keeps ids from different snapshots apart.
+	QueryID uint32
 	// ContextFP fingerprints the session context: each context query
 	// with its Eq. 7 decay weight quantized into time buckets, so two
 	// requests whose contexts would decay indistinguishably share an
@@ -170,7 +176,10 @@ func New[V any](cfg Config) *Cache[V] {
 	}
 }
 
-// Get returns the cached value for key, if present and fresh.
+// Get returns the cached value for key, if present and fresh. Lookups
+// count toward the hit/miss stats like Do — the batch and cached-only
+// paths read through Get, and their traffic must not vanish from the
+// hit-rate the operator tunes capacity by.
 func (c *Cache[V]) Get(key Key) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -178,6 +187,7 @@ func (c *Cache[V]) Get(key Key) (V, bool) {
 		c.hits.Add(1)
 		return v, true
 	}
+	c.misses.Add(1)
 	var zero V
 	return zero, false
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/querylog"
 	"repro/internal/server"
+	"repro/internal/sparse"
 	"repro/internal/synth"
 	"repro/internal/topicmodel"
 )
@@ -112,6 +113,21 @@ type Config struct {
 	// Per-request overrides go through SuggestRequest.Strategy; unknown
 	// names are rejected by NewEngine.
 	Strategy string
+	// Precision selects the floating-point width of the CG-solve and
+	// hitting-sweep inner loops: "float64" (default; bit-exact
+	// reference) or "float32" (roughly halves kernel memory traffic;
+	// ~1e-7 relative error, far below the solver tolerance, and the CG
+	// solve self-verifies in float64 and falls back when a system is
+	// too ill-conditioned for float32). Any other value is an error.
+	Precision string
+	// CompactCache bounds the engine's LRU of built compact
+	// representations keyed by (snapshot generation, seed IDs). A hit
+	// skips the representation carving and its derived matrices
+	// (normalized affinities, Eq. 15 system, walker transition) while
+	// every query-dependent stage still runs — results are
+	// bit-identical with the cache on or off. 0 selects the default
+	// (128 entries); negative disables it.
+	CompactCache int
 }
 
 // NewEngine cleans the log, builds the multi-bipartite representation
@@ -120,7 +136,8 @@ type Config struct {
 func NewEngine(l *Log, cfg Config) (*Engine, error) {
 	cleaned, _ := querylog.Clean(l, querylog.CleanerConfig{})
 	cc := core.Config{
-		Compact: bipartite.CompactConfig{Budget: cfg.CompactBudget},
+		Compact:      bipartite.CompactConfig{Budget: cfg.CompactBudget},
+		CompactCache: cfg.CompactCache,
 		UPM: topicmodel.UPMConfig{
 			K:          cfg.Topics,
 			Iterations: cfg.TrainingIterations,
@@ -131,6 +148,12 @@ func NewEngine(l *Log, cfg Config) (*Engine, error) {
 	}
 	cc.Regularize.Solver.Workers = cfg.Workers
 	cc.Hitting.Workers = cfg.Workers
+	prec, err := sparse.ParsePrecision(cfg.Precision)
+	if err != nil {
+		return nil, fmt.Errorf("pqsda: %w", err)
+	}
+	cc.Regularize.Solver.Precision = prec
+	cc.Hitting.Precision = prec
 	if cfg.RawWeights {
 		cc.Weighting = bipartite.Raw
 	} else {
