@@ -5,10 +5,10 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench-smoke bench bench-guard metrics-lint chaos eval eval-smoke ci
+.PHONY: build test race vet fmt-check bench-smoke bench bench-guard metrics-lint chaos fuzz-smoke eval eval-smoke ci
 
 # Where `make bench` writes its aggregated measurements.
-BENCH_OUT ?= BENCH_pr9.json
+BENCH_OUT ?= BENCH_pr10.json
 
 # Where `make eval` writes the strategy A/B report.
 EVAL_OUT ?= EVAL_pr7.json
@@ -50,6 +50,8 @@ bench:
 	$(GO) test -run '^$$' -bench 'SuggestDiversified|ServerSuggest' -benchmem -count 5 . | tee -a .bench.out
 	$(GO) test -run '^$$' -bench 'RefreshBuild' -benchmem -count 5 ./internal/core/ | tee -a .bench.out
 	$(GO) test -run '^$$' -bench 'ShedPath' -benchmem -count 5 ./internal/server/ | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'SnapshotLoad' -benchmem -count 5 ./internal/snapwire/ | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'LegacyGobLoad|ConvertedWireLoad' -benchmem -count 5 ./cmd/snaptool/ | tee -a .bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < .bench.out
 	@rm -f .bench.out
 
@@ -73,6 +75,10 @@ bench-guard:
 		$(GO) run ./cmd/benchjson -guard BenchmarkSolveCGMulti4 -max-allocs 4
 	$(GO) run ./cmd/benchjson -guard BenchmarkSolveCGMulti64 -max-allocs 4 < .bench.guard.out
 	@rm -f .bench.guard.out
+	$(GO) test -run '^$$' -bench 'SuggestDiversifiedArena' -benchmem . | \
+		$(GO) run ./cmd/benchjson -guard BenchmarkSuggestDiversifiedArena -max-allocs 30
+	$(GO) test -run '^$$' -bench 'SnapshotLoadLarge' -benchmem ./internal/snapwire/ | \
+		$(GO) run ./cmd/benchjson -guard BenchmarkSnapshotLoadLarge -max-allocs 48
 
 # Metric-name drift guard: every registered Prometheus family must be
 # listed in metrics.txt and vice versa, plus both exposition formats
@@ -90,6 +96,14 @@ chaos:
 	$(GO) test -race -count=1 ./internal/admission/
 	$(GO) test -race -count=1 -run 'Flood|Breaker|RateLimit|StatsAdmission|BodyCap|TrailingGarbage|BatchItemsShed|LearnAndRefreshGated' ./internal/server/
 
+# 10-second fuzz smoke over the snapshot loader: random mutations of
+# valid images (plus the corpus of hand-built corruptions) must always
+# come back as clean errors — never a panic, hang or out-of-bounds
+# read. The image is untrusted input on the POST /v1/snapshot path, so
+# this runs on every CI pass, not just when someone remembers to fuzz.
+fuzz-smoke:
+	$(GO) test -run '^FuzzLoadSnapshot$$' -fuzz 'FuzzLoadSnapshot' -fuzztime 10s ./internal/snapwire/
+
 # Offline strategy A/B report (cmd/evalab): every registered
 # diversification strategy plus the paper's click-graph baselines,
 # scored per scenario class (ambiguous / navigational / cold-start)
@@ -103,4 +117,4 @@ eval:
 eval-smoke:
 	$(GO) run ./cmd/evalab -scale small -baselines -max-queries 3 -out /tmp/EVAL_smoke.json
 
-ci: vet fmt-check build race chaos bench-smoke bench-guard metrics-lint eval-smoke
+ci: vet fmt-check build race chaos bench-smoke bench-guard metrics-lint fuzz-smoke eval-smoke

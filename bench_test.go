@@ -11,6 +11,7 @@ package pqsda
 // EXPERIMENTS.md) come from the same drivers.
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 	"time"
@@ -134,6 +135,38 @@ func BenchmarkSuggestDiversified(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSuggestDiversifiedArena is the same serve loop on an
+// engine round-tripped through the wire format, so the compact
+// representation, symbols and profiles are arena-backed (flat arrays
+// aliasing one loaded image) instead of individually heap-allocated.
+// The guard in `make bench-guard` holds it to the same per-request
+// allocation budget as the builder-backed engine above: the backing
+// swap must be invisible to the serve path.
+func BenchmarkSuggestDiversifiedArena(b *testing.B) {
+	e, qs := componentFixture(b)
+	benchArenaOnce.Do(func() {
+		img, err := e.WireImage()
+		if err != nil {
+			panic(err)
+		}
+		if benchArenaEngine, err = core.LoadEngine(bytes.NewReader(img)); err != nil {
+			panic(err)
+		}
+	})
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := benchArenaEngine.SuggestDiversified(qs[i%len(qs)], nil, now, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var (
+	benchArenaOnce   sync.Once
+	benchArenaEngine *core.Engine
+)
 
 // BenchmarkSuggestPersonalized measures the full pipeline per query.
 func BenchmarkSuggestPersonalized(b *testing.B) {

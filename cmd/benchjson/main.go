@@ -35,7 +35,11 @@ type result struct {
 	NsPerOp  float64 `json:"ns_per_op"`
 	BPerOp   float64 `json:"bytes_per_op,omitempty"`
 	AllocsOp float64 `json:"allocs_per_op,omitempty"`
-	hasMem   bool
+	// Extra holds custom b.ReportMetric units (MB/s, retained-objects,
+	// bytes, ...) keyed by unit name; max across runs, like the other
+	// deterministic columns.
+	Extra  map[string]float64 `json:"extra,omitempty"`
+	hasMem bool
 }
 
 // parseLine parses one `go test -bench` result line, e.g.
@@ -70,6 +74,11 @@ func parseLine(line string) (name string, r result, ok bool) {
 		case "allocs/op":
 			r.AllocsOp = v
 			r.hasMem = true
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[fields[i+1]] = v
 		}
 	}
 	return name, r, r.NsPerOp > 0
@@ -89,6 +98,14 @@ func merge(into *result, r result) {
 	}
 	if r.AllocsOp > into.AllocsOp {
 		into.AllocsOp = r.AllocsOp
+	}
+	for unit, v := range r.Extra {
+		if into.Extra == nil {
+			into.Extra = map[string]float64{}
+		}
+		if v > into.Extra[unit] {
+			into.Extra[unit] = v
+		}
 	}
 	into.hasMem = into.hasMem || r.hasMem
 }

@@ -10,6 +10,8 @@
 //	pqsda -log log.tsv -serve :8080           # HTTP middleware (see internal/server)
 //	pqsda -log log.tsv -save engine.bin       # train once, persist
 //	pqsda -engine engine.bin -query "sun"     # serve from a persisted engine
+//	pqsda -snapshot-load engine.bin -serve :8080   # mmap the image, zero-copy
+//	pqsda -log log.tsv -snapshot-save engine.bin -serve :8080  # train, persist, serve
 package main
 
 import (
@@ -55,6 +57,8 @@ func main() {
 		cacheTTL  = flag.Duration("cache-ttl", 0, "suggestion cache entry lifetime (0: entries live until evicted or the engine is swapped)")
 		savePath  = flag.String("save", "", "persist the trained engine to this file and exit")
 		enginePth = flag.String("engine", "", "load a persisted engine instead of training from a log")
+		snapSave  = flag.String("snapshot-save", "", "write the engine's wire-format snapshot image to this file and keep going (unlike -save; combine with -serve to train, persist and serve in one run)")
+		snapLoad  = flag.String("snapshot-load", "", "load a snapshot image from this file via mmap where the platform supports it (zero heap copy; falls back to a heap read) instead of training from a log")
 		refrMode  = flag.String("refresh-mode", "full", "representation build strategy for /v1/refresh: full (recount the whole log) or delta (incremental, bit-identical to full)")
 		strategy  = flag.String("strategy", "", "default diversification strategy: hitting (the paper's Algorithm 1), mmr, pfar or relevance (empty: hitting); per-request override via the strategy field of /v1/suggest")
 		brownout  = flag.String("brownout-strategy", "relevance", "cheap strategy serving breaker-open cache misses under -serve instead of 503 (empty disables the brownout fallback)")
@@ -81,7 +85,23 @@ func main() {
 	flag.Parse()
 
 	var engine *pqsda.Engine
-	if *enginePth != "" {
+	var snapSource string // "mmap" | "heap" when -snapshot-load was used
+	var snapElapsed time.Duration
+	if *snapLoad != "" {
+		start := time.Now()
+		var err error
+		engine, err = core.LoadEngineFile(*snapLoad)
+		if err != nil {
+			fatal(err)
+		}
+		snapElapsed = time.Since(start)
+		snapSource = "heap"
+		if engine.LoadedImage().Mapped {
+			snapSource = "mmap"
+		}
+		fmt.Fprintf(os.Stderr, "snapshot %s loaded in %v (%s, %d bytes)\n",
+			*snapLoad, snapElapsed.Round(time.Microsecond), snapSource, engine.LoadedImage().Size)
+	} else if *enginePth != "" {
 		f, err := os.Open(*enginePth)
 		if err != nil {
 			fatal(err)
@@ -125,7 +145,7 @@ func main() {
 			TrainingIterations:  60,
 			Seed:                *seed,
 			Workers:             *workers,
-			DiversificationOnly: *user == "" && *serve == "" && *savePath == "",
+			DiversificationOnly: *user == "" && *serve == "" && *savePath == "" && *snapSave == "",
 			RefreshMode:         *refrMode,
 			Strategy:            *strategy,
 			Precision:           *precision,
@@ -134,6 +154,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+
+	if *snapSave != "" {
+		img, err := engine.WireImage()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*snapSave, img, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s (%d bytes)\n", *snapSave, len(img))
 	}
 
 	if *savePath != "" {
@@ -157,6 +188,9 @@ func main() {
 
 	if *serve != "" {
 		srv := server.New(engine, os.Stderr)
+		if snapSource != "" {
+			srv.ObserveSnapshotLoad(snapSource, snapElapsed)
+		}
 		srv.SetRequestTimeout(*reqTimout)
 		srv.SetBatchSolve(*batchSlv)
 		srv.SetSlowQueryThreshold(*slowQuery)

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/snapwire"
+)
+
+// TestSynthesizedLegacyConverts is the structural round trip on a
+// fresh world (the checked-in fixtures pin the historical byte
+// layout; this pins the transformation itself): train → legacy gob
+// encode → convert → load, then compare the loaded snapshot against
+// the structures the gob was built from. Every step is a lossless
+// reshape, so equality is exact.
+func TestSynthesizedLegacyConverts(t *testing.T) {
+	data, snap, upm, words := buildLegacyWorld(t, 12, 10)
+	img, err := convertLegacy(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := snapwire.Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := l.Snap.Rep.Queries.Len(), snap.Rep.Queries.Len(); got != want {
+		t.Fatalf("queries %d, want %d", got, want)
+	}
+	for v := 0; v < bipartite.NumViews; v++ {
+		a, b := l.Snap.Rep.W[v].View(), snap.Rep.W[v].View()
+		if len(a.Val) != len(b.Val) {
+			t.Fatalf("view %d: nnz %d, want %d", v, len(a.Val), len(b.Val))
+		}
+		for i := range a.Val {
+			if a.Val[i] != b.Val[i] || a.ColIdx[i] != b.ColIdx[i] {
+				t.Fatalf("view %d: entry %d differs", v, i)
+			}
+		}
+	}
+	sessions, err := l.DecodeSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(sessions), len(snap.Rep.Sessions); got != want {
+		t.Fatalf("sessions %d, want %d", got, want)
+	}
+	if got, want := l.Words.Len(), words.Len(); got != want {
+		t.Fatalf("words %d, want %d", got, want)
+	}
+	st, want := l.Snap.Profiles.UPM().State(), upm.State()
+	if st.D != want.D || st.V != want.V || st.U != want.U {
+		t.Fatalf("UPM dims (%d,%d,%d), want (%d,%d,%d)", st.D, st.V, st.U, want.D, want.V, want.U)
+	}
+	for i := range want.Ndk {
+		if st.Ndk[i] != want.Ndk[i] {
+			t.Fatalf("Ndk[%d] = %v, want %v", i, st.Ndk[i], want.Ndk[i])
+		}
+	}
+}
+
+// --- gob vs wire load -------------------------------------------------
+//
+// The before/after of the tentpole on one large synth world: the gob
+// path re-runs the full decode + rebuild (allocating the entire object
+// graph), the wire path validates checksums and aliases slices. The
+// retained-objects metric is the GC story — what each load leaves
+// behind for every future mark phase to trace.
+
+var (
+	cmpOnce sync.Once
+	cmpGob  []byte
+	cmpImg  []byte
+)
+
+func cmpFixture(tb testing.TB) (gobData, img []byte) {
+	cmpOnce.Do(func() {
+		cmpGob, _, _, _ = buildLegacyWorld(tb, 50, 25)
+		var err error
+		if cmpImg, err = convertLegacy(cmpGob); err != nil {
+			tb.Fatal(err)
+		}
+	})
+	return cmpGob, cmpImg
+}
+
+// reportRetained reruns load once across a GC fence and reports how
+// many heap objects it pins while its result is live.
+func reportRetained(b *testing.B, load func() any) {
+	b.StopTimer()
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	keep := load()
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	b.ReportMetric(float64(m1.HeapObjects)-float64(m0.HeapObjects), "retained-objects")
+	runtime.KeepAlive(keep)
+}
+
+// BenchmarkLegacyGobLoad is what every process start paid before the
+// wire format: gob decode plus full serving-structure reconstruction.
+func BenchmarkLegacyGobLoad(b *testing.B) {
+	data, _ := cmpFixture(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rebuildSource(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRetained(b, func() any {
+		src, err := rebuildSource(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return src
+	})
+}
+
+// BenchmarkConvertedWireLoad loads the same world from its converted
+// image — the after side of BenchmarkLegacyGobLoad.
+func BenchmarkConvertedWireLoad(b *testing.B) {
+	_, img := cmpFixture(b)
+	b.SetBytes(int64(len(img)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snapwire.Load(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRetained(b, func() any {
+		l, err := snapwire.Load(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return l
+	})
+}

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/arena"
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/querylog"
+	"repro/internal/snapshot"
+	"repro/internal/snapwire"
+	"repro/internal/sparse"
+	"repro/internal/topicmodel"
+)
+
+// This file is the one remaining reader of the pre-wire gob engine
+// format. The serving binary dropped its gob codecs when snapwire
+// landed; snaptool keeps local mirror structs instead so old files stay
+// convertible without the serving code carrying a second format
+// forever. gob matches struct fields by name (and GobEncoder payloads
+// are opaque inner streams), so the mirrors decode streams written by
+// the original types without sharing their names.
+
+// legacyVersion is the only gob format version that ever shipped.
+const legacyVersion = 1
+
+// gobEngine mirrors the old core.engineWire.
+type gobEngine struct {
+	Version   int
+	Cfg       core.Config
+	Rep       *gobRep
+	HasUPM    bool
+	UPM       *gobUPM
+	WordIndex *gobIndex
+}
+
+// gobRep mirrors the exported fields of bipartite.Representation as
+// gob encoded them.
+type gobRep struct {
+	Queries   *gobIndex
+	Objects   [3]*gobIndex
+	W         [3]*gobMatrix
+	Sessions  []querylog.Session
+	Weighting int
+}
+
+// gobIndex decodes the old bipartite.Index GobEncoder payload: an
+// inner gob stream holding the name slice.
+type gobIndex struct{ Names []string }
+
+func (x *gobIndex) GobDecode(data []byte) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(&x.Names)
+}
+
+// gobMatrix decodes the old sparse.Matrix GobEncoder payload.
+type gobMatrix struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+func (m *gobMatrix) GobDecode(data []byte) error {
+	var w struct {
+		Rows, Cols int
+		RowPtr     []int
+		ColIdx     []int
+		Val        []float64
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	*m = w
+	return nil
+}
+
+// gobUPM decodes the old topicmodel.UPM GobEncoder payload (the
+// map-of-maps count layout the flat format replaced).
+type gobUPM struct {
+	Cfg        topicmodel.UPMConfig
+	V, U       int
+	Alpha      []float64
+	BetaPrior  [][]float64
+	DeltaPrior [][]float64
+	BetaSum    []float64
+	DeltaSum   []float64
+	Tau        [][2]float64
+	Ndk        [][]float64
+	NdkSum     []float64
+	Nkwd       [][]map[int]float64
+	NkwdSum    [][]float64
+	Nkud       [][]map[int]float64
+	NkudSum    [][]float64
+	DocID      map[string]int
+}
+
+func (m *gobUPM) GobDecode(data []byte) error {
+	type wire gobUPM // drop the method set so the inner decode is structural
+	var w wire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	*m = gobUPM(w)
+	return nil
+}
+
+// decodeLegacy parses one legacy gob engine file.
+func decodeLegacy(data []byte) (*gobEngine, error) {
+	var e gobEngine
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("decoding legacy gob: %w", err)
+	}
+	if e.Version != legacyVersion {
+		return nil, fmt.Errorf("legacy engine file version %d, want %d", e.Version, legacyVersion)
+	}
+	if e.Rep == nil {
+		return nil, fmt.Errorf("legacy engine file has no representation")
+	}
+	return &e, nil
+}
+
+func indexFromNames(x *gobIndex) *bipartite.Index {
+	ix := bipartite.NewIndex()
+	if x == nil {
+		return ix
+	}
+	for _, n := range x.Names {
+		ix.Intern(n)
+	}
+	return ix
+}
+
+func matrixFromWire(m *gobMatrix) (*sparse.Matrix, error) {
+	if m == nil {
+		return nil, fmt.Errorf("missing view matrix")
+	}
+	rowPtr := m.RowPtr
+	if rowPtr == nil {
+		rowPtr = make([]int, m.Rows+1)
+	}
+	return sparse.FromCSRChecked(m.Rows, m.Cols, rowPtr, m.ColIdx, m.Val)
+}
+
+// upmStateFromWire reshapes the map-of-maps legacy model into the flat
+// UPMState layout (counts as CSR over rows r = d*K+k with ascending
+// column ids; priors row-major; docs as an arena string table).
+func upmStateFromWire(w *gobUPM) (*topicmodel.UPMState, error) {
+	k := w.Cfg.K
+	d := len(w.Ndk)
+	if k <= 0 {
+		return nil, fmt.Errorf("legacy UPM has K=%d", k)
+	}
+	st := &topicmodel.UPMState{
+		Cfg: w.Cfg, V: w.V, U: w.U, D: d,
+		Alpha:   w.Alpha,
+		BetaSum: w.BetaSum, DeltaSum: w.DeltaSum,
+	}
+	st.BetaPrior = flatten(w.BetaPrior, k, w.V)
+	st.DeltaPrior = flatten(w.DeltaPrior, k, w.U)
+	st.Tau = make([]float64, 0, 2*k)
+	for _, t := range w.Tau {
+		st.Tau = append(st.Tau, t[0], t[1])
+	}
+	st.Ndk = flatten(w.Ndk, d, k)
+	st.NdkSum = w.NdkSum
+	st.NkwdSum = flatten(w.NkwdSum, d, k)
+	st.NkudSum = flatten(w.NkudSum, d, k)
+	st.NkwdPtr, st.NkwdIdx, st.NkwdVal = countsToCSR(w.Nkwd, d, k)
+	st.NkudPtr, st.NkudIdx, st.NkudVal = countsToCSR(w.Nkud, d, k)
+
+	// Doc (user) names ordered by their ids.
+	names := make([]string, d)
+	for name, id := range w.DocID {
+		if id < 0 || id >= d {
+			return nil, fmt.Errorf("legacy UPM doc id %d out of range [0,%d)", id, d)
+		}
+		names[id] = name
+	}
+	st.DocOffsets, st.DocBlob, st.DocTable = arena.BuildStrings(names)
+	return st, nil
+}
+
+// flatten concatenates rows×cols nested rows into one row-major slice,
+// zero-padding short or missing rows (gob drops empty slices to nil).
+func flatten(rows [][]float64, n, cols int) []float64 {
+	out := make([]float64, n*cols)
+	for i := 0; i < n && i < len(rows); i++ {
+		copy(out[i*cols:(i+1)*cols], rows[i])
+	}
+	return out
+}
+
+// countsToCSR converts counts[d][k]map[id]val into CSR over D*K rows
+// with ascending column ids, the flat layout UPMFromState validates.
+func countsToCSR(counts [][]map[int]float64, d, k int) (ptr, idx []int64, val []float64) {
+	ptr = make([]int64, d*k+1)
+	for di := 0; di < d; di++ {
+		for ki := 0; ki < k; ki++ {
+			var m map[int]float64
+			if di < len(counts) && ki < len(counts[di]) {
+				m = counts[di][ki]
+			}
+			cols := make([]int, 0, len(m))
+			for c := range m {
+				cols = append(cols, c)
+			}
+			sort.Ints(cols)
+			for _, c := range cols {
+				idx = append(idx, int64(c))
+				val = append(val, m[c])
+			}
+			ptr[di*k+ki+1] = int64(len(idx))
+		}
+	}
+	if idx == nil {
+		idx, val = []int64{}, []float64{}
+	}
+	return ptr, idx, val
+}
+
+// convertLegacy rebuilds a wire image from a legacy gob engine file.
+func convertLegacy(data []byte) ([]byte, error) {
+	src, err := rebuildSource(data)
+	if err != nil {
+		return nil, err
+	}
+	img, err := snapwire.Encode(src)
+	if err != nil {
+		return nil, err
+	}
+	// Paranoia: never emit an image the loader would reject.
+	if _, err := snapwire.Load(img); err != nil {
+		return nil, fmt.Errorf("converted image fails to load (bug): %w", err)
+	}
+	return img, nil
+}
+
+// rebuildSource is the decode half of convert: gob decode plus the
+// reconstruction of every serving structure (indexes, CSR matrices,
+// symbols, flat UPM) — exactly the work the old gob LoadEngine did on
+// every start, which the wire format's Load replaces with checksums
+// and slice aliasing.
+func rebuildSource(data []byte) (*snapwire.Source, error) {
+	e, err := decodeLegacy(data)
+	if err != nil {
+		return nil, err
+	}
+	rep := &bipartite.Representation{
+		Queries:   indexFromNames(e.Rep.Queries),
+		Sessions:  e.Rep.Sessions,
+		Weighting: bipartite.Weighting(e.Rep.Weighting),
+	}
+	for v := 0; v < bipartite.NumViews; v++ {
+		rep.Objects[v] = indexFromNames(e.Rep.Objects[v])
+		if rep.W[v], err = matrixFromWire(e.Rep.W[v]); err != nil {
+			return nil, fmt.Errorf("view %d: %w", v, err)
+		}
+	}
+	cfgJSON, err := json.Marshal(e.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("encoding config: %w", err)
+	}
+	src := &snapwire.Source{
+		Config:   cfgJSON,
+		Rep:      rep,
+		Symbols:  snapshot.BuildSymbols(rep),
+		Sessions: e.Rep.Sessions,
+		Meta:     snapwire.Meta{NumSessions: len(e.Rep.Sessions)},
+	}
+	if e.HasUPM {
+		if e.UPM == nil || e.WordIndex == nil {
+			return nil, fmt.Errorf("legacy engine file profile section incomplete")
+		}
+		st, err := upmStateFromWire(e.UPM)
+		if err != nil {
+			return nil, err
+		}
+		if src.UPM, err = topicmodel.UPMFromState(st); err != nil {
+			return nil, fmt.Errorf("rebuilding UPM: %w", err)
+		}
+		src.Words = indexFromNames(e.WordIndex)
+	}
+	return src, nil
+}

@@ -1,0 +1,143 @@
+package main
+
+// Test-only legacy gob ENCODER. The serving tree can no longer write
+// the old format; these helpers synthesize legacy files on demand so
+// convert is tested against arbitrary worlds (not just the checked-in
+// fixtures) and so the gob-vs-wire load benchmarks have a large input.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/querylog"
+	"repro/internal/snapshot"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+	"repro/internal/topicmodel"
+)
+
+func (x *gobIndex) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(x.Names)
+	return buf.Bytes(), err
+}
+
+func (m *gobMatrix) GobEncode() ([]byte, error) {
+	w := struct {
+		Rows, Cols int
+		RowPtr     []int
+		ColIdx     []int
+		Val        []float64
+	}{m.Rows, m.Cols, m.RowPtr, m.ColIdx, m.Val}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(w)
+	return buf.Bytes(), err
+}
+
+func (m *gobUPM) GobEncode() ([]byte, error) {
+	type wire gobUPM
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode((*wire)(m))
+	return buf.Bytes(), err
+}
+
+func indexToGob(ix *bipartite.Index) *gobIndex {
+	return &gobIndex{Names: ix.Names()}
+}
+
+func matrixToGob(m *sparse.Matrix) *gobMatrix {
+	v := m.View()
+	return &gobMatrix{Rows: m.Rows(), Cols: m.Cols(), RowPtr: v.RowPtr, ColIdx: v.ColIdx, Val: v.Val}
+}
+
+// upmToGob reverses upmStateFromWire: the flat state back into the
+// nested map-of-maps shape the old format stored.
+func upmToGob(t testing.TB, u *topicmodel.UPM) *gobUPM {
+	st := u.State()
+	k := st.Cfg.K
+	unflatten := func(flat []float64, n, cols int) [][]float64 {
+		out := make([][]float64, n)
+		for i := range out {
+			out[i] = flat[i*cols : (i+1)*cols]
+		}
+		return out
+	}
+	w := &gobUPM{
+		Cfg: st.Cfg, V: st.V, U: st.U,
+		Alpha:      st.Alpha,
+		BetaPrior:  unflatten(st.BetaPrior, k, st.V),
+		DeltaPrior: unflatten(st.DeltaPrior, k, st.U),
+		BetaSum:    st.BetaSum, DeltaSum: st.DeltaSum,
+		Ndk: unflatten(st.Ndk, st.D, k), NdkSum: st.NdkSum,
+		NkwdSum: unflatten(st.NkwdSum, st.D, k),
+		NkudSum: unflatten(st.NkudSum, st.D, k),
+		DocID:   map[string]int{},
+	}
+	w.Tau = make([][2]float64, k)
+	for i := 0; i < k; i++ {
+		w.Tau[i] = [2]float64{st.Tau[2*i], st.Tau[2*i+1]}
+	}
+	toMaps := func(ptr, idx []int64, val []float64) [][]map[int]float64 {
+		out := make([][]map[int]float64, st.D)
+		for d := 0; d < st.D; d++ {
+			out[d] = make([]map[int]float64, k)
+			for ki := 0; ki < k; ki++ {
+				r := d*k + ki
+				m := map[int]float64{}
+				for p := ptr[r]; p < ptr[r+1]; p++ {
+					m[int(idx[p])] = val[p]
+				}
+				out[d][ki] = m
+			}
+		}
+		return out
+	}
+	w.Nkwd = toMaps(st.NkwdPtr, st.NkwdIdx, st.NkwdVal)
+	w.Nkud = toMaps(st.NkudPtr, st.NkudIdx, st.NkudVal)
+	docs, err := arena.NewStrings(st.DocOffsets, st.DocBlob, st.DocTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range docs.Names() {
+		w.DocID[name] = i
+	}
+	return w
+}
+
+// buildLegacyWorld trains a fresh serving state and serializes it in
+// the legacy gob format, returning the gob bytes and the structures
+// they were built from.
+func buildLegacyWorld(t testing.TB, users, sessionsPerUser int) ([]byte, *snapshot.Snapshot, *topicmodel.UPM, *bipartite.Index) {
+	w := synth.Generate(synth.Config{Seed: 91, NumFacets: 5, NumUsers: users, SessionsPerUser: sessionsPerUser})
+	sessions := querylog.Sessionize(w.Log, querylog.SessionizerConfig{})
+	snap := snapshot.Builder{Weighting: bipartite.CFIQF}.FromSessions(sessions, w.Log.Len(), 1)
+	corpus := topicmodel.BuildCorpus(sessions, nil)
+	upm := topicmodel.TrainUPM(corpus, topicmodel.UPMConfig{
+		K: 6, Iterations: 10, Seed: 2, HyperRounds: 1, HyperIters: 3,
+	})
+	eng := gobEngine{
+		Version: legacyVersion,
+		Cfg:     core.Config{Compact: bipartite.CompactConfig{Budget: 80}},
+		Rep: &gobRep{
+			Queries:   indexToGob(snap.Rep.Queries),
+			Sessions:  snap.Rep.Sessions,
+			Weighting: int(snap.Rep.Weighting),
+		},
+		HasUPM:    true,
+		UPM:       upmToGob(t, upm),
+		WordIndex: indexToGob(corpus.Words),
+	}
+	for v := 0; v < bipartite.NumViews; v++ {
+		eng.Rep.Objects[v] = indexToGob(snap.Rep.Objects[v])
+		eng.Rep.W[v] = matrixToGob(snap.Rep.W[v])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(eng); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), snap, upm, corpus.Words
+}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/snapwire"
+)
+
+// convertFixture converts one testdata gob file into dir and returns
+// the output path plus the decoded legacy mirror for cross-checks.
+func convertFixture(t *testing.T, dir, name string) (string, *gobEngine) {
+	t.Helper()
+	in := filepath.Join("testdata", name)
+	out := filepath.Join(dir, strings.TrimSuffix(name, ".gob")+".bin")
+	var buf bytes.Buffer
+	if err := run([]string{"convert", in, out}, &buf); err != nil {
+		t.Fatalf("convert %s: %v", name, err)
+	}
+	data, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := decodeLegacy(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, legacy
+}
+
+func TestConvertedImageServes(t *testing.T) {
+	for _, name := range []string{"legacy_engine.gob", "legacy_engine_divonly.gob"} {
+		t.Run(name, func(t *testing.T) {
+			out, legacy := convertFixture(t, t.TempDir(), name)
+
+			// The converted image must pass the full verifier.
+			if err := run([]string{"verify", out}, new(bytes.Buffer)); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+
+			// And load into a serving engine whose shape matches the
+			// legacy file exactly.
+			eng, err := core.LoadEngineFile(out)
+			if err != nil {
+				t.Fatalf("loading converted image: %v", err)
+			}
+			snap := eng.Snapshot()
+			if got, want := snap.Rep.NumQueries(), len(legacy.Rep.Queries.Names); got != want {
+				t.Fatalf("queries %d, want %d", got, want)
+			}
+			// Sessions decode lazily — count them off the image itself.
+			img, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := snapwire.Load(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessions, err := l.DecodeSessions()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := len(sessions), len(legacy.Rep.Sessions); got != want {
+				t.Fatalf("sessions %d, want %d", got, want)
+			}
+			if legacy.HasUPM != (snap.Profiles != nil) {
+				t.Fatalf("profiles present=%v, legacy hasUPM=%v", snap.Profiles != nil, legacy.HasUPM)
+			}
+
+			// Every registered strategy serves suggestions for a query
+			// the legacy engine knew, personalized when profiles exist.
+			query := legacy.Rep.Queries.Names[0]
+			user := ""
+			if legacy.HasUPM {
+				users := make([]string, 0, len(legacy.UPM.DocID))
+				for u := range legacy.UPM.DocID {
+					users = append(users, u)
+				}
+				sort.Strings(users)
+				user = users[0]
+			}
+			for _, strat := range eng.StrategyNames() {
+				res, err := eng.Do(context.Background(), core.SuggestRequest{
+					Strategy: strat, User: user, Query: query, K: 5,
+				})
+				if err != nil {
+					t.Fatalf("strategy %s: %v", strat, err)
+				}
+				if len(res.Suggestions) == 0 {
+					t.Fatalf("strategy %s returned no suggestions for %q", strat, query)
+				}
+			}
+		})
+	}
+}
+
+func TestConvertedUPMMatchesLegacyDims(t *testing.T) {
+	out, legacy := convertFixture(t, t.TempDir(), "legacy_engine.gob")
+	img, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := snapwire.Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Meta.HasUPM {
+		t.Fatal("converted image lost the UPM")
+	}
+	if l.Meta.UPMVocab != legacy.UPM.V || l.Meta.UPMURLs != legacy.UPM.U {
+		t.Fatalf("UPM dims V=%d U=%d, legacy V=%d U=%d",
+			l.Meta.UPMVocab, l.Meta.UPMURLs, legacy.UPM.V, legacy.UPM.U)
+	}
+	if got, want := l.Words.Len(), len(legacy.WordIndex.Names); got != want {
+		t.Fatalf("vocabulary %d, want %d", got, want)
+	}
+	// Every legacy user profile survived with its original id.
+	st := l.Snap.Profiles.UPM().State()
+	if st.D != len(legacy.UPM.DocID) {
+		t.Fatalf("profiles %d, want %d", st.D, len(legacy.UPM.DocID))
+	}
+}
+
+func TestInspectAndVerifyOutput(t *testing.T) {
+	out, _ := convertFixture(t, t.TempDir(), "legacy_engine.gob")
+
+	var buf bytes.Buffer
+	if err := run([]string{"inspect", out}, &buf); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{"snapwire v1", "meta", "mat-rowptr/0", "sym-tokptr", "sessions"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, text)
+		}
+	}
+
+	buf.Reset()
+	if err := run([]string{"verify", out}, &buf); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !strings.Contains(buf.String(), "OK") {
+		t.Fatalf("verify output: %s", buf.String())
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	dir := t.TempDir()
+	out, _ := convertFixture(t, dir, "legacy_engine.gob")
+
+	// inspect/verify on a gob file names the migration path.
+	err := run([]string{"inspect", filepath.Join("testdata", "legacy_engine.gob")}, new(bytes.Buffer))
+	if !errors.Is(err, snapwire.ErrLegacyGob) {
+		t.Fatalf("inspect on gob: %v", err)
+	}
+
+	// convert refuses an already-converted image.
+	err = run([]string{"convert", out, filepath.Join(dir, "twice.bin")}, new(bytes.Buffer))
+	if err == nil || !strings.Contains(err.Error(), "already") {
+		t.Fatalf("convert on wire image: %v", err)
+	}
+
+	// convert rejects garbage.
+	garbage := filepath.Join(dir, "garbage.gob")
+	if err := os.WriteFile(garbage, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"convert", garbage, filepath.Join(dir, "g.bin")}, new(bytes.Buffer))
+	if err == nil {
+		t.Fatal("convert accepted garbage")
+	}
+
+	// Bad usage.
+	if err := run(nil, new(bytes.Buffer)); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"frobnicate"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+// TestConvertedEncodeIsStable expects convert → load → save to be a
+// fixed point: a loaded engine serves its original image verbatim (the
+// engine seeds its image cache with the loaded buffer), so nothing —
+// lazily-decoded sessions included — is lost by a save-after-load.
+func TestConvertedEncodeIsStable(t *testing.T) {
+	out, _ := convertFixture(t, t.TempDir(), "legacy_engine.gob")
+	img, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.LoadEngine(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := eng.WireImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, again) {
+		t.Fatalf("re-encode differs: %d vs %d bytes", len(img), len(again))
+	}
+}

@@ -1,0 +1,169 @@
+// Package arena provides flat, offset-addressed data structures whose
+// backing storage is a caller-supplied byte buffer — typically a section
+// of an mmap'd snapshot file (internal/snapwire). Nothing here owns
+// memory: every structure aliases the buffer it was built over, reads
+// are zero-copy and zero-allocation, and mutation is impossible by
+// construction (there is no API that writes).
+//
+// The flagship type is Strings: a string table whose lookup index — an
+// open-addressing hash table — is itself part of the flat layout, so
+// loading a table of a million interned queries costs a handful of
+// slice headers instead of a million map insertions and string copies.
+package arena
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"unsafe"
+)
+
+// Strings is a read-only string table over flat storage: n strings
+// stored back to back in blob, delimited by offsets (len n+1,
+// offsets[0] == 0, ascending), with an open-addressing hash table for
+// reverse lookup. All three slices typically alias one arena buffer.
+//
+// Name returns strings that alias blob via unsafe.String: callers MUST
+// NOT mutate blob, and the returned strings live exactly as long as the
+// buffer does (heap-backed buffers are kept alive by the returned
+// strings themselves; mmap-backed buffers must not be unmapped while
+// any derived string is reachable — see snapwire's aliasing contract).
+type Strings struct {
+	offsets []uint64
+	blob    []byte
+	table   []uint32 // power-of-two length; entry = id+1, 0 = empty
+}
+
+// ErrCorrupt reports a structurally invalid flat string table.
+var ErrCorrupt = errors.New("arena: corrupt string table")
+
+// NewStrings validates the flat layout and wraps it. It checks every
+// invariant a hostile buffer could violate — offset monotonicity,
+// bounds, table size and entry range — so subsequent Name/Lookup calls
+// can index without panicking. It does NOT verify that table entries
+// hash correctly (a corrupted-but-well-formed table degrades to wrong
+// lookup results, never to unsafety); whole-file checksums upstream
+// catch corruption.
+func NewStrings(offsets []uint64, blob []byte, table []uint32) (*Strings, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("%w: empty offset array", ErrCorrupt)
+	}
+	n := len(offsets) - 1
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("%w: offsets[0] = %d", ErrCorrupt, offsets[0])
+	}
+	for i := 0; i < n; i++ {
+		if offsets[i+1] < offsets[i] {
+			return nil, fmt.Errorf("%w: offsets not monotone at %d", ErrCorrupt, i)
+		}
+	}
+	if offsets[n] != uint64(len(blob)) {
+		return nil, fmt.Errorf("%w: offsets end at %d, blob is %d bytes", ErrCorrupt, offsets[n], len(blob))
+	}
+	if len(table) != tableSize(n) {
+		return nil, fmt.Errorf("%w: hash table has %d slots, want %d for %d strings", ErrCorrupt, len(table), tableSize(n), n)
+	}
+	for _, e := range table {
+		if e > uint32(n) {
+			return nil, fmt.Errorf("%w: hash slot points at id %d of %d", ErrCorrupt, e-1, n)
+		}
+	}
+	return &Strings{offsets: offsets, blob: blob, table: table}, nil
+}
+
+// BuildStrings lays out names as a flat string table: the writer-side
+// inverse of NewStrings. The returned slices are freshly allocated.
+func BuildStrings(names []string) (offsets []uint64, blob []byte, table []uint32) {
+	offsets = make([]uint64, len(names)+1)
+	total := 0
+	for _, s := range names {
+		total += len(s)
+	}
+	blob = make([]byte, 0, total)
+	for i, s := range names {
+		blob = append(blob, s...)
+		offsets[i+1] = uint64(len(blob))
+	}
+	table = make([]uint32, tableSize(len(names)))
+	mask := uint64(len(table) - 1)
+	for i, s := range names {
+		slot := Hash(s) & mask
+		for table[slot] != 0 {
+			slot = (slot + 1) & mask
+		}
+		table[slot] = uint32(i) + 1
+	}
+	return offsets, blob, table
+}
+
+// tableSize returns the open-addressing table length for n entries: the
+// next power of two of 2n (load factor ≤ 0.5), at least 2 so there is
+// always an empty slot to terminate probes.
+func tableSize(n int) int {
+	if n <= 0 {
+		return 2
+	}
+	return 1 << bits.Len(uint(2*n-1))
+}
+
+// Hash is the table's hash function: FNV-1a, 64-bit.
+func Hash(s string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Len returns the number of stored strings.
+func (s *Strings) Len() int { return len(s.offsets) - 1 }
+
+// Name returns string i, aliasing the blob (zero copy, zero alloc).
+func (s *Strings) Name(i int) string {
+	lo, hi := s.offsets[i], s.offsets[i+1]
+	if lo == hi {
+		return ""
+	}
+	return unsafe.String(&s.blob[lo], hi-lo)
+}
+
+// Lookup resolves a string to its id. The probe is bounded by the
+// table length, so even a hostile all-full table terminates.
+func (s *Strings) Lookup(name string) (int, bool) {
+	mask := uint64(len(s.table) - 1)
+	slot := Hash(name) & mask
+	for probes := 0; probes < len(s.table); probes++ {
+		e := s.table[slot]
+		if e == 0 {
+			return 0, false
+		}
+		id := int(e - 1)
+		if s.Name(id) == name {
+			return id, true
+		}
+		slot = (slot + 1) & mask
+	}
+	return 0, false
+}
+
+// Names materializes the full table as a []string (each element still
+// aliases the blob). Intended for thaw/migration paths, not serving.
+func (s *Strings) Names() []string {
+	out := make([]string, s.Len())
+	for i := range out {
+		out[i] = s.Name(i)
+	}
+	return out
+}
+
+// Offsets exposes the raw offset array for wire writers (do not mutate).
+func (s *Strings) Offsets() []uint64 { return s.offsets }
+
+// Blob exposes the raw string bytes for wire writers (do not mutate).
+func (s *Strings) Blob() []byte { return s.blob }
+
+// Table exposes the raw hash table for wire writers (do not mutate).
+func (s *Strings) Table() []uint32 { return s.table }

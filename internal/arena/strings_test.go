@@ -1,0 +1,133 @@
+package arena
+
+import (
+	"fmt"
+	"testing"
+)
+
+func roundTrip(t *testing.T, names []string) *Strings {
+	t.Helper()
+	off, blob, table := BuildStrings(names)
+	s, err := NewStrings(off, blob, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStringsRoundTrip(t *testing.T) {
+	names := []string{"", "sun", "sun tan", "jvm", "sun", "ünïcode ☀"}
+	// Note: duplicate "sun" — Lookup may return either id; Name must be
+	// exact for all.
+	s := roundTrip(t, names)
+	if s.Len() != len(names) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(names))
+	}
+	for i, n := range names {
+		if got := s.Name(i); got != n {
+			t.Fatalf("Name(%d) = %q, want %q", i, got, n)
+		}
+	}
+	for _, n := range names {
+		id, ok := s.Lookup(n)
+		if !ok {
+			t.Fatalf("Lookup(%q) missed", n)
+		}
+		if s.Name(id) != n {
+			t.Fatalf("Lookup(%q) = id %d = %q", n, id, s.Name(id))
+		}
+	}
+	if _, ok := s.Lookup("never interned"); ok {
+		t.Fatal("phantom hit")
+	}
+}
+
+func TestStringsEmpty(t *testing.T) {
+	s := roundTrip(t, nil)
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if _, ok := s.Lookup("x"); ok {
+		t.Fatal("hit in empty table")
+	}
+}
+
+func TestStringsLarge(t *testing.T) {
+	names := make([]string, 5000)
+	for i := range names {
+		names[i] = fmt.Sprintf("query %d about topic %d", i, i%97)
+	}
+	s := roundTrip(t, names)
+	for i, n := range names {
+		id, ok := s.Lookup(n)
+		if !ok || id != i {
+			t.Fatalf("Lookup(%q) = %d,%v want %d", n, id, ok, i)
+		}
+	}
+}
+
+func TestStringsZeroAllocLookup(t *testing.T) {
+	names := []string{"alpha", "beta", "gamma"}
+	s := roundTrip(t, names)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := s.Lookup("beta"); !ok {
+			t.Fatal("miss")
+		}
+		if s.Name(2) != "gamma" {
+			t.Fatal("bad name")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Lookup/Name allocated %v per run", allocs)
+	}
+}
+
+func TestNewStringsRejectsCorrupt(t *testing.T) {
+	off, blob, table := BuildStrings([]string{"a", "bb", "ccc"})
+	cases := []struct {
+		name string
+		mut  func() ([]uint64, []byte, []uint32)
+	}{
+		{"empty offsets", func() ([]uint64, []byte, []uint32) { return nil, blob, table }},
+		{"nonzero start", func() ([]uint64, []byte, []uint32) {
+			o := append([]uint64(nil), off...)
+			o[0] = 1
+			return o, blob, table
+		}},
+		{"non-monotone", func() ([]uint64, []byte, []uint32) {
+			o := append([]uint64(nil), off...)
+			o[1], o[2] = o[2], o[1]
+			return o, blob, table
+		}},
+		{"blob mismatch", func() ([]uint64, []byte, []uint32) { return off, blob[:len(blob)-1], table }},
+		{"bad table size", func() ([]uint64, []byte, []uint32) { return off, blob, table[:1] }},
+		{"slot out of range", func() ([]uint64, []byte, []uint32) {
+			tb := append([]uint32(nil), table...)
+			tb[0] = 99
+			return off, blob, tb
+		}},
+	}
+	for _, tc := range cases {
+		o, b, tb := tc.mut()
+		if _, err := NewStrings(o, b, tb); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestLookupTerminatesOnHostileTable(t *testing.T) {
+	// A table with every slot full (no empty terminator) must not spin.
+	off, blob, table := BuildStrings([]string{"a", "bb"})
+	for i := range table {
+		if table[i] == 0 {
+			table[i] = 1
+		}
+	}
+	s, err := NewStrings(off, blob, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Lookup("zzz"); ok {
+		t.Fatal("phantom hit")
+	}
+}

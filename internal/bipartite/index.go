@@ -1,15 +1,23 @@
 package bipartite
 
 import (
-	"bytes"
-	"encoding/gob"
+	"repro/internal/arena"
 )
 
 // Index is a bidirectional mapping between strings and dense integer
 // IDs, used for query, URL, session and term node spaces.
+//
+// An Index is backed either by a map + slice (the mutable form produced
+// by NewIndex/Intern) or by a flat arena string table (the read-only
+// form produced by IndexFromArena when a snapshot is loaded in place).
+// The serving path only ever calls Lookup/Name/Len, which are
+// zero-allocation on both backings; the rare mutation path (Intern,
+// used by delta rebuilds) transparently thaws an arena-backed index
+// into the mutable form first.
 type Index struct {
 	byName map[string]int
 	names  []string
+	flat   *arena.Strings // non-nil → arena-backed until thawed
 }
 
 // NewIndex returns an empty index.
@@ -17,13 +25,43 @@ func NewIndex() *Index {
 	return &Index{byName: make(map[string]int)}
 }
 
+// IndexFromArena wraps a flat string table as a read-only Index without
+// copying or building a map. The table (and every string handed out by
+// Name) aliases the arena buffer; see the arena.Strings lifetime rules.
+func IndexFromArena(s *arena.Strings) *Index {
+	return &Index{flat: s}
+}
+
+// thaw materializes a mutable map+slice backing from the arena table.
+// The strings still alias the arena buffer (no blob copy).
+func (ix *Index) thaw() {
+	if ix.flat == nil {
+		return
+	}
+	n := ix.flat.Len()
+	ix.names = ix.flat.Names()
+	ix.byName = make(map[string]int, n)
+	for i, name := range ix.names {
+		if _, dup := ix.byName[name]; !dup {
+			ix.byName[name] = i
+		}
+	}
+	ix.flat = nil
+}
+
 // Intern returns the ID for name, assigning the next free ID on first
 // sight.
 func (ix *Index) Intern(name string) int {
+	if ix.flat != nil {
+		ix.thaw()
+	}
 	if id, ok := ix.byName[name]; ok {
 		return id
 	}
 	id := len(ix.names)
+	if ix.byName == nil {
+		ix.byName = make(map[string]int)
+	}
 	ix.byName[name] = id
 	ix.names = append(ix.names, name)
 	return id
@@ -32,35 +70,35 @@ func (ix *Index) Intern(name string) int {
 // Lookup returns the ID for name; ok is false when the name was never
 // interned.
 func (ix *Index) Lookup(name string) (int, bool) {
+	if ix.flat != nil {
+		return ix.flat.Lookup(name)
+	}
 	id, ok := ix.byName[name]
 	return id, ok
 }
 
 // Name returns the string for an ID. It panics on out-of-range IDs.
-func (ix *Index) Name(id int) string { return ix.names[id] }
-
-// Len returns the number of interned names.
-func (ix *Index) Len() int { return len(ix.names) }
-
-// Names returns the backing name slice (do not mutate).
-func (ix *Index) Names() []string { return ix.names }
-
-// GobEncode implements gob.GobEncoder: only the name slice travels;
-// the reverse map is rebuilt on decode.
-func (ix *Index) GobEncode() ([]byte, error) {
-	var buf bytes.Buffer
-	err := gob.NewEncoder(&buf).Encode(ix.names)
-	return buf.Bytes(), err
+func (ix *Index) Name(id int) string {
+	if ix.flat != nil {
+		return ix.flat.Name(id)
+	}
+	return ix.names[id]
 }
 
-// GobDecode implements gob.GobDecoder.
-func (ix *Index) GobDecode(data []byte) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ix.names); err != nil {
-		return err
+// Len returns the number of interned names.
+func (ix *Index) Len() int {
+	if ix.flat != nil {
+		return ix.flat.Len()
 	}
-	ix.byName = make(map[string]int, len(ix.names))
-	for i, n := range ix.names {
-		ix.byName[n] = i
+	return len(ix.names)
+}
+
+// Names returns the name slice in ID order (do not mutate). For an
+// arena-backed index this materializes a fresh slice whose elements
+// alias the arena buffer.
+func (ix *Index) Names() []string {
+	if ix.flat != nil {
+		return ix.flat.Names()
 	}
-	return nil
+	return ix.names
 }

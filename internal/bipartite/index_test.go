@@ -1,0 +1,93 @@
+package bipartite
+
+import (
+	"testing"
+
+	"repro/internal/arena"
+)
+
+func arenaIndex(t *testing.T, names []string) *Index {
+	t.Helper()
+	off, blob, table := arena.BuildStrings(names)
+	s, err := arena.NewStrings(off, blob, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return IndexFromArena(s)
+}
+
+func TestIndexFromArenaParity(t *testing.T) {
+	names := []string{"sun", "sun tan", "", "jvm download", "ünïcode"}
+	flat := arenaIndex(t, names)
+	mut := NewIndex()
+	for _, n := range names {
+		mut.Intern(n)
+	}
+	if flat.Len() != mut.Len() {
+		t.Fatalf("Len: flat %d, map %d", flat.Len(), mut.Len())
+	}
+	for i, n := range names {
+		if flat.Name(i) != mut.Name(i) {
+			t.Fatalf("Name(%d): flat %q, map %q", i, flat.Name(i), mut.Name(i))
+		}
+		fid, fok := flat.Lookup(n)
+		mid, mok := mut.Lookup(n)
+		if fid != mid || fok != mok {
+			t.Fatalf("Lookup(%q): flat %d,%v map %d,%v", n, fid, fok, mid, mok)
+		}
+	}
+	if _, ok := flat.Lookup("never seen"); ok {
+		t.Fatal("phantom hit in flat index")
+	}
+	got := flat.Names()
+	for i, n := range names {
+		if got[i] != n {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], n)
+		}
+	}
+}
+
+func TestIndexThawOnIntern(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	ix := arenaIndex(t, names)
+	// Interning an existing name must keep its ID and not grow the index.
+	if id := ix.Intern("b"); id != 1 {
+		t.Fatalf("Intern(existing) = %d, want 1", id)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len after re-intern = %d", ix.Len())
+	}
+	// A fresh name gets the next dense ID.
+	if id := ix.Intern("d"); id != 3 {
+		t.Fatalf("Intern(new) = %d, want 3", id)
+	}
+	if ix.Len() != 4 || ix.Name(3) != "d" {
+		t.Fatalf("post-thaw state: len %d, Name(3)=%q", ix.Len(), ix.Name(3))
+	}
+	// The original arena-backed contents survive the thaw.
+	for i, n := range names {
+		if ix.Name(i) != n {
+			t.Fatalf("Name(%d) = %q after thaw, want %q", i, ix.Name(i), n)
+		}
+		if id, ok := ix.Lookup(n); !ok || id != i {
+			t.Fatalf("Lookup(%q) = %d,%v after thaw", n, id, ok)
+		}
+	}
+}
+
+func TestIndexFlatZeroAllocServing(t *testing.T) {
+	names := []string{"alpha", "beta", "gamma"}
+	ix := arenaIndex(t, names)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := ix.Lookup("beta"); !ok {
+			t.Fatal("miss")
+		}
+		if ix.Name(0) != "alpha" {
+			t.Fatal("bad name")
+		}
+		_ = ix.Len()
+	})
+	if allocs != 0 {
+		t.Fatalf("flat Lookup/Name allocated %v per run", allocs)
+	}
+}

@@ -95,6 +95,13 @@ type Engine struct {
 	// hasLog is false for engines deserialized from disk — they carry
 	// no raw entries, so Refresh is unsupported.
 	hasLog bool
+	// loaded describes the wire image a deserialized engine came from
+	// (zero for engines built from a log); see LoadedImage.
+	loaded loadedInfo
+
+	// wireImg caches the snapwire encoding of the current snapshot,
+	// keyed by snapshot pointer (see WireImage).
+	wireImg atomic.Pointer[wireImage]
 
 	// cache, when attached (EnableCache), memoizes diversified lists
 	// keyed by (generation, query, context fingerprint, k). Shared by

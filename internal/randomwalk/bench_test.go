@@ -2,6 +2,7 @@ package randomwalk
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/sparse"
@@ -111,3 +112,64 @@ func BenchmarkHittingTimeSeedMap(b *testing.B) {
 		HittingTimeToSet(trans, set, benchL)
 	}
 }
+
+// --- Beyond-L2 fixture ----------------------------------------------
+//
+// The 2,000-node fixture above fits in L2, so the float32 sweep reads
+// as a wash there (with every stream cache-resident there is no
+// bandwidth to save). This fixture is sized past any L2/L3 slice on
+// the fleet: ~524k nodes at ~8.5 nonzeros per row is ≈4M nnz — a
+// ~80 MiB float64 sweep working set (colidx + val + rowptr + three
+// vectors), with the h-vector gather target alone at 4 MiB. Sweeps
+// stream from memory and the gathers miss cache, so the value-width
+// split becomes measurable (~1.2x on the reference box: float32 halves
+// both the value stream and the gather footprint).
+
+const llcN, llcDeg = 1 << 19, 16
+
+var (
+	llcOnce     sync.Once
+	llcTrans    *sparse.Matrix
+	llcInS      []bool
+	llcDangling []float64
+)
+
+func llcFixture() (*sparse.Matrix, []bool, []float64) {
+	llcOnce.Do(func() {
+		rng := rand.New(rand.NewSource(29))
+		llcTrans = randTransition(rng, llcN, llcDeg, 1000)
+		llcInS = make([]bool, llcN)
+		for i := 0; i < 5; i++ {
+			llcInS[rng.Intn(llcN-1000)] = true
+		}
+		llcDangling = DanglingMass(llcTrans)
+		llcTrans.Prewarm32()
+	})
+	return llcTrans, llcInS, llcDangling
+}
+
+func benchmarkLLC(b *testing.B, precision sparse.Precision) {
+	trans, inS, dangling := llcFixture()
+	view := trans.View()
+	nnz := len(view.Val)
+	b.SetBytes(int64(benchL * nnz * 16)) // colidx + float64 val per sweep
+	scratch := &SweepScratch{}
+	opts := HittingTimeOpts{
+		Steps: benchL, Dangling: dangling, Scratch: scratch, Precision: precision,
+	}
+	TruncatedHittingTimeFlat(trans, inS, opts) // warm scratch + mirrors
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TruncatedHittingTimeFlat(trans, inS, opts)
+	}
+}
+
+// BenchmarkHittingTimeLLC is the float64 sweep on the beyond-L2
+// fixture — the memory-bound baseline.
+func BenchmarkHittingTimeLLC(b *testing.B) { benchmarkLLC(b, sparse.PrecisionFloat64) }
+
+// BenchmarkHittingTimeLLCFloat32 is the same sweep on the float32
+// value mirror: half the value-stream traffic, which is most of the
+// per-sweep bytes at this size.
+func BenchmarkHittingTimeLLCFloat32(b *testing.B) { benchmarkLLC(b, sparse.PrecisionFloat32) }

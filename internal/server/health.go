@@ -77,6 +77,19 @@ func (s *Server) handleHealthV1(w http.ResponseWriter, r *http.Request) {
 	components["engine"] = healthComponent{Status: engStatus, Detail: engDetail}
 	overall = worseHealth(overall, engStatus)
 
+	// Snapshot provenance: which wire image (if any) is behind the
+	// serving engine. Informational — a log-built engine is healthy.
+	snapDetail := map[string]any{"loaded": false}
+	if info := eng.LoadedImage(); info.Present {
+		snapDetail = map[string]any{
+			"loaded":        true,
+			"mapped":        info.Mapped,
+			"sizeBytes":     info.Size,
+			"formatVersion": info.Version,
+		}
+	}
+	components["snapshot"] = healthComponent{Status: "ok", Detail: snapDetail}
+
 	// Admission: breaker state and gate saturation.
 	if ctrl := s.admission.Load(); ctrl != nil {
 		bStatus := "ok"

@@ -133,8 +133,11 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 				}
 			}
 			// Cap the body BEFORE the handler decodes it: one oversized
-			// /v1/learn payload must be a 413, not an OOM.
-			if max := s.maxBodyBytes.Load(); max > 0 && r.Body != nil && r.ContentLength != 0 {
+			// /v1/learn payload must be a 413, not an OOM. /v1/snapshot
+			// is exempt — wire images dwarf API bodies by design and the
+			// handler applies its own DefaultMaxSnapshotBytes cap.
+			if max := s.maxBodyBytes.Load(); max > 0 && r.Body != nil && r.ContentLength != 0 &&
+				r.URL.Path != "/v1/snapshot" {
 				r.Body = http.MaxBytesReader(sw, r.Body, max)
 			}
 		}

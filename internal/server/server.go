@@ -193,6 +193,10 @@ func (s *Server) Handler() http.Handler {
 	// surface.
 	mux.HandleFunc("POST /v1/suggest/batch", s.handleSuggestBatch)
 	mux.HandleFunc("GET /v1/strategies", s.handleStrategies)
+	// Snapshot distribution (v1-only): download the serving wire image,
+	// or replace the serving snapshot with a posted image.
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshotGet)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshotPost)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mountDebug(mux)
 	return s.withObs(mux)
@@ -938,6 +942,7 @@ func (s *Server) statsPayload() map[string]any {
 		"brownout":   s.BrownoutStrategy(),
 		"byStrategy": byStrategy,
 	}
+	m["snapshot"] = s.snapshotStatsPayload()
 	build := eng.LastBuild()
 	m["engine"] = map[string]any{
 		"generation":     eng.Generation(),

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/snapwire"
+)
+
+func TestSnapshotDownloadVerifies(t *testing.T) {
+	srv, ts, _, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	if g := resp.Header.Get("X-Snapshot-Generation"); g == "" {
+		t.Fatal("no generation header")
+	}
+	img, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snapwire.Verify(img); err != nil {
+		t.Fatalf("downloaded image fails verification: %v", err)
+	}
+
+	// The image must load into a servable snapshot.
+	l, err := snapwire.Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Snap.Rep.NumQueries() != srv.Engine().Snapshot().Rep.NumQueries() {
+		t.Fatal("loaded image does not match the serving representation")
+	}
+
+	// A second download reuses the cached encoding (same snapshot).
+	resp2, err := http.Get(ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !bytes.Equal(img, img2) {
+		t.Fatal("repeated download differs")
+	}
+}
+
+func TestSnapshotPostSwapsAndBumpsGeneration(t *testing.T) {
+	// Source server A: download its image.
+	_, tsA, wA, _ := testServer(t)
+	resp, err := http.Get(tsA.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Target server B: post A's image in.
+	srvB, tsB, _, _ := testServer(t)
+	prevGen := srvB.Engine().Generation()
+	preSwaps := srvB.stats.swaps.Load()
+	post, err := http.Post(tsB.URL+"/v1/snapshot", "application/octet-stream", bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	if post.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(post.Body)
+		t.Fatalf("status %d: %s", post.StatusCode, body)
+	}
+	var out struct {
+		Generation uint64 `json:"generation"`
+		SizeBytes  int64  `json:"sizeBytes"`
+		Version    uint16 `json:"version"`
+		Sections   int    `json:"sections"`
+	}
+	decodeInto(t, post, &out)
+	if out.Generation != prevGen+1 {
+		t.Fatalf("generation %d, want %d", out.Generation, prevGen+1)
+	}
+	if out.SizeBytes != int64(len(img)) || out.Version != snapwire.Version || out.Sections == 0 {
+		t.Fatalf("response %+v", out)
+	}
+	if got := srvB.Engine().Generation(); got != prevGen+1 {
+		t.Fatalf("engine generation %d after swap", got)
+	}
+	if srvB.stats.swaps.Load() != preSwaps+1 {
+		t.Fatal("swap not counted")
+	}
+
+	// B now serves A's world.
+	q := pickKnownQuery(t, wA)
+	var sug map[string]any
+	if code := getJSON(t, tsB.URL+"/v1/suggest?q="+q+"&k=5", &sug); code != http.StatusOK {
+		t.Fatalf("suggest on adopted snapshot: %d", code)
+	}
+
+	// Stats and health report the adopted image.
+	var stats map[string]any
+	getJSON(t, tsB.URL+"/v1/stats", &stats)
+	snap, ok := stats["snapshot"].(map[string]any)
+	if !ok || snap["loaded"] != true {
+		t.Fatalf("stats snapshot section: %#v", stats["snapshot"])
+	}
+	if snap["sizeBytes"].(float64) != float64(len(img)) {
+		t.Fatalf("stats size %v", snap["sizeBytes"])
+	}
+	var health map[string]any
+	getJSON(t, tsB.URL+"/v1/health", &health)
+	comps := health["components"].(map[string]any)
+	hs, ok := comps["snapshot"].(map[string]any)
+	if !ok {
+		t.Fatalf("health has no snapshot component: %#v", comps)
+	}
+	detail := hs["detail"].(map[string]any)
+	if detail["loaded"] != true {
+		t.Fatalf("health snapshot detail: %#v", detail)
+	}
+
+	// The load-duration histogram saw the http source.
+	var buf bytes.Buffer
+	srvB.tel.registry.WritePrometheus(&buf)
+	text := buf.String()
+	if !strings.Contains(text, `pqsda_snapshot_load_duration_seconds_count{source="http"} 1`) {
+		t.Fatal("http load not observed in pqsda_snapshot_load_duration_seconds")
+	}
+	if !strings.Contains(text, `pqsda_snapshot_bytes{section="meta"}`) {
+		t.Fatal("pqsda_snapshot_bytes{section} missing from exposition")
+	}
+}
+
+func TestSnapshotPostRejectsCorrupt(t *testing.T) {
+	srv, ts, _, _ := testServer(t)
+	prevGen := srv.Engine().Generation()
+
+	for _, tc := range []struct {
+		name string
+		body []byte
+	}{
+		{"garbage", []byte("definitely not a snapshot")},
+		{"empty", nil},
+	} {
+		post, err := http.Post(ts.URL+"/v1/snapshot", "application/octet-stream", bytes.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		decodeInto(t, post, &env)
+		if post.StatusCode != http.StatusBadRequest || env.Error.Code != codeInvalidSnapshot {
+			t.Fatalf("%s: status %d code %q", tc.name, post.StatusCode, env.Error.Code)
+		}
+	}
+
+	// A flipped payload byte must be named a checksum failure.
+	resp, err := http.Get(ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	img[len(img)-64] ^= 0x20
+	post, err := http.Post(ts.URL+"/v1/snapshot", "application/octet-stream", bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	decodeInto(t, post, &env)
+	if post.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt image: status %d", post.StatusCode)
+	}
+	if !strings.Contains(env.Error.Message, "checksum") {
+		t.Fatalf("corrupt image error lacks checksum detail: %q", env.Error.Message)
+	}
+	if srv.Engine().Generation() != prevGen {
+		t.Fatal("corrupt post changed the serving engine")
+	}
+
+	// And the serving path still answers afterwards.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("health after corrupt post: %d", code)
+	}
+}
+
+func TestSnapshotPostExemptFromBodyCap(t *testing.T) {
+	srv, ts, _, _ := testServer(t)
+	srv.SetMaxBodyBytes(64) // far below any real image
+	resp, err := http.Get(ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(img) <= 64 {
+		t.Fatalf("image unexpectedly small: %d", len(img))
+	}
+	post, err := http.Post(ts.URL+"/v1/snapshot", "application/octet-stream", bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, post.Body)
+	post.Body.Close()
+	if post.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot post hit the API body cap: %d", post.StatusCode)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/snapshot"
+	"repro/internal/snapwire"
 )
 
 // serverStats is the middleware's counter surface: request and error
@@ -149,6 +150,10 @@ type telemetry struct {
 	snapshotBuildFull  *obs.Histogram
 	snapshotBuildDelta *obs.Histogram
 	snapshotDeltaSize  *obs.Histogram
+	// snapLoad splits wire-image snapshot load time by source: mmap and
+	// heap file loads (recorded by cmd/pqsda via ObserveSnapshotLoad)
+	// and http adoptions (POST /v1/snapshot).
+	snapLoad map[string]*obs.Histogram
 }
 
 // stageName constants keep the /v1/stats keys, the Prometheus "stage"
@@ -208,6 +213,30 @@ func newTelemetry(s *Server) *telemetry {
 		"Serving-snapshot build time by mode.", obs.LatencyBuckets, obs.Labels{"mode": "delta"})
 	t.snapshotDeltaSize = reg.NewHistogram(obs.MetricSnapshotDeltaEntries,
 		"Fresh entries folded in per delta snapshot build.", obs.CountBuckets, nil)
+	t.snapLoad = make(map[string]*obs.Histogram, 3)
+	for _, src := range []string{"mmap", "heap", "http"} {
+		t.snapLoad[src] = reg.NewHistogram("pqsda_snapshot_load_duration_seconds",
+			"Wire-image snapshot load time by source (mmap/heap file loads, http adoptions).",
+			obs.LatencyBuckets, obs.Labels{"source": src})
+	}
+	// One gauge per wire-format section over the image behind the
+	// serving engine (0 for log-built engines and absent sections). The
+	// section-name universe is fixed by the format version, so the
+	// series set is stable across loads and adoptions.
+	for _, name := range snapwire.SectionNames() {
+		name := name
+		reg.GaugeFunc("pqsda_snapshot_bytes",
+			"Bytes per section of the wire image behind the serving engine (0 when built from a log).",
+			obs.Labels{"section": name},
+			func() float64 {
+				for _, sec := range s.engine.Load().LoadedImage().Sections {
+					if sec.Name() == name {
+						return float64(sec.Length)
+					}
+				}
+				return 0
+			})
+	}
 
 	counter := func(a *atomic.Int64) func() float64 {
 		return func() float64 { return float64(a.Load()) }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/bipartite"
 	"repro/internal/querylog"
 )
@@ -65,5 +66,103 @@ func TestFinishEdgeCases(t *testing.T) {
 	clone := *snap
 	if clone.Symbols != snap.Symbols {
 		t.Fatal("clone does not share the build-once symbol table")
+	}
+}
+
+// flatSymbols round-trips a built symbol table through its flat form.
+func flatSymbols(t *testing.T, st *SymbolTable) *SymbolTable {
+	t.Helper()
+	names := make([]string, st.Len())
+	for i := range names {
+		names[i] = st.Name(uint32(i))
+	}
+	no, nb, nt := arena.BuildStrings(names)
+	nameIdx, err := arena.NewStrings(no, nb, nt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, tb, tt, ptr, idx := st.FlatTokens()
+	tokIdx, err := arena.NewStrings(to, tb, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := SymbolsFromArena(nameIdx, tokIdx, ptr, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flat
+}
+
+func TestSymbolsFlatRoundTrip(t *testing.T) {
+	snap := builtSnapshot(t)
+	st := snap.Symbols
+	flat := flatSymbols(t, st)
+	if flat.Len() != st.Len() {
+		t.Fatalf("len %d vs %d", flat.Len(), st.Len())
+	}
+	for i := 0; i < st.Len(); i++ {
+		id := uint32(i)
+		if flat.Name(id) != st.Name(id) {
+			t.Fatalf("id %d: name %q vs %q", i, flat.Name(id), st.Name(id))
+		}
+		got, ok := flat.Lookup(st.Name(id))
+		if !ok || got != id {
+			t.Fatalf("Lookup(%q) = %d,%v", st.Name(id), got, ok)
+		}
+		a, b := flat.Tokens(id), st.Tokens(id)
+		if len(a) != len(b) {
+			t.Fatalf("id %d: %d tokens vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("id %d token %d: %q vs %q", i, j, a[j], b[j])
+			}
+		}
+	}
+	// Second flattening (now from the flat form) must be identical.
+	flat2 := flatSymbols(t, flat)
+	for i := 0; i < st.Len(); i++ {
+		a, b := flat2.Tokens(uint32(i)), st.Tokens(uint32(i))
+		if len(a) != len(b) {
+			t.Fatalf("reflatten id %d: %d tokens vs %d", i, len(a), len(b))
+		}
+	}
+}
+
+func TestSymbolsFromArenaRejectsCorrupt(t *testing.T) {
+	snap := builtSnapshot(t)
+	st := snap.Symbols
+	names := make([]string, st.Len())
+	for i := range names {
+		names[i] = st.Name(uint32(i))
+	}
+	no, nb, nt := arena.BuildStrings(names)
+	nameIdx, _ := arena.NewStrings(no, nb, nt)
+	to, tb, tt, ptr, idx := st.FlatTokens()
+	tokIdx, _ := arena.NewStrings(to, tb, tt)
+
+	cases := []struct {
+		name string
+		ptr  []int64
+		idx  []int64
+	}{
+		{"short ptr", ptr[:2], idx},
+		{"bad start", append([]int64{7}, ptr[1:]...), idx},
+		{"non-monotone", func() []int64 {
+			p := append([]int64(nil), ptr...)
+			p[1] = p[len(p)-1] + 5
+			return p
+		}(), idx},
+		{"idx out of range", ptr, func() []int64 {
+			ix := append([]int64(nil), idx...)
+			ix[0] = int64(tokIdx.Len()) + 3
+			return ix
+		}()},
+		{"idx truncated", ptr, idx[:len(idx)-1]},
+	}
+	for _, tc := range cases {
+		if _, err := SymbolsFromArena(nameIdx, tokIdx, tc.ptr, tc.idx); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
 	}
 }

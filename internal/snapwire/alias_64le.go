@@ -1,0 +1,87 @@
+//go:build (amd64 || arm64 || riscv64 || ppc64le || loong64) && !snapwire_copy
+
+package snapwire
+
+import "unsafe"
+
+// On 64-bit little-endian platforms the wire layout IS the in-memory
+// layout: numeric sections alias the buffer directly via unsafe.Slice.
+// The loader guarantees 8-byte-aligned section offsets before these run,
+// and buffers come from mmap (page aligned) or large heap allocations
+// (8-byte aligned), so &b[0] is always suitably aligned for the element
+// type. The snapwire_copy build tag forces the portable copy path for
+// differential testing.
+const aliasing = true
+
+func viewF64(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func viewI64(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// viewInt reinterprets a wire []int64 as []int (int is 64-bit here).
+func viewInt(b []byte) []int {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func viewU64(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func viewU32(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// Writer-side inverses: expose a numeric slice's bytes without copying.
+
+func bytesOfF64(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+func bytesOfI64(v []int64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+func bytesOfInt(v []int) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+func bytesOfU64(v []uint64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+func bytesOfU32(v []uint32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)
+}

@@ -1,0 +1,95 @@
+//go:build !((amd64 || arm64 || riscv64 || ppc64le || loong64) && !snapwire_copy)
+
+package snapwire
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Portable fallback: decode/encode numeric sections by copying, element
+// by element, in explicit little-endian order. Correct everywhere
+// (including 32-bit and big-endian platforms), at the cost of an O(n)
+// copy per section at load — the aliasing fast path in alias_64le.go is
+// what production servers run.
+const aliasing = false
+
+func viewF64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+func viewI64(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+func viewInt(b []byte) []int {
+	out := make([]int, len(b)/8)
+	for i := range out {
+		out[i] = int(int64(binary.LittleEndian.Uint64(b[i*8:])))
+	}
+	return out
+}
+
+func viewU64(b []byte) []uint64 {
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+func viewU32(b []byte) []uint32 {
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+func bytesOfF64(v []float64) []byte {
+	out := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(x))
+	}
+	return out
+}
+
+func bytesOfI64(v []int64) []byte {
+	out := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], uint64(x))
+	}
+	return out
+}
+
+func bytesOfInt(v []int) []byte {
+	out := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], uint64(int64(x)))
+	}
+	return out
+}
+
+func bytesOfU64(v []uint64) []byte {
+	out := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], x)
+	}
+	return out
+}
+
+func bytesOfU32(v []uint32) []byte {
+	out := make([]byte, len(v)*4)
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[i*4:], x)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package snapwire_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/snapwire"
+)
+
+// The load benchmarks measure the tentpole claim: Load is validation
+// plus slice aliasing, so its cost is dominated by the checksum pass
+// (bytes, not entries) and its allocation count is flat in world size.
+
+var (
+	benchImgOnce  sync.Once
+	benchImgSmall []byte
+	benchImgLarge []byte
+)
+
+func benchImages(tb testing.TB) (small, large []byte) {
+	benchImgOnce.Do(func() {
+		encode := func(users, sessions int) []byte {
+			src, _ := buildWorldSized(tb, users, sessions)
+			img, err := snapwire.Encode(src)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			return img
+		}
+		benchImgSmall = encode(10, 12)
+		benchImgLarge = encode(40, 30)
+	})
+	return benchImgSmall, benchImgLarge
+}
+
+func benchmarkLoad(b *testing.B, img []byte) {
+	b.SetBytes(int64(len(img)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snapwire.Load(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad loads the standard test world.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	small, _ := benchImages(b)
+	benchmarkLoad(b, small)
+}
+
+// BenchmarkSnapshotLoadLarge loads a ~10x-entry world; ns/op grows
+// with bytes (the crc32c pass) while allocs/op stays where the small
+// world put it.
+func BenchmarkSnapshotLoadLarge(b *testing.B) {
+	_, large := benchImages(b)
+	benchmarkLoad(b, large)
+}
+
+// TestSnapshotLoadAllocsFlat pins the zero-decode property: loading a
+// world with ~10x the entries may not allocate more than a handful of
+// extra objects (slice headers and wrappers are fixed-count; the
+// arrays alias the buffer).
+func TestSnapshotLoadAllocsFlat(t *testing.T) {
+	small, large := benchImages(t)
+	allocs := func(img []byte) float64 {
+		return testing.AllocsPerRun(20, func() {
+			if _, err := snapwire.Load(img); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	as, al := allocs(small), allocs(large)
+	t.Logf("allocs/op: small=%.0f large=%.0f (image %d -> %d bytes)", as, al, len(small), len(large))
+	if al > as+16 {
+		t.Fatalf("Load allocations grew with world size: %.0f -> %.0f", as, al)
+	}
+}

@@ -1,0 +1,43 @@
+package snapwire_test
+
+import (
+	"testing"
+
+	"repro/internal/snapwire"
+)
+
+// FuzzLoadSnapshot drives Load with hostile images: truncations,
+// bit flips, and fuzzer-invented section tables must produce an error —
+// never a panic, and never an allocation proportional to a lying header
+// field (the length guards in parseHeader and decodeSessions are what
+// this corpus is aimed at).
+func FuzzLoadSnapshot(f *testing.F) {
+	valid, _, _ := encodeWorld(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:24])
+	f.Add([]byte("PQSW"))
+	f.Add([]byte("\x1f\xff\x81\x03\x01\x01\nengineWire\x01\xff\x82\x00"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := snapwire.Load(data)
+		if err != nil {
+			return
+		}
+		// A structurally valid image must also survive full use of the
+		// lazy paths without panicking.
+		if _, err := l.DecodeSessions(); err != nil {
+			return
+		}
+		rep := l.Snap.Rep
+		for i := 0; i < rep.NumQueries(); i++ {
+			_ = rep.Queries.Name(i)
+			if l.Snap.Symbols != nil {
+				_ = l.Snap.Symbols.Tokens(uint32(i))
+			}
+		}
+	})
+}

@@ -1,0 +1,305 @@
+package snapwire
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/bipartite"
+	"repro/internal/profile"
+	"repro/internal/querylog"
+	"repro/internal/snapshot"
+	"repro/internal/sparse"
+	"repro/internal/topicmodel"
+)
+
+// Loaded is the result of Load: an assembled, flat-backed snapshot plus
+// the image metadata the engine and server layers surface.
+type Loaded struct {
+	// Snap is the serving snapshot. Its hot arrays alias buf (on
+	// aliasing platforms): the buffer must stay immutable — and mapped,
+	// for mmap sources — for the snapshot's lifetime. Sessions/ByUser
+	// are left nil (see DecodeSessions) and State is nil by design:
+	// disk-loaded snapshots full-rebuild on refresh.
+	Snap *snapshot.Snapshot
+	// Config is the opaque engine-config JSON stored in the image (nil
+	// when absent).
+	Config []byte
+	// Words is the trained vocabulary index when profiles are present.
+	Words *bipartite.Index
+	// Version is the image's format version.
+	Version uint16
+	// Size is the total image size in bytes.
+	Size int64
+	// Sections lists every section (name → byte length), for the
+	// pqsda_snapshot_bytes{section} gauge and snaptool inspect.
+	Sections []Section
+	// Meta is the decoded meta section.
+	Meta Meta
+	// Mapped reports that the backing buffer is an mmap'd file (set by
+	// LoadFile). Mapped images must stay mapped for the process
+	// lifetime once the snapshot is adopted.
+	Mapped bool
+
+	// Image is the complete validated image buffer the snapshot aliases.
+	// Re-serving it verbatim (a snapshot download, a save-after-load) is
+	// always correct — the format is canonical — and costs no encode.
+	Image []byte
+
+	sessions []byte // raw session section, decoded lazily
+}
+
+// sec returns the payload of section (kind, inst), or nil when absent.
+func payload(buf []byte, h *Header, kind, inst uint16) []byte {
+	for _, s := range h.Sections {
+		if s.Kind == kind && s.Inst == inst {
+			return buf[s.Offset : s.Offset+s.Length]
+		}
+	}
+	return nil
+}
+
+func loadStrings(buf []byte, h *Header, inst uint16) (*arena.Strings, error) {
+	off := payload(buf, h, kindStrOffsets, inst)
+	blob := payload(buf, h, kindStrBlob, inst)
+	table := payload(buf, h, kindStrTable, inst)
+	if off == nil || table == nil {
+		return nil, fmt.Errorf("%w: string index %s incomplete", ErrFormat, instNames[inst])
+	}
+	if len(off)%8 != 0 || len(table)%4 != 0 {
+		return nil, fmt.Errorf("%w: string index %s has ragged section lengths", ErrFormat, instNames[inst])
+	}
+	s, err := arena.NewStrings(viewU64(off), blob, viewU32(table))
+	if err != nil {
+		return nil, fmt.Errorf("%w: string index %s: %v", ErrFormat, instNames[inst], err)
+	}
+	return s, nil
+}
+
+func loadMatrix(buf []byte, h *Header, v int, dims MatDims) (*sparse.Matrix, error) {
+	rp := payload(buf, h, kindMatRowPtr, uint16(v))
+	ci := payload(buf, h, kindMatColIdx, uint16(v))
+	val := payload(buf, h, kindMatVal, uint16(v))
+	if rp == nil || ci == nil || val == nil {
+		return nil, fmt.Errorf("%w: view %d matrix incomplete", ErrFormat, v)
+	}
+	if len(rp)%8 != 0 || len(ci)%8 != 0 || len(val)%8 != 0 {
+		return nil, fmt.Errorf("%w: view %d matrix has ragged section lengths", ErrFormat, v)
+	}
+	m, err := sparse.FromCSRChecked(dims.Rows, dims.Cols, viewInt(rp), viewInt(ci), viewF64(val))
+	if err != nil {
+		return nil, fmt.Errorf("%w: view %d matrix: %v", ErrFormat, v, err)
+	}
+	return m, nil
+}
+
+func f64Sec(buf []byte, h *Header, kind uint16) ([]float64, error) {
+	b := payload(buf, h, kind, 0)
+	if b == nil {
+		return nil, fmt.Errorf("%w: missing section %s", ErrFormat, KindName(kind, 0))
+	}
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("%w: section %s has ragged length %d", ErrFormat, KindName(kind, 0), len(b))
+	}
+	return viewF64(b), nil
+}
+
+func i64Sec(buf []byte, h *Header, kind uint16) ([]int64, error) {
+	b := payload(buf, h, kind, 0)
+	if b == nil {
+		return nil, fmt.Errorf("%w: missing section %s", ErrFormat, KindName(kind, 0))
+	}
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("%w: section %s has ragged length %d", ErrFormat, KindName(kind, 0), len(b))
+	}
+	return viewI64(b), nil
+}
+
+// Load validates buf (header, section table, every checksum) and
+// assembles the flat-backed snapshot. Allocation cost is flat in entry
+// count — slice headers and small wrappers only; the arrays themselves
+// alias buf on aliasing platforms. buf must stay immutable (and mapped)
+// for the life of the returned snapshot.
+func Load(buf []byte) (*Loaded, error) {
+	h, err := parseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loaded{Version: h.Version, Size: int64(len(buf)), Sections: h.Sections, Image: buf}
+
+	metaJSON := payload(buf, h, kindMeta, 0)
+	if metaJSON == nil {
+		return nil, fmt.Errorf("%w: missing meta section", ErrFormat)
+	}
+	if err := json.Unmarshal(metaJSON, &l.Meta); err != nil {
+		return nil, fmt.Errorf("%w: meta: %v", ErrFormat, err)
+	}
+	l.Config = payload(buf, h, kindConfig, 0)
+
+	// Representation.
+	queries, err := loadStrings(buf, h, instQueries)
+	if err != nil {
+		return nil, err
+	}
+	rep := &bipartite.Representation{
+		Queries:   bipartite.IndexFromArena(queries),
+		Weighting: bipartite.Weighting(l.Meta.Weighting),
+	}
+	for v := 0; v < bipartite.NumViews; v++ {
+		objs, err := loadStrings(buf, h, instObjURL+uint16(v))
+		if err != nil {
+			return nil, err
+		}
+		rep.Objects[v] = bipartite.IndexFromArena(objs)
+		m, err := loadMatrix(buf, h, v, l.Meta.Views[v])
+		if err != nil {
+			return nil, err
+		}
+		if m.Rows() != queries.Len() || m.Cols() != objs.Len() {
+			return nil, fmt.Errorf("%w: view %d matrix is %dx%d but indexes are %dx%d",
+				ErrFormat, v, m.Rows(), m.Cols(), queries.Len(), objs.Len())
+		}
+		rep.W[v] = m
+	}
+
+	snap := &snapshot.Snapshot{
+		Rep:        rep,
+		Generation: 1,
+		Stats: snapshot.Stats{
+			Mode:        snapshot.ModeFull,
+			NumQueries:  rep.NumQueries(),
+			NumSessions: l.Meta.NumSessions,
+			LogEntries:  l.Meta.LogEntries,
+			BuiltAt:     time.Unix(0, l.Meta.BuiltAtNano),
+		},
+	}
+
+	// Symbol table (names shared with the query index).
+	if payload(buf, h, kindSymTokPtr, 0) != nil {
+		toks, err := loadStrings(buf, h, instSymToks)
+		if err != nil {
+			return nil, err
+		}
+		ptr, err := i64Sec(buf, h, kindSymTokPtr)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := i64Sec(buf, h, kindSymTokIdx)
+		if err != nil {
+			return nil, err
+		}
+		syms, err := snapshot.SymbolsFromArena(queries, toks, ptr, idx)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		snap.Symbols = syms
+	}
+
+	// Profile/topic state.
+	if l.Meta.HasUPM {
+		st := &topicmodel.UPMState{}
+		cfgJSON := payload(buf, h, kindUPMConfig, 0)
+		if cfgJSON == nil {
+			return nil, fmt.Errorf("%w: missing upm-config section", ErrFormat)
+		}
+		if err := json.Unmarshal(cfgJSON, &st.Cfg); err != nil {
+			return nil, fmt.Errorf("%w: upm-config: %v", ErrFormat, err)
+		}
+		words, err := loadStrings(buf, h, instWords)
+		if err != nil {
+			return nil, err
+		}
+		docs, err := loadStrings(buf, h, instUPMDocs)
+		if err != nil {
+			return nil, err
+		}
+		st.DocOffsets, st.DocBlob, st.DocTable = docs.Offsets(), docs.Blob(), docs.Table()
+		st.V, st.U, st.D = l.Meta.UPMVocab, l.Meta.UPMURLs, docs.Len()
+		if st.V != words.Len() {
+			return nil, fmt.Errorf("%w: UPM vocabulary is %d words, word index has %d", ErrFormat, st.V, words.Len())
+		}
+		for _, f := range []struct {
+			dst  *[]float64
+			kind uint16
+		}{
+			{&st.Alpha, kindUPMAlpha}, {&st.BetaPrior, kindUPMBetaPrior}, {&st.DeltaPrior, kindUPMDeltaPrior},
+			{&st.BetaSum, kindUPMBetaSum}, {&st.DeltaSum, kindUPMDeltaSum}, {&st.Tau, kindUPMTau},
+			{&st.Ndk, kindUPMNdk}, {&st.NdkSum, kindUPMNdkSum},
+			{&st.NkwdSum, kindUPMNkwdSum}, {&st.NkudSum, kindUPMNkudSum},
+			{&st.NkwdVal, kindUPMNkwdVal}, {&st.NkudVal, kindUPMNkudVal},
+		} {
+			if *f.dst, err = f64Sec(buf, h, f.kind); err != nil {
+				return nil, err
+			}
+		}
+		for _, f := range []struct {
+			dst  *[]int64
+			kind uint16
+		}{
+			{&st.NkwdPtr, kindUPMNkwdPtr}, {&st.NkwdIdx, kindUPMNkwdIdx},
+			{&st.NkudPtr, kindUPMNkudPtr}, {&st.NkudIdx, kindUPMNkudIdx},
+		} {
+			if *f.dst, err = i64Sec(buf, h, f.kind); err != nil {
+				return nil, err
+			}
+		}
+		upm, err := topicmodel.UPMFromState(st)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		l.Words = bipartite.IndexFromArena(words)
+		snap.Profiles = profile.NewStoreFromIndex(upm, l.Words)
+		snap.Corpus = &topicmodel.Corpus{Words: l.Words, URLs: bipartite.NewIndex()}
+	}
+
+	l.sessions = payload(buf, h, kindSessions, 0)
+	l.Snap = snap
+	return l, nil
+}
+
+// DecodeSessions materializes the session index. It is deliberately NOT
+// done at Load: nothing on the serving path reads sessions (disk-loaded
+// snapshots full-rebuild on refresh), and decoding would break the
+// flat-allocation load guarantee. Returns nil when the image carries no
+// session section.
+func (l *Loaded) DecodeSessions() ([]querylog.Session, error) {
+	if l.sessions == nil {
+		return nil, nil
+	}
+	return decodeSessions(l.sessions)
+}
+
+// Verify re-validates the whole image — header shape, every section
+// checksum and the trailing file checksum — without assembling a
+// snapshot.
+func Verify(buf []byte) error {
+	_, err := parseHeader(buf)
+	return err
+}
+
+// Inspect parses and fully checksums the image and returns its header
+// (version, size, section table) for tooling.
+func Inspect(buf []byte) (*Header, error) {
+	return parseHeader(buf)
+}
+
+// LoadFile maps (linux) or reads path and loads it. The returned
+// Loaded.Mapped reports whether the image is an mmap'd file — such
+// images must stay mapped for the process lifetime (see mapFile).
+func LoadFile(path string) (*Loaded, error) {
+	buf, mapped, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	l, err := Load(buf)
+	if err != nil {
+		if mapped {
+			// Nothing aliases the mapping on the error path; release it.
+			unmap(buf)
+		}
+		return nil, fmt.Errorf("snapwire: %s: %w", path, err)
+	}
+	l.Mapped = mapped
+	return l, nil
+}

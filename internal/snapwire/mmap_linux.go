@@ -1,0 +1,46 @@
+//go:build linux
+
+package snapwire
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile mmaps path read-only and returns the mapping. The mapping is
+// intentionally never unmapped once the snapshot is adopted: strings
+// and arrays handed out by the snapshot alias it, so unmapping while
+// any of them is reachable would be a use-after-free. Snapshots live
+// for the process lifetime (refresh builds new heap state); leaking one
+// file-sized mapping per loaded file is the documented trade.
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, false, fmt.Errorf("snapwire: %s is empty", path)
+	}
+	if int64(int(size)) != size {
+		return nil, false, fmt.Errorf("snapwire: %s is too large to map", path)
+	}
+	buf, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		// Fall back to a heap read (e.g. filesystems without mmap).
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, false, fmt.Errorf("snapwire: mmap %s: %v (heap fallback: %w)", path, err, rerr)
+		}
+		return data, false, nil
+	}
+	return buf, true, nil
+}
+
+func unmap(buf []byte) { _ = syscall.Munmap(buf) }

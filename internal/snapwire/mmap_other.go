@@ -1,0 +1,15 @@
+//go:build !linux
+
+package snapwire
+
+import "os"
+
+// mapFile on non-linux platforms reads the file into the heap. A heap
+// []byte contains no pointers, so the GC-scan win of the flat layout is
+// preserved; only the page-cache sharing of a true mmap is lost.
+func mapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	return data, false, err
+}
+
+func unmap([]byte) {}

@@ -1,0 +1,140 @@
+package snapwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/querylog"
+)
+
+// The session index is the one section that is NOT flat-readable: it
+// holds variable-length records (user IDs, query strings, timestamps)
+// and nothing on the serving path reads it — disk-loaded snapshots
+// full-rebuild on refresh, so the counting state that WOULD need
+// sessions is rebuilt from the log, not from the snapshot. It is
+// therefore length-prefixed binary, decoded lazily by
+// Loaded.DecodeSessions (snaptool inspect, tests), never at Load.
+//
+// Record layout (little-endian): u32 session count, then per session
+// u32 userID length + bytes, u32 entry count, and per entry u32+bytes
+// query, u32+bytes clicked URL, i64 unix-nano timestamp.
+
+func encodeSessions(sessions []querylog.Session) []byte {
+	size := 4
+	for _, s := range sessions {
+		size += 4 + len(s.UserID) + 4
+		for _, e := range s.Entries {
+			size += 4 + len(e.Query) + 4 + len(e.ClickedURL) + 8
+		}
+	}
+	out := make([]byte, 0, size)
+	var tmp [8]byte
+	pu32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		out = append(out, tmp[:4]...)
+	}
+	pi64 := func(v int64) {
+		binary.LittleEndian.PutUint64(tmp[:8], uint64(v))
+		out = append(out, tmp[:8]...)
+	}
+	pu32(uint32(len(sessions)))
+	for _, s := range sessions {
+		pu32(uint32(len(s.UserID)))
+		out = append(out, s.UserID...)
+		pu32(uint32(len(s.Entries)))
+		for _, e := range s.Entries {
+			pu32(uint32(len(e.Query)))
+			out = append(out, e.Query...)
+			pu32(uint32(len(e.ClickedURL)))
+			out = append(out, e.ClickedURL...)
+			pi64(e.Time.UnixNano())
+		}
+	}
+	return out
+}
+
+type sessionReader struct {
+	b   []byte
+	off int
+}
+
+func (r *sessionReader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, fmt.Errorf("%w: session index truncated at byte %d", ErrFormat, r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *sessionReader) i64() (int64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, fmt.Errorf("%w: session index truncated at byte %d", ErrFormat, r.off)
+	}
+	v := int64(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+func (r *sessionReader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if uint64(r.off)+uint64(n) > uint64(len(r.b)) {
+		return "", fmt.Errorf("%w: session index string overruns section", ErrFormat)
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func decodeSessions(b []byte) ([]querylog.Session, error) {
+	r := &sessionReader{b: b}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Each session needs ≥ 8 bytes; reject counts a truncated buffer
+	// cannot hold before allocating for them.
+	if uint64(n) > uint64(len(b))/8 {
+		return nil, fmt.Errorf("%w: session index claims %d sessions in %d bytes", ErrFormat, n, len(b))
+	}
+	out := make([]querylog.Session, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var s querylog.Session
+		if s.UserID, err = r.str(); err != nil {
+			return nil, err
+		}
+		ne, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(ne) > uint64(len(b)-r.off)/16 {
+			return nil, fmt.Errorf("%w: session %d claims %d entries in %d bytes", ErrFormat, i, ne, len(b)-r.off)
+		}
+		s.Entries = make([]querylog.Entry, 0, ne)
+		for j := uint32(0); j < ne; j++ {
+			var e querylog.Entry
+			e.UserID = s.UserID
+			if e.Query, err = r.str(); err != nil {
+				return nil, err
+			}
+			if e.ClickedURL, err = r.str(); err != nil {
+				return nil, err
+			}
+			ns, err := r.i64()
+			if err != nil {
+				return nil, err
+			}
+			e.Time = time.Unix(0, ns)
+			s.Entries = append(s.Entries, e)
+		}
+		out = append(out, s)
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("%w: session index has %d trailing bytes", ErrFormat, len(b)-r.off)
+	}
+	return out, nil
+}

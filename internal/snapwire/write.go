@@ -1,0 +1,195 @@
+package snapwire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/arena"
+	"repro/internal/bipartite"
+	"repro/internal/querylog"
+	"repro/internal/snapshot"
+	"repro/internal/topicmodel"
+)
+
+// Meta is the small JSON section that carries dimensions and build
+// provenance — everything the loader needs to cross-validate the flat
+// arrays, plus the stats surfaced by /v1/stats for a loaded snapshot.
+type Meta struct {
+	Weighting   int        `json:"weighting"`
+	Views       [3]MatDims `json:"views"`
+	HasUPM      bool       `json:"has_upm"`
+	UPMVocab    int        `json:"upm_vocab,omitempty"` // UPM word-vocabulary size V
+	UPMURLs     int        `json:"upm_urls,omitempty"`  // UPM URL-vocabulary size U
+	NumSessions int        `json:"num_sessions"`
+	LogEntries  int        `json:"log_entries"`
+	BuiltAtNano int64      `json:"built_at_nano"`
+}
+
+// MatDims records one view matrix's shape.
+type MatDims struct {
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+}
+
+// Source is the writer's input: a built serving state plus the opaque
+// engine-config blob (snapwire does not interpret it — the engine layer
+// marshals and unmarshals its own config, keeping this package free of
+// a core dependency).
+type Source struct {
+	Config   []byte // opaque engine config JSON (may be nil)
+	Rep      *bipartite.Representation
+	Symbols  *snapshot.SymbolTable
+	UPM      *topicmodel.UPM  // nil when personalization is off
+	Words    *bipartite.Index // required with UPM: the trained vocabulary
+	Sessions []querylog.Session
+	Meta     Meta // Weighting/Views/HasUPM are filled in by Encode
+}
+
+type section struct {
+	kind, inst uint16
+	payload    []byte
+}
+
+// Encode lays the source out as a complete wire image: header, section
+// table, 64-byte-aligned sections with per-section crc32c, trailing
+// whole-file crc32c. The returned buffer is ready for WriteTo, an HTTP
+// response body, or an immediate Load.
+func Encode(src *Source) ([]byte, error) {
+	if src.Rep == nil {
+		return nil, fmt.Errorf("snapwire: encode: nil representation")
+	}
+	if src.UPM != nil && src.Words == nil {
+		return nil, fmt.Errorf("snapwire: encode: UPM present but word index missing")
+	}
+	var secs []section
+	add := func(kind, inst uint16, payload []byte) {
+		secs = append(secs, section{kind, inst, payload})
+	}
+	addStrings := func(inst uint16, names []string) {
+		off, blob, table := arena.BuildStrings(names)
+		add(kindStrOffsets, inst, bytesOfU64(off))
+		add(kindStrBlob, inst, blob)
+		add(kindStrTable, inst, bytesOfU32(table))
+	}
+
+	meta := src.Meta
+	meta.Weighting = int(src.Rep.Weighting)
+	meta.HasUPM = src.UPM != nil
+
+	// Representation: string indexes + CSR matrices.
+	addStrings(instQueries, src.Rep.Queries.Names())
+	for v := 0; v < bipartite.NumViews; v++ {
+		addStrings(instObjURL+uint16(v), src.Rep.Objects[v].Names())
+		m := src.Rep.W[v]
+		if m == nil {
+			return nil, fmt.Errorf("snapwire: encode: view %d has no matrix", v)
+		}
+		meta.Views[v] = MatDims{Rows: m.Rows(), Cols: m.Cols()}
+		cv := m.View()
+		add(kindMatRowPtr, uint16(v), bytesOfInt(cv.RowPtr))
+		add(kindMatColIdx, uint16(v), bytesOfInt(cv.ColIdx))
+		add(kindMatVal, uint16(v), bytesOfF64(cv.Val))
+	}
+
+	// Symbol-table token lists (names are shared with the query index).
+	if src.Symbols != nil {
+		if src.Symbols.Len() != src.Rep.NumQueries() {
+			return nil, fmt.Errorf("snapwire: encode: symbol table covers %d queries, representation has %d",
+				src.Symbols.Len(), src.Rep.NumQueries())
+		}
+		tokOff, tokBlob, tokTable, ptr, idx := src.Symbols.FlatTokens()
+		add(kindStrOffsets, instSymToks, bytesOfU64(tokOff))
+		add(kindStrBlob, instSymToks, tokBlob)
+		add(kindStrTable, instSymToks, bytesOfU32(tokTable))
+		add(kindSymTokPtr, 0, bytesOfI64(ptr))
+		add(kindSymTokIdx, 0, bytesOfI64(idx))
+	}
+
+	// Session index (lazy on load).
+	if len(src.Sessions) > 0 {
+		add(kindSessions, 0, encodeSessions(src.Sessions))
+		meta.NumSessions = len(src.Sessions)
+	}
+
+	// Profile/topic state.
+	if src.UPM != nil {
+		st := src.UPM.State()
+		meta.UPMVocab, meta.UPMURLs = st.V, st.U
+		cfgJSON, err := json.Marshal(st.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("snapwire: encode: UPM config: %w", err)
+		}
+		add(kindUPMConfig, 0, cfgJSON)
+		addStrings(instWords, src.Words.Names())
+		add(kindUPMAlpha, 0, bytesOfF64(st.Alpha))
+		add(kindUPMBetaPrior, 0, bytesOfF64(st.BetaPrior))
+		add(kindUPMDeltaPrior, 0, bytesOfF64(st.DeltaPrior))
+		add(kindUPMBetaSum, 0, bytesOfF64(st.BetaSum))
+		add(kindUPMDeltaSum, 0, bytesOfF64(st.DeltaSum))
+		add(kindUPMTau, 0, bytesOfF64(st.Tau))
+		add(kindUPMNdk, 0, bytesOfF64(st.Ndk))
+		add(kindUPMNdkSum, 0, bytesOfF64(st.NdkSum))
+		add(kindUPMNkwdSum, 0, bytesOfF64(st.NkwdSum))
+		add(kindUPMNkudSum, 0, bytesOfF64(st.NkudSum))
+		add(kindUPMNkwdPtr, 0, bytesOfI64(st.NkwdPtr))
+		add(kindUPMNkwdIdx, 0, bytesOfI64(st.NkwdIdx))
+		add(kindUPMNkwdVal, 0, bytesOfF64(st.NkwdVal))
+		add(kindUPMNkudPtr, 0, bytesOfI64(st.NkudPtr))
+		add(kindUPMNkudIdx, 0, bytesOfI64(st.NkudIdx))
+		add(kindUPMNkudVal, 0, bytesOfF64(st.NkudVal))
+		add(kindStrOffsets, instUPMDocs, bytesOfU64(st.DocOffsets))
+		add(kindStrBlob, instUPMDocs, st.DocBlob)
+		add(kindStrTable, instUPMDocs, bytesOfU32(st.DocTable))
+	}
+
+	if src.Config != nil {
+		add(kindConfig, 0, src.Config)
+	}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("snapwire: encode: meta: %w", err)
+	}
+	// Meta goes first in the table so Inspect reads it cheaply.
+	secs = append([]section{{kindMeta, 0, metaJSON}}, secs...)
+
+	// Layout: header, table, aligned payloads, trailer.
+	offset := uint64(headerSize + len(secs)*sectionSize)
+	offsets := make([]uint64, len(secs))
+	for i, s := range secs {
+		offset = (offset + align - 1) / align * align
+		offsets[i] = offset
+		offset += uint64(len(s.payload))
+	}
+	total := (offset+7)/8*8 + trailerSize
+	buf := make([]byte, total)
+
+	copy(buf[0:4], magic)
+	binary.LittleEndian.PutUint16(buf[4:6], Version)
+	binary.LittleEndian.PutUint64(buf[8:16], total)
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(secs)))
+	for i, s := range secs {
+		e := buf[headerSize+i*sectionSize:]
+		binary.LittleEndian.PutUint16(e[0:2], s.kind)
+		binary.LittleEndian.PutUint16(e[2:4], s.inst)
+		binary.LittleEndian.PutUint64(e[8:16], offsets[i])
+		binary.LittleEndian.PutUint64(e[16:24], uint64(len(s.payload)))
+		copy(buf[offsets[i]:], s.payload)
+		binary.LittleEndian.PutUint32(e[24:28], crc32.Checksum(s.payload, castagnoli))
+	}
+	binary.LittleEndian.PutUint32(buf[total-trailerSize:], crc32.Checksum(buf[:total-trailerSize], castagnoli))
+	return buf, nil
+}
+
+// WriteTo encodes the source and writes the image to w, returning the
+// byte count — the io.WriterTo-shaped entry point for files and HTTP.
+func (src *Source) WriteTo(w io.Writer) (int64, error) {
+	buf, err := Encode(src)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}

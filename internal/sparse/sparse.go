@@ -259,26 +259,39 @@ func (m *Matrix) Prewarm32() { m.View32() }
 // non-decreasing and ends at len(colIdx) == len(val); within each row
 // column indices are strictly increasing and inside [0, cols).
 func FromCSR(rows, cols int, rowPtr, colIdx []int, val []float64) *Matrix {
+	m, err := FromCSRChecked(rows, cols, rowPtr, colIdx, val)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// FromCSRChecked is FromCSR with an error return instead of a panic:
+// the construction path for CSR arrays read from an untrusted buffer
+// (the snapshot wire format), where malformed input must surface as a
+// load error, never a crash. The arrays are adopted, not copied, so
+// kernels run directly on arena (possibly mmap'd) data.
+func FromCSRChecked(rows, cols int, rowPtr, colIdx []int, val []float64) (*Matrix, error) {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("sparse: negative dimensions %dx%d", rows, cols))
+		return nil, fmt.Errorf("sparse: negative dimensions %dx%d", rows, cols)
 	}
 	if len(rowPtr) != rows+1 || rowPtr[0] != 0 || rowPtr[rows] != len(colIdx) || len(colIdx) != len(val) {
-		panic(fmt.Sprintf("sparse: inconsistent CSR arrays (rowPtr %d, colIdx %d, val %d for %d rows)",
-			len(rowPtr), len(colIdx), len(val), rows))
+		return nil, fmt.Errorf("sparse: inconsistent CSR arrays (rowPtr %d, colIdx %d, val %d for %d rows)",
+			len(rowPtr), len(colIdx), len(val), rows)
 	}
 	for r := 0; r < rows; r++ {
 		if rowPtr[r+1] < rowPtr[r] {
-			panic(fmt.Sprintf("sparse: rowPtr not monotone at row %d", r))
+			return nil, fmt.Errorf("sparse: rowPtr not monotone at row %d", r)
 		}
 		for p := rowPtr[r]; p < rowPtr[r+1]; p++ {
 			if c := colIdx[p]; c < 0 || c >= cols {
-				panic(fmt.Sprintf("sparse: column %d out of range %dx%d", c, rows, cols))
+				return nil, fmt.Errorf("sparse: column %d out of range %dx%d", c, rows, cols)
 			} else if p > rowPtr[r] && c <= colIdx[p-1] {
-				panic(fmt.Sprintf("sparse: row %d columns not strictly increasing", r))
+				return nil, fmt.Errorf("sparse: row %d columns not strictly increasing", r)
 			}
 		}
 	}
-	return &Matrix{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, val: val}
+	return &Matrix{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, val: val}, nil
 }
 
 // RowNNZ returns the number of stored entries in row r.

@@ -27,6 +27,10 @@ func (m *UPM) FoldIn(userID string, sessions []Session, iterations int, seed int
 	if iterations <= 0 {
 		iterations = 20
 	}
+	// Fold-in mutates per-document counts: an arena-backed (read-only)
+	// model must thaw into the mutable form first. The engine only ever
+	// folds into clones, so serving snapshots stay flat.
+	m.thaw()
 	rng := rand.New(rand.NewSource(seed))
 
 	d, exists := m.docID[userID]

@@ -46,6 +46,11 @@ type UPM struct {
 	nkud    [][]map[int]float64 // [d][k] URL counts C_kud (sparse)
 	nkudSum [][]float64         // [d][k] total URL tokens
 	docID   map[string]int
+
+	// flat, when non-nil, is the arena-backed read-only form (see
+	// flat.go): the map/slice fields above are empty and every serving
+	// accessor reads the flat arrays instead. Mutation paths thaw first.
+	flat *upmFlat
 }
 
 // UPMConfig tunes UPM training.
@@ -302,10 +307,18 @@ func (m *UPM) Name() string { return "UPM" }
 func (m *UPM) K() int { return m.cfg.K }
 
 // NumDocs returns the number of trained user documents.
-func (m *UPM) NumDocs() int { return len(m.ndk) }
+func (m *UPM) NumDocs() int {
+	if f := m.flat; f != nil {
+		return f.d
+	}
+	return len(m.ndk)
+}
 
 // DocOf returns the document index of a user ID.
 func (m *UPM) DocOf(userID string) (int, bool) {
+	if f := m.flat; f != nil {
+		return f.docs.Lookup(userID)
+	}
 	d, ok := m.docID[userID]
 	return d, ok
 }
@@ -313,6 +326,13 @@ func (m *UPM) DocOf(userID string) (int, bool) {
 // Theta returns the user's topic profile θ_d (Eq. 30).
 func (m *UPM) Theta(d int) []float64 {
 	theta := make([]float64, m.cfg.K)
+	if f := m.flat; f != nil {
+		denom := f.ndkSum[d] + numeric.Sum(f.alpha)
+		for k := range theta {
+			theta[k] = (f.ndk[d*f.k+k] + f.alpha[k]) / denom
+		}
+		return theta
+	}
 	denom := m.ndkSum[d] + numeric.Sum(m.alpha)
 	for k := range theta {
 		theta[k] = (m.ndk[d][k] + m.alpha[k]) / denom
@@ -324,6 +344,11 @@ func (m *UPM) Theta(d int) []float64 {
 // p(w | k, d) = (C_kwd + β_kw) / (C_k·d + Σβ_k): the user's own usage
 // smoothed toward the globally learned topic content.
 func (m *UPM) WordProb(d, k, w int) float64 {
+	if f := m.flat; f != nil {
+		r := d*f.k + k
+		return (csrAt(f.nkwdPtr, f.nkwdIdx, f.nkwdVal, r, w) + f.betaPrior[k*f.v+w]) /
+			(f.nkwdSum[r] + f.betaSum[k])
+	}
 	return (m.nkwd[d][k][w] + m.betaPrior[k][w]) / (m.nkwdSum[d][k] + m.betaSum[k])
 }
 
@@ -331,24 +356,45 @@ func (m *UPM) WordProb(d, k, w int) float64 {
 // the literal B(n+β)/B(β) factor of the paper's Eq. 31 for a
 // single-occurrence word.
 func (m *UPM) PriorWordProb(k, w int) float64 {
+	if f := m.flat; f != nil {
+		return f.betaPrior[k*f.v+w] / f.betaSum[k]
+	}
 	return m.betaPrior[k][w] / m.betaSum[k]
 }
 
 // URLProb returns the posterior-mean per-user topic–URL probability.
 func (m *UPM) URLProb(d, k, u int) float64 {
+	if f := m.flat; f != nil {
+		r := d*f.k + k
+		return (csrAt(f.nkudPtr, f.nkudIdx, f.nkudVal, r, u) + f.deltaPrior[k*f.u+u]) /
+			(f.nkudSum[r] + f.deltaSum[k])
+	}
 	return (m.nkud[d][k][u] + m.deltaPrior[k][u]) / (m.nkudSum[d][k] + m.deltaSum[k])
 }
 
 // Tau returns topic k's Beta timestamp parameters.
-func (m *UPM) Tau(k int) (a, b float64) { return m.tau[k][0], m.tau[k][1] }
+func (m *UPM) Tau(k int) (a, b float64) {
+	if f := m.flat; f != nil {
+		return f.tau[2*k], f.tau[2*k+1]
+	}
+	return m.tau[k][0], m.tau[k][1]
+}
 
 // Alpha returns the learned document-mixture hyperparameters.
-func (m *UPM) Alpha() []float64 { return numeric.Clone(m.alpha) }
+func (m *UPM) Alpha() []float64 {
+	if f := m.flat; f != nil {
+		return numeric.Clone(f.alpha)
+	}
+	return numeric.Clone(m.alpha)
+}
 
 // TopWords returns the n highest-probability word IDs of topic k under
 // the LEARNED global prior β_k (the shared topic content), most
 // probable first — the standard topic-interpretation view.
 func (m *UPM) TopWords(k, n int) []int {
+	if f := m.flat; f != nil {
+		return numeric.TopK(f.betaPrior[k*f.v:(k+1)*f.v], n)
+	}
 	return numeric.TopK(m.betaPrior[k], n)
 }
 
@@ -365,7 +411,7 @@ func (m *UPM) TopWordsFor(d, k, n int) []int {
 
 // PredictiveWordProb implements Model.
 func (m *UPM) PredictiveWordProb(d, w int) float64 {
-	if d >= len(m.ndk) || w >= m.v {
+	if d >= m.NumDocs() || w >= m.v {
 		return 1e-12
 	}
 	theta := m.Theta(d)
